@@ -1,0 +1,54 @@
+// Ablation: batch size. The paper evaluates batch 1 because it "reflects
+// typical usage in embedded vision applications", noting it "gives less
+// opportunity for data reuse". This sweep quantifies that remark: larger
+// batches amortize weight streaming, and the FC-dominated AlexNet — the
+// network the co-design cannot help at batch 1 — benefits most.
+#include <cstdio>
+#include <iostream>
+
+#include "energy/model.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+
+  for (const nn::Model& m :
+       {nn::zoo::alexnet(), nn::zoo::squeezenet_v10(), nn::zoo::squeezenext()}) {
+    util::Table t(util::format("Batch ablation — %s (per-image metrics)",
+                               m.name().c_str()));
+    t.set_header({"batch", "kcycles/img", "energy/img (M)", "util",
+                  "DRAM words/img (M)"});
+    double base_cycles = 0;
+    for (int batch : {1, 2, 4, 8, 16}) {
+      sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+      cfg.batch = batch;
+      const auto r = sched::simulate_network(m, cfg);
+      const double per_img_cycles =
+          static_cast<double>(r.total_cycles()) / batch;
+      if (batch == 1) base_cycles = per_img_cycles;
+      t.add_row(
+          {util::format("%d", batch), util::format("%.0f", per_img_cycles / 1e3),
+           util::format("%.0f",
+                        energy::network_energy(r).total() / batch / 1e6),
+           util::percent(r.utilization()),
+           util::format("%.2f",
+                        static_cast<double>(r.total_counts().dram_words) /
+                            batch / 1e6)});
+    }
+    t.print(std::cout);
+    sim::AcceleratorConfig b16 = sim::AcceleratorConfig::squeezelerator();
+    b16.batch = 16;
+    const auto r16 = sched::simulate_network(m, b16);
+    std::printf("  batch-16 per-image speedup over batch-1: %s\n\n",
+                util::times(base_cycles /
+                            (static_cast<double>(r16.total_cycles()) / 16))
+                    .c_str());
+  }
+  std::printf(
+      "AlexNet's FC weight streaming amortizes across the batch — the reuse\n"
+      "the paper's batch-1 embedded operating point deliberately gives up.\n");
+  return 0;
+}

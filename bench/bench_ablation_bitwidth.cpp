@@ -1,0 +1,47 @@
+// Ablation: data-path bit width (paper §3.2 taxonomy: PE "data format ...
+// bit width"). The Squeezelerator uses a 16-bit integer path; this sweep
+// shows what 8-bit or 32-bit words would do to the memory system (the MAC
+// array geometry is held fixed, so this isolates the bandwidth/storage
+// effect of the word size).
+#include <cstdio>
+#include <iostream>
+
+#include "energy/model.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+
+  util::Table t("Bit-width ablation (fixed 32x32 array, fixed 16 GB/s)");
+  t.set_header({"Network", "int8 kcyc", "int16 kcyc (paper)", "int32 kcyc",
+                "int8 resident", "int16 resident"});
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    std::vector<std::string> row{m.name()};
+    std::vector<int> resident;
+    for (int bytes : {1, 2, 4}) {
+      sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+      cfg.data_bytes = bytes;
+      const auto r = sched::simulate_network(m, cfg);
+      row.push_back(util::format("%.0f", r.total_cycles() / 1e3));
+      if (bytes < 4) {
+        const auto plan = sched::plan_residency(m, cfg);
+        int kept = 0;
+        for (std::size_t i = 1; i + 1 < plan.kept.size(); ++i)
+          if (plan.kept[i]) ++kept;
+        resident.push_back(kept);
+      }
+    }
+    row.push_back(util::format("%d", resident[0]));
+    row.push_back(util::format("%d", resident[1]));
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nHalving the word size halves every DRAM transfer and doubles the\n"
+      "global buffer's effective capacity (more resident layers) — the\n"
+      "quantization leverage the paper's taxonomy points at.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: DRAM interface. The paper models DRAM with 100-cycle latency and
+// 16 GB/s effective bandwidth, hidden by double buffering. This sweep shows
+// which networks are memory-bound (AlexNet's FC layers; MobileNet's
+// low-arithmetic-intensity layers) and how latency exposure scales.
+#include <cstdio>
+#include <iostream>
+
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+
+  util::Table bw("DRAM bandwidth sweep (latency fixed at 100 cycles)");
+  bw.set_header({"Network", "4 B/cyc", "8 B/cyc", "16 B/cyc (paper)",
+                 "32 B/cyc", "compute-bound floor"});
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    std::vector<std::string> row{m.name()};
+    for (double bpc : {4.0, 8.0, 16.0, 32.0}) {
+      sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+      cfg.dram_bytes_per_cycle = bpc;
+      row.push_back(util::format(
+          "%.0f", sched::simulate_network(m, cfg).total_cycles() / 1e3));
+    }
+    sim::AcceleratorConfig inf = sim::AcceleratorConfig::squeezelerator();
+    inf.dram_bytes_per_cycle = 1e9;  // effectively infinite bandwidth
+    inf.dram_latency_cycles = 0;
+    row.push_back(util::format(
+        "%.0f", sched::simulate_network(m, inf).total_cycles() / 1e3));
+    bw.add_row(std::move(row));
+  }
+  bw.print(std::cout);
+
+  util::Table lat("\nDRAM latency sweep (bandwidth fixed at 16 B/cycle), kcycles");
+  lat.set_header({"Network", "0", "100 (paper)", "400", "1600"});
+  for (const nn::Model& m :
+       {nn::zoo::alexnet(), nn::zoo::squeezenet_v10(), nn::zoo::squeezenext()}) {
+    std::vector<std::string> row{m.name()};
+    for (int l : {0, 100, 400, 1600}) {
+      sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+      cfg.dram_latency_cycles = l;
+      row.push_back(util::format(
+          "%.0f", sched::simulate_network(m, cfg).total_cycles() / 1e3));
+    }
+    lat.add_row(std::move(row));
+  }
+  lat.print(std::cout);
+  return 0;
+}

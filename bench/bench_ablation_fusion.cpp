@@ -1,0 +1,47 @@
+// Ablation: drain-side pooling fusion (sched/fusion.h). A conv followed by
+// a pool that consumes only it can pool in the drain path, so the
+// full-resolution intermediate never reaches the global buffer — the kind of
+// memory-hierarchy tune-up the paper's co-design loop exists to find.
+#include <cstdio>
+#include <iostream>
+
+#include "energy/model.h"
+#include "nn/zoo/zoo.h"
+#include "sched/fusion.h"
+#include "sched/network_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+
+  util::Table t("Pool-drain fusion ablation");
+  t.set_header({"Network", "fusable pairs", "kcycles", "fused kcycles",
+                "speedup", "DRAM saved", "energy saved"});
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    const auto fusions = sched::find_pool_fusions(m);
+    sched::SimulationOptions plain, fused;
+    fused.fuse_pool_drain = true;
+    const auto base = sched::simulate_network(m, cfg, plain);
+    const auto opt = sched::simulate_network(m, cfg, fused);
+    const double dram_saved =
+        1.0 - static_cast<double>(opt.total_counts().dram_words) /
+                  static_cast<double>(base.total_counts().dram_words);
+    const double energy_saved =
+        1.0 - energy::network_energy(opt).total() /
+                  energy::network_energy(base).total();
+    t.add_row({m.name(), util::format("%zu", fusions.size()),
+               util::format("%.0f", base.total_cycles() / 1e3),
+               util::format("%.0f", opt.total_cycles() / 1e3),
+               util::times(static_cast<double>(base.total_cycles()) /
+                           static_cast<double>(opt.total_cycles())),
+               util::percent(dram_saved), util::percent(energy_saved)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nThe win concentrates in networks whose conv1 output spills to DRAM\n"
+      "(SqueezeNet v1.0: the 96x111x111 tensor shrinks 4x before leaving the\n"
+      "chip). Fire-module pools follow concats and cannot fuse.\n");
+  return 0;
+}

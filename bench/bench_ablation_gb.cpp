@@ -1,0 +1,41 @@
+// Ablation: global-buffer capacity. The paper fixes 128 KB; this sweep shows
+// what that choice buys — how much activation traffic the residency planner
+// keeps on-chip as the buffer grows, and where the returns flatten.
+#include <cstdio>
+#include <iostream>
+
+#include "energy/model.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "sched/residency.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+
+  for (const nn::Model& m :
+       {nn::zoo::squeezenet_v10(), nn::zoo::squeezenext()}) {
+    util::Table t(util::format("Global-buffer sweep — %s", m.name().c_str()));
+    t.set_header({"GB KiB", "resident layers", "DRAM (Mwords)", "kcycles",
+                  "energy (M)"});
+    for (int kib : {32, 64, 128, 256, 512, 1024}) {
+      sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+      cfg.gb_kib = kib;
+      const auto r = sched::simulate_network(m, cfg);
+      const auto plan = sched::plan_residency(m, cfg);
+      int kept = 0;
+      for (std::size_t i = 1; i + 1 < plan.kept.size(); ++i)
+        if (plan.kept[i]) ++kept;
+      t.add_row({util::format("%d%s", kib, kib == 128 ? " (paper)" : ""),
+                 util::format("%d / %d", kept, m.layer_count() - 2),
+                 util::format("%.1f",
+                              static_cast<double>(r.total_counts().dram_words) / 1e6),
+                 util::format("%.0f", r.total_cycles() / 1e3),
+                 util::format("%.0f", energy::network_energy(r).total() / 1e6)});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

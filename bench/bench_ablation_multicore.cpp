@@ -1,0 +1,49 @@
+// Ablation: multi-core configuration (paper §3.2 taxonomy). Batch-parallel
+// cores share the DRAM interface; throughput scales with cores until the
+// shared bandwidth (or the per-core weight refetch) bites.
+#include <cstdio>
+#include <iostream>
+
+#include "core/multicore.h"
+#include "nn/zoo/zoo.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+  const int batch = 8;
+
+  for (const nn::Model& m :
+       {nn::zoo::squeezenext(), nn::zoo::alexnet()}) {
+    util::Table t(util::format("Multi-core scaling — %s (batch %d)",
+                               m.name().c_str(), batch));
+    t.set_header({"cores", "per-core batch", "shared-DRAM img/s", "scaling",
+                  "private-DRAM img/s", "scaling", "chip energy (M)"});
+    double base_shared = 0.0, base_priv = 0.0;
+    for (int cores : {1, 2, 4, 8}) {
+      sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+      cfg.batch = batch;
+      const auto shared = core::simulate_multicore(m, cfg, cores, true);
+      const auto priv = core::simulate_multicore(m, cfg, cores, false);
+      if (cores == 1) {
+        base_shared = shared.throughput_ips();
+        base_priv = priv.throughput_ips();
+      }
+      t.add_row({util::format("%d", cores),
+                 util::format("%d", shared.per_core_batch),
+                 util::format("%.0f", shared.throughput_ips()),
+                 util::times(shared.throughput_ips() / base_shared),
+                 util::format("%.0f", priv.throughput_ips()),
+                 util::times(priv.throughput_ips() / base_priv),
+                 util::format("%.0f", shared.total_energy().total() / 1e6)});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf(
+      "With one shared 16 GB/s controller (the paper's SOC setting) the\n"
+      "aggregate bandwidth caps scaling almost immediately; with a channel\n"
+      "per core, batch-parallel scaling is near-linear. Multi-core only pays\n"
+      "if the memory system grows with it.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Ablation: PE-array size. The paper positions the Squeezelerator as an
+// N x N design for N = 8..32 (SOC IP block); this sweep shows the
+// throughput/utilization trade across that range, plus the Pareto front.
+#include <cstdio>
+#include <iostream>
+
+#include "core/dse.h"
+#include "nn/zoo/zoo.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+  auto base = sim::AcceleratorConfig::squeezelerator();
+  const std::vector<int> sizes = {8, 12, 16, 24, 32};
+
+  for (const nn::Model& m :
+       {nn::zoo::squeezenet_v10(), nn::zoo::squeezenext()}) {
+    // Scale the array-coupled port widths with N, as the RTL would.
+    std::vector<std::pair<std::string, sim::AcceleratorConfig>> configs;
+    for (int n : sizes) {
+      sim::AcceleratorConfig c = base;
+      c.array_n = n;
+      c.preload_width = n;
+      c.drain_width = n;
+      configs.emplace_back(util::format("%dx%d", n, n), c);
+    }
+    const auto points = core::evaluate_designs(m, configs);
+    const auto front = core::pareto_front(points);
+
+    util::Table t(util::format("PE-array ablation — %s", m.name().c_str()));
+    t.set_header({"Array", "PEs", "kcycles", "energy (M)", "util", "Pareto"});
+    for (const core::DesignPoint& p : points) {
+      bool on_front = false;
+      for (const core::DesignPoint& f : front)
+        if (f.label == p.label) on_front = true;
+      t.add_row({p.label, util::format("%d", p.config.pe_count()),
+                 util::format("%.0f", static_cast<double>(p.cycles) / 1e3),
+                 util::format("%.0f", p.energy / 1e6),
+                 util::percent(p.utilization), on_front ? "*" : ""});
+    }
+    t.print(std::cout);
+    std::printf("\n");
+  }
+  return 0;
+}

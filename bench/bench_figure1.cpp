@@ -1,0 +1,36 @@
+// Reproduces Figure 1: per-layer inference time and utilization of
+// SqueezeNet v1.0 on the reference WS / OS architectures and on the
+// Squeezelerator, plus the paper's totals (+26% over OS, +106% over WS).
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.h"
+#include "core/squeezelerator.h"
+#include "nn/zoo/zoo.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sqz;
+  const nn::Model model = nn::zoo::squeezenet_v10();
+  const core::ComparisonResult cmp = core::compare_dataflows(model);
+
+  core::per_layer_comparison_table(
+      model, cmp,
+      "Figure 1 — SqueezeNet v1.0 per-layer time on WS ref / OS ref / "
+      "Squeezelerator (SQZ)")
+      .print(std::cout);
+
+  const double vs_os = (cmp.speedup_vs_os() - 1.0) * 100.0;
+  const double vs_ws = (cmp.speedup_vs_ws() - 1.0) * 100.0;
+  std::printf(
+      "\nTotal improvement of the Squeezelerator:\n"
+      "  vs OS reference: %+.0f%%   (paper: +26%%)\n"
+      "  vs WS reference: %+.0f%%   (paper: +106%%)\n\n",
+      vs_os, vs_ws);
+
+  core::per_layer_table(model, cmp.hybrid,
+                        "Squeezelerator per-layer detail (chosen dataflow, "
+                        "utilization, DRAM traffic)")
+      .print(std::cout);
+  return 0;
+}

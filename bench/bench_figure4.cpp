@@ -1,0 +1,59 @@
+// Reproduces Figure 4: the spectrum of accuracy vs energy and accuracy vs
+// inference speed for the SqueezeNext, SqueezeNet, Tiny Darknet and
+// MobileNet families on the Squeezelerator. (Accuracy axis uses published
+// top-1 values — see DESIGN.md §3.)
+#include <cstdio>
+#include <iostream>
+
+#include "energy/model.h"
+#include "nn/accuracy.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "util/csv.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sqz;
+  const bool emit_csv = argc > 1 && std::string(argv[1]) == "--csv";
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+
+  util::Table t(
+      "Figure 4 — accuracy vs inference time and energy (Squeezelerator, "
+      "batch 1, 1 GHz)");
+  t.set_header({"Network", "top-1", "time (ms)", "energy (M MAC-units)",
+                "avg power (mW)", "MMACs", "params (M)"});
+
+  util::CsvWriter csv(std::cout);
+  if (emit_csv)
+    csv.write_row({"network", "top1", "ms", "energy", "mmacs", "mparams"});
+
+  for (const nn::Model& m : nn::zoo::figure4_models()) {
+    const sim::NetworkResult r = sched::simulate_network(m, cfg);
+    const double top1 = nn::published_accuracy(m.name())->top1;
+    const double ms = r.latency_ms();
+    const double energy = energy::network_energy(r).total() / 1e6;
+    const double power = energy::average_power_mw(r);
+    if (emit_csv) {
+      csv.write_row({m.name(), util::format("%.1f", top1),
+                     util::format("%.3f", ms), util::format("%.1f", energy),
+                     util::format("%.1f", power),
+                     util::format("%.1f", m.total_macs() / 1e6),
+                     util::format("%.2f", m.total_params() / 1e6)});
+    } else {
+      t.add_row({m.name(), util::format("%.1f%%", top1),
+                 util::format("%.2f", ms), util::format("%.0f", energy),
+                 util::format("%.0f", power),
+                 util::format("%.0f", m.total_macs() / 1e6),
+                 util::format("%.2f", m.total_params() / 1e6)});
+    }
+  }
+  if (!emit_csv) {
+    t.print(std::cout);
+    std::printf(
+        "\nHigher accuracy with lower time/energy is better (up and to the "
+        "left\nin the paper's plots). Pass --csv to dump the series for "
+        "replotting.\n");
+  }
+  return 0;
+}

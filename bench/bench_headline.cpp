@@ -1,0 +1,67 @@
+// Reproduces the paper's headline co-design results (§4.2 / Conclusions):
+//   "SqueezeNext being 2.59x faster and 2.25x more energy efficient than
+//    SqueezeNet 1.0 (and 8.26x and 7.5x when compared to AlexNet), without
+//    any degradation in accuracy" — including the RF 8->16 tune-up.
+#include <cstdio>
+#include <iostream>
+
+#include "core/codesign.h"
+#include "energy/model.h"
+#include "nn/accuracy.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+  const sim::AcceleratorConfig tuned = sim::AcceleratorConfig::squeezelerator();
+
+  const nn::Model sqnxt = nn::zoo::squeezenext(nn::zoo::SqNxtVariant::V5);
+  const nn::Model sqznet = nn::zoo::squeezenet_v10();
+  const nn::Model alex = nn::zoo::alexnet();
+
+  const auto r_sqnxt = sched::simulate_network(sqnxt, tuned);
+  const auto r_sqznet = sched::simulate_network(sqznet, tuned);
+  const auto r_alex = sched::simulate_network(alex, tuned);
+
+  const auto speed = [](const sim::NetworkResult& base,
+                        const sim::NetworkResult& ours) {
+    return static_cast<double>(base.total_cycles()) /
+           static_cast<double>(ours.total_cycles());
+  };
+  const auto energy_ratio = [](const sim::NetworkResult& base,
+                               const sim::NetworkResult& ours) {
+    return energy::network_energy(base).total() /
+           energy::network_energy(ours).total();
+  };
+
+  util::Table t("Headline — SqueezeNext (1.0-SqNxt-23 v5) on the tuned "
+                "Squeezelerator (RF 16)");
+  t.set_header({"Comparison", "speedup", "paper", "energy", "paper", "top-1"});
+  t.add_row({"vs SqueezeNet v1.0", util::times(speed(r_sqznet, r_sqnxt)),
+             "2.59x", util::times(energy_ratio(r_sqznet, r_sqnxt)), "2.25x",
+             util::format("%.1f%% vs %.1f%%",
+                          nn::published_accuracy(sqnxt.name())->top1,
+                          nn::published_accuracy(sqznet.name())->top1)});
+  t.add_row({"vs AlexNet", util::times(speed(r_alex, r_sqnxt)), "8.26x",
+             util::times(energy_ratio(r_alex, r_sqnxt)), "7.5x", "-"});
+  t.print(std::cout);
+
+  // The accelerator-side tune-up: doubling the register file from 8 to 16 —
+  // the paper's two candidate designs. (The full RF sweep, including the
+  // diminishing returns beyond 16, is bench_ablation_rf.)
+  core::TuningSpace space;
+  space.rf_entries = {8, 16};
+  const core::TuningResult tune = core::tune_accelerator(sqnxt, space);
+  util::Table rf("Register-file tune-up on SqueezeNext (paper: 8 -> 16)");
+  rf.set_header({"RF entries", "kcycles", "energy (M)", "chosen"});
+  for (const core::TuningCandidate& c : tune.candidates)
+    rf.add_row({util::format("%d", c.config.rf_entries),
+                util::format("%.0f", static_cast<double>(c.cycles) / 1e3),
+                util::format("%.0f", c.energy / 1e6),
+                c.config.rf_entries == tune.best.rf_entries ? "<== best" : ""});
+  std::printf("\n");
+  rf.print(std::cout);
+  return 0;
+}

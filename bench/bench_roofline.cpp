@@ -1,0 +1,62 @@
+// Roofline view of the six networks on the Squeezelerator: the quantitative
+// form of the paper's arithmetic-intensity argument (SqueezeNext avoids
+// depthwise convolutions because of their "poor Arithmetic Intensity").
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "core/roofline.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+
+  util::Table t("Roofline summary (balance point AI* = 64 MACs/DRAM-byte)");
+  t.set_header({"Network", "memory-bound layers", "median AI",
+                "worst layer", "worst AI", "network MACs/cycle"});
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    const auto result = sched::simulate_network(m, cfg);
+    const core::RooflineReport r = core::roofline(m, result);
+
+    std::vector<double> ais;
+    const core::RooflinePoint* worst = nullptr;
+    for (const core::RooflinePoint& p : r.layers) {
+      ais.push_back(p.arithmetic_intensity);
+      if (worst == nullptr || p.arithmetic_intensity < worst->arithmetic_intensity)
+        worst = &p;
+    }
+    std::sort(ais.begin(), ais.end());
+    const double median = ais[ais.size() / 2];
+    const double net_mpc = static_cast<double>(result.total_useful_macs()) /
+                           static_cast<double>(result.total_cycles());
+    t.add_row({m.name(),
+               util::format("%d / %zu", r.memory_bound_count(), r.layers.size()),
+               util::format("%.1f", median), worst ? worst->layer_name : "-",
+               util::format("%.2f", worst ? worst->arithmetic_intensity : 0.0),
+               util::format("%.0f", net_mpc)});
+  }
+  t.print(std::cout);
+
+  // Per-layer detail for MobileNet: the depthwise-vs-pointwise AI gap.
+  const nn::Model m = nn::zoo::mobilenet();
+  const core::RooflineReport r =
+      core::roofline(m, sched::simulate_network(m, cfg));
+  util::Table d("MobileNet per-layer roofline (first 12 MAC layers)");
+  d.set_header({"layer", "AI (MACs/byte)", "attained MACs/cyc", "roof",
+                "% of roof", "bound"});
+  for (const core::RooflinePoint& p : r.layers) {
+    if (d.row_count() >= 12) break;
+    d.add_row({p.layer_name, util::format("%.1f", p.arithmetic_intensity),
+               util::format("%.0f", p.attained_macs_per_cycle),
+               util::format("%.0f", p.roof_macs_per_cycle),
+               util::percent(p.roof_fraction()),
+               p.memory_bound ? "memory" : "compute"});
+  }
+  std::printf("\n");
+  d.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Table 1: "Relative percentage of MAC operations/total
+// operations for each layer type in each of the DNN Networks".
+#include <cstdio>
+#include <iostream>
+
+#include "nn/analysis.h"
+#include "nn/zoo/zoo.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+  using nn::LayerCategory;
+
+  struct PaperRow {
+    double conv1, pw, fxf, dw;
+  };
+  // Paper values for the "paper" columns, in zoo row order.
+  const PaperRow paper[] = {
+      {20, 0, 69, 0}, {1, 95, 0, 3},  {5, 13, 82, 0},
+      {21, 25, 54, 0}, {6, 40, 54, 0}, {16, 44, 40, 0},
+  };
+
+  util::Table t(
+      "Table 1 — MAC share per layer category (measured vs paper, in %)");
+  t.set_header({"Network", "Conv1", "1x1", "FxF", "DW", "FC",
+                "paper C1/1x1/FxF/DW"});
+
+  const auto models = nn::zoo::all_table1_models();
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const nn::OpBreakdown b = nn::analyze_ops(models[i]);
+    const auto pct = [&](LayerCategory c) {
+      return util::format("%.0f%%", 100.0 * b.fraction(c));
+    };
+    t.add_row({models[i].name(), pct(LayerCategory::FirstConv),
+               pct(LayerCategory::Pointwise), pct(LayerCategory::Spatial),
+               pct(LayerCategory::Depthwise), pct(LayerCategory::FullyConnected),
+               util::format("%.0f/%.0f/%.0f/%.0f", paper[i].conv1, paper[i].pw,
+                            paper[i].fxf, paper[i].dw)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nNote: rows need not sum to 100%% — the remainder is FC (the paper's\n"
+      "AlexNet row has the same property). SqueezeNext layer allocation is a\n"
+      "documented reconstruction (DESIGN.md s3).\n");
+  return 0;
+}

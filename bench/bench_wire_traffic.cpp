@@ -1,0 +1,55 @@
+// Wire-traffic view of the dataflow choice: how many interconnect segments
+// each dataflow energizes per layer category — the physical-design
+// counterpart of the cycle comparison in bench_dataflow_sweep.
+#include <cstdio>
+#include <iostream>
+
+#include "nn/analysis.h"
+#include "nn/zoo/zoo.h"
+#include "sim/noc.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+
+  util::Table t("Interconnect hops per useful MAC (WS vs OS), representative "
+                "layers");
+  t.set_header({"Network", "layer", "category", "WS hops/MAC", "OS hops/MAC",
+                "OS drain share"});
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    int shown = 0;
+    for (int i = 1; i < m.layer_count() && shown < 3; ++i) {
+      const nn::Layer& l = m.layer(i);
+      if (!l.is_conv()) continue;
+      const auto cat = nn::categorize(m, i);
+      if (cat != nn::LayerCategory::FirstConv &&
+          cat != nn::LayerCategory::Depthwise &&
+          !(cat == nn::LayerCategory::Pointwise && shown < 2) &&
+          !(cat == nn::LayerCategory::Spatial && shown < 2))
+        continue;
+      ++shown;
+      const auto sparsity = sim::SparsityInfo::expected(l, cfg.weight_sparsity);
+      const auto ws = sim::analyze_wire_traffic(
+          l, cfg, sim::Dataflow::WeightStationary, sparsity);
+      const auto os = sim::analyze_wire_traffic(
+          l, cfg, sim::Dataflow::OutputStationary, sparsity);
+      t.add_row(
+          {m.name(), l.name, nn::layer_category_name(cat),
+           util::format("%.2f", ws.hops_per_mac(l.macs())),
+           util::format("%.2f", os.hops_per_mac(l.macs())),
+           util::percent(os.total_hops() > 0
+                             ? static_cast<double>(os.drain_hops) /
+                                   static_cast<double>(os.total_hops())
+                             : 0.0)});
+    }
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nOS pays Manhattan drain distance (outputs cross half the tile on\n"
+      "average) but skips zero-weight shifts; WS pays a full-span broadcast\n"
+      "per streamed input row. The flat inter-PE term in the energy model is\n"
+      "the 1-hop-per-MAC core both share.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// The paper's full co-design loop, end to end:
+//
+//   1. Start from the accelerator tailored to SqueezeNet (§4.1).
+//   2. Diagnose a new model family's hardware behaviour on it (§4.2,
+//      Figure 3): which layers under-use the array, and why.
+//   3. Redesign the model following the diagnosis (first-filter reduction,
+//      early->late block reallocation) — here by stepping through the
+//      SqNxt-23 v1..v5 variants.
+//   4. Re-tune the accelerator for the final model (register file 8 -> 16).
+//
+//   $ ./examples/codesign_flow
+#include <cstdio>
+#include <iostream>
+
+#include "core/advisor.h"
+#include "core/codesign.h"
+#include "energy/model.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sqz;
+  using nn::zoo::SqNxtVariant;
+
+  // --- Step 1: the SqueezeNet-tailored accelerator (pre-tune-up: RF 8). ---
+  sim::AcceleratorConfig accel = sim::AcceleratorConfig::squeezelerator_rf8();
+  std::printf("Step 1 — accelerator tailored to SqueezeNet:\n  %s\n\n",
+              accel.to_string().c_str());
+
+  // --- Step 2: diagnose the baseline SqueezeNext variant on it. -----------
+  const nn::Model baseline = nn::zoo::squeezenext(SqNxtVariant::V1);
+  const core::ModelAdvice advice = core::analyze_model(baseline, accel);
+  std::printf("Step 2 — diagnosis of %s (network utilization %s):\n",
+              baseline.name().c_str(),
+              util::percent(advice.network_utilization).c_str());
+  util::Table diag("  Low-utilization layers (< 25%)");
+  diag.set_header({"layer", "dataflow", "util", "bottleneck"});
+  for (const core::LayerDiagnosis& d : advice.low_utilization(0.25)) {
+    if (diag.row_count() >= 10) break;  // show the first ten
+    diag.add_row({d.layer_name, sim::dataflow_abbrev(d.dataflow),
+                  util::percent(d.utilization),
+                  core::bottleneck_name(d.bottleneck)});
+  }
+  diag.print(std::cout);
+  std::printf("  ... the flagged layers concentrate in conv1/stage1 — the\n"
+              "  paper's 'initial layers have very low utilization'.\n\n");
+
+  // --- Step 3: redesign the model (the v1 -> v5 progression). -------------
+  std::printf("Step 3 — model redesign:\n");
+  util::Table redesign("  SqNxt-23 variants on the RF-8 accelerator");
+  redesign.set_header({"variant", "MMACs", "kcycles", "energy (M)"});
+  for (auto v : {SqNxtVariant::V1, SqNxtVariant::V2, SqNxtVariant::V3,
+                 SqNxtVariant::V4, SqNxtVariant::V5}) {
+    const nn::Model m = nn::zoo::squeezenext(v);
+    const auto r = sched::simulate_network(m, accel);
+    redesign.add_row(
+        {m.name(), util::format("%.0f", m.total_macs() / 1e6),
+         util::format("%.0f", r.total_cycles() / 1e3),
+         util::format("%.0f", energy::network_energy(r).total() / 1e6)});
+  }
+  redesign.print(std::cout);
+  std::printf("\n");
+
+  // --- Step 4: re-tune the accelerator for the final model. ---------------
+  const nn::Model final_model = nn::zoo::squeezenext(SqNxtVariant::V5);
+  core::TuningSpace space;
+  space.rf_entries = {8, 16};  // the paper's two candidate designs
+  const core::TuningResult tuned = core::tune_accelerator(final_model, space, accel);
+  std::printf("Step 4 — accelerator re-tuning for %s:\n",
+              final_model.name().c_str());
+  for (const core::TuningCandidate& c : tuned.candidates)
+    std::printf("  RF %-3d -> %8.0f kcycles, %8.0f M energy%s\n",
+                c.config.rf_entries, static_cast<double>(c.cycles) / 1e3,
+                c.energy / 1e6,
+                c.config.rf_entries == tuned.best.rf_entries ? "   <== chosen"
+                                                             : "");
+  std::printf(
+      "\nThe tuner lands on RF %d — the paper's 'doubling the register file\n"
+      "size from 8 to 16' tune-up, recovered automatically.\n\n",
+      tuned.best.rf_entries);
+
+  // --- Step 5: pick the right family member for the application. ----------
+  // Paper (Figure 4): the family "allows the user to select the right DNN
+  // based on the target application's constraints."
+  core::ApplicationConstraints budget;
+  budget.max_latency_ms = 1.2;   // a 30 fps pipeline with headroom
+  budget.min_top1 = 59.0;
+  std::vector<nn::Model> family;
+  for (auto v : {SqNxtVariant::V1, SqNxtVariant::V5})
+    family.push_back(nn::zoo::squeezenext(v));
+  family.push_back(nn::zoo::squeezenext(SqNxtVariant::V5, 1.0, 34));
+  family.push_back(nn::zoo::squeezenext(SqNxtVariant::V5, 1.0, 44));
+  family.push_back(nn::zoo::squeezenext(SqNxtVariant::V5, 2.0, 23));
+  const core::AdvisorResult pick = core::select_network(family, budget, tuned.best);
+  std::printf("Step 5 — application selection (<= %.1f ms, >= %.1f%% top-1):\n",
+              budget.max_latency_ms, budget.min_top1);
+  for (const core::CandidateEvaluation& e : pick.candidates)
+    if (e.feasible)
+      std::printf("  feasible: %-20s %.1f%% top-1, %.2f ms\n", e.name.c_str(),
+                  e.top1, e.latency_ms);
+  if (pick.best)
+    std::printf("  selected: %s\n", pick.candidates[*pick.best].name.c_str());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Interactive-ish dataflow explorer: pick a network and an array size on the
+// command line, and see WS vs OS vs hybrid per layer — the tool you'd use to
+// answer the paper's §4.1.1 question ("each layer configuration must be
+// simulated to determine which architecture is best").
+//
+//   $ ./examples/dataflow_explorer                 # SqueezeNet v1.0 on 32x32
+//   $ ./examples/dataflow_explorer mobilenet 16    # MobileNet on a 16x16 array
+//   Networks: alexnet mobilenet tinydarknet squeezenet10 squeezenet11 sqnxt
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "nn/zoo/zoo.h"
+#include "sim/layer_sim.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+sqz::nn::Model pick_model(const std::string& name) {
+  using namespace sqz::nn::zoo;
+  if (name == "alexnet") return alexnet();
+  if (name == "mobilenet") return mobilenet();
+  if (name == "tinydarknet") return tiny_darknet();
+  if (name == "squeezenet10") return squeezenet_v10();
+  if (name == "squeezenet11") return squeezenet_v11();
+  if (name == "sqnxt") return squeezenext();
+  throw std::invalid_argument(
+      "unknown network '" + name +
+      "' (try: alexnet mobilenet tinydarknet squeezenet10 squeezenet11 sqnxt)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sqz;
+  try {
+    const std::string which = argc > 1 ? argv[1] : "squeezenet10";
+    const int n = argc > 2 ? std::stoi(argv[2]) : 32;
+
+    const nn::Model model = pick_model(which);
+    sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+    cfg.array_n = n;
+    cfg.preload_width = n;
+    cfg.drain_width = n;
+    cfg.validate();
+
+    std::printf("%s on a %dx%d Squeezelerator\n\n", model.name().c_str(), n, n);
+
+    util::Table t("Per-layer dataflow exploration (kcycles; * = chosen)");
+    t.set_header({"layer", "shape", "WS", "OS", "choice", "OS/WS ratio"});
+    std::int64_t total_ws = 0, total_os = 0, total_best = 0;
+    for (int i = 1; i < model.layer_count(); ++i) {
+      const nn::Layer& l = model.layer(i);
+      if (!l.is_conv()) continue;
+      const auto ws =
+          sim::simulate_layer(model, i, cfg, sim::Dataflow::WeightStationary);
+      const auto os =
+          sim::simulate_layer(model, i, cfg, sim::Dataflow::OutputStationary);
+      const bool ws_wins = ws.total_cycles <= os.total_cycles;
+      total_ws += ws.total_cycles;
+      total_os += os.total_cycles;
+      total_best += std::min(ws.total_cycles, os.total_cycles);
+      t.add_row({l.name, l.out_shape.to_string(),
+                 util::format("%.1f%s", ws.total_cycles / 1e3, ws_wins ? "*" : ""),
+                 util::format("%.1f%s", os.total_cycles / 1e3, ws_wins ? "" : "*"),
+                 ws_wins ? "WS" : "OS",
+                 util::format("%.2f", static_cast<double>(os.total_cycles) /
+                                          static_cast<double>(ws.total_cycles))});
+    }
+    t.add_separator();
+    t.add_row({"TOTAL (conv only)", "",
+               util::format("%.1f", static_cast<double>(total_ws) / 1e3),
+               util::format("%.1f", static_cast<double>(total_os) / 1e3),
+               util::format("best %.1f", static_cast<double>(total_best) / 1e3),
+               ""});
+    t.print(std::cout);
+
+    std::printf(
+        "\nPer-layer choice beats all-WS by %s and all-OS by %s on the conv "
+        "layers.\n",
+        util::times(static_cast<double>(total_ws) / total_best).c_str(),
+        util::times(static_cast<double>(total_os) / total_best).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Detection-style workload (paper §2): "Object detection and semantic
+// segmentation are more sensitive to image resolutions ... their input size
+// can range from hundreds to thousands of pixels, and the intermediate
+// feature map usually cannot be over sub-sampled ... As a result, DNN for
+// object detection and semantic segmentation have much larger memory
+// footprint."
+//
+// This example builds a SqueezeDet-flavoured fully-convolutional backbone
+// (SqueezeNet trunk + detection head, no FC layers) at a 512x512 input and
+// contrasts its memory behaviour with the 227x227 classifier: how many
+// layers stay resident in the 128 KiB global buffer, where the DRAM traffic
+// goes, and what that does to the DMA/compute balance.
+//
+//   $ ./examples/detection_backbone
+#include <cstdio>
+#include <iostream>
+
+#include "energy/model.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "sched/residency.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+sqz::nn::Model build_detection_backbone(int resolution) {
+  using namespace sqz::nn;
+  Model m(sqz::util::format("SqueezeDet-like-%d", resolution),
+          TensorShape{3, resolution, resolution});
+
+  const auto fire = [&](const std::string& name, int from, int s, int e) {
+    const int sq = m.add_conv(name + "/squeeze", s, 1, 1, 0, from);
+    const int e1 = m.add_conv(name + "/e1x1", e, 1, 1, 0, sq);
+    const int e3 = m.add_conv(name + "/e3x3", e, 3, 1, 1, sq);
+    return m.add_concat(name + "/cat", {e1, e3});
+  };
+
+  int x = m.add_conv("conv1", 64, 3, 2, 1);
+  x = m.add_maxpool("pool1", 3, 2, x, 1);
+  x = fire("fire2", x, 16, 64);
+  x = fire("fire3", x, 16, 64);
+  x = m.add_maxpool("pool3", 3, 2, x, 1);
+  x = fire("fire4", x, 32, 128);
+  x = fire("fire5", x, 32, 128);
+  x = m.add_maxpool("pool5", 3, 2, x, 1);
+  x = fire("fire6", x, 48, 192);
+  x = fire("fire7", x, 48, 192);
+  x = fire("fire8", x, 64, 256);
+  x = fire("fire9", x, 64, 256);
+  // Detection keeps spatial detail: two more fire stages *without* pooling,
+  // then a convolutional detection head (anchors x (class + box) outputs).
+  x = fire("fire10", x, 96, 384);
+  x = fire("fire11", x, 96, 384);
+  m.add_conv("det_head", 72, 3, 1, 1, x);  // 9 anchors x (4 box + 4 cls)
+  m.finalize();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sqz;
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+
+  const nn::Model classifier = nn::zoo::squeezenet_v10();
+  const nn::Model detector = build_detection_backbone(512);
+
+  util::Table t("Classification vs detection on the Squeezelerator");
+  t.set_header({"Workload", "input", "MMACs", "peak act (KiB)",
+                "resident layers", "ms", "DRAM (Mwords)", "energy share DRAM"});
+  for (const nn::Model* m : {&classifier, &detector}) {
+    const auto r = sched::simulate_network(*m, cfg);
+    const auto plan = sched::plan_residency(*m, cfg);
+    int kept = 0, total = 0;
+    for (int i = 1; i < m->layer_count(); ++i) {
+      ++total;
+      if (plan.kept[static_cast<std::size_t>(i)]) ++kept;
+    }
+    const auto e = energy::network_energy(r);
+    t.add_row({m->name(), m->input_shape().to_string(),
+               util::format("%.0f", m->total_macs() / 1e6),
+               util::format("%.0f", m->peak_activation_bytes(2) / 1024.0),
+               util::format("%d / %d", kept, total),
+               util::format("%.2f", r.latency_ms()),
+               util::format("%.1f",
+                            static_cast<double>(r.total_counts().dram_words) / 1e6),
+               util::percent(e.dram / e.total())});
+  }
+  t.print(std::cout);
+
+  // Where the detector's time goes: the high-resolution trunk is DMA-heavy.
+  const auto r = sched::simulate_network(detector, cfg);
+  std::int64_t dma_bound = 0, compute_bound = 0;
+  for (const auto& l : r.layers)
+    (l.dram_cycles > l.compute_cycles ? dma_bound : compute_bound) +=
+        l.total_cycles;
+  std::printf(
+      "\nDetector time split: %.0f%% of cycles in DMA-bound layers vs %.0f%%\n"
+      "compute-bound — the large-feature-map memory pressure the paper's\n"
+      "Section 2 warns about. The classifier keeps most mid-network tensors\n"
+      "on-chip; the 512x512 detector streams nearly everything.\n",
+      100.0 * dma_bound / (dma_bound + compute_bound),
+      100.0 * compute_bound / (dma_bound + compute_bound));
+  return 0;
+}

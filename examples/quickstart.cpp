@@ -1,0 +1,53 @@
+// Quickstart: simulate SqueezeNet v1.0 on the Squeezelerator and print the
+// headline numbers — inference latency, utilization, energy breakdown, and
+// the speedup over the single-dataflow reference accelerators.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.h"
+#include "core/squeezelerator.h"
+#include "nn/zoo/zoo.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace sqz;
+
+  // 1. Pick a network from the zoo (or build your own — see
+  //    examples/custom_network.cpp).
+  const nn::Model model = nn::zoo::squeezenet_v10();
+  std::printf("Simulating %s: %s MACs, %s parameters\n\n", model.name().c_str(),
+              util::si(static_cast<double>(model.total_macs())).c_str(),
+              util::si(static_cast<double>(model.total_params())).c_str());
+
+  // 2. Configure the accelerator. The default is the paper's Squeezelerator:
+  //    32x32 PEs, 16-entry register files, 128 KiB global buffer, hybrid
+  //    WS/OS dataflow, DRAM at 100 cycles / 16 GB/s.
+  const sim::AcceleratorConfig config = sim::AcceleratorConfig::squeezelerator();
+  std::printf("Accelerator: %s\n\n", config.to_string().c_str());
+
+  // 3. Simulate on the hybrid design and on both references in one call.
+  const core::ComparisonResult cmp = core::compare_dataflows(model);
+
+  std::printf("Inference latency (batch 1, 1 GHz clock):\n");
+  std::printf("  Squeezelerator : %6.2f ms  (utilization %s)\n",
+              cmp.hybrid.latency_ms(),
+              util::percent(cmp.hybrid.utilization()).c_str());
+  std::printf("  WS reference   : %6.2f ms  (%s slower)\n",
+              cmp.ws_only.latency_ms(),
+              util::times(cmp.speedup_vs_ws()).c_str());
+  std::printf("  OS reference   : %6.2f ms  (%s slower)\n\n",
+              cmp.os_only.latency_ms(),
+              util::times(cmp.speedup_vs_os()).c_str());
+
+  // 4. Where does the energy go?
+  core::energy_table(cmp.hybrid, {}, "Energy breakdown (Eyeriss-style units)")
+      .print(std::cout);
+
+  // 5. Per-layer view — which dataflow did each layer choose?
+  std::printf("\n");
+  core::per_layer_table(model, cmp.hybrid, "Per-layer schedule")
+      .print(std::cout);
+  return 0;
+}

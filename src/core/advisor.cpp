@@ -1,0 +1,48 @@
+#include "core/advisor.h"
+
+#include "nn/accuracy.h"
+#include "sched/network_sim.h"
+
+namespace sqz::core {
+
+AdvisorResult select_network(const std::vector<nn::Model>& candidates,
+                             const ApplicationConstraints& constraints,
+                             const sim::AcceleratorConfig& config,
+                             const energy::UnitEnergies& units) {
+  AdvisorResult result;
+  result.candidates.reserve(candidates.size());
+
+  for (const nn::Model& m : candidates) {
+    const sim::NetworkResult r =
+        sched::simulate_network(m, config, sched::Objective::Cycles, units);
+    CandidateEvaluation e;
+    e.name = m.name();
+    if (const auto acc = nn::published_accuracy(m.name())) {
+      e.top1 = acc->top1;
+      e.accuracy_known = true;
+    }
+    e.latency_ms = r.latency_ms();
+    e.energy = energy::network_energy(r, units).total();
+    e.feasible = e.latency_ms <= constraints.max_latency_ms &&
+                 e.energy <= constraints.max_energy &&
+                 (constraints.min_top1 <= 0.0 ||
+                  (e.accuracy_known && e.top1 >= constraints.min_top1));
+    result.candidates.push_back(std::move(e));
+  }
+
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    const CandidateEvaluation& e = result.candidates[i];
+    if (!e.feasible) continue;
+    if (!result.best.has_value()) {
+      result.best = i;
+      continue;
+    }
+    const CandidateEvaluation& cur = result.candidates[*result.best];
+    // Most accurate feasible network; ties break toward lower energy.
+    if (e.top1 > cur.top1 || (e.top1 == cur.top1 && e.energy < cur.energy))
+      result.best = i;
+  }
+  return result;
+}
+
+}  // namespace sqz::core

@@ -1,0 +1,54 @@
+// Network selection under application constraints.
+//
+// The paper's Figure 4 closes with: "the SqueezeNext family provides such
+// favorable solutions which allows the user to select the right DNN from
+// this family based on the target application's constraints." This module
+// is that selection step: evaluate a candidate family on a configuration,
+// filter by the application's latency/energy/accuracy budget, and pick the
+// most accurate feasible member (ties broken toward lower energy).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "energy/model.h"
+#include "nn/model.h"
+#include "sim/config.h"
+
+namespace sqz::core {
+
+/// An embedded application's budget (paper §2: "an embedded vision
+/// application must guarantee a level of accuracy, operate within real-time
+/// constraints, and optimize for power, energy, and memory footprint").
+struct ApplicationConstraints {
+  double max_latency_ms = 1e30;   ///< Real-time budget at 1 GHz.
+  double max_energy = 1e30;       ///< Per-inference energy, MAC units.
+  double min_top1 = 0.0;          ///< Required accuracy, percent.
+};
+
+struct CandidateEvaluation {
+  std::string name;
+  double top1 = 0.0;         ///< Published accuracy (0 when unknown).
+  bool accuracy_known = false;
+  double latency_ms = 0.0;
+  double energy = 0.0;
+  bool feasible = false;     ///< Meets every constraint (unknown accuracy
+                             ///< fails a min_top1 > 0 constraint).
+};
+
+struct AdvisorResult {
+  std::vector<CandidateEvaluation> candidates;  ///< Input order.
+  /// Index into `candidates` of the selected network; nullopt when no
+  /// candidate satisfies the constraints.
+  std::optional<std::size_t> best;
+};
+
+/// Evaluate `candidates` on `config` and select per the constraints.
+AdvisorResult select_network(const std::vector<nn::Model>& candidates,
+                             const ApplicationConstraints& constraints,
+                             const sim::AcceleratorConfig& config =
+                                 sim::AcceleratorConfig::squeezelerator(),
+                             const energy::UnitEnergies& units = {});
+
+}  // namespace sqz::core

@@ -1,0 +1,224 @@
+#include "core/cli.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/config_io.h"
+#include "core/report.h"
+#include "sched/compile.h"
+#include "core/squeezelerator.h"
+#include "energy/model.h"
+#include "nn/serialize.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace sqz::core {
+
+namespace {
+
+struct CliOptions {
+  std::string model = "squeezenet10";
+  std::string model_file;
+  std::string config_file;
+  int array_n = 0;        // 0 = keep config default
+  int rf = 0;
+  double sparsity = -1.0;
+  std::string support;
+  std::string objective = "cycles";
+  int batch = 0;
+  bool per_layer = false;
+  bool compare = false;
+  bool timeline = false;
+  bool tile_search = false;
+  bool fuse = false;
+  bool program = false;
+  bool csv = false;
+  bool help = false;
+};
+
+nn::Model load_model(const CliOptions& opt) {
+  if (!opt.model_file.empty()) {
+    std::ifstream in(opt.model_file);
+    if (!in)
+      throw std::invalid_argument("cannot open model file: " + opt.model_file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return nn::parse_model(text.str());
+  }
+  using namespace nn::zoo;
+  if (opt.model == "alexnet") return alexnet();
+  if (opt.model == "mobilenet") return mobilenet();
+  if (opt.model == "tinydarknet") return tiny_darknet();
+  if (opt.model == "squeezenet10") return squeezenet_v10();
+  if (opt.model == "squeezenet11") return squeezenet_v11();
+  if (opt.model == "sqnxt") return squeezenext();
+  throw std::invalid_argument(
+      "unknown model '" + opt.model +
+      "' (alexnet mobilenet tinydarknet squeezenet10 squeezenet11 sqnxt, or "
+      "--model-file)");
+}
+
+CliOptions parse_args(const std::vector<std::string>& args) {
+  CliOptions opt;
+  const auto value_of = [&](std::size_t& i) -> const std::string& {
+    if (i + 1 >= args.size())
+      throw std::invalid_argument("missing value for " + args[i]);
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") opt.help = true;
+    else if (a == "--model") opt.model = value_of(i);
+    else if (a == "--model-file") opt.model_file = value_of(i);
+    else if (a == "--config") opt.config_file = value_of(i);
+    else if (a == "--array") opt.array_n = std::stoi(value_of(i));
+    else if (a == "--rf") opt.rf = std::stoi(value_of(i));
+    else if (a == "--sparsity") opt.sparsity = std::stod(value_of(i));
+    else if (a == "--support") opt.support = value_of(i);
+    else if (a == "--objective") opt.objective = value_of(i);
+    else if (a == "--batch") opt.batch = std::stoi(value_of(i));
+    else if (a == "--per-layer") opt.per_layer = true;
+    else if (a == "--compare") opt.compare = true;
+    else if (a == "--timeline") opt.timeline = true;
+    else if (a == "--tile-search") opt.tile_search = true;
+    else if (a == "--fuse") opt.fuse = true;
+    else if (a == "--program") opt.program = true;
+    else if (a == "--csv") opt.csv = true;
+    else throw std::invalid_argument("unknown argument: " + a);
+  }
+  return opt;
+}
+
+sim::AcceleratorConfig build_config(const CliOptions& opt) {
+  sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  if (!opt.config_file.empty()) {
+    std::ifstream in(opt.config_file);
+    if (!in)
+      throw std::invalid_argument("cannot open config file: " + opt.config_file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    cfg = config_from_ini(util::IniFile::parse(text.str()), cfg);
+  }
+  if (opt.array_n > 0) {
+    cfg.array_n = opt.array_n;
+    cfg.preload_width = opt.array_n;
+    cfg.drain_width = opt.array_n;
+  }
+  if (opt.rf > 0) cfg.rf_entries = opt.rf;
+  if (opt.batch > 0) cfg.batch = opt.batch;
+  if (opt.sparsity >= 0.0) cfg.weight_sparsity = opt.sparsity;
+  if (!opt.support.empty()) {
+    if (opt.support == "hybrid") cfg.support = sim::DataflowSupport::Hybrid;
+    else if (opt.support == "ws") cfg.support = sim::DataflowSupport::WsOnly;
+    else if (opt.support == "os") cfg.support = sim::DataflowSupport::OsOnly;
+    else throw std::invalid_argument("--support must be hybrid|ws|os");
+  }
+  cfg.validate();
+  return cfg;
+}
+
+void emit_csv(const nn::Model& model, const sim::NetworkResult& r,
+              std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.write_row({"layer", "kind", "dataflow", "total_cycles", "compute_cycles",
+                 "dram_words", "utilization", "energy"});
+  for (const auto& l : r.layers) {
+    csv.write_row(
+        {l.layer_name, nn::layer_kind_name(model.layer(l.layer_idx).kind),
+         l.on_pe_array ? sim::dataflow_abbrev(l.dataflow) : "simd",
+         std::to_string(l.total_cycles), std::to_string(l.compute_cycles),
+         std::to_string(l.counts.dram_words),
+         util::format("%.4f", l.utilization(r.config.pe_count())),
+         util::format("%.0f", energy::energy_of(l.counts).total())});
+  }
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "usage: sqzsim [options]\n"
+      "  --model NAME        zoo network: alexnet mobilenet tinydarknet\n"
+      "                      squeezenet10 squeezenet11 sqnxt (default\n"
+      "                      squeezenet10)\n"
+      "  --model-file FILE   load a network description (nn/serialize.h format)\n"
+      "  --config FILE       accelerator INI (core/config_io.h format)\n"
+      "  --array N           PE array N x N (also scales port widths)\n"
+      "  --rf N              per-PE register file entries\n"
+      "  --sparsity F        weight zero fraction in [0,1)\n"
+      "  --support MODE      hybrid | ws | os\n"
+      "  --objective OBJ     cycles | energy (per-layer dataflow choice)\n"
+      "  --per-layer         print the per-layer schedule table\n"
+      "  --compare           also simulate the WS-only / OS-only references\n"
+      "  --batch N           images per inference (default 1, the paper's\n"
+      "                      embedded operating point)\n"
+      "  --timeline          re-time layers through the tile-level event\n"
+      "                      timeline (double-buffered)\n"
+      "  --tile-search       also search per-layer tile sizes for the\n"
+      "                      shortest makespan (implies --timeline)\n"
+      "  --fuse              fuse pools into their producing conv's drain\n"
+      "  --program           print the compiled static schedule (the layer\n"
+      "                      command stream a sequencer would execute)\n"
+      "  --csv               per-layer CSV instead of tables\n";
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  try {
+    const CliOptions opt = parse_args(args);
+    if (opt.help) {
+      out << cli_usage();
+      return 0;
+    }
+    const nn::Model model = load_model(opt);
+    const sim::AcceleratorConfig cfg = build_config(opt);
+
+    sched::SimulationOptions sim_opt;
+    if (opt.objective == "cycles") sim_opt.objective = sched::Objective::Cycles;
+    else if (opt.objective == "energy")
+      sim_opt.objective = sched::Objective::Energy;
+    else throw std::invalid_argument("--objective must be cycles|energy");
+    sim_opt.tile_timeline = opt.timeline || opt.tile_search;
+    sim_opt.tile_search = opt.tile_search;
+    sim_opt.fuse_pool_drain = opt.fuse;
+
+    const sim::NetworkResult result = sched::simulate_network(model, cfg, sim_opt);
+
+    if (opt.csv) {
+      emit_csv(model, result, out);
+      return 0;
+    }
+
+    out << model.name() << " on " << cfg.to_string() << "\n";
+    out << util::format(
+        "total: %s cycles (%.3f ms @ 1 GHz), utilization %s, energy %s\n",
+        util::with_commas(result.total_cycles()).c_str(), result.latency_ms(),
+        util::percent(result.utilization()).c_str(),
+        util::si(energy::network_energy(result).total()).c_str());
+
+    if (opt.compare) {
+      const ComparisonResult cmp = compare_dataflows(model, cfg, sim_opt.objective);
+      out << util::format(
+          "references: %s faster than WS-only, %s faster than OS-only\n",
+          util::times(cmp.speedup_vs_ws()).c_str(),
+          util::times(cmp.speedup_vs_os()).c_str());
+    }
+    if (opt.per_layer) {
+      out << "\n";
+      per_layer_table(model, result, "Per-layer schedule").print(out);
+    }
+    if (opt.program) {
+      out << "\n" << sched::compile(model, cfg, sim_opt).listing();
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    err << "sqzsim: " << e.what() << "\n" << cli_usage();
+    return 1;
+  }
+}
+
+}  // namespace sqz::core

@@ -1,0 +1,24 @@
+// The sqzsim command-line driver, as a library function so it is unit
+// testable; tools/sqzsim.cpp is a thin main() around run_cli().
+//
+//   sqzsim --model squeezenet10 [--array 32] [--rf 16] [--sparsity 0.4]
+//          [--support hybrid|ws|os] [--objective cycles|energy]
+//          [--config accel.ini] [--model-file net.txt]
+//          [--per-layer] [--compare] [--timeline] [--csv]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sqz::core {
+
+/// Run the CLI. Returns a process exit code (0 on success); all output goes
+/// to `out` (reports) and `err` (usage / error messages).
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+/// The usage text printed on --help or argument errors.
+std::string cli_usage();
+
+}  // namespace sqz::core

@@ -1,0 +1,90 @@
+// The co-design engine (paper §4.2): tune the accelerator to a DNN and
+// diagnose the DNN's hardware behaviour to guide model redesign.
+//
+// The paper's loop: (1) design the accelerator for SqueezeNet; (2) study
+// SqueezeNext's per-layer utilization on it and move layers from
+// low-utilization early stages to later stages, shrink the first filter;
+// (3) re-tune the accelerator (register file 8 -> 16). `tune_accelerator`
+// automates step 3 and `analyze_model` produces the diagnosis of step 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/model.h"
+#include "nn/model.h"
+#include "sched/network_sim.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+
+namespace sqz::core {
+
+/// Candidate dimensions swept by tune_accelerator.
+struct TuningSpace {
+  std::vector<int> rf_entries = {4, 8, 16, 32};
+  std::vector<int> array_n = {32};
+
+  /// The paper's fine-tuning pass: RF size only (8 -> 16 study).
+  static TuningSpace rf_only() { return TuningSpace{}; }
+  /// Broader sweep including array size.
+  static TuningSpace full() {
+    TuningSpace s;
+    s.array_n = {8, 16, 24, 32};
+    return s;
+  }
+};
+
+struct TuningCandidate {
+  sim::AcceleratorConfig config;
+  std::int64_t cycles = 0;
+  double energy = 0.0;
+};
+
+struct TuningResult {
+  std::vector<TuningCandidate> candidates;  ///< All evaluated points.
+  sim::AcceleratorConfig best;              ///< Winner by the tuning objective.
+};
+
+/// Sweep the tuning space and pick the configuration that minimizes the
+/// objective for `model`. Ties break toward lower energy, then smaller RF.
+TuningResult tune_accelerator(const nn::Model& model, const TuningSpace& space,
+                              const sim::AcceleratorConfig& base =
+                                  sim::AcceleratorConfig::squeezelerator(),
+                              sched::Objective objective = sched::Objective::Cycles,
+                              const energy::UnitEnergies& units = {});
+
+/// Why a layer under-uses the array (Figure 3's diagnosis).
+enum class Bottleneck {
+  None,             ///< Utilization is healthy.
+  FewChannels,      ///< Input channels << N: idle PE rows (early layers).
+  SmallFeatureMap,  ///< Output tile << N x N: idle PEs (late layers, OS).
+  DrainDominated,   ///< Short compute behind a fixed output-drain cost.
+  DramBound,        ///< DMA traffic exceeds compute (FC at batch 1).
+};
+
+const char* bottleneck_name(Bottleneck b) noexcept;
+
+struct LayerDiagnosis {
+  int layer_idx = 0;
+  std::string layer_name;
+  sim::Dataflow dataflow = sim::Dataflow::WeightStationary;
+  double utilization = 0.0;
+  Bottleneck bottleneck = Bottleneck::None;
+};
+
+struct ModelAdvice {
+  std::vector<LayerDiagnosis> layers;  ///< MAC layers only, network order.
+  double network_utilization = 0.0;
+
+  /// Layers below `threshold` utilization — the redesign targets.
+  std::vector<LayerDiagnosis> low_utilization(double threshold = 0.25) const;
+};
+
+/// Simulate `model` on `config` and attribute each MAC layer's utilization
+/// loss to a bottleneck class.
+ModelAdvice analyze_model(const nn::Model& model,
+                          const sim::AcceleratorConfig& config =
+                              sim::AcceleratorConfig::squeezelerator(),
+                          sched::Objective objective = sched::Objective::Cycles);
+
+}  // namespace sqz::core

@@ -1,0 +1,96 @@
+#include "core/config_io.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sqz::core {
+
+namespace {
+
+constexpr const char* kSection = "accelerator";
+
+sim::DataflowSupport parse_support(const std::string& text) {
+  if (text == "hybrid") return sim::DataflowSupport::Hybrid;
+  if (text == "ws") return sim::DataflowSupport::WsOnly;
+  if (text == "os") return sim::DataflowSupport::OsOnly;
+  throw std::invalid_argument("config: support must be hybrid|ws|os, got '" +
+                              text + "'");
+}
+
+const char* support_str(sim::DataflowSupport s) {
+  switch (s) {
+    case sim::DataflowSupport::Hybrid: return "hybrid";
+    case sim::DataflowSupport::WsOnly: return "ws";
+    case sim::DataflowSupport::OsOnly: return "os";
+  }
+  return "?";
+}
+
+}  // namespace
+
+sim::AcceleratorConfig config_from_ini(const util::IniFile& ini,
+                                       const sim::AcceleratorConfig& base) {
+  sim::AcceleratorConfig c = base;
+  // Accept both "[accelerator]" and top-level keys.
+  const std::string section = ini.has_section(kSection) ? kSection : "";
+
+  const auto known = {
+      "array_n", "rf_entries", "gb_kib", "preload_width", "drain_width",
+      "weight_reserve_words", "psum_accum_words", "simd_lanes",
+      "dram_latency", "dram_bytes_per_cycle", "data_bytes", "weight_sparsity",
+      "os_zero_skip", "ws_psums_in_gb", "support"};
+  (void)known;
+
+  if (auto v = ini.get_int(section, "array_n")) c.array_n = static_cast<int>(*v);
+  if (auto v = ini.get_int(section, "rf_entries"))
+    c.rf_entries = static_cast<int>(*v);
+  if (auto v = ini.get_int(section, "gb_kib")) c.gb_kib = static_cast<int>(*v);
+  if (auto v = ini.get_int(section, "preload_width"))
+    c.preload_width = static_cast<int>(*v);
+  if (auto v = ini.get_int(section, "drain_width"))
+    c.drain_width = static_cast<int>(*v);
+  if (auto v = ini.get_int(section, "weight_reserve_words"))
+    c.weight_reserve_words = static_cast<int>(*v);
+  if (auto v = ini.get_int(section, "psum_accum_words"))
+    c.psum_accum_words = static_cast<int>(*v);
+  if (auto v = ini.get_int(section, "simd_lanes"))
+    c.simd_lanes = static_cast<int>(*v);
+  if (auto v = ini.get_int(section, "dram_latency"))
+    c.dram_latency_cycles = static_cast<int>(*v);
+  if (auto v = ini.get_double(section, "dram_bytes_per_cycle"))
+    c.dram_bytes_per_cycle = *v;
+  if (auto v = ini.get_int(section, "data_bytes"))
+    c.data_bytes = static_cast<int>(*v);
+  if (auto v = ini.get_double(section, "weight_sparsity")) c.weight_sparsity = *v;
+  if (auto v = ini.get_bool(section, "os_zero_skip")) c.os_zero_skip = *v;
+  if (auto v = ini.get_bool(section, "ws_psums_in_gb")) c.ws_psums_in_gb = *v;
+  if (auto v = ini.get(section, "support")) c.support = parse_support(*v);
+
+  c.validate();
+  return c;
+}
+
+std::string config_to_ini(const sim::AcceleratorConfig& config) {
+  util::IniFile ini;
+  const std::string s = kSection;
+  ini.set(s, "array_n", std::to_string(config.array_n));
+  ini.set(s, "rf_entries", std::to_string(config.rf_entries));
+  ini.set(s, "gb_kib", std::to_string(config.gb_kib));
+  ini.set(s, "preload_width", std::to_string(config.preload_width));
+  ini.set(s, "drain_width", std::to_string(config.drain_width));
+  ini.set(s, "weight_reserve_words", std::to_string(config.weight_reserve_words));
+  ini.set(s, "psum_accum_words", std::to_string(config.psum_accum_words));
+  ini.set(s, "simd_lanes", std::to_string(config.simd_lanes));
+  ini.set(s, "dram_latency", std::to_string(config.dram_latency_cycles));
+  ini.set(s, "dram_bytes_per_cycle",
+          util::format("%g", config.dram_bytes_per_cycle));
+  ini.set(s, "data_bytes", std::to_string(config.data_bytes));
+  ini.set(s, "weight_sparsity", util::format("%g", config.weight_sparsity));
+  ini.set(s, "os_zero_skip", config.os_zero_skip ? "true" : "false");
+  ini.set(s, "ws_psums_in_gb", config.ws_psums_in_gb ? "true" : "false");
+  ini.set(s, "support", support_str(config.support));
+  return ini.to_string();
+}
+
+}  // namespace sqz::core

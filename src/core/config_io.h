@@ -1,0 +1,31 @@
+// AcceleratorConfig <-> INI text, for the sqzsim CLI.
+//
+// Example file:
+//   [accelerator]
+//   array_n        = 32
+//   rf_entries     = 16
+//   gb_kib         = 128
+//   dram_latency   = 100
+//   dram_bytes_per_cycle = 16
+//   weight_sparsity = 0.4
+//   support        = hybrid        ; hybrid | ws | os
+#pragma once
+
+#include <string>
+
+#include "sim/config.h"
+#include "util/ini.h"
+
+namespace sqz::core {
+
+/// Apply every recognized key of `[accelerator]` (or the top-level section)
+/// on top of `base`; unknown keys throw std::invalid_argument so typos are
+/// loud. The returned config is validated.
+sim::AcceleratorConfig config_from_ini(const util::IniFile& ini,
+                                       const sim::AcceleratorConfig& base =
+                                           sim::AcceleratorConfig::squeezelerator());
+
+/// Render a config as INI text that config_from_ini round-trips.
+std::string config_to_ini(const sim::AcceleratorConfig& config);
+
+}  // namespace sqz::core

@@ -1,0 +1,87 @@
+#include "core/dse.h"
+
+#include "util/strings.h"
+
+namespace sqz::core {
+
+std::vector<DesignPoint> evaluate_designs(
+    const nn::Model& model,
+    const std::vector<std::pair<std::string, sim::AcceleratorConfig>>& configs,
+    sched::Objective objective, const energy::UnitEnergies& units) {
+  std::vector<DesignPoint> points;
+  points.reserve(configs.size());
+  for (const auto& [label, cfg] : configs) {
+    const sim::NetworkResult net = sched::simulate_network(model, cfg, objective, units);
+    DesignPoint p;
+    p.label = label;
+    p.config = cfg;
+    p.cycles = net.total_cycles();
+    p.energy = energy::network_energy(net, units).total();
+    p.utilization = net.utilization();
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
+  std::vector<DesignPoint> front;
+  for (const DesignPoint& p : points) {
+    bool dominated = false;
+    for (const DesignPoint& q : points) {
+      const bool q_no_worse = q.cycles <= p.cycles && q.energy <= p.energy;
+      const bool q_better = q.cycles < p.cycles || q.energy < p.energy;
+      if (q_no_worse && q_better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  return front;
+}
+
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_rf_entries(
+    const sim::AcceleratorConfig& base, const std::vector<int>& values) {
+  std::vector<std::pair<std::string, sim::AcceleratorConfig>> out;
+  for (int v : values) {
+    sim::AcceleratorConfig c = base;
+    c.rf_entries = v;
+    out.emplace_back(util::format("RF=%d", v), c);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_array_n(
+    const sim::AcceleratorConfig& base, const std::vector<int>& values) {
+  std::vector<std::pair<std::string, sim::AcceleratorConfig>> out;
+  for (int v : values) {
+    sim::AcceleratorConfig c = base;
+    c.array_n = v;
+    out.emplace_back(util::format("%dx%d", v, v), c);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_sparsity(
+    const sim::AcceleratorConfig& base, const std::vector<double>& values) {
+  std::vector<std::pair<std::string, sim::AcceleratorConfig>> out;
+  for (double v : values) {
+    sim::AcceleratorConfig c = base;
+    c.weight_sparsity = v;
+    out.emplace_back(util::format("sparsity=%.0f%%", v * 100.0), c);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_dram_bandwidth(
+    const sim::AcceleratorConfig& base, const std::vector<double>& bytes_per_cycle) {
+  std::vector<std::pair<std::string, sim::AcceleratorConfig>> out;
+  for (double v : bytes_per_cycle) {
+    sim::AcceleratorConfig c = base;
+    c.dram_bytes_per_cycle = v;
+    out.emplace_back(util::format("DRAM=%.0fB/cyc", v), c);
+  }
+  return out;
+}
+
+}  // namespace sqz::core

@@ -1,0 +1,49 @@
+// Design-space exploration over accelerator configurations.
+//
+// Backs the ablation benches (register-file size, PE-array size, sparsity,
+// DRAM parameters) and the Pareto view of cycles-vs-energy trade-offs the
+// paper's co-design narrative implies.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "energy/model.h"
+#include "nn/model.h"
+#include "sched/network_sim.h"
+#include "sim/config.h"
+
+namespace sqz::core {
+
+struct DesignPoint {
+  std::string label;
+  sim::AcceleratorConfig config;
+  std::int64_t cycles = 0;
+  double energy = 0.0;
+  double utilization = 0.0;
+};
+
+/// Evaluate every configuration on `model` (cycles, energy, utilization).
+std::vector<DesignPoint> evaluate_designs(
+    const nn::Model& model,
+    const std::vector<std::pair<std::string, sim::AcceleratorConfig>>& configs,
+    sched::Objective objective = sched::Objective::Cycles,
+    const energy::UnitEnergies& units = {});
+
+/// Points not dominated in (cycles, energy); input order is preserved.
+std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points);
+
+// --- sweep builders -------------------------------------------------------
+
+/// Vary one integer knob of a base config.
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_rf_entries(
+    const sim::AcceleratorConfig& base, const std::vector<int>& values);
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_array_n(
+    const sim::AcceleratorConfig& base, const std::vector<int>& values);
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_sparsity(
+    const sim::AcceleratorConfig& base, const std::vector<double>& values);
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_dram_bandwidth(
+    const sim::AcceleratorConfig& base, const std::vector<double>& bytes_per_cycle);
+
+}  // namespace sqz::core

@@ -1,0 +1,46 @@
+#include "core/multicore.h"
+
+#include <stdexcept>
+
+namespace sqz::core {
+
+double MulticoreResult::throughput_ips(double clock_ghz) const noexcept {
+  const double seconds =
+      static_cast<double>(makespan_cycles()) / (clock_ghz * 1e9);
+  if (seconds <= 0.0) return 0.0;
+  return static_cast<double>(total_batch) / seconds;
+}
+
+energy::EnergyBreakdown MulticoreResult::total_energy(
+    const energy::UnitEnergies& units) const {
+  energy::EnergyBreakdown per = energy::network_energy(per_core, units);
+  // All cores execute the same per-core workload; idle-core slack from a
+  // ragged batch split is already inside per_core (it ran ceil(B/C) images).
+  energy::EnergyBreakdown total;
+  for (int c = 0; c < cores; ++c) total += per;
+  return total;
+}
+
+MulticoreResult simulate_multicore(const nn::Model& model,
+                                   const sim::AcceleratorConfig& config,
+                                   int cores, bool shared_dram,
+                                   sched::Objective objective) {
+  if (cores < 1)
+    throw std::invalid_argument("simulate_multicore: cores must be >= 1");
+
+  MulticoreResult r;
+  r.cores = cores;
+  r.total_batch = config.batch;
+  r.per_core_batch = (config.batch + cores - 1) / cores;
+
+  sim::AcceleratorConfig per_core = config;
+  per_core.batch = r.per_core_batch;
+  if (shared_dram)
+    per_core.dram_bytes_per_cycle = config.dram_bytes_per_cycle / cores;
+  per_core.validate();
+
+  r.per_core = sched::simulate_network(model, per_core, objective);
+  return r;
+}
+
+}  // namespace sqz::core

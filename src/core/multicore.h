@@ -1,0 +1,47 @@
+// Multi-core configuration (paper §3.2 lists "multi-core configuration"
+// among the features that distinguish NN accelerators).
+//
+// Model: `cores` identical Squeezelerator instances, batch-parallel — each
+// core runs the whole network on its share of the batch. The cores share
+// the DRAM interface (per-core bandwidth = total / cores) and each core
+// fetches its own copy of the weights (the real cost of batch-parallel
+// scaling: weight traffic multiplies by the core count).
+#pragma once
+
+#include "energy/model.h"
+#include "nn/model.h"
+#include "sched/network_sim.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+
+namespace sqz::core {
+
+struct MulticoreResult {
+  int cores = 1;
+  int total_batch = 1;
+  int per_core_batch = 1;
+  sim::NetworkResult per_core;  ///< One core's run (all cores identical).
+
+  /// Wall-clock cycles for the whole batch (cores run in parallel).
+  std::int64_t makespan_cycles() const noexcept {
+    return per_core.total_cycles();
+  }
+  /// Images per second at the given clock.
+  double throughput_ips(double clock_ghz = 1.0) const noexcept;
+  /// Whole-chip energy for the batch (every core pays its own traffic).
+  energy::EnergyBreakdown total_energy(const energy::UnitEnergies& units = {}) const;
+};
+
+/// Simulate `config.batch` images split across `cores` accelerator cores.
+/// `shared_dram` = true divides the DRAM interface among the cores (one
+/// memory controller, the SOC-typical case); false gives every core its own
+/// full-bandwidth channel (chiplet/multi-controller scaling).
+/// Throws std::invalid_argument for cores < 1.
+MulticoreResult simulate_multicore(const nn::Model& model,
+                                   const sim::AcceleratorConfig& config,
+                                   int cores,
+                                   bool shared_dram = true,
+                                   sched::Objective objective =
+                                       sched::Objective::Cycles);
+
+}  // namespace sqz::core

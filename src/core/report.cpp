@@ -1,0 +1,88 @@
+#include "core/report.h"
+
+#include "util/strings.h"
+
+namespace sqz::core {
+
+using util::format;
+using util::Table;
+
+Table per_layer_table(const nn::Model& model, const sim::NetworkResult& result,
+                      const std::string& title) {
+  Table t(title);
+  t.set_header({"layer", "dataflow", "kcycles", "util", "dram kwords"});
+  std::int64_t other_cycles = 0;
+  for (const sim::LayerResult& r : result.layers) {
+    if (!model.layer(r.layer_idx).is_macs_layer()) {
+      other_cycles += r.total_cycles;
+      continue;
+    }
+    t.add_row({r.layer_name, sim::dataflow_abbrev(r.dataflow),
+               format("%.1f", static_cast<double>(r.total_cycles) / 1e3),
+               util::percent(r.utilization(result.config.pe_count())),
+               format("%.1f", static_cast<double>(r.counts.dram_words) / 1e3)});
+  }
+  t.add_separator();
+  t.add_row({"(other layers)", "-",
+             format("%.1f", static_cast<double>(other_cycles) / 1e3), "-", "-"});
+  t.add_row({"TOTAL", "-",
+             format("%.1f", static_cast<double>(result.total_cycles()) / 1e3),
+             util::percent(result.utilization()), "-"});
+  return t;
+}
+
+Table per_layer_comparison_table(const nn::Model& model, const ComparisonResult& cmp,
+                                 const std::string& title) {
+  Table t(title);
+  t.set_header({"layer", "WS kcyc", "OS kcyc", "SQZ kcyc", "SQZ df", "SQZ util"});
+  const int pes = cmp.hybrid.config.pe_count();
+  for (std::size_t i = 0; i < cmp.hybrid.layers.size(); ++i) {
+    const sim::LayerResult& h = cmp.hybrid.layers[i];
+    if (!model.layer(h.layer_idx).is_macs_layer()) continue;
+    const sim::LayerResult& ws = cmp.ws_only.layers[i];
+    const sim::LayerResult& os = cmp.os_only.layers[i];
+    t.add_row({h.layer_name,
+               format("%.1f", static_cast<double>(ws.total_cycles) / 1e3),
+               format("%.1f", static_cast<double>(os.total_cycles) / 1e3),
+               format("%.1f", static_cast<double>(h.total_cycles) / 1e3),
+               sim::dataflow_abbrev(h.dataflow), util::percent(h.utilization(pes))});
+  }
+  t.add_separator();
+  t.add_row({"TOTAL",
+             format("%.1f", static_cast<double>(cmp.ws_only.total_cycles()) / 1e3),
+             format("%.1f", static_cast<double>(cmp.os_only.total_cycles()) / 1e3),
+             format("%.1f", static_cast<double>(cmp.hybrid.total_cycles()) / 1e3),
+             "-", util::percent(cmp.hybrid.utilization())});
+  return t;
+}
+
+Table2Row table2_row(const nn::Model& model, const ComparisonResult& cmp) {
+  Table2Row row;
+  row.network = model.name();
+  row.speedup_vs_os = cmp.speedup_vs_os();
+  row.speedup_vs_ws = cmp.speedup_vs_ws();
+  row.energy_red_vs_os = cmp.energy_reduction_vs_os();
+  row.energy_red_vs_ws = cmp.energy_reduction_vs_ws();
+  return row;
+}
+
+Table energy_table(const sim::NetworkResult& result, const energy::UnitEnergies& units,
+                   const std::string& title) {
+  const energy::EnergyBreakdown e = energy::network_energy(result, units);
+  Table t(title);
+  t.set_header({"level", "energy (MAC units)", "share"});
+  const auto add = [&](const char* name, double v) {
+    t.add_row({name, util::si(v), util::percent(e.total() > 0 ? v / e.total() : 0)});
+  };
+  add("MAC", e.mac);
+  add("RF", e.rf);
+  add("inter-PE", e.inter_pe);
+  add("psum accumulator", e.acc);
+  add("global buffer", e.gb);
+  add("DRAM", e.dram);
+  t.add_separator();
+  t.add_row({"TOTAL", util::si(e.total()), "100.0%"});
+  return t;
+}
+
+}  // namespace sqz::core

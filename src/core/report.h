@@ -1,0 +1,41 @@
+// Report builders shared by the benchmark binaries: render simulation
+// results as the paper's tables and per-layer figures.
+#pragma once
+
+#include <string>
+
+#include "core/squeezelerator.h"
+#include "energy/model.h"
+#include "nn/model.h"
+#include "sim/counters.h"
+#include "util/table.h"
+
+namespace sqz::core {
+
+/// Per-layer inference time + utilization table (Figure 1 / Figure 3 style).
+/// Lists MAC layers; non-MAC layers are folded into an "(other)" row.
+util::Table per_layer_table(const nn::Model& model, const sim::NetworkResult& result,
+                            const std::string& title);
+
+/// Side-by-side per-layer comparison of the three architectures (Figure 1).
+util::Table per_layer_comparison_table(const nn::Model& model,
+                                       const ComparisonResult& cmp,
+                                       const std::string& title);
+
+/// One Table-2 row: speedups and energy reductions vs the references.
+struct Table2Row {
+  std::string network;
+  double speedup_vs_os = 0.0;
+  double speedup_vs_ws = 0.0;
+  double energy_red_vs_os = 0.0;  ///< Fraction (0.23 == 23%).
+  double energy_red_vs_ws = 0.0;
+};
+
+Table2Row table2_row(const nn::Model& model, const ComparisonResult& cmp);
+
+/// Energy breakdown table over hierarchy levels for one result.
+util::Table energy_table(const sim::NetworkResult& result,
+                         const energy::UnitEnergies& units,
+                         const std::string& title);
+
+}  // namespace sqz::core

@@ -1,0 +1,49 @@
+#include "core/roofline.h"
+
+#include <algorithm>
+
+namespace sqz::core {
+
+int RooflineReport::memory_bound_count() const noexcept {
+  int n = 0;
+  for (const RooflinePoint& p : layers)
+    if (p.memory_bound) ++n;
+  return n;
+}
+
+RooflineReport roofline(const nn::Model& model, const sim::NetworkResult& result) {
+  RooflineReport rep;
+  const sim::AcceleratorConfig& cfg = result.config;
+  rep.peak_macs_per_cycle = static_cast<double>(cfg.pe_count());
+  rep.dram_bytes_per_cycle = cfg.dram_bytes_per_cycle;
+  rep.balance_point = rep.peak_macs_per_cycle / rep.dram_bytes_per_cycle;
+
+  for (const sim::LayerResult& l : result.layers) {
+    if (!model.layer(l.layer_idx).is_macs_layer()) continue;
+    RooflinePoint p;
+    p.layer_idx = l.layer_idx;
+    p.layer_name = l.layer_name;
+    const double bytes =
+        static_cast<double>(l.counts.dram_words) * cfg.data_bytes;
+    // Executed MACs, not algorithmic ones: the OS dataflow's zero-skip
+    // removes ~40% of the MACs from both the time and the energy axes, so a
+    // consistent roofline counts what the array actually performs.
+    const double executed = static_cast<double>(l.counts.mac_ops);
+    // Fully resident layers move only their (always-streamed) weights; the
+    // AI is still well-defined because weights dominate `bytes` then.
+    p.arithmetic_intensity =
+        bytes > 0.0 ? executed / bytes
+                    : rep.balance_point * 1e3;  // effectively unbounded
+    p.attained_macs_per_cycle =
+        l.total_cycles > 0 ? executed / static_cast<double>(l.total_cycles)
+                           : 0.0;
+    p.roof_macs_per_cycle =
+        std::min(rep.peak_macs_per_cycle,
+                 p.arithmetic_intensity * rep.dram_bytes_per_cycle);
+    p.memory_bound = p.arithmetic_intensity < rep.balance_point;
+    rep.layers.push_back(std::move(p));
+  }
+  return rep;
+}
+
+}  // namespace sqz::core

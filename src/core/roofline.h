@@ -1,0 +1,56 @@
+// Roofline analysis for the Squeezelerator.
+//
+// The paper's model-design argument is roofline-shaped: SqueezeNext avoids
+// MobileNet's "depthwise separable convolutions that have poor Arithmetic
+// Intensity (Ops/MAC per byte of memory accessed)". This module makes the
+// argument quantitative: the machine's balance point is
+//
+//     AI* = peak MACs/cycle  /  DRAM bytes/cycle
+//
+// and a layer whose arithmetic intensity (MACs per DRAM byte it actually
+// moves under the residency plan) falls below AI* is memory-bound on this
+// accelerator, no matter how well its dataflow maps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+
+namespace sqz::core {
+
+struct RooflinePoint {
+  int layer_idx = 0;
+  std::string layer_name;
+  double arithmetic_intensity = 0.0;  ///< Executed MACs per DRAM byte moved
+                                      ///< (zero-skipped MACs count on neither
+                                      ///< axis).
+  double attained_macs_per_cycle = 0.0;
+  double roof_macs_per_cycle = 0.0;   ///< min(peak, AI * bandwidth).
+  bool memory_bound = false;          ///< AI below the machine balance point.
+
+  /// Attained / roof: how close the layer runs to its own ceiling.
+  double roof_fraction() const noexcept {
+    return roof_macs_per_cycle > 0.0
+               ? attained_macs_per_cycle / roof_macs_per_cycle
+               : 0.0;
+  }
+};
+
+struct RooflineReport {
+  double peak_macs_per_cycle = 0.0;   ///< N*N (all PEs busy).
+  double dram_bytes_per_cycle = 0.0;
+  double balance_point = 0.0;         ///< AI* = peak / bandwidth.
+  std::vector<RooflinePoint> layers;  ///< MAC layers with DRAM traffic > 0
+                                      ///< use true AI; fully resident layers
+                                      ///< are reported compute-side.
+
+  int memory_bound_count() const noexcept;
+};
+
+/// Build the roofline from an already-simulated network result.
+RooflineReport roofline(const nn::Model& model, const sim::NetworkResult& result);
+
+}  // namespace sqz::core

@@ -1,0 +1,57 @@
+#include "core/squeezelerator.h"
+
+namespace sqz::core {
+
+namespace {
+
+double ratio(std::int64_t base, std::int64_t ours) {
+  if (ours <= 0) return 0.0;
+  return static_cast<double>(base) / static_cast<double>(ours);
+}
+
+double reduction(double base, double ours) {
+  if (base <= 0.0) return 0.0;
+  return 1.0 - ours / base;
+}
+
+}  // namespace
+
+double ComparisonResult::speedup_vs_ws() const noexcept {
+  return ratio(ws_only.total_cycles(), hybrid.total_cycles());
+}
+
+double ComparisonResult::speedup_vs_os() const noexcept {
+  return ratio(os_only.total_cycles(), hybrid.total_cycles());
+}
+
+double ComparisonResult::energy_reduction_vs_ws() const {
+  return reduction(energy::network_energy(ws_only, units).total(),
+                   energy::network_energy(hybrid, units).total());
+}
+
+double ComparisonResult::energy_reduction_vs_os() const {
+  return reduction(energy::network_energy(os_only, units).total(),
+                   energy::network_energy(hybrid, units).total());
+}
+
+ComparisonResult compare_dataflows(const nn::Model& model,
+                                   const sim::AcceleratorConfig& base,
+                                   sched::Objective objective,
+                                   const energy::UnitEnergies& units) {
+  sim::AcceleratorConfig hybrid_cfg = base;
+  hybrid_cfg.support = sim::DataflowSupport::Hybrid;
+  sim::AcceleratorConfig ws_cfg = base;
+  ws_cfg.support = sim::DataflowSupport::WsOnly;
+  ws_cfg.ws_psums_in_gb = true;  // the naive reference lacks the accumulator
+  sim::AcceleratorConfig os_cfg = base;
+  os_cfg.support = sim::DataflowSupport::OsOnly;
+
+  ComparisonResult r;
+  r.units = units;
+  r.hybrid = sched::simulate_network(model, hybrid_cfg, objective, units);
+  r.ws_only = sched::simulate_network(model, ws_cfg, objective, units);
+  r.os_only = sched::simulate_network(model, os_cfg, objective, units);
+  return r;
+}
+
+}  // namespace sqz::core

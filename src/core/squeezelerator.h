@@ -1,0 +1,36 @@
+// Top-level facade: one-call comparisons between the Squeezelerator and the
+// single-dataflow reference architectures — the measurement underlying the
+// paper's Figure 1 and Table 2.
+#pragma once
+
+#include "energy/model.h"
+#include "nn/model.h"
+#include "sched/network_sim.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+
+namespace sqz::core {
+
+/// One network simulated on the hybrid accelerator and on both references.
+struct ComparisonResult {
+  sim::NetworkResult hybrid;
+  sim::NetworkResult ws_only;
+  sim::NetworkResult os_only;
+  energy::UnitEnergies units;
+
+  double speedup_vs_ws() const noexcept;
+  double speedup_vs_os() const noexcept;
+  /// Fractional energy reduction, e.g. 0.23 == "23% less energy than WS".
+  double energy_reduction_vs_ws() const;
+  double energy_reduction_vs_os() const;
+};
+
+/// Simulate `model` on `base` (as Hybrid) and on WS-only / OS-only variants
+/// of the same micro-architecture.
+ComparisonResult compare_dataflows(
+    const nn::Model& model,
+    const sim::AcceleratorConfig& base = sim::AcceleratorConfig::squeezelerator(),
+    sched::Objective objective = sched::Objective::Cycles,
+    const energy::UnitEnergies& units = {});
+
+}  // namespace sqz::core

@@ -1,0 +1,60 @@
+#include "energy/model.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sqz::energy {
+
+UnitEnergies UnitEnergies::eyeriss() { return UnitEnergies{}; }
+
+void UnitEnergies::validate() const {
+  if (mac < 0 || rf < 0 || inter_pe < 0 || acc < 0 || gb < 0 || dram < 0)
+    throw std::invalid_argument("UnitEnergies: negative unit energy");
+}
+
+EnergyBreakdown& EnergyBreakdown::operator+=(const EnergyBreakdown& o) noexcept {
+  mac += o.mac;
+  rf += o.rf;
+  inter_pe += o.inter_pe;
+  acc += o.acc;
+  gb += o.gb;
+  dram += o.dram;
+  return *this;
+}
+
+std::string EnergyBreakdown::to_string() const {
+  return util::format("total=%s (mac=%s rf=%s pe2pe=%s acc=%s gb=%s dram=%s)",
+                      util::si(total()).c_str(), util::si(mac).c_str(),
+                      util::si(rf).c_str(), util::si(inter_pe).c_str(),
+                      util::si(acc).c_str(), util::si(gb).c_str(),
+                      util::si(dram).c_str());
+}
+
+EnergyBreakdown energy_of(const sim::AccessCounts& counts, const UnitEnergies& units) {
+  EnergyBreakdown e;
+  e.mac = static_cast<double>(counts.mac_ops) * units.mac;
+  e.rf = static_cast<double>(counts.rf_reads + counts.rf_writes) * units.rf;
+  e.inter_pe = static_cast<double>(counts.inter_pe) * units.inter_pe;
+  e.acc = static_cast<double>(counts.acc_reads + counts.acc_writes) * units.acc;
+  e.gb = static_cast<double>(counts.gb_reads + counts.gb_writes) * units.gb;
+  e.dram = static_cast<double>(counts.dram_words) * units.dram;
+  return e;
+}
+
+EnergyBreakdown network_energy(const sim::NetworkResult& result,
+                               const UnitEnergies& units) {
+  return energy_of(result.total_counts(), units);
+}
+
+double average_power_mw(const sim::NetworkResult& result,
+                        const UnitEnergies& units, double pj_per_mac,
+                        double clock_ghz) {
+  const std::int64_t cycles = result.total_cycles();
+  if (cycles <= 0) return 0.0;
+  const double energy_pj = network_energy(result, units).total() * pj_per_mac;
+  const double time_ns = static_cast<double>(cycles) / clock_ghz;
+  return energy_pj / time_ns;  // pJ / ns == mW
+}
+
+}  // namespace sqz::energy

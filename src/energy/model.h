@@ -1,0 +1,62 @@
+// Eyeriss-style energy model (paper §4.1.3): "It calculates the number of
+// accesses of the MAC units and each memory layer, and then multiplies each
+// by its unit energy, which is normalized by the energy consumption of the
+// MAC unit. Here we modified the unit energy slightly to match this hardware
+// configuration."
+//
+// The default unit energies are the Eyeriss hierarchy ratios (Chen et al.,
+// ISCA'16): RF ~ 1x MAC, inter-PE ~ 2x, global SRAM ~ 6x, DRAM ~ 200x.
+#pragma once
+
+#include <string>
+
+#include "sim/counters.h"
+
+namespace sqz::energy {
+
+/// Per-access energy at each hierarchy level, normalized to one MAC == 1.0.
+struct UnitEnergies {
+  double mac = 1.0;
+  double rf = 1.0;
+  double inter_pe = 1.0;  ///< Mesh-neighbour hop ~ an RF access on this array.
+  double acc = 2.0;   ///< Psum accumulator SRAM (small, near the array).
+  double gb = 6.0;
+  double dram = 200.0;
+
+  /// The published Eyeriss ratios (also the defaults).
+  static UnitEnergies eyeriss();
+  /// Throws std::invalid_argument if any unit is negative.
+  void validate() const;
+};
+
+/// Energy split by hierarchy level (units of one MAC operation's energy).
+struct EnergyBreakdown {
+  double mac = 0.0;
+  double rf = 0.0;
+  double inter_pe = 0.0;
+  double acc = 0.0;
+  double gb = 0.0;
+  double dram = 0.0;
+
+  double total() const noexcept { return mac + rf + inter_pe + acc + gb + dram; }
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) noexcept;
+  std::string to_string() const;
+};
+
+/// Energy of one access-count record.
+EnergyBreakdown energy_of(const sim::AccessCounts& counts,
+                          const UnitEnergies& units = {});
+
+/// Total energy of a simulated network.
+EnergyBreakdown network_energy(const sim::NetworkResult& result,
+                               const UnitEnergies& units = {});
+
+/// Average power drawn while running `result`, in milliwatts — the x-axis of
+/// the paper's Figure 4 ("accuracy versus power"). Energy units are
+/// MAC-normalized, so a physical scale is needed: `pj_per_mac` is the energy
+/// of one 16-bit MAC (~1 pJ in the 28 nm class the paper targets).
+double average_power_mw(const sim::NetworkResult& result,
+                        const UnitEnergies& units = {}, double pj_per_mac = 1.0,
+                        double clock_ghz = 1.0);
+
+}  // namespace sqz::energy

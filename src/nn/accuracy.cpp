@@ -1,0 +1,37 @@
+#include "nn/accuracy.h"
+
+namespace sqz::nn {
+
+const std::vector<AccuracyRecord>& accuracy_table() {
+  static const std::vector<AccuracyRecord> kTable = {
+      {"AlexNet", 57.2, "Krizhevsky et al., NeurIPS 2012"},
+      {"SqueezeNet v1.0", 57.1, "Iandola et al., arXiv:1602.07360 (as cited by DAC'18 paper)"},
+      {"SqueezeNet v1.1", 57.1, "SqueezeNet v1.1 release notes"},
+      {"SqueezeNet v1.0 bypass", 60.4, "Iandola et al., arXiv:1602.07360 Table 3"},
+      {"Tiny Darknet", 58.7, "pjreddie.com/darknet/tiny-darknet"},
+      {"1.0 MobileNet-224", 70.6, "Howard et al., arXiv:1704.04861"},
+      {"0.75 MobileNet-224", 68.4, "Howard et al., arXiv:1704.04861"},
+      {"0.5 MobileNet-224", 63.7, "Howard et al., arXiv:1704.04861"},
+      {"0.25 MobileNet-224", 50.6, "Howard et al., arXiv:1704.04861"},
+      // SqueezeNext variants: the DAC'18 paper reports 59.2 top-1 for the
+      // optimized family and notes the optimized variants are slightly more
+      // accurate than the baseline.
+      {"1.0-SqNxt-23 v1", 59.0, "Gholami et al., arXiv:1803.10615"},
+      {"1.0-SqNxt-23 v2", 59.1, "Gholami et al., arXiv:1803.10615"},
+      {"1.0-SqNxt-23 v3", 59.1, "Gholami et al., arXiv:1803.10615"},
+      {"1.0-SqNxt-23 v4", 59.2, "Gholami et al., arXiv:1803.10615"},
+      {"1.0-SqNxt-23 v5", 59.2, "Gholami et al., arXiv:1803.10615"},
+      {"1.0-SqNxt-34 v5", 61.4, "Gholami et al., arXiv:1803.10615"},
+      {"1.0-SqNxt-44 v5", 62.6, "Gholami et al., arXiv:1803.10615"},
+      {"2.0-SqNxt-23 v5", 67.4, "Gholami et al., arXiv:1803.10615"},
+  };
+  return kTable;
+}
+
+std::optional<AccuracyRecord> published_accuracy(const std::string& model_name) {
+  for (const AccuracyRecord& r : accuracy_table())
+    if (r.model_name == model_name) return r;
+  return std::nullopt;
+}
+
+}  // namespace sqz::nn

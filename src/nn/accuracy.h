@@ -1,0 +1,29 @@
+// Published ImageNet top-1 accuracies for the networks in the zoo.
+//
+// SUBSTITUTION (see DESIGN.md §3): the paper's Figure 4 plots accuracy
+// against simulated energy/speed. Training ImageNet is outside this
+// reproduction's scope, so the accuracy axis uses the numbers published in
+// the respective papers (SqueezeNet, MobileNet, SqueezeNext, Tiny Darknet),
+// tagged with their provenance. The energy/speed axes are produced by our
+// simulator.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sqz::nn {
+
+struct AccuracyRecord {
+  std::string model_name;   ///< Must match Model::name() of the zoo builder.
+  double top1 = 0.0;        ///< ImageNet top-1, percent.
+  std::string source;       ///< Citation for the number.
+};
+
+/// Full table of literature accuracies known to the library.
+const std::vector<AccuracyRecord>& accuracy_table();
+
+/// Lookup by exact model name; nullopt when the model is not in the table.
+std::optional<AccuracyRecord> published_accuracy(const std::string& model_name);
+
+}  // namespace sqz::nn

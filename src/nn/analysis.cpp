@@ -1,0 +1,55 @@
+#include "nn/analysis.h"
+
+namespace sqz::nn {
+
+const char* layer_category_name(LayerCategory cat) noexcept {
+  switch (cat) {
+    case LayerCategory::FirstConv: return "Conv1";
+    case LayerCategory::Pointwise: return "1x1";
+    case LayerCategory::Spatial: return "FxF";
+    case LayerCategory::Depthwise: return "DW";
+    case LayerCategory::FullyConnected: return "FC";
+    case LayerCategory::Other: return "other";
+  }
+  return "?";
+}
+
+LayerCategory categorize(const Model& model, int layer_idx) {
+  const Layer& l = model.layer(layer_idx);
+  switch (l.kind) {
+    case LayerKind::Conv:
+      if (layer_idx == model.first_conv_index()) return LayerCategory::FirstConv;
+      if (l.is_depthwise()) return LayerCategory::Depthwise;
+      if (l.is_pointwise()) return LayerCategory::Pointwise;
+      return LayerCategory::Spatial;
+    case LayerKind::FullyConnected:
+      return LayerCategory::FullyConnected;
+    default:
+      return LayerCategory::Other;
+  }
+}
+
+OpBreakdown analyze_ops(const Model& model) {
+  OpBreakdown b;
+  for (int i = 0; i < model.layer_count(); ++i) {
+    const std::int64_t macs = model.layer(i).macs();
+    b.macs[static_cast<int>(categorize(model, i))] += macs;
+    b.total += macs;
+  }
+  return b;
+}
+
+std::int64_t model_weight_bytes(const Model& model, int bytes_per_word) {
+  return model.total_params() * bytes_per_word;
+}
+
+double arithmetic_intensity(const Layer& layer, int bytes_per_word) {
+  const std::int64_t macs = layer.macs();
+  if (macs == 0) return 0.0;
+  const std::int64_t bytes = layer.in_shape.bytes(bytes_per_word) +
+                             layer.out_shape.bytes(bytes_per_word) +
+                             layer.params() * bytes_per_word;
+  return static_cast<double>(macs) / static_cast<double>(bytes);
+}
+
+}  // namespace sqz::nn

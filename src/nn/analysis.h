@@ -1,0 +1,56 @@
+// Static workload analysis: the layer-type taxonomy of the paper's Table 1.
+//
+// The paper classifies convolution MACs into four categories — the first
+// convolutional layer ("Conv1"), pointwise 1x1 convolutions, FxF convolutions
+// with F>1, and depthwise convolutions — because each category favours a
+// different dataflow (Section 4.1.1). Fully-connected MACs form a fifth
+// implicit category (AlexNet's rows do not sum to 100% for this reason).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "nn/model.h"
+
+namespace sqz::nn {
+
+enum class LayerCategory {
+  FirstConv = 0,   ///< The network's first convolution (large map, 3 input ch).
+  Pointwise,       ///< 1x1 convolution, groups < channels.
+  Spatial,         ///< FxF convolution with max(kh,kw) > 1 (incl. 1x3 / 3x1).
+  Depthwise,       ///< groups == in_channels.
+  FullyConnected,
+  Other,           ///< Pool / ReLU / concat / add — no MACs.
+};
+inline constexpr int kLayerCategoryCount = 6;
+
+const char* layer_category_name(LayerCategory cat) noexcept;
+
+/// Category of one layer within its model (needs the model to identify Conv1).
+LayerCategory categorize(const Model& model, int layer_idx);
+
+/// MAC totals per category plus fractions of the model total (Table 1 rows).
+struct OpBreakdown {
+  std::array<std::int64_t, kLayerCategoryCount> macs{};
+  std::int64_t total = 0;
+
+  double fraction(LayerCategory cat) const noexcept {
+    if (total == 0) return 0.0;
+    return static_cast<double>(macs[static_cast<int>(cat)]) /
+           static_cast<double>(total);
+  }
+};
+
+OpBreakdown analyze_ops(const Model& model);
+
+/// Weight bytes of the whole model at the given word size.
+std::int64_t model_weight_bytes(const Model& model, int bytes_per_word);
+
+/// Arithmetic intensity of a layer: MACs per byte moved if each input,
+/// weight and output word were touched in DRAM exactly once. The paper uses
+/// this to argue against depthwise separable convolutions ("poor Arithmetic
+/// Intensity").
+double arithmetic_intensity(const Layer& layer, int bytes_per_word);
+
+}  // namespace sqz::nn

@@ -1,0 +1,257 @@
+#include "nn/model.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sqz::nn {
+
+Model::Model(std::string name, TensorShape input_shape)
+    : name_(std::move(name)), input_shape_(input_shape) {
+  if (input_shape.c <= 0 || input_shape.h <= 0 || input_shape.w <= 0)
+    throw std::invalid_argument("Model: input shape must be positive");
+  Layer input;
+  input.name = "input";
+  input.kind = LayerKind::Input;
+  input.out_shape = input_shape;
+  layers_.push_back(std::move(input));
+}
+
+void Model::require_not_finalized() const {
+  if (finalized_) throw std::logic_error("Model: cannot add layers after finalize()");
+}
+
+int Model::resolve(int from) const {
+  if (from == -1) return layer_count() - 1;
+  if (from < 0 || from >= layer_count())
+    throw std::invalid_argument(util::format(
+        "Model '%s': layer input index %d out of range [0,%d)", name_.c_str(), from,
+        layer_count()));
+  return from;
+}
+
+// Shape inference runs eagerly as layers are appended, so builders (e.g. the
+// SqueezeNext residual blocks) can inspect intermediate shapes while building.
+int Model::append(Layer layer, int from) {
+  require_not_finalized();
+  if (layer.inputs.empty()) layer.inputs = {resolve(from)};
+
+  Layer& l = layer;
+  const TensorShape in0 = layers_[static_cast<std::size_t>(l.inputs.at(0))].out_shape;
+  l.in_shape = in0;
+  switch (l.kind) {
+    case LayerKind::Input:
+      throw std::invalid_argument("Model: duplicate input layer");
+    case LayerKind::Conv: {
+      ConvParams& c = l.conv;
+      if (c.groups == -1) {  // depthwise sentinel from add_depthwise()
+        c.groups = in0.c;
+        if (c.out_channels == -1) c.out_channels = in0.c;
+      }
+      if (c.out_channels <= 0 || c.kh <= 0 || c.kw <= 0 || c.groups <= 0)
+        throw std::invalid_argument(
+            util::format("Model '%s': conv '%s' has non-positive parameter",
+                         name_.c_str(), l.name.c_str()));
+      if (in0.c % c.groups != 0 || c.out_channels % c.groups != 0)
+        throw std::invalid_argument(util::format(
+            "Model '%s': conv '%s' groups=%d does not divide channels (%d->%d)",
+            name_.c_str(), l.name.c_str(), c.groups, in0.c, c.out_channels));
+      l.out_shape = TensorShape{c.out_channels,
+                                conv_out_extent(in0.h, c.kh, c.stride, c.pad_h),
+                                conv_out_extent(in0.w, c.kw, c.stride, c.pad_w)};
+      break;
+    }
+    case LayerKind::FullyConnected:
+      if (l.fc.out_features <= 0)
+        throw std::invalid_argument("Model: fc with non-positive out_features");
+      l.out_shape = TensorShape{l.fc.out_features, 1, 1};
+      break;
+    case LayerKind::MaxPool:
+    case LayerKind::AvgPool:
+      l.out_shape = TensorShape{
+          in0.c, conv_out_extent(in0.h, l.pool.kh, l.pool.stride, l.pool.pad),
+          conv_out_extent(in0.w, l.pool.kw, l.pool.stride, l.pool.pad)};
+      break;
+    case LayerKind::GlobalAvgPool:
+      l.out_shape = TensorShape{in0.c, 1, 1};
+      break;
+    case LayerKind::ReLU:
+      l.out_shape = in0;
+      break;
+    case LayerKind::Concat: {
+      int channels = 0;
+      for (int in : l.inputs) {
+        const TensorShape s = layers_[static_cast<std::size_t>(in)].out_shape;
+        if (s.h != in0.h || s.w != in0.w)
+          throw std::invalid_argument(util::format(
+              "Model '%s': concat '%s' spatial mismatch", name_.c_str(),
+              l.name.c_str()));
+        channels += s.c;
+      }
+      l.out_shape = TensorShape{channels, in0.h, in0.w};
+      break;
+    }
+    case LayerKind::Add: {
+      const TensorShape rhs = layers_[static_cast<std::size_t>(l.inputs.at(1))].out_shape;
+      if (!(rhs == in0))
+        throw std::invalid_argument(util::format(
+            "Model '%s': add '%s' shape mismatch %s vs %s", name_.c_str(),
+            l.name.c_str(), in0.to_string().c_str(), rhs.to_string().c_str()));
+      l.out_shape = in0;
+      break;
+    }
+  }
+
+  layers_.push_back(std::move(layer));
+  return layer_count() - 1;
+}
+
+int Model::add_conv(const std::string& name, ConvParams params, int from) {
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::Conv;
+  l.conv = params;
+  return append(std::move(l), from);
+}
+
+int Model::add_conv(const std::string& name, int out_channels, int kernel, int stride,
+                    int pad, int from) {
+  ConvParams p;
+  p.out_channels = out_channels;
+  p.kh = p.kw = kernel;
+  p.stride = stride;
+  p.pad_h = p.pad_w = pad;
+  return add_conv(name, p, from);
+}
+
+int Model::add_depthwise(const std::string& name, int kernel, int stride, int pad,
+                         int from) {
+  ConvParams p;
+  p.out_channels = -1;  // resolved to producer channels at append time
+  p.kh = p.kw = kernel;
+  p.stride = stride;
+  p.pad_h = p.pad_w = pad;
+  p.groups = -1;
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::Conv;
+  l.conv = p;
+  return append(std::move(l), from);
+}
+
+int Model::add_fc(const std::string& name, int out_features, bool relu, int from) {
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::FullyConnected;
+  l.fc = FcParams{out_features, relu};
+  return append(std::move(l), from);
+}
+
+int Model::add_maxpool(const std::string& name, int kernel, int stride, int from,
+                       int pad) {
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::MaxPool;
+  l.pool = PoolParams{kernel, kernel, stride, pad};
+  return append(std::move(l), from);
+}
+
+int Model::add_avgpool(const std::string& name, int kernel, int stride, int from,
+                       int pad) {
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::AvgPool;
+  l.pool = PoolParams{kernel, kernel, stride, pad};
+  return append(std::move(l), from);
+}
+
+int Model::add_global_avgpool(const std::string& name, int from) {
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::GlobalAvgPool;
+  return append(std::move(l), from);
+}
+
+int Model::add_relu(const std::string& name, int from) {
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::ReLU;
+  return append(std::move(l), from);
+}
+
+int Model::add_concat(const std::string& name, std::vector<int> from) {
+  if (from.size() < 2)
+    throw std::invalid_argument("Model::add_concat: needs at least two inputs");
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::Concat;
+  for (int idx : from) l.inputs.push_back(resolve(idx));
+  return append(std::move(l), /*from=*/-1);
+}
+
+int Model::add_add(const std::string& name, int lhs, int rhs) {
+  Layer l;
+  l.name = name;
+  l.kind = LayerKind::Add;
+  l.inputs = {resolve(lhs), resolve(rhs)};
+  return append(std::move(l), /*from=*/-1);
+}
+
+void Model::finalize() {
+  // Shapes are inferred eagerly in append(); finalize() validates the graph
+  // is non-trivial and freezes it.
+  if (finalized_) return;
+  if (layer_count() < 2)
+    throw std::invalid_argument(
+        util::format("Model '%s': no layers", name_.c_str()));
+  finalized_ = true;
+}
+
+int Model::first_conv_index() const noexcept {
+  for (int i = 0; i < layer_count(); ++i)
+    if (layers_[static_cast<std::size_t>(i)].is_conv()) return i;
+  return -1;
+}
+
+std::int64_t Model::total_macs() const {
+  std::int64_t total = 0;
+  for (const Layer& l : layers_) total += l.macs();
+  return total;
+}
+
+std::int64_t Model::total_params() const {
+  std::int64_t total = 0;
+  for (const Layer& l : layers_) total += l.params();
+  return total;
+}
+
+std::int64_t Model::peak_activation_bytes(int bytes_per_word) const {
+  std::int64_t peak = 0;
+  for (const Layer& l : layers_) {
+    if (l.kind == LayerKind::Input) continue;
+    peak = std::max(peak, l.in_shape.bytes(bytes_per_word) +
+                              l.out_shape.bytes(bytes_per_word));
+  }
+  return peak;
+}
+
+std::string Model::summary() const {
+  std::ostringstream out;
+  out << name_ << " (input " << input_shape_.to_string() << ")\n";
+  for (int i = 0; i < layer_count(); ++i) {
+    const Layer& l = layers_[static_cast<std::size_t>(i)];
+    out << util::format("  [%3d] %-9s %-24s out=%-12s macs=%-8s params=%s\n", i,
+                        layer_kind_name(l.kind), l.name.c_str(),
+                        l.out_shape.to_string().c_str(),
+                        util::si(static_cast<double>(l.macs())).c_str(),
+                        util::si(static_cast<double>(l.params())).c_str());
+  }
+  out << util::format("  total: macs=%s params=%s\n",
+                      util::si(static_cast<double>(total_macs())).c_str(),
+                      util::si(static_cast<double>(total_params())).c_str());
+  return out.str();
+}
+
+}  // namespace sqz::nn

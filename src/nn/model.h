@@ -1,0 +1,78 @@
+// The Model: an append-only layer graph with a fluent builder interface.
+//
+// Models are built by the zoo (or by users, see examples/custom_network.cpp),
+// then finalize() runs shape inference and validation. All simulator and
+// analysis code consumes a finalized Model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace sqz::nn {
+
+class Model {
+ public:
+  Model(std::string name, TensorShape input_shape);
+
+  // ---- builder interface; each returns the new layer's index ----------
+  // `from` defaults to the most recently added layer (-1 sentinel).
+
+  int add_conv(const std::string& name, ConvParams params, int from = -1);
+  /// Convenience: square kernel, "same"-style explicit padding.
+  int add_conv(const std::string& name, int out_channels, int kernel, int stride,
+               int pad, int from = -1);
+  /// Depthwise convolution over the producer's channels.
+  int add_depthwise(const std::string& name, int kernel, int stride, int pad,
+                    int from = -1);
+  int add_fc(const std::string& name, int out_features, bool relu = true,
+             int from = -1);
+  int add_maxpool(const std::string& name, int kernel, int stride, int from = -1,
+                  int pad = 0);
+  int add_avgpool(const std::string& name, int kernel, int stride, int from = -1,
+                  int pad = 0);
+  int add_global_avgpool(const std::string& name, int from = -1);
+  int add_relu(const std::string& name, int from = -1);
+  int add_concat(const std::string& name, std::vector<int> from);
+  int add_add(const std::string& name, int lhs, int rhs);
+
+  /// Run shape inference + validation. Must be called once after building;
+  /// throws std::invalid_argument on malformed graphs. Idempotent.
+  void finalize();
+  bool finalized() const noexcept { return finalized_; }
+
+  // ---- queries ---------------------------------------------------------
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  TensorShape input_shape() const noexcept { return input_shape_; }
+
+  int layer_count() const noexcept { return static_cast<int>(layers_.size()); }
+  const Layer& layer(int idx) const { return layers_.at(static_cast<std::size_t>(idx)); }
+  const std::vector<Layer>& layers() const noexcept { return layers_; }
+
+  /// Index of the first Conv layer ("conv1" in the paper's taxonomy); -1 if none.
+  int first_conv_index() const noexcept;
+
+  std::int64_t total_macs() const;
+  std::int64_t total_params() const;
+  /// Largest single-layer activation footprint (in+out) in bytes.
+  std::int64_t peak_activation_bytes(int bytes_per_word) const;
+
+  /// One-line-per-layer structural dump (debugging / examples).
+  std::string summary() const;
+
+ private:
+  int append(Layer layer, int from);
+  int resolve(int from) const;
+  void require_not_finalized() const;
+
+  std::string name_;
+  TensorShape input_shape_;
+  std::vector<Layer> layers_;
+  bool finalized_ = false;
+};
+
+}  // namespace sqz::nn

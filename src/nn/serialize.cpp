@@ -1,0 +1,249 @@
+#include "nn/serialize.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sqz::nn {
+
+namespace {
+
+using util::format;
+
+std::string shape_str(const TensorShape& s) {
+  return format("%dx%dx%d", s.c, s.h, s.w);
+}
+
+/// "key=value" attribute map of one line (tokens after the kind word).
+class Attrs {
+ public:
+  Attrs(const std::vector<std::string>& tokens, std::size_t first, int line)
+      : line_(line) {
+    for (std::size_t i = first; i < tokens.size(); ++i) {
+      const std::string& tok = tokens[i];
+      const auto eq = tok.find('=');
+      if (eq == std::string::npos)
+        throw std::invalid_argument(
+            format("model parse: expected key=value at line %d: '%s'", line,
+                   tok.c_str()));
+      map_[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+  }
+
+  std::string str(const std::string& key, const std::string& fallback) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? fallback : it->second;
+  }
+
+  int integer(const std::string& key, int fallback) const {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return fallback;
+    try {
+      return std::stoi(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(format(
+          "model parse: '%s' is not an integer at line %d", key.c_str(), line_));
+    }
+  }
+
+  /// "AxB" pair (kernel, pad); a single number means A == B.
+  std::pair<int, int> pair(const std::string& key, std::pair<int, int> fallback) const {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return fallback;
+    const auto x = it->second.find('x');
+    try {
+      if (x == std::string::npos) {
+        const int v = std::stoi(it->second);
+        return {v, v};
+      }
+      return {std::stoi(it->second.substr(0, x)),
+              std::stoi(it->second.substr(x + 1))};
+    } catch (const std::exception&) {
+      throw std::invalid_argument(format("model parse: malformed pair '%s' at line %d",
+                                         it->second.c_str(), line_));
+    }
+  }
+
+  std::vector<int> int_list(const std::string& key) const {
+    const auto it = map_.find(key);
+    std::vector<int> out;
+    if (it == map_.end()) return out;
+    for (const std::string& part : util::split(it->second, ','))
+      out.push_back(std::stoi(part));
+    return out;
+  }
+
+  bool has(const std::string& key) const { return map_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> map_;
+  int line_;
+};
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+TensorShape parse_shape(const std::string& text, int line) {
+  const auto parts = util::split(text, 'x');
+  if (parts.size() != 3)
+    throw std::invalid_argument(
+        format("model parse: expected CxHxW shape at line %d: '%s'", line,
+               text.c_str()));
+  try {
+    return TensorShape{std::stoi(parts[0]), std::stoi(parts[1]),
+                       std::stoi(parts[2])};
+  } catch (const std::exception&) {
+    throw std::invalid_argument(
+        format("model parse: malformed shape at line %d: '%s'", line,
+               text.c_str()));
+  }
+}
+
+}  // namespace
+
+std::string serialize_model(const Model& model) {
+  std::ostringstream out;
+  out << "model " << model.name() << " input "
+      << shape_str(model.input_shape()) << "\n";
+  for (int i = 1; i < model.layer_count(); ++i) {
+    const Layer& l = model.layer(i);
+    const int prev = i - 1;
+    const auto from_attr = [&]() -> std::string {
+      if (l.inputs.size() == 1 && l.inputs[0] == prev) return "";
+      std::string list;
+      for (std::size_t j = 0; j < l.inputs.size(); ++j) {
+        if (j) list += ",";
+        list += std::to_string(l.inputs[j]);
+      }
+      return " from=" + list;
+    }();
+    switch (l.kind) {
+      case LayerKind::Conv:
+        out << format(
+            "conv name=%s out=%d kernel=%dx%d stride=%d pad=%dx%d groups=%d "
+            "relu=%d%s\n",
+            l.name.c_str(), l.conv.out_channels, l.conv.kh, l.conv.kw,
+            l.conv.stride, l.conv.pad_h, l.conv.pad_w, l.conv.groups,
+            l.conv.relu ? 1 : 0, from_attr.c_str());
+        break;
+      case LayerKind::FullyConnected:
+        out << format("fc name=%s out=%d relu=%d%s\n", l.name.c_str(),
+                      l.fc.out_features, l.fc.relu ? 1 : 0, from_attr.c_str());
+        break;
+      case LayerKind::MaxPool:
+      case LayerKind::AvgPool:
+        out << format("%s name=%s kernel=%d stride=%d pad=%d%s\n",
+                      l.kind == LayerKind::MaxPool ? "maxpool" : "avgpool",
+                      l.name.c_str(), l.pool.kh, l.pool.stride, l.pool.pad,
+                      from_attr.c_str());
+        break;
+      case LayerKind::GlobalAvgPool:
+        out << format("gavgpool name=%s%s\n", l.name.c_str(), from_attr.c_str());
+        break;
+      case LayerKind::ReLU:
+        out << format("relu name=%s%s\n", l.name.c_str(), from_attr.c_str());
+        break;
+      case LayerKind::Concat:
+        out << format("concat name=%s%s\n", l.name.c_str(), from_attr.c_str());
+        break;
+      case LayerKind::Add:
+        out << format("add name=%s%s\n", l.name.c_str(), from_attr.c_str());
+        break;
+      case LayerKind::Input:
+        throw std::logic_error("serialize_model: unexpected input layer");
+    }
+  }
+  return out.str();
+}
+
+Model parse_model(const std::string& text) {
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+
+  // Header line: "model <name with spaces> input CxHxW".
+  std::string header;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = util::trim_copy(raw);
+    if (line.empty() || line[0] == '#') continue;
+    header = line;
+    break;
+  }
+  const auto bad_header = [] {
+    return std::invalid_argument(
+        "model parse: expected header 'model <name> input CxHxW'");
+  };
+  if (header.rfind("model ", 0) != 0) throw bad_header();
+  const auto input_kw = header.rfind(" input ");
+  if (input_kw == std::string::npos) throw bad_header();
+  const std::string name = util::trim_copy(header.substr(6, input_kw - 6));
+  const std::string shape_text = util::trim_copy(header.substr(input_kw + 7));
+  if (name.empty()) throw bad_header();
+  Model model(name, parse_shape(shape_text, line_no));
+
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = util::trim_copy(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const std::vector<std::string> tokens = tokenize(line);
+    const std::string& kind = tokens[0];
+    const Attrs attrs(tokens, 1, line_no);
+    const std::string name = attrs.str("name", format("layer%d", line_no));
+    const int from = attrs.integer("from", -1);
+    const std::vector<int> from_list = attrs.int_list("from");
+
+    if (kind == "conv") {
+      ConvParams p;
+      p.out_channels = attrs.integer("out", 0);
+      std::tie(p.kh, p.kw) = attrs.pair("kernel", {0, 0});
+      p.stride = attrs.integer("stride", 1);
+      std::tie(p.pad_h, p.pad_w) = attrs.pair("pad", {0, 0});
+      p.groups = attrs.integer("groups", 1);
+      p.relu = attrs.integer("relu", 1) != 0;
+      model.add_conv(name, p, from);
+    } else if (kind == "depthwise") {
+      const auto [kh, kw] = attrs.pair("kernel", {3, 3});
+      (void)kw;
+      model.add_depthwise(name, kh, attrs.integer("stride", 1),
+                          attrs.pair("pad", {kh / 2, kh / 2}).first, from);
+    } else if (kind == "fc") {
+      model.add_fc(name, attrs.integer("out", 0), attrs.integer("relu", 1) != 0,
+                   from);
+    } else if (kind == "maxpool") {
+      model.add_maxpool(name, attrs.pair("kernel", {2, 2}).first,
+                        attrs.integer("stride", 2), from, attrs.integer("pad", 0));
+    } else if (kind == "avgpool") {
+      model.add_avgpool(name, attrs.pair("kernel", {2, 2}).first,
+                        attrs.integer("stride", 2), from, attrs.integer("pad", 0));
+    } else if (kind == "gavgpool") {
+      model.add_global_avgpool(name, from);
+    } else if (kind == "relu") {
+      model.add_relu(name, from);
+    } else if (kind == "concat") {
+      if (from_list.size() < 2)
+        throw std::invalid_argument(
+            format("model parse: concat needs from=a,b,... at line %d", line_no));
+      model.add_concat(name, from_list);
+    } else if (kind == "add") {
+      if (from_list.size() != 2)
+        throw std::invalid_argument(
+            format("model parse: add needs from=a,b at line %d", line_no));
+      model.add_add(name, from_list[0], from_list[1]);
+    } else {
+      throw std::invalid_argument(format("model parse: unknown layer kind '%s' at line %d",
+                                         kind.c_str(), line_no));
+    }
+  }
+  model.finalize();
+  return model;
+}
+
+}  // namespace sqz::nn

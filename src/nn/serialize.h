@@ -1,0 +1,34 @@
+// Text serialization of Model graphs.
+//
+// A line-oriented format so users can describe their own networks in a file
+// and feed them to the sqzsim CLI without recompiling:
+//
+//   model TinyNet input 3x32x32
+//   conv     name=conv1 out=16 kernel=3x3 stride=2 pad=1x1 groups=1 relu=1
+//   maxpool  name=pool1 kernel=3 stride=2 pad=0
+//   conv     name=a out=8 kernel=1x1 from=2
+//   conv     name=b out=8 kernel=3x3 pad=1x1 from=2
+//   concat   name=cat from=3,4
+//   add      name=res from=5,2
+//   gavgpool name=gap
+//   fc       name=fc out=10 relu=0
+//
+// `from` is a layer index (the implicit input layer is 0) and defaults to
+// the previous line's layer. Unspecified attributes take the same defaults
+// as the builder API. round-trips: parse(serialize(m)) reproduces m exactly.
+#pragma once
+
+#include <string>
+
+#include "nn/model.h"
+
+namespace sqz::nn {
+
+/// Render a finalized model in the text format above.
+std::string serialize_model(const Model& model);
+
+/// Parse the text format; returns a finalized model. Throws
+/// std::invalid_argument with a line number on malformed input.
+Model parse_model(const std::string& text);
+
+}  // namespace sqz::nn

@@ -1,0 +1,22 @@
+#include "nn/shape.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sqz::nn {
+
+std::string TensorShape::to_string() const {
+  return util::format("%dx%dx%d", c, h, w);
+}
+
+int conv_out_extent(int in, int kernel, int stride, int pad) {
+  if (in <= 0 || kernel <= 0 || stride <= 0 || pad < 0)
+    throw std::invalid_argument("conv_out_extent: non-positive dimension");
+  const int padded = in + 2 * pad;
+  if (padded < kernel)
+    throw std::invalid_argument("conv_out_extent: kernel larger than padded input");
+  return (padded - kernel) / stride + 1;
+}
+
+}  // namespace sqz::nn

@@ -1,0 +1,43 @@
+#include "nn/zoo/zoo.h"
+
+namespace sqz::nn::zoo {
+
+Model alexnet() {
+  Model m("AlexNet", TensorShape{3, 227, 227});
+
+  m.add_conv("conv1", 96, 11, 4, 0);
+  m.add_maxpool("pool1", 3, 2);
+
+  ConvParams conv2;
+  conv2.out_channels = 256;
+  conv2.kh = conv2.kw = 5;
+  conv2.stride = 1;
+  conv2.pad_h = conv2.pad_w = 2;
+  conv2.groups = 2;
+  m.add_conv("conv2", conv2);
+  m.add_maxpool("pool2", 3, 2);
+
+  m.add_conv("conv3", 384, 3, 1, 1);
+
+  ConvParams conv4;
+  conv4.out_channels = 384;
+  conv4.kh = conv4.kw = 3;
+  conv4.stride = 1;
+  conv4.pad_h = conv4.pad_w = 1;
+  conv4.groups = 2;
+  m.add_conv("conv4", conv4);
+
+  ConvParams conv5 = conv4;
+  conv5.out_channels = 256;
+  m.add_conv("conv5", conv5);
+  m.add_maxpool("pool5", 3, 2);
+
+  m.add_fc("fc6", 4096);
+  m.add_fc("fc7", 4096);
+  m.add_fc("fc8", 1000, /*relu=*/false);
+
+  m.finalize();
+  return m;
+}
+
+}  // namespace sqz::nn::zoo

@@ -1,0 +1,54 @@
+#include "nn/zoo/zoo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sqz::nn::zoo {
+
+namespace {
+
+int scaled(int channels, double width) {
+  return std::max(8, static_cast<int>(std::lround(channels * width)));
+}
+
+/// Depthwise-separable block: 3x3 depthwise (stride s) + 1x1 pointwise.
+int add_separable(Model& m, int from, int block_idx, int out_channels, int stride) {
+  const std::string base = util::format("conv%d", block_idx);
+  const int dw = m.add_depthwise(base + "/dw", 3, stride, 1, from);
+  return m.add_conv(base + "/pw", out_channels, 1, 1, 0, dw);
+}
+
+}  // namespace
+
+Model mobilenet(double width, int resolution) {
+  if (width <= 0.0) throw std::invalid_argument("mobilenet: width must be positive");
+  // Width renders as in the MobileNet paper: "1.0", "0.75", "0.5", "0.25".
+  const std::string prefix = width == static_cast<int>(width)
+                                 ? util::format("%.1f", width)
+                                 : util::format("%.4g", width);
+  Model m(prefix + util::format(" MobileNet-%d", resolution),
+          TensorShape{3, resolution, resolution});
+
+  int x = m.add_conv("conv1", scaled(32, width), 3, 2, 1);
+
+  struct BlockCfg { int out; int stride; };
+  // The 13 separable blocks of MobileNet v1 (Howard et al., Table 1).
+  const BlockCfg blocks[] = {
+      {64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},  {512, 2}, {512, 1},
+      {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1},
+  };
+  int idx = 2;
+  for (const BlockCfg& b : blocks) {
+    x = add_separable(m, x, idx++, scaled(b.out, width), b.stride);
+  }
+
+  x = m.add_global_avgpool("pool", x);
+  m.add_fc("fc", 1000, /*relu=*/false, x);
+  m.finalize();
+  return m;
+}
+
+}  // namespace sqz::nn::zoo

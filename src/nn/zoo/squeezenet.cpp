@@ -1,0 +1,89 @@
+#include "nn/zoo/zoo.h"
+
+#include "util/strings.h"
+
+namespace sqz::nn::zoo {
+
+namespace {
+
+/// Fire module: squeeze 1x1 -> s channels, then parallel expand 1x1 (e1) and
+/// expand 3x3 (e3, pad 1), concatenated.
+int add_fire(Model& m, int from, const std::string& name, int s, int e1, int e3) {
+  const int squeeze =
+      m.add_conv(name + "/squeeze1x1", s, 1, 1, 0, from);
+  const int expand1 =
+      m.add_conv(name + "/expand1x1", e1, 1, 1, 0, squeeze);
+  const int expand3 =
+      m.add_conv(name + "/expand3x3", e3, 3, 1, 1, squeeze);
+  return m.add_concat(name + "/concat", {expand1, expand3});
+}
+
+}  // namespace
+
+Model squeezenet_v10() {
+  Model m("SqueezeNet v1.0", TensorShape{3, 227, 227});
+  int x = m.add_conv("conv1", 96, 7, 2, 0);
+  x = m.add_maxpool("pool1", 3, 2, x);
+  x = add_fire(m, x, "fire2", 16, 64, 64);
+  x = add_fire(m, x, "fire3", 16, 64, 64);
+  x = add_fire(m, x, "fire4", 32, 128, 128);
+  x = m.add_maxpool("pool4", 3, 2, x);
+  x = add_fire(m, x, "fire5", 32, 128, 128);
+  x = add_fire(m, x, "fire6", 48, 192, 192);
+  x = add_fire(m, x, "fire7", 48, 192, 192);
+  x = add_fire(m, x, "fire8", 64, 256, 256);
+  x = m.add_maxpool("pool8", 3, 2, x);
+  x = add_fire(m, x, "fire9", 64, 256, 256);
+  x = m.add_conv("conv10", 1000, 1, 1, 0, x);
+  m.add_global_avgpool("pool10", x);
+  m.finalize();
+  return m;
+}
+
+Model squeezenet_v10_bypass() {
+  Model m("SqueezeNet v1.0 bypass", TensorShape{3, 227, 227});
+  int x = m.add_conv("conv1", 96, 7, 2, 0);
+  x = m.add_maxpool("pool1", 3, 2, x);
+  x = add_fire(m, x, "fire2", 16, 64, 64);
+  // Simple bypass wraps the fire modules whose input and output widths
+  // match (fire3/5/7/9 in the SqueezeNet paper's Figure 2, middle).
+  int f3 = add_fire(m, x, "fire3", 16, 64, 64);
+  x = m.add_add("bypass3", f3, x);
+  x = add_fire(m, x, "fire4", 32, 128, 128);
+  x = m.add_maxpool("pool4", 3, 2, x);
+  int f5 = add_fire(m, x, "fire5", 32, 128, 128);
+  x = m.add_add("bypass5", f5, x);
+  x = add_fire(m, x, "fire6", 48, 192, 192);
+  int f7 = add_fire(m, x, "fire7", 48, 192, 192);
+  x = m.add_add("bypass7", f7, x);
+  x = add_fire(m, x, "fire8", 64, 256, 256);
+  x = m.add_maxpool("pool8", 3, 2, x);
+  int f9 = add_fire(m, x, "fire9", 64, 256, 256);
+  x = m.add_add("bypass9", f9, x);
+  x = m.add_conv("conv10", 1000, 1, 1, 0, x);
+  m.add_global_avgpool("pool10", x);
+  m.finalize();
+  return m;
+}
+
+Model squeezenet_v11() {
+  Model m("SqueezeNet v1.1", TensorShape{3, 227, 227});
+  int x = m.add_conv("conv1", 64, 3, 2, 0);
+  x = m.add_maxpool("pool1", 3, 2, x);
+  x = add_fire(m, x, "fire2", 16, 64, 64);
+  x = add_fire(m, x, "fire3", 16, 64, 64);
+  x = m.add_maxpool("pool3", 3, 2, x);
+  x = add_fire(m, x, "fire4", 32, 128, 128);
+  x = add_fire(m, x, "fire5", 32, 128, 128);
+  x = m.add_maxpool("pool5", 3, 2, x);
+  x = add_fire(m, x, "fire6", 48, 192, 192);
+  x = add_fire(m, x, "fire7", 48, 192, 192);
+  x = add_fire(m, x, "fire8", 64, 256, 256);
+  x = add_fire(m, x, "fire9", 64, 256, 256);
+  x = m.add_conv("conv10", 1000, 1, 1, 0, x);
+  m.add_global_avgpool("pool10", x);
+  m.finalize();
+  return m;
+}
+
+}  // namespace sqz::nn::zoo

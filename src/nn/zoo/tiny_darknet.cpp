@@ -1,0 +1,41 @@
+#include "nn/zoo/zoo.h"
+
+#include "util/strings.h"
+
+namespace sqz::nn::zoo {
+
+Model tiny_darknet() {
+  Model m("Tiny Darknet", TensorShape{3, 224, 224});
+
+  int idx = 1;
+  const auto conv = [&](int channels, int kernel, int from = -1) {
+    const int pad = kernel == 3 ? 1 : 0;
+    return m.add_conv(util::format("conv%d", idx++), channels, kernel, 1, pad, from);
+  };
+
+  int x = conv(16, 3);
+  x = m.add_maxpool("pool1", 2, 2, x);
+  x = conv(32, 3, x);
+  x = m.add_maxpool("pool2", 2, 2, x);
+  x = conv(16, 1, x);
+  x = conv(128, 3, x);
+  x = conv(16, 1, x);
+  x = conv(128, 3, x);
+  x = m.add_maxpool("pool3", 2, 2, x);
+  x = conv(32, 1, x);
+  x = conv(256, 3, x);
+  x = conv(32, 1, x);
+  x = conv(256, 3, x);
+  x = m.add_maxpool("pool4", 2, 2, x);
+  x = conv(64, 1, x);
+  x = conv(512, 3, x);
+  x = conv(64, 1, x);
+  x = conv(512, 3, x);
+  x = conv(128, 1, x);
+  x = conv(1000, 1, x);
+  m.add_global_avgpool("pool5", x);
+  m.finalize();
+  return m;
+}
+
+}  // namespace sqz::nn::zoo

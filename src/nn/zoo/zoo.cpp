@@ -1,0 +1,32 @@
+#include "nn/zoo/zoo.h"
+
+namespace sqz::nn::zoo {
+
+std::vector<Model> all_table1_models() {
+  std::vector<Model> models;
+  models.push_back(alexnet());
+  models.push_back(mobilenet(1.0, 224));
+  models.push_back(tiny_darknet());
+  models.push_back(squeezenet_v10());
+  models.push_back(squeezenet_v11());
+  Model sqnxt = squeezenext(SqNxtVariant::V5, 1.0, 23);
+  sqnxt.set_name("SqueezeNext");  // paper row label
+  models.push_back(std::move(sqnxt));
+  return models;
+}
+
+std::vector<Model> figure4_models() {
+  std::vector<Model> models;
+  models.push_back(squeezenet_v10());
+  models.push_back(squeezenet_v11());
+  models.push_back(tiny_darknet());
+  for (double w : {0.25, 0.5, 0.75, 1.0}) models.push_back(mobilenet(w, 224));
+  for (auto v : {SqNxtVariant::V1, SqNxtVariant::V5})
+    models.push_back(squeezenext(v, 1.0, 23));
+  models.push_back(squeezenext(SqNxtVariant::V5, 1.0, 34));
+  models.push_back(squeezenext(SqNxtVariant::V5, 1.0, 44));
+  models.push_back(squeezenext(SqNxtVariant::V5, 2.0, 23));
+  return models;
+}
+
+}  // namespace sqz::nn::zoo

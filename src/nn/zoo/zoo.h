@@ -1,0 +1,53 @@
+// The model zoo: builders for every network the paper evaluates.
+//
+// Layer configurations are reconstructed from the original architecture
+// papers (AlexNet, SqueezeNet v1.0/v1.1, MobileNet v1, Tiny Darknet,
+// SqueezeNext). All returned models are finalized.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.h"
+
+namespace sqz::nn::zoo {
+
+/// AlexNet (Krizhevsky 2012), 227x227 input, grouped conv2/4/5, three FCs.
+Model alexnet();
+
+/// SqueezeNet v1.0 (Iandola 2016): 7x7 conv1 + 8 fire modules.
+Model squeezenet_v10();
+
+/// SqueezeNet v1.1: 3x3/64 conv1, pooling moved earlier (same fire configs).
+Model squeezenet_v11();
+
+/// SqueezeNet v1.0 with simple bypass (Iandola 2016 §6): residual adds
+/// around fire3/5/7/9, where input and output channel counts match. Same
+/// MAC budget as v1.0; the bypass improves published accuracy to 60.4%.
+Model squeezenet_v10_bypass();
+
+/// MobileNet v1. `width` is the channel multiplier (0.25/0.5/0.75/1.0).
+Model mobilenet(double width = 1.0, int resolution = 224);
+
+/// Tiny Darknet (Redmon): alternating 1x1 bottleneck / 3x3 expand stacks.
+Model tiny_darknet();
+
+/// The five 1.0-SqNxt-23 design variants of the paper's Figure 3.
+/// v1 is the baseline ([6,6,8,1] blocks, 7x7 conv1); v2 shrinks conv1 to 5x5;
+/// v3..v5 progressively move blocks from the low-utilization early stages to
+/// later stages (see DESIGN.md §3 for the reconstruction note).
+enum class SqNxtVariant { V1 = 1, V2, V3, V4, V5 };
+
+/// SqueezeNext. `depth` in {23, 34, 44} selects total block count; `width`
+/// scales channels (1.0 or 2.0 in the SqueezeNext paper).
+Model squeezenext(SqNxtVariant variant = SqNxtVariant::V5, double width = 1.0,
+                  int depth = 23);
+
+/// The six networks of the paper's Table 1 / Table 2, in paper row order.
+/// The "SqueezeNext" row is the optimized 1.0-SqNxt-23 v5.
+std::vector<Model> all_table1_models();
+
+/// The DNN spectrum of Figure 4: SqueezeNet (both), Tiny Darknet, the
+/// MobileNet width family, and the SqueezeNext depth/width family.
+std::vector<Model> figure4_models();
+
+}  // namespace sqz::nn::zoo

@@ -1,0 +1,94 @@
+#include "runtime/executor.h"
+
+#include <stdexcept>
+
+#include "runtime/gemm.h"
+#include "runtime/ops.h"
+
+namespace sqz::runtime {
+
+Executor::Executor(const nn::Model& model, ExecutorConfig config)
+    : model_(model), config_(config) {
+  if (!model.finalized())
+    throw std::invalid_argument("Executor: model must be finalized");
+  weight_cache_.resize(static_cast<std::size_t>(model.layer_count()));
+  weight_ready_.assign(static_cast<std::size_t>(model.layer_count()), false);
+}
+
+const WeightTensor& Executor::weights(int idx) {
+  auto& slot = weight_cache_.at(static_cast<std::size_t>(idx));
+  if (!weight_ready_.at(static_cast<std::size_t>(idx))) {
+    slot = generate_weights(model_, idx, config_.weights);
+    weight_ready_[static_cast<std::size_t>(idx)] = true;
+  }
+  return slot;
+}
+
+void Executor::run() { run(generate_input(model_, config_.input_seed)); }
+
+void Executor::run(const Tensor& input) {
+  if (!(input.shape() == model_.input_shape()))
+    throw std::invalid_argument("Executor::run: input shape mismatch");
+  outputs_.assign(static_cast<std::size_t>(model_.layer_count()), Tensor{});
+  outputs_[0] = input;
+
+  for (int i = 1; i < model_.layer_count(); ++i) {
+    const nn::Layer& l = model_.layer(i);
+    const Tensor& in0 = outputs_[static_cast<std::size_t>(l.inputs.at(0))];
+    switch (l.kind) {
+      case nn::LayerKind::Input:
+        throw std::logic_error("Executor: unexpected input layer");
+      case nn::LayerKind::Conv: {
+        Requant rq = config_.requant;
+        rq.relu = l.conv.relu;
+        outputs_[static_cast<std::size_t>(i)] =
+            l.macs() >= config_.gemm_threshold_macs
+                ? conv2d_gemm(in0, weights(i), l.conv, rq)
+                : conv2d(in0, weights(i), l.conv, rq);
+        break;
+      }
+      case nn::LayerKind::FullyConnected: {
+        Requant rq = config_.requant;
+        rq.relu = l.fc.relu;
+        outputs_[static_cast<std::size_t>(i)] =
+            fully_connected(in0, weights(i), l.fc, rq);
+        break;
+      }
+      case nn::LayerKind::MaxPool:
+        outputs_[static_cast<std::size_t>(i)] = maxpool(in0, l.pool);
+        break;
+      case nn::LayerKind::AvgPool:
+        outputs_[static_cast<std::size_t>(i)] = avgpool(in0, l.pool);
+        break;
+      case nn::LayerKind::GlobalAvgPool:
+        outputs_[static_cast<std::size_t>(i)] = global_avgpool(in0);
+        break;
+      case nn::LayerKind::ReLU:
+        outputs_[static_cast<std::size_t>(i)] = relu(in0);
+        break;
+      case nn::LayerKind::Concat: {
+        std::vector<const Tensor*> ins;
+        ins.reserve(l.inputs.size());
+        for (int in : l.inputs) ins.push_back(&outputs_[static_cast<std::size_t>(in)]);
+        outputs_[static_cast<std::size_t>(i)] = concat_channels(ins);
+        break;
+      }
+      case nn::LayerKind::Add:
+        outputs_[static_cast<std::size_t>(i)] =
+            add_tensors(in0, outputs_[static_cast<std::size_t>(l.inputs.at(1))]);
+        break;
+    }
+  }
+  ran_ = true;
+}
+
+const Tensor& Executor::output(int idx) const {
+  if (!ran_) throw std::logic_error("Executor::output: run() not called");
+  return outputs_.at(static_cast<std::size_t>(idx));
+}
+
+const Tensor& Executor::final_output() const {
+  return output(model_.layer_count() - 1);
+}
+
+}  // namespace sqz::runtime

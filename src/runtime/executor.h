@@ -1,0 +1,57 @@
+// Whole-model functional execution on the reference ops.
+//
+// The executor materializes every layer's output so the dataflow emulators
+// (and tests) can fetch any intermediate activation. For the networks in the
+// zoo at 227x227 this is a few tens of MB — fine for a host-side golden model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/model.h"
+#include "runtime/quant.h"
+#include "runtime/tensor.h"
+#include "runtime/weights.h"
+
+namespace sqz::runtime {
+
+struct ExecutorConfig {
+  WeightGenConfig weights;
+  Requant requant;            ///< Applied after every conv/fc.
+  std::uint64_t input_seed = 0xCAFE;
+  /// Conv layers at or above this MAC count run through the im2col+GEMM
+  /// path (runtime/gemm.h) instead of the direct loop nest. Both paths are
+  /// bit-exact (tests/runtime/test_gemm.cpp); this is purely a host-side
+  /// speed knob for large golden runs. 0 = always GEMM; INT64_MAX = never.
+  std::int64_t gemm_threshold_macs = 1 << 22;
+};
+
+class Executor {
+ public:
+  Executor(const nn::Model& model, ExecutorConfig config);
+
+  /// Run the whole network on the deterministic synthetic input.
+  void run();
+  /// Run on a caller-provided input (shape must match the model).
+  void run(const Tensor& input);
+
+  const nn::Model& model() const noexcept { return model_; }
+  /// Output of layer `idx` (run() must have been called).
+  const Tensor& output(int idx) const;
+  /// Output of the final layer.
+  const Tensor& final_output() const;
+  /// Weights generated for layer `idx` (conv/fc only; lazily cached).
+  const WeightTensor& weights(int idx);
+
+  const ExecutorConfig& config() const noexcept { return config_; }
+
+ private:
+  const nn::Model& model_;
+  ExecutorConfig config_;
+  std::vector<Tensor> outputs_;
+  std::vector<WeightTensor> weight_cache_;
+  std::vector<bool> weight_ready_;
+  bool ran_ = false;
+};
+
+}  // namespace sqz::runtime

@@ -1,0 +1,95 @@
+#include "runtime/gemm.h"
+
+#include <stdexcept>
+
+#include "nn/shape.h"
+
+namespace sqz::runtime {
+
+void gemm_i16(const std::int16_t* a, const std::int16_t* b, std::int64_t* c,
+              int m, int k, int n) {
+  for (int i = 0; i < m; ++i)
+    for (int j = 0; j < n; ++j) c[static_cast<std::size_t>(i) * n + j] = 0;
+  // ikj order: the inner loop walks both b and c contiguously.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const std::int64_t aik = a[static_cast<std::size_t>(i) * k + kk];
+      if (aik == 0) continue;
+      const std::int16_t* brow = b + static_cast<std::size_t>(kk) * n;
+      std::int64_t* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+std::vector<std::int16_t> im2col(const Tensor& input, const nn::ConvParams& params,
+                                 int group) {
+  const nn::TensorShape in = input.shape();
+  const int cin_pg = in.c / params.groups;
+  const int oh = nn::conv_out_extent(in.h, params.kh, params.stride, params.pad_h);
+  const int ow = nn::conv_out_extent(in.w, params.kw, params.stride, params.pad_w);
+  const std::size_t k =
+      static_cast<std::size_t>(cin_pg) * params.kh * params.kw;
+  const std::size_t n = static_cast<std::size_t>(oh) * ow;
+
+  std::vector<std::int16_t> cols(k * n, 0);
+  std::size_t row = 0;
+  for (int icg = 0; icg < cin_pg; ++icg) {
+    const int ic = group * cin_pg + icg;
+    for (int ky = 0; ky < params.kh; ++ky) {
+      for (int kx = 0; kx < params.kw; ++kx, ++row) {
+        std::int16_t* dst = cols.data() + row * n;
+        std::size_t col = 0;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * params.stride - params.pad_h + ky;
+          for (int ox = 0; ox < ow; ++ox, ++col) {
+            const int ix = ox * params.stride - params.pad_w + kx;
+            dst[col] = (iy >= 0 && iy < in.h && ix >= 0 && ix < in.w)
+                           ? input.at(ic, iy, ix)
+                           : static_cast<std::int16_t>(0);
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor conv2d_gemm(const Tensor& input, const WeightTensor& weights,
+                   const nn::ConvParams& params, const Requant& requant) {
+  const nn::TensorShape in = input.shape();
+  if (in.c % params.groups != 0 || params.out_channels % params.groups != 0)
+    throw std::invalid_argument("conv2d_gemm: groups must divide channels");
+  const int cin_pg = in.c / params.groups;
+  const int cout_pg = params.out_channels / params.groups;
+  if (weights.oc() != params.out_channels || weights.ic_per_group() != cin_pg ||
+      weights.kh() != params.kh || weights.kw() != params.kw)
+    throw std::invalid_argument("conv2d_gemm: weight tensor shape mismatch");
+
+  const int oh = nn::conv_out_extent(in.h, params.kh, params.stride, params.pad_h);
+  const int ow = nn::conv_out_extent(in.w, params.kw, params.stride, params.pad_w);
+  const int k = cin_pg * params.kh * params.kw;
+  const int n = oh * ow;
+
+  Tensor out(nn::TensorShape{params.out_channels, oh, ow});
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(cout_pg) * n);
+  for (int g = 0; g < params.groups; ++g) {
+    const std::vector<std::int16_t> cols = im2col(input, params, g);
+    // The weight tensor's [oc][ic][ky][kx] layout is already the row-major
+    // (cout_pg x K) matrix for this group.
+    const std::int16_t* wmat =
+        weights.data() +
+        static_cast<std::size_t>(g) * cout_pg * weights.filter_words();
+    gemm_i16(wmat, cols.data(), acc.data(), cout_pg, k, n);
+    for (int ocg = 0; ocg < cout_pg; ++ocg) {
+      const int oc = g * cout_pg + ocg;
+      const std::int64_t bias = weights.bias(oc);
+      for (int px = 0; px < n; ++px)
+        out.set(oc, px / ow, px % ow,
+                requant.apply(acc[static_cast<std::size_t>(ocg) * n + px] + bias));
+    }
+  }
+  return out;
+}
+
+}  // namespace sqz::runtime

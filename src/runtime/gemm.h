@@ -1,0 +1,36 @@
+// Convolution by im2col + GEMM — the classic lowering (and the mental model
+// behind the WS dataflow's matrix-vector view).
+//
+// This is a second, independently-written implementation of the same
+// convolution semantics as runtime/ops.h; tests require bit-exact agreement
+// between the two, which protects the golden reference itself against
+// loop-nest mistakes. It is also considerably faster for large layers
+// (contiguous inner loops), so the executor can use it for big golden runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.h"
+#include "runtime/quant.h"
+#include "runtime/tensor.h"
+
+namespace sqz::runtime {
+
+/// Plain int16 GEMM with 64-bit accumulation:
+///   c[m][n] = sum_k a[m][k] * b[k][n]
+/// `a` is MxK row-major, `b` is KxN row-major, `c` is MxN row-major
+/// (caller-sized to M*N; overwritten).
+void gemm_i16(const std::int16_t* a, const std::int16_t* b, std::int64_t* c,
+              int m, int k, int n);
+
+/// The im2col patch matrix of one group: K = cin_pg*kh*kw rows, N = oh*ow
+/// columns, row-major (K x N). Out-of-bounds taps contribute zeros.
+std::vector<std::int16_t> im2col(const Tensor& input, const nn::ConvParams& params,
+                                 int group);
+
+/// conv2d by im2col + GEMM; semantics identical to runtime::conv2d.
+Tensor conv2d_gemm(const Tensor& input, const WeightTensor& weights,
+                   const nn::ConvParams& params, const Requant& requant);
+
+}  // namespace sqz::runtime

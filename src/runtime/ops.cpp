@@ -1,0 +1,170 @@
+#include "runtime/ops.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/shape.h"
+
+namespace sqz::runtime {
+
+Tensor conv2d(const Tensor& input, const WeightTensor& weights,
+              const nn::ConvParams& params, const Requant& requant) {
+  const nn::TensorShape in = input.shape();
+  const int groups = params.groups;
+  if (in.c % groups != 0 || params.out_channels % groups != 0)
+    throw std::invalid_argument("conv2d: groups must divide channels");
+  const int cin_pg = in.c / groups;
+  const int cout_pg = params.out_channels / groups;
+  if (weights.oc() != params.out_channels || weights.ic_per_group() != cin_pg ||
+      weights.kh() != params.kh || weights.kw() != params.kw)
+    throw std::invalid_argument("conv2d: weight tensor shape mismatch");
+
+  const int oh = nn::conv_out_extent(in.h, params.kh, params.stride, params.pad_h);
+  const int ow = nn::conv_out_extent(in.w, params.kw, params.stride, params.pad_w);
+  Tensor out(nn::TensorShape{params.out_channels, oh, ow});
+
+  for (int g = 0; g < groups; ++g) {
+    for (int ocg = 0; ocg < cout_pg; ++ocg) {
+      const int oc = g * cout_pg + ocg;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          std::int64_t acc = weights.bias(oc);
+          for (int icg = 0; icg < cin_pg; ++icg) {
+            const int ic = g * cin_pg + icg;
+            for (int ky = 0; ky < params.kh; ++ky) {
+              const int iy = oy * params.stride - params.pad_h + ky;
+              if (iy < 0 || iy >= in.h) continue;
+              for (int kx = 0; kx < params.kw; ++kx) {
+                const int ix = ox * params.stride - params.pad_w + kx;
+                if (ix < 0 || ix >= in.w) continue;
+                acc += static_cast<std::int64_t>(input.at(ic, iy, ix)) *
+                       weights.at(oc, icg, ky, kx);
+              }
+            }
+          }
+          out.set(oc, oy, ox, requant.apply(acc));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor fully_connected(const Tensor& input, const WeightTensor& weights,
+                       const nn::FcParams& params, const Requant& requant) {
+  const std::int64_t in_elems = input.shape().elems();
+  if (weights.oc() != params.out_features ||
+      weights.ic_per_group() != static_cast<int>(in_elems) || weights.kh() != 1 ||
+      weights.kw() != 1)
+    throw std::invalid_argument("fully_connected: weight tensor shape mismatch");
+
+  Tensor out(nn::TensorShape{params.out_features, 1, 1});
+  const std::int16_t* flat = input.data();
+  for (int o = 0; o < params.out_features; ++o) {
+    std::int64_t acc = weights.bias(o);
+    for (std::int64_t i = 0; i < in_elems; ++i)
+      acc += static_cast<std::int64_t>(flat[i]) *
+             weights.at(o, static_cast<int>(i), 0, 0);
+    out.set(o, 0, 0, requant.apply(acc));
+  }
+  return out;
+}
+
+Tensor maxpool(const Tensor& input, const nn::PoolParams& params) {
+  const nn::TensorShape in = input.shape();
+  const int oh = nn::conv_out_extent(in.h, params.kh, params.stride, params.pad);
+  const int ow = nn::conv_out_extent(in.w, params.kw, params.stride, params.pad);
+  Tensor out(nn::TensorShape{in.c, oh, ow});
+  for (int c = 0; c < in.c; ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        std::int16_t best = std::numeric_limits<std::int16_t>::min();
+        for (int ky = 0; ky < params.kh; ++ky) {
+          const int iy = oy * params.stride - params.pad + ky;
+          if (iy < 0 || iy >= in.h) continue;
+          for (int kx = 0; kx < params.kw; ++kx) {
+            const int ix = ox * params.stride - params.pad + kx;
+            if (ix < 0 || ix >= in.w) continue;
+            best = std::max(best, input.at(c, iy, ix));
+          }
+        }
+        out.set(c, oy, ox, best);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avgpool(const Tensor& input, const nn::PoolParams& params) {
+  const nn::TensorShape in = input.shape();
+  const int oh = nn::conv_out_extent(in.h, params.kh, params.stride, params.pad);
+  const int ow = nn::conv_out_extent(in.w, params.kw, params.stride, params.pad);
+  Tensor out(nn::TensorShape{in.c, oh, ow});
+  const int window = params.kh * params.kw;
+  for (int c = 0; c < in.c; ++c) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        std::int64_t sum = 0;
+        for (int ky = 0; ky < params.kh; ++ky)
+          for (int kx = 0; kx < params.kw; ++kx)
+            sum += input.at_padded(c, oy * params.stride - params.pad + ky,
+                                   ox * params.stride - params.pad + kx);
+        out.set(c, oy, ox, static_cast<std::int16_t>(sum / window));
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avgpool(const Tensor& input) {
+  const nn::TensorShape in = input.shape();
+  Tensor out(nn::TensorShape{in.c, 1, 1});
+  const std::int64_t window = static_cast<std::int64_t>(in.h) * in.w;
+  for (int c = 0; c < in.c; ++c) {
+    std::int64_t sum = 0;
+    for (int y = 0; y < in.h; ++y)
+      for (int x = 0; x < in.w; ++x) sum += input.at(c, y, x);
+    out.set(c, 0, 0, static_cast<std::int16_t>(sum / window));
+  }
+  return out;
+}
+
+Tensor relu(const Tensor& input) {
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.size(); ++i)
+    out.data()[i] = std::max<std::int16_t>(0, input.data()[i]);
+  return out;
+}
+
+Tensor concat_channels(const std::vector<const Tensor*>& inputs) {
+  if (inputs.empty()) throw std::invalid_argument("concat_channels: no inputs");
+  const nn::TensorShape first = inputs.front()->shape();
+  int channels = 0;
+  for (const Tensor* t : inputs) {
+    if (t->shape().h != first.h || t->shape().w != first.w)
+      throw std::invalid_argument("concat_channels: spatial mismatch");
+    channels += t->shape().c;
+  }
+  Tensor out(nn::TensorShape{channels, first.h, first.w});
+  int base = 0;
+  for (const Tensor* t : inputs) {
+    for (int c = 0; c < t->shape().c; ++c)
+      for (int y = 0; y < first.h; ++y)
+        for (int x = 0; x < first.w; ++x)
+          out.set(base + c, y, x, t->at(c, y, x));
+    base += t->shape().c;
+  }
+  return out;
+}
+
+Tensor add_tensors(const Tensor& a, const Tensor& b) {
+  if (!(a.shape() == b.shape()))
+    throw std::invalid_argument("add_tensors: shape mismatch");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.size(); ++i)
+    out.data()[i] = sat_add16(a.data()[i], b.data()[i]);
+  return out;
+}
+
+}  // namespace sqz::runtime

@@ -1,0 +1,33 @@
+// Reference (golden) implementations of every layer kind.
+//
+// These are straightforward loop-nest implementations — the semantics the
+// dataflow emulators must match bit-for-bit. Accumulation is 64-bit to keep
+// the reference unimpeachable; inputs/weights are bounded so 32 bits would
+// suffice, and the emulators are tested against this either way.
+#pragma once
+
+#include "nn/layer.h"
+#include "runtime/quant.h"
+#include "runtime/tensor.h"
+
+namespace sqz::runtime {
+
+/// Grouped 2-D convolution (covers pointwise, spatial and depthwise).
+Tensor conv2d(const Tensor& input, const WeightTensor& weights,
+              const nn::ConvParams& params, const Requant& requant);
+
+/// Dense layer over the flattened input.
+Tensor fully_connected(const Tensor& input, const WeightTensor& weights,
+                       const nn::FcParams& params, const Requant& requant);
+
+Tensor maxpool(const Tensor& input, const nn::PoolParams& params);
+/// Average pool divides by the window size with truncation toward zero
+/// (integer arithmetic; padding contributes zeros and still counts in the
+/// divisor, matching common integer NPU behaviour).
+Tensor avgpool(const Tensor& input, const nn::PoolParams& params);
+Tensor global_avgpool(const Tensor& input);
+Tensor relu(const Tensor& input);
+Tensor concat_channels(const std::vector<const Tensor*>& inputs);
+Tensor add_tensors(const Tensor& a, const Tensor& b);
+
+}  // namespace sqz::runtime

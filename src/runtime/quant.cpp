@@ -1,0 +1,12 @@
+#include "runtime/quant.h"
+
+namespace sqz::runtime {
+
+std::int16_t sat_add16(std::int16_t a, std::int16_t b) noexcept {
+  const std::int32_t v = static_cast<std::int32_t>(a) + static_cast<std::int32_t>(b);
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return static_cast<std::int16_t>(v);
+}
+
+}  // namespace sqz::runtime

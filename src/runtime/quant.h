@@ -1,0 +1,33 @@
+// Fixed-point requantization shared by the reference runtime and the
+// functional dataflow emulators. Both must use exactly this arithmetic so
+// that outputs can be compared bit-exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace sqz::runtime {
+
+/// Requantization applied to a 32-bit accumulator after a conv/fc layer:
+/// arithmetic right shift with round-to-nearest, then saturation to int16,
+/// then optional ReLU.
+struct Requant {
+  int shift = 7;
+  bool relu = true;
+
+  std::int16_t apply(std::int64_t acc) const noexcept {
+    // Round to nearest (ties away from zero for negatives is fine here as
+    // long as every engine does the same thing). shift == 0 passes through.
+    const std::int64_t rounding =
+        shift > 0 ? std::int64_t{1} << (shift - 1) : 0;
+    std::int64_t v = (acc + rounding) >> shift;
+    if (relu && v < 0) v = 0;
+    if (v > 32767) v = 32767;
+    if (v < -32768) v = -32768;
+    return static_cast<std::int16_t>(v);
+  }
+};
+
+/// Saturating int16 addition (elementwise residual adds).
+std::int16_t sat_add16(std::int16_t a, std::int16_t b) noexcept;
+
+}  // namespace sqz::runtime

@@ -1,0 +1,38 @@
+#include "runtime/tensor.h"
+
+#include <stdexcept>
+
+namespace sqz::runtime {
+
+Tensor::Tensor(nn::TensorShape shape) : shape_(shape) {
+  if (shape.c <= 0 || shape.h <= 0 || shape.w <= 0)
+    throw std::invalid_argument("Tensor: shape must be positive");
+  data_.assign(static_cast<std::size_t>(shape.elems()), 0);
+}
+
+WeightTensor::WeightTensor(int oc, int ic_per_group, int kh, int kw)
+    : oc_(oc), ic_pg_(ic_per_group), kh_(kh), kw_(kw) {
+  if (oc <= 0 || ic_per_group <= 0 || kh <= 0 || kw <= 0)
+    throw std::invalid_argument("WeightTensor: dimensions must be positive");
+  w_.assign(static_cast<std::size_t>(oc) * static_cast<std::size_t>(ic_per_group) *
+                static_cast<std::size_t>(kh) * static_cast<std::size_t>(kw),
+            0);
+  bias_.assign(static_cast<std::size_t>(oc), 0);
+}
+
+std::int64_t WeightTensor::nonzero_count() const noexcept {
+  std::int64_t n = 0;
+  for (std::int16_t v : w_)
+    if (v != 0) ++n;
+  return n;
+}
+
+std::int64_t WeightTensor::nonzero_count(int oc, int ic) const noexcept {
+  std::int64_t n = 0;
+  for (int ky = 0; ky < kh_; ++ky)
+    for (int kx = 0; kx < kw_; ++kx)
+      if (at(oc, ic, ky, kx) != 0) ++n;
+  return n;
+}
+
+}  // namespace sqz::runtime

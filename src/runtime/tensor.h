@@ -1,0 +1,106 @@
+// 16-bit integer tensors for the functional inference runtime.
+//
+// The accelerator in the paper computes on 16-bit integers with a 16-bit
+// multiplier and wider accumulation; the runtime mirrors that so the
+// functional dataflow emulators (src/sim/functional) can be validated
+// bit-exactly against this reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/shape.h"
+
+namespace sqz::runtime {
+
+/// Dense CHW activation tensor of int16 words (batch is implicitly 1).
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(nn::TensorShape shape);
+
+  nn::TensorShape shape() const noexcept { return shape_; }
+  std::int64_t size() const noexcept { return static_cast<std::int64_t>(data_.size()); }
+
+  /// Unchecked fast path used by inner loops.
+  std::int16_t at(int c, int y, int x) const noexcept {
+    return data_[index(c, y, x)];
+  }
+  void set(int c, int y, int x, std::int16_t v) noexcept { data_[index(c, y, x)] = v; }
+
+  /// Zero-padded read: coordinates outside the spatial extent return 0
+  /// (convolution padding); channel must be in range.
+  std::int16_t at_padded(int c, int y, int x) const noexcept {
+    if (y < 0 || y >= shape_.h || x < 0 || x >= shape_.w) return 0;
+    return at(c, y, x);
+  }
+
+  std::int16_t* data() noexcept { return data_.data(); }
+  const std::int16_t* data() const noexcept { return data_.data(); }
+
+  bool operator==(const Tensor&) const = default;
+
+ private:
+  std::size_t index(int c, int y, int x) const noexcept {
+    return (static_cast<std::size_t>(c) * static_cast<std::size_t>(shape_.h) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(shape_.w) +
+           static_cast<std::size_t>(x);
+  }
+
+  nn::TensorShape shape_;
+  std::vector<std::int16_t> data_;
+};
+
+/// Convolution weights laid out [oc][ic_per_group][kh][kw], plus int32 bias.
+/// For FC layers, kh = kw = 1 and ic_per_group = flattened input size.
+class WeightTensor {
+ public:
+  WeightTensor() = default;
+  WeightTensor(int oc, int ic_per_group, int kh, int kw);
+
+  int oc() const noexcept { return oc_; }
+  int ic_per_group() const noexcept { return ic_pg_; }
+  int kh() const noexcept { return kh_; }
+  int kw() const noexcept { return kw_; }
+  std::int64_t size() const noexcept { return static_cast<std::int64_t>(w_.size()); }
+
+  std::int16_t at(int oc, int ic, int ky, int kx) const noexcept {
+    return w_[index(oc, ic, ky, kx)];
+  }
+  void set(int oc, int ic, int ky, int kx, std::int16_t v) noexcept {
+    w_[index(oc, ic, ky, kx)] = v;
+  }
+
+  std::int32_t bias(int oc) const noexcept { return bias_[static_cast<std::size_t>(oc)]; }
+  void set_bias(int oc, std::int32_t v) noexcept { bias_[static_cast<std::size_t>(oc)] = v; }
+
+  /// Raw row-major [oc][ic_per_group][kh][kw] storage; each output channel's
+  /// filter occupies one contiguous row of ic_per_group*kh*kw words (the
+  /// GEMM lowering in runtime/gemm.h relies on this layout).
+  const std::int16_t* data() const noexcept { return w_.data(); }
+  std::int64_t filter_words() const noexcept {
+    return static_cast<std::int64_t>(ic_pg_) * kh_ * kw_;
+  }
+
+  /// Number of non-zero weight words (drives the OS dataflow's zero-skip).
+  std::int64_t nonzero_count() const noexcept;
+  /// Non-zero taps of one (oc, ic) filter plane.
+  std::int64_t nonzero_count(int oc, int ic) const noexcept;
+
+ private:
+  std::size_t index(int oc, int ic, int ky, int kx) const noexcept {
+    return ((static_cast<std::size_t>(oc) * static_cast<std::size_t>(ic_pg_) +
+             static_cast<std::size_t>(ic)) *
+                static_cast<std::size_t>(kh_) +
+            static_cast<std::size_t>(ky)) *
+               static_cast<std::size_t>(kw_) +
+           static_cast<std::size_t>(kx);
+  }
+
+  int oc_ = 0, ic_pg_ = 0, kh_ = 0, kw_ = 0;
+  std::vector<std::int16_t> w_;
+  std::vector<std::int32_t> bias_;
+};
+
+}  // namespace sqz::runtime

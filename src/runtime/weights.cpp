@@ -1,0 +1,55 @@
+#include "runtime/weights.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace sqz::runtime {
+
+using util::Rng;
+
+WeightTensor generate_weights(const nn::Model& model, int layer_idx,
+                              const WeightGenConfig& config) {
+  const nn::Layer& l = model.layer(layer_idx);
+  int oc = 0, ic_pg = 0, kh = 1, kw = 1;
+  if (l.is_conv()) {
+    oc = l.conv.out_channels;
+    ic_pg = l.in_shape.c / l.conv.groups;
+    kh = l.conv.kh;
+    kw = l.conv.kw;
+  } else if (l.is_fc()) {
+    oc = l.fc.out_features;
+    ic_pg = static_cast<int>(l.in_shape.elems());
+  } else {
+    throw std::invalid_argument("generate_weights: layer has no weights: " + l.name);
+  }
+
+  WeightTensor w(oc, ic_pg, kh, kw);
+  Rng rng = Rng(config.seed).split(static_cast<std::uint64_t>(layer_idx));
+  for (int o = 0; o < oc; ++o) {
+    for (int i = 0; i < ic_pg; ++i) {
+      for (int ky = 0; ky < kh; ++ky) {
+        for (int kx = 0; kx < kw; ++kx) {
+          if (rng.next_bernoulli(config.sparsity)) continue;  // stays zero
+          // Uniform non-zero value in [-mag, mag] \ {0}.
+          std::int64_t v = rng.next_in(1, config.magnitude);
+          if (rng.next_bernoulli(0.5)) v = -v;
+          w.set(o, i, ky, kx, static_cast<std::int16_t>(v));
+        }
+      }
+    }
+    if (config.biases)
+      w.set_bias(o, static_cast<std::int32_t>(rng.next_in(-128, 127)));
+  }
+  return w;
+}
+
+Tensor generate_input(const nn::Model& model, std::uint64_t seed) {
+  Tensor t(model.input_shape());
+  Rng rng = Rng(seed).split(0xA11CE);
+  for (std::int64_t i = 0; i < t.size(); ++i)
+    t.data()[i] = static_cast<std::int16_t>(rng.next_in(-128, 127));
+  return t;
+}
+
+}  // namespace sqz::runtime

@@ -1,0 +1,35 @@
+// Deterministic synthetic weight generation with the paper's sparsity model.
+//
+// SUBSTITUTION (DESIGN.md §3): the paper runs trained ImageNet models and
+// "conservatively models the sparsity, i.e. the number of zero weights, of
+// each DNN layer at 40%". Cycle and energy results depend only on layer
+// shapes and on which weights are zero — not on the weight values — so we
+// generate weights from a seeded PRNG with exactly that Bernoulli(0.4)
+// zero pattern. Each layer's stream is salted by layer index so models are
+// stable under edits elsewhere in the graph.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/model.h"
+#include "runtime/tensor.h"
+
+namespace sqz::runtime {
+
+struct WeightGenConfig {
+  std::uint64_t seed = 0x5EEDULL;
+  double sparsity = 0.40;      ///< Probability a weight word is exactly zero.
+  int magnitude = 63;          ///< Non-zero values are uniform in [-mag, mag]\{0}.
+  bool biases = true;          ///< Small random biases; zero if false.
+};
+
+/// Generate weights for a Conv or FullyConnected layer of `model`.
+/// Throws std::invalid_argument for parameterless layers.
+WeightTensor generate_weights(const nn::Model& model, int layer_idx,
+                              const WeightGenConfig& config);
+
+/// Deterministic input activation tensor for a model (salted separately from
+/// any layer's weights).
+Tensor generate_input(const nn::Model& model, std::uint64_t seed);
+
+}  // namespace sqz::runtime

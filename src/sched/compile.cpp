@@ -1,0 +1,115 @@
+#include "sched/compile.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sched/fusion.h"
+#include "sched/residency.h"
+#include "sim/tiling.h"
+#include "util/strings.h"
+
+namespace sqz::sched {
+
+std::string LayerCommand::to_string() const {
+  const char* unit_str = unit == Unit::PeArray             ? "pe-array"
+                         : unit == Unit::Simd              ? "simd"
+                         : unit == Unit::FusedIntoProducer ? "fused"
+                                                           : "view";
+  std::string s = util::format(
+      "[%3d] %-26s %-8s", layer_idx, layer_name.c_str(), unit_str);
+  if (unit == Unit::PeArray)
+    s += util::format(" %s", sim::dataflow_abbrev(dataflow));
+  else
+    s += "   ";
+  s += util::format(
+      "  in:%-5s out:%-5s  dma %8s/%-8s  tiles %-3d  ~%s cycles",
+      input_from_dram ? "DRAM" : "GB", output_to_dram ? "DRAM" : "GB",
+      util::si(static_cast<double>(dma_in_words), 1).c_str(),
+      util::si(static_cast<double>(dma_out_words), 1).c_str(), tile_count,
+      util::si(static_cast<double>(expected_cycles), 1).c_str());
+  return s;
+}
+
+std::int64_t Program::expected_total_cycles() const noexcept {
+  std::int64_t total = 0;
+  for (const LayerCommand& c : commands) total += c.expected_cycles;
+  return total;
+}
+
+std::int64_t Program::total_dma_words() const noexcept {
+  std::int64_t total = 0;
+  for (const LayerCommand& c : commands) total += c.dma_in_words + c.dma_out_words;
+  return total;
+}
+
+std::string Program::listing() const {
+  std::ostringstream out;
+  out << "program " << model_name << " on " << config.to_string() << "\n";
+  for (const LayerCommand& c : commands) out << c.to_string() << "\n";
+  out << util::format("expected total: %s cycles, %s DMA words\n",
+                      util::with_commas(expected_total_cycles()).c_str(),
+                      util::with_commas(total_dma_words()).c_str());
+  return out.str();
+}
+
+Program compile(const nn::Model& model, const sim::AcceleratorConfig& config,
+                const SimulationOptions& options) {
+  // The simulator is the single source of truth for the schedule: compile
+  // runs it and reads the decisions back out, attaching the DMA/tiling
+  // detail a sequencer needs.
+  const sim::NetworkResult result = simulate_network(model, config, options);
+  const ResidencyPlan plan = plan_residency(model, config);
+
+  std::vector<int> fused_pools;
+  if (options.fuse_pool_drain)
+    for (const Fusion& f : find_pool_fusions(model)) fused_pools.push_back(f.pool_idx);
+
+  Program prog;
+  prog.model_name = model.name();
+  prog.config = config;
+  prog.commands.reserve(result.layers.size());
+
+  for (const sim::LayerResult& l : result.layers) {
+    const nn::Layer& layer = model.layer(l.layer_idx);
+    LayerCommand cmd;
+    cmd.layer_idx = l.layer_idx;
+    cmd.layer_name = l.layer_name;
+    cmd.expected_cycles = l.total_cycles;
+
+    const bool is_fused_pool =
+        std::find(fused_pools.begin(), fused_pools.end(), l.layer_idx) !=
+        fused_pools.end();
+    if (is_fused_pool) {
+      cmd.unit = LayerCommand::Unit::FusedIntoProducer;
+      prog.commands.push_back(std::move(cmd));
+      continue;
+    }
+    if (layer.kind == nn::LayerKind::Concat) {
+      cmd.unit = LayerCommand::Unit::View;
+    } else if (layer.is_macs_layer()) {
+      cmd.unit = LayerCommand::Unit::PeArray;
+      cmd.dataflow = l.dataflow;
+      cmd.weight_words = layer.params();
+    } else {
+      cmd.unit = LayerCommand::Unit::Simd;
+    }
+
+    const sim::TensorPlacement placement = plan.placement_for(model, l.layer_idx);
+    cmd.input_from_dram = !placement.input_in_gb;
+    cmd.output_to_dram = !placement.output_in_gb;
+
+    // DMA descriptors and band count from the tiler (matching what the
+    // timeline executes).
+    const sim::TilePlan tiles = sim::plan_layer_tiles(
+        model, l.layer_idx, config, placement, l.compute_cycles);
+    cmd.tile_count = static_cast<int>(tiles.tiles.size());
+    for (const sim::TileJob& t : tiles.tiles) {
+      cmd.dma_in_words += t.dma_in_words;
+      cmd.dma_out_words += t.dma_out_words;
+    }
+    prog.commands.push_back(std::move(cmd));
+  }
+  return prog;
+}
+
+}  // namespace sqz::sched

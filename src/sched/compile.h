@@ -1,0 +1,65 @@
+// Static schedule compilation.
+//
+// "As the DNN inference computation is statically schedulable, simulation
+// results can be used to determine the dataflow approach (WS or OS) that
+// best executes the [layer]" (paper §4.1.1). This module produces that
+// static schedule as an explicit artifact: an ordered program of layer
+// commands — dataflow mode, operand placements, DMA descriptors, tile
+// counts, expected cycles — the host CPU would hand the Squeezelerator's
+// DMA controller and sequencer at deployment time.
+//
+// The program is derived from the same residency/selection/tiling machinery
+// the simulator uses, so its expectations match simulate_network exactly
+// (tested in tests/sched/test_compile.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "sched/network_sim.h"
+#include "sim/config.h"
+
+namespace sqz::sched {
+
+/// One command of the static program.
+struct LayerCommand {
+  int layer_idx = 0;
+  std::string layer_name;
+
+  enum class Unit { PeArray, Simd, FusedIntoProducer, View } unit = Unit::Simd;
+  sim::Dataflow dataflow = sim::Dataflow::WeightStationary;  ///< PeArray only.
+
+  // Operand staging.
+  bool input_from_dram = false;
+  bool output_to_dram = false;
+  std::int64_t weight_words = 0;
+  std::int64_t dma_in_words = 0;   ///< Weights + any streamed input.
+  std::int64_t dma_out_words = 0;
+
+  // Execution shape.
+  int tile_count = 1;              ///< Double-buffered row bands.
+  std::int64_t expected_cycles = 0;
+
+  std::string to_string() const;
+};
+
+struct Program {
+  std::string model_name;
+  sim::AcceleratorConfig config;
+  std::vector<LayerCommand> commands;
+
+  std::int64_t expected_total_cycles() const noexcept;
+  /// Total DMA words the program moves (both directions).
+  std::int64_t total_dma_words() const noexcept;
+  /// Human-readable listing, one command per line.
+  std::string listing() const;
+};
+
+/// Compile `model` for `config` under `options` (objective, fusion). The
+/// timeline flag is honoured for the per-command expected cycles.
+Program compile(const nn::Model& model, const sim::AcceleratorConfig& config,
+                const SimulationOptions& options = {});
+
+}  // namespace sqz::sched

@@ -1,0 +1,49 @@
+// Whole-network simulation: residency planning + per-layer dataflow
+// selection + per-layer simulation, producing the NetworkResult that every
+// benchmark table and figure is built from.
+#pragma once
+
+#include "energy/model.h"
+#include "nn/model.h"
+#include "sched/selector.h"
+#include "sim/config.h"
+#include "sim/counters.h"
+
+namespace sqz::sched {
+
+/// Simulate one inference (batch 1) of `model` on `config`.
+///
+/// On a Hybrid config the dataflow is chosen per layer by `objective`
+/// (paper default: fastest execution). WsOnly/OsOnly configs model the
+/// reference architectures.
+sim::NetworkResult simulate_network(const nn::Model& model,
+                                    const sim::AcceleratorConfig& config,
+                                    Objective objective = Objective::Cycles,
+                                    const energy::UnitEnergies& units = {});
+
+/// Extended knobs for simulate_network.
+struct SimulationOptions {
+  Objective objective = Objective::Cycles;
+  energy::UnitEnergies units{};
+  /// Re-time each layer through the tile-level event timeline
+  /// (sim/timeline.h) instead of the flat max(compute, dma) model. Exposes
+  /// halo re-read traffic and DMA/compute interleaving.
+  bool tile_timeline = false;
+  /// Meaningful with tile_timeline: false models a single staging buffer
+  /// (ablates the paper's double buffering).
+  bool double_buffered = true;
+  /// Meaningful with tile_timeline: search the band count per layer for the
+  /// shortest makespan (the paper's tile-size selection) instead of the
+  /// fixed streaming heuristic.
+  bool tile_search = false;
+  /// Fuse max/avg pools into their producing conv's drain path
+  /// (sched/fusion.h): the intermediate full-resolution tensor never
+  /// reaches the global buffer.
+  bool fuse_pool_drain = false;
+};
+
+sim::NetworkResult simulate_network(const nn::Model& model,
+                                    const sim::AcceleratorConfig& config,
+                                    const SimulationOptions& options);
+
+}  // namespace sqz::sched

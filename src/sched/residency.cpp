@@ -1,0 +1,49 @@
+#include "sched/residency.h"
+
+namespace sqz::sched {
+
+sim::TensorPlacement ResidencyPlan::placement_for(const nn::Model& model,
+                                                  int layer_idx) const {
+  const nn::Layer& l = model.layer(layer_idx);
+  sim::TensorPlacement p;
+  p.input_in_gb = true;
+  for (int in : l.inputs)
+    if (!kept.at(static_cast<std::size_t>(in))) p.input_in_gb = false;
+  p.output_in_gb = kept.at(static_cast<std::size_t>(layer_idx));
+  return p;
+}
+
+ResidencyPlan plan_residency(const nn::Model& model,
+                             const sim::AcceleratorConfig& config) {
+  ResidencyPlan plan;
+  plan.kept.assign(static_cast<std::size_t>(model.layer_count()), false);
+
+  const std::int64_t activation_words =
+      config.gb_capacity_words() - config.weight_reserve_words;
+
+  // The model input streams from DRAM.
+  plan.kept[0] = false;
+
+  for (int i = 1; i < model.layer_count(); ++i) {
+    const nn::Layer& l = model.layer(i);
+    const std::int64_t out_words = l.out_shape.elems() * config.batch;
+    std::int64_t in_words = 0;
+    for (int in : l.inputs)
+      in_words += model.layer(in).out_shape.elems() * config.batch;
+
+    // Keep the output when it coexists with its input in the activation
+    // region, or at least fits in half of it (ping-pong with the next
+    // layer's working tensor).
+    const bool fits_jointly = in_words + out_words <= activation_words;
+    const bool fits_half = out_words <= activation_words / 2;
+    plan.kept[static_cast<std::size_t>(i)] = fits_jointly || fits_half;
+  }
+
+  // The network's final output is always written back to the host.
+  if (model.layer_count() > 1)
+    plan.kept[static_cast<std::size_t>(model.layer_count() - 1)] = false;
+
+  return plan;
+}
+
+}  // namespace sqz::sched

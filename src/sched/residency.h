@@ -1,0 +1,40 @@
+// Global-buffer residency planning.
+//
+// The paper's accelerator holds feature maps in the 128 KiB global buffer
+// when they fit; when "the memory footprint of the layer exceeds the
+// capacity of the buffer, some of the six convolution loops are tiled" and
+// the overflowing tensors stream through DRAM with double buffering. This
+// planner decides, per layer, whether its input and output activations stay
+// on-chip, chaining decisions so a producer's keep-decision is its
+// consumers' input placement.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.h"
+#include "sim/config.h"
+#include "sim/layer_sim.h"
+
+namespace sqz::sched {
+
+struct ResidencyPlan {
+  /// kept[i] == true when layer i's output tensor stays in the global buffer.
+  std::vector<bool> kept;
+
+  /// Placement flags for one layer (input side = all producers kept).
+  sim::TensorPlacement placement_for(const nn::Model& model, int layer_idx) const;
+};
+
+/// Plan residency for the whole model on the given configuration.
+///
+/// Policy: the model input always arrives from DRAM (sensor/camera). A
+/// layer's output is kept on-chip when it fits in the GB's activation region
+/// (capacity minus the weight-streaming reserve) together with the input it
+/// is consumed with; a tensor larger than half the activation region streams
+/// to DRAM. This reproduces the paper's behaviour where large early feature
+/// maps tile through DRAM while mid/late-network activations ping-pong
+/// on-chip.
+ResidencyPlan plan_residency(const nn::Model& model,
+                             const sim::AcceleratorConfig& config);
+
+}  // namespace sqz::sched

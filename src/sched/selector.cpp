@@ -1,0 +1,54 @@
+#include "sched/selector.h"
+
+namespace sqz::sched {
+
+namespace {
+
+double objective_value(const sim::LayerResult& r, Objective objective,
+                       const energy::UnitEnergies& units) {
+  if (objective == Objective::Cycles)
+    return static_cast<double>(r.total_cycles);
+  return energy::energy_of(r.counts, units).total();
+}
+
+}  // namespace
+
+std::vector<LayerChoice> select_dataflows(const nn::Model& model,
+                                          const sim::AcceleratorConfig& config,
+                                          const ResidencyPlan& plan,
+                                          Objective objective,
+                                          const energy::UnitEnergies& units) {
+  std::vector<LayerChoice> choices;
+  choices.reserve(static_cast<std::size_t>(model.layer_count()));
+
+  for (int i = 1; i < model.layer_count(); ++i) {
+    const nn::Layer& l = model.layer(i);
+    const sim::TensorPlacement placement = plan.placement_for(model, i);
+    LayerChoice choice;
+    choice.layer_idx = i;
+
+    const bool has_choice = l.is_conv() &&
+                            config.support == sim::DataflowSupport::Hybrid;
+    if (has_choice) {
+      const sim::LayerResult ws = sim::simulate_layer(
+          model, i, config, sim::Dataflow::WeightStationary, placement);
+      const sim::LayerResult os = sim::simulate_layer(
+          model, i, config, sim::Dataflow::OutputStationary, placement);
+      const bool take_ws = objective_value(ws, objective, units) <=
+                           objective_value(os, objective, units);
+      choice.chosen = take_ws ? ws : os;
+      choice.dataflow = take_ws ? sim::Dataflow::WeightStationary
+                                : sim::Dataflow::OutputStationary;
+    } else {
+      // Forced by the config (or a non-conv layer): a single simulation.
+      const sim::Dataflow df =
+          sim::effective_dataflow(l, config, sim::Dataflow::WeightStationary);
+      choice.chosen = sim::simulate_layer(model, i, config, df, placement);
+      choice.dataflow = choice.chosen.dataflow;
+    }
+    choices.push_back(std::move(choice));
+  }
+  return choices;
+}
+
+}  // namespace sqz::sched

@@ -1,0 +1,37 @@
+// Per-layer dataflow selection — the Squeezelerator's defining feature.
+//
+// "As the DNN inference computation is statically schedulable, simulation
+// results can be used to determine the dataflow approach (WS or OS) that
+// best executes the [layer]" (paper §4.1.1). The selector simulates each
+// conv layer under both dataflows and picks the winner by the chosen
+// objective; single-dataflow reference configs have no choice to make.
+#pragma once
+
+#include <vector>
+
+#include "energy/model.h"
+#include "nn/model.h"
+#include "sched/residency.h"
+#include "sim/config.h"
+#include "sim/layer_sim.h"
+
+namespace sqz::sched {
+
+enum class Objective { Cycles, Energy };
+
+struct LayerChoice {
+  int layer_idx = 0;
+  sim::Dataflow dataflow = sim::Dataflow::WeightStationary;
+  /// Both candidates, for reporting (only filled for conv layers on a
+  /// hybrid config; otherwise the forced result only).
+  sim::LayerResult chosen;
+};
+
+/// Select a dataflow per layer. `plan` must come from plan_residency() on
+/// the same model/config.
+std::vector<LayerChoice> select_dataflows(
+    const nn::Model& model, const sim::AcceleratorConfig& config,
+    const ResidencyPlan& plan, Objective objective = Objective::Cycles,
+    const energy::UnitEnergies& units = {});
+
+}  // namespace sqz::sched

@@ -1,0 +1,82 @@
+#include "sim/config.h"
+
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sqz::sim {
+
+const char* dataflow_name(Dataflow df) noexcept {
+  switch (df) {
+    case Dataflow::WeightStationary: return "weight-stationary";
+    case Dataflow::OutputStationary: return "output-stationary";
+  }
+  return "?";
+}
+
+const char* dataflow_abbrev(Dataflow df) noexcept {
+  switch (df) {
+    case Dataflow::WeightStationary: return "WS";
+    case Dataflow::OutputStationary: return "OS";
+  }
+  return "?";
+}
+
+void AcceleratorConfig::validate() const {
+  if (array_n < 1 || array_n > 1024)
+    throw std::invalid_argument("AcceleratorConfig: array_n out of range");
+  if (rf_entries < 1)
+    throw std::invalid_argument("AcceleratorConfig: rf_entries must be >= 1");
+  if (gb_kib < 1) throw std::invalid_argument("AcceleratorConfig: gb_kib must be >= 1");
+  if (preload_width < 1 || drain_width < 1 || simd_lanes < 1)
+    throw std::invalid_argument("AcceleratorConfig: bus widths must be >= 1");
+  if (dram_latency_cycles < 0)
+    throw std::invalid_argument("AcceleratorConfig: negative DRAM latency");
+  if (dram_bytes_per_cycle <= 0.0)
+    throw std::invalid_argument("AcceleratorConfig: DRAM bandwidth must be positive");
+  if (batch < 1)
+    throw std::invalid_argument("AcceleratorConfig: batch must be >= 1");
+  if (data_bytes != 1 && data_bytes != 2 && data_bytes != 4)
+    throw std::invalid_argument("AcceleratorConfig: data_bytes must be 1, 2 or 4");
+  if (weight_sparsity < 0.0 || weight_sparsity >= 1.0)
+    throw std::invalid_argument("AcceleratorConfig: sparsity must be in [0,1)");
+  if (psum_accum_words < array_n)
+    throw std::invalid_argument(
+        "AcceleratorConfig: psum accumulator must hold one column row");
+  if (weight_reserve_words < 0 || weight_reserve_words >= gb_capacity_words())
+    throw std::invalid_argument(
+        "AcceleratorConfig: weight reserve must fit inside the global buffer");
+}
+
+std::string AcceleratorConfig::to_string() const {
+  const char* support_str = support == DataflowSupport::Hybrid  ? "hybrid"
+                            : support == DataflowSupport::WsOnly ? "WS-only"
+                                                                 : "OS-only";
+  return util::format(
+      "%dx%d PEs, RF %d, GB %d KiB, %s dataflow, DRAM %.1f B/cyc lat %d, sparsity %.0f%%",
+      array_n, array_n, rf_entries, gb_kib, support_str, dram_bytes_per_cycle,
+      dram_latency_cycles, weight_sparsity * 100.0);
+}
+
+AcceleratorConfig AcceleratorConfig::squeezelerator() { return AcceleratorConfig{}; }
+
+AcceleratorConfig AcceleratorConfig::squeezelerator_rf8() {
+  AcceleratorConfig c;
+  c.rf_entries = 8;
+  return c;
+}
+
+AcceleratorConfig AcceleratorConfig::reference_ws() {
+  AcceleratorConfig c;
+  c.support = DataflowSupport::WsOnly;
+  c.ws_psums_in_gb = true;  // reference design lacks the psum accumulator
+  return c;
+}
+
+AcceleratorConfig AcceleratorConfig::reference_os() {
+  AcceleratorConfig c;
+  c.support = DataflowSupport::OsOnly;
+  return c;
+}
+
+}  // namespace sqz::sim

@@ -1,0 +1,96 @@
+// Accelerator configuration: the micro-architectural parameters of the
+// Squeezelerator (paper §4.1) and of the single-dataflow reference designs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sqz::sim {
+
+/// The two dataflows the PE array supports (paper §3.2). The Squeezelerator's
+/// key feature is choosing between them per layer with no switch overhead.
+enum class Dataflow {
+  WeightStationary,  ///< TPU-like matrix-vector engine; weights pinned in PEs.
+  OutputStationary,  ///< ShiDianNao-like output-tile engine; psums pinned.
+};
+
+const char* dataflow_name(Dataflow df) noexcept;
+/// Short form for tables: "WS" / "OS".
+const char* dataflow_abbrev(Dataflow df) noexcept;
+
+/// Which dataflows a simulated accelerator instance may use. The paper's
+/// reference architectures are single-dataflow (WsOnly / OsOnly); the
+/// Squeezelerator is Hybrid.
+enum class DataflowSupport { WsOnly, OsOnly, Hybrid };
+
+struct AcceleratorConfig {
+  // --- PE array ---------------------------------------------------------
+  int array_n = 32;        ///< N x N PEs (paper: N = 8..32; experiments use 32).
+  int rf_entries = 16;     ///< Per-PE psum registers. In OS mode this is the
+                           ///< number of filters sharing one input preload
+                           ///< (the paper's 8 -> 16 tune-up lever).
+
+  // --- on-chip buffers ---------------------------------------------------
+  int gb_kib = 128;            ///< Global buffer SRAM (paper: 128 KB).
+  int preload_width = 32;      ///< Words/cycle from preload buffer into the array.
+  int drain_width = 32;        ///< Words/cycle from the array into the GB.
+                               ///< (OS result drain is serial with compute —
+                               ///< "this final step takes additional time".)
+  int weight_reserve_words = 8192;  ///< GB region reserved for streaming
+                                    ///< weights (double buffered), not
+                                    ///< available for activation residency.
+  int psum_accum_words = 16384;     ///< Dedicated partial-sum accumulator SRAM
+                                    ///< at the WS adder-chain outputs; bounds
+                                    ///< the output-pixel chunk streamed per
+                                    ///< weight-block pass.
+
+  // --- vector unit for non-conv layers (paper §3.1: "1D SIMD") ----------
+  int simd_lanes = 16;
+
+  // --- DRAM (paper §4.1.3: latency 100 cycles, 16 GB/s effective) -------
+  int dram_latency_cycles = 100;
+  double dram_bytes_per_cycle = 16.0;  ///< 16 GB/s at the 1 GHz core clock.
+
+  // --- workload ------------------------------------------------------------
+  int batch = 1;  ///< Images per inference. The paper evaluates batch 1
+                  ///< ("less opportunity for data reuse, but reflects typical
+                  ///< usage in embedded vision"); larger batches amortize the
+                  ///< weight streaming — WS blocks stream batch x pixels per
+                  ///< preload, and weights cross DRAM once per batch.
+
+  // --- data & sparsity ---------------------------------------------------
+  int data_bytes = 2;            ///< 16-bit integer data path.
+  double weight_sparsity = 0.40; ///< Paper: "conservatively model ... at 40%".
+  bool os_zero_skip = true;      ///< OS broadcasts only non-zero weights.
+
+  // --- dataflow support --------------------------------------------------
+  DataflowSupport support = DataflowSupport::Hybrid;
+
+  /// When true, WS partial sums read-modify-write through the global buffer
+  /// instead of the dedicated psum accumulator SRAM. The Squeezelerator has
+  /// the accumulator (one of its WS-mode tune-ups); the naive reference WS
+  /// design does not. Cycle counts are unaffected (the GB port keeps up);
+  /// energy is not.
+  bool ws_psums_in_gb = false;
+
+  int pe_count() const noexcept { return array_n * array_n; }
+  std::int64_t gb_capacity_words() const noexcept {
+    return static_cast<std::int64_t>(gb_kib) * 1024 / data_bytes;
+  }
+
+  /// Throws std::invalid_argument when parameters are inconsistent.
+  void validate() const;
+
+  std::string to_string() const;
+
+  // --- presets -----------------------------------------------------------
+  /// The paper's Squeezelerator (hybrid dataflow, 32x32, RF 16).
+  static AcceleratorConfig squeezelerator();
+  /// Initial Squeezelerator before the SqueezeNext co-design pass (RF 8).
+  static AcceleratorConfig squeezelerator_rf8();
+  /// Single-dataflow reference architectures of Figure 1 / Table 2.
+  static AcceleratorConfig reference_ws();
+  static AcceleratorConfig reference_os();
+};
+
+}  // namespace sqz::sim

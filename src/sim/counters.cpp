@@ -1,0 +1,47 @@
+#include "sim/counters.h"
+
+namespace sqz::sim {
+
+AccessCounts& AccessCounts::operator+=(const AccessCounts& o) noexcept {
+  mac_ops += o.mac_ops;
+  rf_reads += o.rf_reads;
+  rf_writes += o.rf_writes;
+  inter_pe += o.inter_pe;
+  acc_reads += o.acc_reads;
+  acc_writes += o.acc_writes;
+  gb_reads += o.gb_reads;
+  gb_writes += o.gb_writes;
+  dram_words += o.dram_words;
+  return *this;
+}
+
+std::int64_t NetworkResult::total_cycles() const noexcept {
+  std::int64_t total = 0;
+  for (const LayerResult& l : layers) total += l.total_cycles;
+  return total;
+}
+
+std::int64_t NetworkResult::total_useful_macs() const noexcept {
+  std::int64_t total = 0;
+  for (const LayerResult& l : layers) total += l.useful_macs;
+  return total;
+}
+
+AccessCounts NetworkResult::total_counts() const noexcept {
+  AccessCounts total;
+  for (const LayerResult& l : layers) total += l.counts;
+  return total;
+}
+
+double NetworkResult::utilization() const noexcept {
+  const std::int64_t cycles = total_cycles();
+  if (cycles <= 0) return 0.0;
+  return static_cast<double>(total_useful_macs()) /
+         (static_cast<double>(cycles) * config.pe_count());
+}
+
+double NetworkResult::latency_ms(double clock_ghz) const noexcept {
+  return static_cast<double>(total_cycles()) / (clock_ghz * 1e6);
+}
+
+}  // namespace sqz::sim

@@ -1,0 +1,73 @@
+// Access counters and per-layer / per-network simulation results.
+//
+// Counters follow the Eyeriss energy methodology (paper §4.1.3): every level
+// of the memory hierarchy counts its accesses; the energy model multiplies
+// each count by a unit energy normalized to one MAC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace sqz::sim {
+
+/// Word-granularity access counts at each level of the hierarchy.
+struct AccessCounts {
+  std::int64_t mac_ops = 0;       ///< MACs actually executed (OS skips zeros).
+  std::int64_t rf_reads = 0;      ///< Per-PE register file reads.
+  std::int64_t rf_writes = 0;
+  std::int64_t inter_pe = 0;      ///< Mesh/chain word transfers between PEs.
+  std::int64_t acc_reads = 0;     ///< Psum accumulator SRAM (WS column sums).
+  std::int64_t acc_writes = 0;
+  std::int64_t gb_reads = 0;      ///< Global buffer word reads.
+  std::int64_t gb_writes = 0;
+  std::int64_t dram_words = 0;    ///< Words moved between DRAM and GB.
+
+  AccessCounts& operator+=(const AccessCounts& o) noexcept;
+  friend AccessCounts operator+(AccessCounts a, const AccessCounts& b) noexcept {
+    a += b;
+    return a;
+  }
+  bool operator==(const AccessCounts&) const = default;
+};
+
+/// Result of simulating one layer on a fixed configuration and dataflow.
+struct LayerResult {
+  int layer_idx = 0;
+  std::string layer_name;
+  bool on_pe_array = false;          ///< false => 1-D SIMD unit (pool/relu/...).
+  Dataflow dataflow = Dataflow::WeightStationary;  ///< Meaningful if on_pe_array.
+
+  std::int64_t useful_macs = 0;      ///< Algorithmic MACs (before zero-skip).
+  std::int64_t compute_cycles = 0;   ///< PE-array (or SIMD) busy cycles.
+  std::int64_t dram_cycles = 0;      ///< DMA transfer cycles.
+  std::int64_t total_cycles = 0;     ///< After double-buffer overlap + latency.
+
+  AccessCounts counts;
+
+  /// PE-array utilization: useful MACs per PE per total cycle.
+  double utilization(int pe_count) const noexcept {
+    if (total_cycles <= 0 || pe_count <= 0) return 0.0;
+    return static_cast<double>(useful_macs) /
+           (static_cast<double>(total_cycles) * pe_count);
+  }
+};
+
+/// Result of simulating a whole network.
+struct NetworkResult {
+  std::string model_name;
+  AcceleratorConfig config;
+  std::vector<LayerResult> layers;
+
+  std::int64_t total_cycles() const noexcept;
+  std::int64_t total_useful_macs() const noexcept;
+  AccessCounts total_counts() const noexcept;
+  /// Whole-network utilization (useful MACs / (cycles * PEs)).
+  double utilization() const noexcept;
+  /// Milliseconds at the given clock (default: the paper's 1 GHz).
+  double latency_ms(double clock_ghz = 1.0) const noexcept;
+};
+
+}  // namespace sqz::sim

@@ -1,0 +1,23 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqz::sim {
+
+std::int64_t DramModel::transfer_cycles(std::int64_t words) const noexcept {
+  if (words <= 0) return 0;
+  const double bytes = static_cast<double>(words) * data_bytes_;
+  return static_cast<std::int64_t>(std::ceil(bytes / bytes_per_cycle_));
+}
+
+std::int64_t DramModel::exposed_cycles(std::int64_t words,
+                                       std::int64_t compute_cycles) const noexcept {
+  if (words <= 0) return 0;
+  const std::int64_t transfer = transfer_cycles(words);
+  // Double buffering: transfers hide behind compute; only the excess plus the
+  // initial access latency is exposed.
+  return std::max<std::int64_t>(0, transfer - compute_cycles) + latency_;
+}
+
+}  // namespace sqz::sim

@@ -1,0 +1,37 @@
+// DRAM interface model (paper §4.1.3): "the DRAM access time is approximated
+// by using two numbers: latency and effective bandwidth ... 100 cycles and
+// 16 GB/s", with double buffering hiding transfer time behind compute.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.h"
+
+namespace sqz::sim {
+
+class DramModel {
+ public:
+  explicit DramModel(const AcceleratorConfig& config)
+      : latency_(config.dram_latency_cycles),
+        bytes_per_cycle_(config.dram_bytes_per_cycle),
+        data_bytes_(config.data_bytes) {}
+
+  /// Pure transfer time for `words` data words (no latency term).
+  std::int64_t transfer_cycles(std::int64_t words) const noexcept;
+
+  /// Cycles a layer spends waiting on DRAM when its DMA traffic is double-
+  /// buffered against `compute_cycles` of PE-array work: the transfers
+  /// overlap compute, so the exposed time is the excess transfer time plus
+  /// one access latency to prime the pipeline.
+  std::int64_t exposed_cycles(std::int64_t words,
+                              std::int64_t compute_cycles) const noexcept;
+
+  int latency() const noexcept { return latency_; }
+
+ private:
+  int latency_;
+  double bytes_per_cycle_;
+  int data_bytes_;
+};
+
+}  // namespace sqz::sim

@@ -1,0 +1,122 @@
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/functional/engines.h"
+#include "sim/schedule.h"
+
+namespace sqz::sim::functional {
+
+FunctionalResult run_output_stationary(const nn::Layer& layer,
+                                       const runtime::Tensor& input,
+                                       const runtime::WeightTensor& weights,
+                                       const runtime::Requant& requant,
+                                       const AcceleratorConfig& config) {
+  const OsSchedule s = OsSchedule::plan(layer, config);
+  const int n = config.array_n;
+  const int rf = config.rf_entries;
+
+  if (config.batch != 1)
+    throw std::invalid_argument(
+        "functional emulators model single-image execution (batch == 1)");
+
+  FunctionalResult r;
+  r.output = runtime::Tensor(layer.out_shape);
+
+  // Per-PE accumulators: rf_entries partial sums per PE.
+  std::vector<std::int64_t> acc(static_cast<std::size_t>(rf) * n * n, 0);
+  const auto acc_at = [&](int slot, int py, int px) -> std::int64_t& {
+    return acc[(static_cast<std::size_t>(slot) * n + py) * n + px];
+  };
+  // The input block staged in the PE input registers for one channel.
+  const int bh_max = (n - 1) * s.stride + s.kh;
+  const int bw_max = (n - 1) * s.stride + s.kw;
+  std::vector<std::int64_t> block(static_cast<std::size_t>(bh_max) * bw_max, 0);
+
+  for (int ty = 0; ty < s.tiles_y; ++ty) {
+    const int nh = std::min(n, s.oh - ty * n);
+    for (int tx = 0; tx < s.tiles_x; ++tx) {
+      const int nw = std::min(n, s.ow - tx * n);
+      const std::int64_t bh = static_cast<std::int64_t>(nh - 1) * s.stride + s.kh;
+      const std::int64_t bw = static_cast<std::int64_t>(nw - 1) * s.stride + s.kw;
+      const std::int64_t block_pixels = s.block_pixels(nh, nw);
+      const std::int64_t load = s.load_cycles(nh, nw, config);
+      const std::int64_t tile_pes = static_cast<std::int64_t>(nh) * nw;
+
+      for (int grp = 0; grp < s.groups; ++grp) {
+        for (int oc0 = 0; oc0 < s.cout_pg; oc0 += rf) {
+          const int chunk = std::min(rf, s.cout_pg - oc0);
+          r.compute_cycles += kOsTileOverheadCycles;
+
+          // Initialize this chunk's accumulators with the bias.
+          for (int slot = 0; slot < chunk; ++slot)
+            for (int py = 0; py < nh; ++py)
+              for (int px = 0; px < nw; ++px)
+                acc_at(slot, py, px) = weights.bias(grp * s.cout_pg + oc0 + slot);
+
+          for (int icg = 0; icg < s.cin_pg; ++icg) {
+            const int ic = grp * s.cin_pg + icg;
+            // --- inject the input block through the mesh -----------------
+            for (std::int64_t by = 0; by < bh; ++by) {
+              const int iy = ty * n * s.stride - s.pad_h + static_cast<int>(by);
+              for (std::int64_t bx = 0; bx < bw; ++bx) {
+                const int ix = tx * n * s.stride - s.pad_w + static_cast<int>(bx);
+                const bool in_bounds = iy >= 0 && iy < input.shape().h &&
+                                       ix >= 0 && ix < input.shape().w;
+                block[static_cast<std::size_t>(by) * bw_max + bx] =
+                    in_bounds ? input.at(ic, iy, ix) : 0;
+              }
+            }
+            r.counts.gb_reads += block_pixels;
+            r.counts.rf_writes += block_pixels;
+
+            // --- broadcast the chunk's non-zero weights one per cycle ----
+            std::int64_t broadcasts = 0;
+            for (int slot = 0; slot < chunk; ++slot) {
+              const int oc = grp * s.cout_pg + oc0 + slot;
+              for (int ky = 0; ky < s.kh; ++ky) {
+                for (int kx = 0; kx < s.kw; ++kx) {
+                  const std::int64_t w = weights.at(oc, icg, ky, kx);
+                  if (config.os_zero_skip && w == 0) continue;  // skipped
+                  ++broadcasts;
+                  r.counts.gb_reads += 1;  // the broadcast weight word
+                  for (int py = 0; py < nh; ++py)
+                    for (int px = 0; px < nw; ++px)
+                      acc_at(slot, py, px) +=
+                          block[static_cast<std::size_t>(py * s.stride + ky) *
+                                    bw_max +
+                                (px * s.stride + kx)] *
+                          w;
+                  r.counts.mac_ops += tile_pes;
+                  r.counts.rf_reads += 2 * tile_pes;  // input reg + psum read
+                  r.counts.rf_writes += tile_pes;     // psum write
+                  r.counts.inter_pe += tile_pes;
+                }
+              }
+            }
+            // Pointwise layers overlap the next injection with compute;
+            // spatial filters load serially (mesh conflict).
+            r.compute_cycles += s.loads_overlap_compute
+                                    ? std::max(load, broadcasts)
+                                    : load + broadcasts;
+          }
+
+          // --- drain the finished outputs --------------------------------
+          const std::int64_t outputs = tile_pes * chunk;
+          r.compute_cycles += ceil_div_i64(outputs, config.drain_width);
+          r.counts.gb_writes += outputs;
+          for (int slot = 0; slot < chunk; ++slot) {
+            const int oc = grp * s.cout_pg + oc0 + slot;
+            for (int py = 0; py < nh; ++py)
+              for (int px = 0; px < nw; ++px)
+                r.output.set(oc, ty * n + py, tx * n + px,
+                             requant.apply(acc_at(slot, py, px)));
+          }
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace sqz::sim::functional

@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/functional/engines.h"
+#include "sim/schedule.h"
+
+namespace sqz::sim::functional {
+
+FunctionalResult run_weight_stationary(const nn::Layer& layer,
+                                       const runtime::Tensor& input,
+                                       const runtime::WeightTensor& weights,
+                                       const runtime::Requant& requant,
+                                       const AcceleratorConfig& config) {
+  const WsSchedule s = WsSchedule::plan(layer, config);
+  const int n = config.array_n;
+  const int out_c = layer.out_shape.c;
+  const int oh = s.oh, ow = s.ow;
+
+  // Reads one streamed input operand; FC indexes the flattened tensor.
+  const auto read_input = [&](int ic, int iy, int ix) -> std::int64_t {
+    if (s.is_fc) return input.data()[ic];
+    if (iy < 0 || iy >= input.shape().h || ix < 0 || ix >= input.shape().w) return 0;
+    return input.at(ic, iy, ix);
+  };
+
+  if (config.batch != 1)
+    throw std::invalid_argument(
+        "functional emulators model single-image execution (batch == 1)");
+
+  FunctionalResult r;
+  r.output = runtime::Tensor(layer.out_shape);
+
+  // Psum accumulators (accumulator SRAM + commit), initialized with bias.
+  std::vector<std::int64_t> psum(static_cast<std::size_t>(out_c) * oh * ow, 0);
+  const auto psum_at = [&](int oc, std::int64_t pixel) -> std::int64_t& {
+    return psum[static_cast<std::size_t>(oc) * oh * ow +
+                static_cast<std::size_t>(pixel)];
+  };
+  for (int oc = 0; oc < out_c; ++oc)
+    for (std::int64_t px = 0; px < s.pixels; ++px)
+      psum_at(oc, px) = weights.bias(oc);
+
+  for (int grp = 0; grp < s.groups; ++grp) {
+    for (int ob = 0; ob < s.cout_blocks; ++ob) {
+      const int cols_used = std::min(n, s.cout_pg - ob * n);
+      for (std::int64_t px0 = 0; px0 < s.pixels; px0 += s.pixel_chunk) {
+        const std::int64_t qc = std::min(s.pixel_chunk, s.pixels - px0);
+        bool first_pass = true;
+        for (int cb = 0; cb < s.cin_blocks; ++cb) {
+          const int base_rows =
+              s.tap_pack > 1 ? s.cin_pg : std::min(n, s.cin_pg - cb * n);
+          for (int ky = 0; ky < s.kh; ++ky) {
+            for (int kxg = 0; kxg < s.tap_groups_per_row(); ++kxg) {
+              const int taps = s.taps_in_group(kxg);
+              const std::int64_t rows =
+                  static_cast<std::int64_t>(base_rows) * taps;
+              const std::int64_t block_weights = rows * cols_used;
+
+              // --- preload: rows = (tap t, channel row) pairs -------------
+              // wreg[(t*base_rows + row) * n + c]
+              std::vector<std::int64_t> wreg(
+                  static_cast<std::size_t>(rows) * n, 0);
+              for (int c = 0; c < cols_used; ++c) {
+                const int oc_g = ob * n + c;
+                for (int t = 0; t < taps; ++t) {
+                  const int kx = kxg * s.tap_pack + t;
+                  for (int row = 0; row < base_rows; ++row) {
+                    const int icg = cb * n + row;
+                    wreg[(static_cast<std::size_t>(t) * base_rows + row) * n + c] =
+                        weights.at(grp * s.cout_pg + oc_g, icg, ky, kx);
+                  }
+                }
+              }
+              r.compute_cycles +=
+                  ceil_div_i64(block_weights, config.preload_width);
+              r.counts.rf_writes += block_weights;
+              r.counts.gb_reads += block_weights;
+
+              // --- stream the pixel chunk ---------------------------------
+              for (std::int64_t px = px0; px < px0 + qc; ++px) {
+                const int oy = static_cast<int>(px / ow);
+                const int ox = static_cast<int>(px % ow);
+                r.compute_cycles += s.stream_penalty;
+                r.counts.gb_reads += base_rows;
+                for (int c = 0; c < cols_used; ++c) {
+                  std::int64_t col_sum = 0;  // adder chain down the column
+                  for (int t = 0; t < taps; ++t) {
+                    const int kx = kxg * s.tap_pack + t;
+                    const int iy = oy * s.stride - s.pad_h + ky;
+                    const int ix = ox * s.stride - s.pad_w + kx;
+                    for (int row = 0; row < base_rows; ++row) {
+                      const int ic = grp * s.cin_pg + cb * n + row;
+                      col_sum +=
+                          read_input(ic, iy, ix) *
+                          wreg[(static_cast<std::size_t>(t) * base_rows + row) * n +
+                               c];
+                    }
+                  }
+                  const int oc = grp * s.cout_pg + ob * n + c;
+                  psum_at(oc, px) += col_sum;
+                }
+                r.counts.mac_ops += block_weights;
+                r.counts.rf_reads += block_weights;
+                r.counts.inter_pe += block_weights;
+                std::int64_t& psum_writes = config.ws_psums_in_gb
+                                                ? r.counts.gb_writes
+                                                : r.counts.acc_writes;
+                std::int64_t& psum_reads = config.ws_psums_in_gb
+                                               ? r.counts.gb_reads
+                                               : r.counts.acc_reads;
+                psum_writes += cols_used;
+                if (!first_pass) psum_reads += cols_used;
+              }
+              r.compute_cycles += rows;  // adder-chain pipeline fill
+              first_pass = false;
+            }
+          }
+        }
+        // Commit the finished chunk from the accumulator to the GB.
+        r.counts.gb_writes += qc * cols_used;
+      }
+    }
+  }
+
+  // Requantize the committed partial sums.
+  for (int oc = 0; oc < out_c; ++oc)
+    for (std::int64_t px = 0; px < s.pixels; ++px) {
+      const int oy = static_cast<int>(px / ow);
+      const int ox = static_cast<int>(px % ow);
+      r.output.set(oc, oy, ox, requant.apply(psum_at(oc, px)));
+    }
+  return r;
+}
+
+}  // namespace sqz::sim::functional

@@ -1,0 +1,121 @@
+#include "sim/mappers.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/schedule.h"
+
+namespace sqz::sim {
+
+MappingResult map_weight_stationary(const nn::Layer& layer,
+                                    const AcceleratorConfig& config) {
+  const WsSchedule s = WsSchedule::plan(layer, config);
+  const int n = config.array_n;
+
+  MappingResult r;
+  for (int grp = 0; grp < s.groups; ++grp) {
+    for (int ob = 0; ob < s.cout_blocks; ++ob) {
+      const int cols_used = std::min(n, s.cout_pg - ob * n);
+      for (std::int64_t px0 = 0; px0 < s.pixels; px0 += s.pixel_chunk) {
+        const std::int64_t qc = std::min(s.pixel_chunk, s.pixels - px0);
+        bool first_pass = true;
+        for (int cb = 0; cb < s.cin_blocks; ++cb) {
+          const int base_rows =
+              s.tap_pack > 1 ? s.cin_pg : std::min(n, s.cin_pg - cb * n);
+          for (int ky = 0; ky < s.kh; ++ky) {
+            for (int kxg = 0; kxg < s.tap_groups_per_row(); ++kxg) {
+              const int taps = s.taps_in_group(kxg);
+              const std::int64_t rows =
+                  static_cast<std::int64_t>(base_rows) * taps;
+              const std::int64_t block_weights = rows * cols_used;
+
+              // Preload this pass's stationary weights, stream the pixel
+              // chunk (penalized when strided), pay the chain fill.
+              r.compute_cycles +=
+                  ceil_div_i64(block_weights, config.preload_width);
+              r.compute_cycles += qc * s.stream_penalty + rows;
+
+              const std::int64_t macs = qc * block_weights;
+              r.counts.mac_ops += macs;
+              r.counts.rf_writes += block_weights;  // stationary weight regs
+              r.counts.rf_reads += macs;            // weight reg read per MAC
+              r.counts.inter_pe += macs;            // psum chain hop per MAC
+              r.counts.gb_reads += block_weights;   // weights into preload buf
+              // Streamed inputs: packed taps are shifted copies of the same
+              // sequential stream, so distinct words ~ chunk x channels.
+              r.counts.gb_reads += qc * base_rows;
+
+              // Column sums accumulate in the psum accumulator SRAM (naive
+              // reference WS: read-modify-write through the global buffer).
+              std::int64_t& psum_writes = config.ws_psums_in_gb
+                                              ? r.counts.gb_writes
+                                              : r.counts.acc_writes;
+              std::int64_t& psum_reads = config.ws_psums_in_gb
+                                             ? r.counts.gb_reads
+                                             : r.counts.acc_reads;
+              psum_writes += qc * cols_used;
+              if (!first_pass) psum_reads += qc * cols_used;
+              first_pass = false;
+            }
+          }
+        }
+        // Commit the finished chunk from the accumulator to the GB.
+        r.counts.gb_writes += qc * cols_used;
+      }
+    }
+  }
+  return r;
+}
+
+MappingResult map_output_stationary(const nn::Layer& layer,
+                                    const AcceleratorConfig& config,
+                                    const SparsityInfo& sparsity) {
+  const OsSchedule s = OsSchedule::plan(layer, config);
+  const int n = config.array_n;
+  const int rf = config.rf_entries;
+
+  MappingResult r;
+  for (int ty = 0; ty < s.tiles_y; ++ty) {
+    const int nh = std::min(n, s.oh - ty * n);
+    for (int tx = 0; tx < s.tiles_x; ++tx) {
+      const int nw = std::min(n, s.ow - tx * n);
+      const std::int64_t block_pixels = s.block_pixels(nh, nw);
+      const std::int64_t load = s.load_cycles(nh, nw, config);
+      const std::int64_t tile_pes = static_cast<std::int64_t>(nh) * nw;
+
+      for (int grp = 0; grp < s.groups; ++grp) {
+        for (int oc0 = 0; oc0 < s.cout_pg; oc0 += rf) {
+          const int chunk = std::min(rf, s.cout_pg - oc0);
+          r.compute_cycles += kOsTileOverheadCycles;
+          for (int icg = 0; icg < s.cin_pg; ++icg) {
+            // The chunk's filters reuse this input block; only non-zero
+            // weights broadcast (one per cycle). Pointwise layers overlap
+            // the next block injection with compute; spatial filters keep
+            // the mesh busy shifting and load serially.
+            const std::int64_t broadcasts =
+                sparsity.nnz_chunk(grp * s.cout_pg + oc0, chunk, icg);
+            r.compute_cycles += s.loads_overlap_compute
+                                    ? std::max(load, broadcasts)
+                                    : load + broadcasts;
+
+            const std::int64_t macs = broadcasts * tile_pes;
+            r.counts.mac_ops += macs;
+            r.counts.gb_reads += block_pixels;  // input block from GB
+            r.counts.gb_reads += broadcasts;    // weight words broadcast
+            r.counts.rf_writes += block_pixels; // input regs fill
+            r.counts.rf_reads += 2 * macs;      // input reg + psum read
+            r.counts.rf_writes += macs;         // psum write
+            r.counts.inter_pe += macs;          // mesh shift feeding each MAC
+          }
+          // Drain the finished outputs; serial with compute by design.
+          const std::int64_t outputs = tile_pes * chunk;
+          r.compute_cycles += ceil_div_i64(outputs, config.drain_width);
+          r.counts.gb_writes += outputs;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace sqz::sim

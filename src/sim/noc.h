@@ -1,0 +1,49 @@
+// Interconnect (NoC) wire-traffic analysis.
+//
+// The paper's taxonomy (§3.2) lists the PE array's "interconnection
+// topology" among the features distinguishing NN accelerators, and §4.1
+// describes the Squeezelerator's: a mesh between neighbours, a broadcast
+// bus from the stream buffer, preload connections on the top row and drain
+// connections on the bottom row. This module counts the wire segments each
+// dataflow energizes — broadcast spans, neighbour shifts, and the Manhattan
+// distance outputs travel to reach the drain row — the physical-design view
+// behind the flat inter-PE access counts in the energy model.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.h"
+#include "sim/config.h"
+#include "sim/sparsity.h"
+
+namespace sqz::sim {
+
+struct WireTraffic {
+  /// Broadcast words x wire span (a row/bus broadcast energizes array_n
+  /// segments regardless of how many PEs consume it).
+  std::int64_t broadcast_segment_hops = 0;
+  /// Neighbour-to-neighbour transfers (OS input shifting, WS psum chain).
+  std::int64_t shift_hops = 0;
+  /// Output words x Manhattan hops to the drain row (OS: tile row index;
+  /// WS: chain bottom, 1 hop).
+  std::int64_t drain_hops = 0;
+
+  std::int64_t total_hops() const noexcept {
+    return broadcast_segment_hops + shift_hops + drain_hops;
+  }
+
+  /// Mean hops per useful MAC — the wire cost per unit of work.
+  double hops_per_mac(std::int64_t useful_macs) const noexcept {
+    if (useful_macs <= 0) return 0.0;
+    return static_cast<double>(total_hops()) / static_cast<double>(useful_macs);
+  }
+};
+
+/// Wire traffic of one conv/fc layer under the given dataflow. Uses the same
+/// schedule geometry as the cycle mappers. FC layers route WS (as in the
+/// simulator); requesting OS for an FC throws std::invalid_argument.
+WireTraffic analyze_wire_traffic(const nn::Layer& layer,
+                                 const AcceleratorConfig& config,
+                                 Dataflow dataflow, const SparsityInfo& sparsity);
+
+}  // namespace sqz::sim

@@ -1,0 +1,65 @@
+#include "sim/schedule.h"
+
+#include <stdexcept>
+
+namespace sqz::sim {
+
+WsSchedule WsSchedule::plan(const nn::Layer& layer, const AcceleratorConfig& config) {
+  WsSchedule s;
+  if (layer.is_conv()) {
+    s.groups = layer.conv.groups;
+    s.cin_pg = layer.in_shape.c / layer.conv.groups;
+    s.cout_pg = layer.conv.out_channels / layer.conv.groups;
+    s.kh = layer.conv.kh;
+    s.kw = layer.conv.kw;
+    s.stride = layer.conv.stride;
+    s.pad_h = layer.conv.pad_h;
+    s.pad_w = layer.conv.pad_w;
+    s.oh = layer.out_shape.h;
+    s.ow = layer.out_shape.w;
+  } else if (layer.is_fc()) {
+    s.is_fc = true;
+    s.cin_pg = static_cast<int>(layer.in_shape.elems());
+    s.cout_pg = layer.fc.out_features;
+  } else {
+    throw std::invalid_argument("WsSchedule: layer has no MACs: " + layer.name);
+  }
+
+  const int n = config.array_n;
+  // Batched inference streams every image's pixels through each stationary
+  // weight block — the weight-reuse win of batching.
+  s.pixels = static_cast<std::int64_t>(s.oh) * s.ow * config.batch;
+  s.stream_penalty = std::min(s.stride, 2);
+  s.pixel_chunk = std::max<std::int64_t>(1, config.psum_accum_words / n);
+
+  const bool pack = s.cin_pg <= n / 2 && s.kw > 1;
+  s.tap_pack = pack ? std::min({s.kw, n / s.cin_pg, kWsMaxTapPack}) : 1;
+  s.cin_blocks = s.tap_pack > 1
+                     ? 1
+                     : static_cast<int>(ceil_div_i64(s.cin_pg, n));
+  s.cout_blocks = static_cast<int>(ceil_div_i64(s.cout_pg, n));
+  return s;
+}
+
+OsSchedule OsSchedule::plan(const nn::Layer& layer, const AcceleratorConfig& config) {
+  if (!layer.is_conv())
+    throw std::invalid_argument(
+        "OsSchedule: only convolution layers map OS: " + layer.name);
+  OsSchedule s;
+  s.groups = layer.conv.groups;
+  s.cin_pg = layer.in_shape.c / layer.conv.groups;
+  s.cout_pg = layer.conv.out_channels / layer.conv.groups;
+  s.kh = layer.conv.kh;
+  s.kw = layer.conv.kw;
+  s.stride = layer.conv.stride;
+  s.pad_h = layer.conv.pad_h;
+  s.pad_w = layer.conv.pad_w;
+  s.oh = layer.out_shape.h;
+  s.ow = layer.out_shape.w;
+  s.tiles_y = static_cast<int>(ceil_div_i64(s.oh, config.array_n));
+  s.tiles_x = static_cast<int>(ceil_div_i64(s.ow, config.array_n));
+  s.loads_overlap_compute = (s.kh == 1 && s.kw == 1);
+  return s;
+}
+
+}  // namespace sqz::sim

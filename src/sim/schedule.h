@@ -1,0 +1,99 @@
+// Shared schedule geometry for the two dataflows.
+//
+// Both the analytical mappers (mappers.cpp) and the functional emulators
+// (functional/*.cpp) derive their loop structure from these plans, so the
+// cycle model and the operand-exact execution cannot drift apart — tests
+// assert their cycle and access counts are identical.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "nn/layer.h"
+#include "sim/config.h"
+
+namespace sqz::sim {
+
+inline std::int64_t ceil_div_i64(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Maximum filter taps packed into the PE rows per WS pass. Packing is
+/// limited to row-adjacent taps (same ky), which a single sequential stream
+/// from the stream buffer can feed as shifted copies.
+inline constexpr int kWsMaxTapPack = 2;
+
+/// Fixed per-(tile, filter-chunk) sequencing overhead in OS mode.
+inline constexpr int kOsTileOverheadCycles = 4;
+
+/// Weight-stationary schedule (paper §4.1.2 "WS dataflow mode"), extended
+/// with the two standard WS refinements:
+///  * output-pixel chunking: pixels stream in chunks sized to the psum
+///    accumulator SRAM, so partial sums never spill to the global buffer;
+///  * tap packing: when a layer has few input channels (first layer,
+///    depthwise), up to kWsMaxTapPack row-adjacent taps occupy the idle PE
+///    rows, fed by the same input stream.
+/// Strided layers stream at half rate (stride-s row walks hit s-strided
+/// addresses; the stream buffer sustains one vector per cycle only for
+/// unit-stride walks).
+struct WsSchedule {
+  bool is_fc = false;
+  int groups = 1;
+  int cin_pg = 0;
+  int cout_pg = 0;
+  int kh = 1, kw = 1;
+  int stride = 1;
+  int pad_h = 0, pad_w = 0;
+  int oh = 1, ow = 1;
+
+  int tap_pack = 1;        ///< Taps per pass (p); 1 when channels fill rows.
+  int cin_blocks = 1;      ///< Row blocks over input channels (1 when packed).
+  int cout_blocks = 1;
+  int stream_penalty = 1;  ///< Cycles per streamed pixel (min(stride, 2)).
+  std::int64_t pixels = 1;       ///< Output pixels (oh * ow).
+  std::int64_t pixel_chunk = 1;  ///< Q: pixels per accumulator-resident chunk.
+
+  /// Taps covered by pass group (ky, kxg): min(tap_pack, kw - kxg*tap_pack).
+  int taps_in_group(int kxg) const noexcept {
+    return std::min(tap_pack, kw - kxg * tap_pack);
+  }
+  int tap_groups_per_row() const noexcept {
+    return static_cast<int>(ceil_div_i64(kw, tap_pack));
+  }
+
+  static WsSchedule plan(const nn::Layer& layer, const AcceleratorConfig& config);
+};
+
+/// Output-stationary schedule (paper §4.1.2 "OS dataflow mode").
+struct OsSchedule {
+  int groups = 1;
+  int cin_pg = 0;
+  int cout_pg = 0;
+  int kh = 1, kw = 1;
+  int stride = 1;
+  int pad_h = 0, pad_w = 0;
+  int oh = 1, ow = 1;
+
+  int tiles_y = 1, tiles_x = 1;
+  /// Pointwise layers need no mesh shifting during compute, so the next
+  /// channel's input block injection overlaps the weight broadcasts;
+  /// spatial filters keep the mesh busy and load serially.
+  bool loads_overlap_compute = false;
+
+  /// Input-block injection cycles for an (nh x nw) output tile: bandwidth-
+  /// limited by the preload port, floor of one mesh row injection per block
+  /// row.
+  std::int64_t load_cycles(int nh, int nw, const AcceleratorConfig& config) const {
+    const std::int64_t bh = static_cast<std::int64_t>(nh - 1) * stride + kh;
+    const std::int64_t bw = static_cast<std::int64_t>(nw - 1) * stride + kw;
+    return std::max(ceil_div_i64(bh * bw, config.preload_width), bh);
+  }
+  std::int64_t block_pixels(int nh, int nw) const {
+    return (static_cast<std::int64_t>(nh - 1) * stride + kh) *
+           (static_cast<std::int64_t>(nw - 1) * stride + kw);
+  }
+
+  static OsSchedule plan(const nn::Layer& layer, const AcceleratorConfig& config);
+};
+
+}  // namespace sqz::sim

@@ -1,0 +1,63 @@
+#include "sim/sparsity.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sqz::sim {
+
+namespace {
+
+std::int64_t layer_weight_words(const nn::Layer& layer) {
+  if (layer.is_conv()) {
+    return static_cast<std::int64_t>(layer.conv.out_channels) *
+           (layer.in_shape.c / layer.conv.groups) * layer.conv.kh * layer.conv.kw;
+  }
+  if (layer.is_fc())
+    return layer.in_shape.elems() * layer.fc.out_features;
+  return 0;
+}
+
+int layer_taps(const nn::Layer& layer) {
+  if (layer.is_conv()) return layer.conv.kh * layer.conv.kw;
+  if (layer.is_fc()) return 1;
+  return 0;
+}
+
+}  // namespace
+
+SparsityInfo SparsityInfo::expected(const nn::Layer& layer, double sparsity) {
+  if (sparsity < 0.0 || sparsity >= 1.0)
+    throw std::invalid_argument("SparsityInfo: sparsity must be in [0,1)");
+  SparsityInfo s;
+  s.taps_ = layer_taps(layer);
+  s.expected_plane_nnz_ = s.taps_ * (1.0 - sparsity);
+  s.total_words_ = layer_weight_words(layer);
+  s.total_nnz_ = static_cast<std::int64_t>(
+      std::llround(static_cast<double>(s.total_words_) * (1.0 - sparsity)));
+  return s;
+}
+
+SparsityInfo SparsityInfo::measured(const runtime::WeightTensor& weights) {
+  SparsityInfo s;
+  s.exact_ = &weights;
+  s.taps_ = weights.kh() * weights.kw();
+  s.total_words_ = weights.size();
+  s.total_nnz_ = weights.nonzero_count();
+  return s;
+}
+
+SparsityInfo SparsityInfo::dense(const nn::Layer& layer) {
+  return expected(layer, 0.0);
+}
+
+std::int64_t SparsityInfo::nnz_chunk(int oc0, int count, int ic) const {
+  if (exact_ != nullptr) {
+    std::int64_t nnz = 0;
+    for (int oc = oc0; oc < oc0 + count; ++oc) nnz += exact_->nonzero_count(oc, ic);
+    return nnz;
+  }
+  (void)ic;  // expected mode is uniform over input channels
+  return static_cast<std::int64_t>(std::llround(expected_plane_nnz_ * count));
+}
+
+}  // namespace sqz::sim

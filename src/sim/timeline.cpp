@@ -1,0 +1,101 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/dram.h"
+#include "util/strings.h"
+
+namespace sqz::sim {
+
+std::string TimelineResult::trace() const {
+  std::vector<TimelineEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TimelineEvent& a, const TimelineEvent& b) {
+                     return a.start < b.start;
+                   });
+  std::ostringstream out;
+  for (const TimelineEvent& e : sorted) {
+    out << util::format("[%8lld .. %8lld] %-7s tile %-3d %s\n",
+                        static_cast<long long>(e.start),
+                        static_cast<long long>(e.end),
+                        e.engine == TimelineEvent::Engine::Dma ? "dma" : "compute",
+                        e.tile, e.what.c_str());
+  }
+  return out.str();
+}
+
+TimelineResult run_timeline(const std::vector<TileJob>& tiles,
+                            const AcceleratorConfig& config, BufferingMode mode) {
+  const DramModel dram(config);
+  TimelineResult r;
+
+  const std::size_t n = tiles.size();
+  std::int64_t dma_free = 0;
+  std::int64_t compute_free = 0;
+  std::vector<std::int64_t> load_end(n, 0), compute_end(n, 0);
+  std::int64_t last_end = 0;
+
+  const auto emit = [&](TimelineEvent::Engine engine, int tile,
+                        std::int64_t start, std::int64_t end, const char* what) {
+    if (end > start)
+      r.events.push_back(TimelineEvent{engine, tile, start, end, what});
+    last_end = std::max(last_end, end);
+  };
+
+  const auto schedule_load = [&](std::size_t i, std::int64_t buffer_ready) {
+    const TileJob& t = tiles[i];
+    if (t.dma_in_words == 0) {
+      load_end[i] = std::max(dma_free, buffer_ready);
+      return;
+    }
+    const std::int64_t start = std::max(dma_free, buffer_ready);
+    load_end[i] = start + config.dram_latency_cycles +
+                  dram.transfer_cycles(t.dma_in_words);
+    emit(TimelineEvent::Engine::Dma, static_cast<int>(i), start, load_end[i],
+         "load");
+    r.dma_busy_cycles += load_end[i] - start;
+    dma_free = load_end[i];
+  };
+
+  if (n > 0) schedule_load(0, 0);  // initial prefetch
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const TileJob& t = tiles[i];
+
+    // Compute tile i once its operands are staged and the array is free.
+    const std::int64_t cstart = std::max(compute_free, load_end[i]);
+    compute_end[i] = cstart + t.compute_cycles;
+    emit(TimelineEvent::Engine::Compute, static_cast<int>(i), cstart,
+         compute_end[i], "compute");
+    r.compute_busy_cycles += t.compute_cycles;
+    compute_free = compute_end[i];
+
+    // Prefetch tile i+1 while tile i computes. With two staging buffers,
+    // tile i+1 reuses the buffer of tile i-1 and must wait for that compute;
+    // with a single buffer it must wait for tile i's compute itself (no
+    // overlap — the paper's double-buffering claim ablated away).
+    if (i + 1 < n) {
+      const std::int64_t buffer_ready =
+          mode == BufferingMode::Double
+              ? (i >= 1 ? compute_end[i - 1] : 0)
+              : compute_end[i];
+      schedule_load(i + 1, buffer_ready);
+    }
+
+    // Drain tile i's outputs from the GB once the compute finishes; the
+    // store shares the DMA engine with subsequent prefetches.
+    if (t.dma_out_words > 0) {
+      const std::int64_t start = std::max(dma_free, compute_end[i]);
+      const std::int64_t end = start + dram.transfer_cycles(t.dma_out_words);
+      emit(TimelineEvent::Engine::Dma, static_cast<int>(i), start, end, "store");
+      r.dma_busy_cycles += end - start;
+      dma_free = end;
+    }
+  }
+
+  r.total_cycles = last_end;
+  return r;
+}
+
+}  // namespace sqz::sim

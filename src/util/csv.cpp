@@ -1,0 +1,38 @@
+#include "util/csv.h"
+
+#include "util/strings.h"
+
+namespace sqz::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out += "\"";
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << csv_escape(fields[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_numeric_row(const std::string& label,
+                                  const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size() + 1);
+  fields.push_back(label);
+  for (double v : values) fields.push_back(format("%.*f", precision, v));
+  write_row(fields);
+}
+
+}  // namespace sqz::util

@@ -1,0 +1,32 @@
+// CSV writer with RFC-4180 quoting. Benches optionally dump their series as
+// CSV (for replotting the paper's figures) next to the ASCII tables.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sqz::util {
+
+/// Escape one field per RFC 4180 (quote when it contains comma/quote/newline).
+std::string csv_escape(const std::string& field);
+
+/// Streams rows to an ostream. The writer owns no file; callers pass any sink.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: write a row of doubles with fixed precision.
+  void write_numeric_row(const std::string& label, const std::vector<double>& values,
+                         int precision = 6);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace sqz::util

@@ -1,0 +1,137 @@
+#include "util/ini.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace sqz::util {
+
+namespace {
+
+std::string slot(const std::string& section, const std::string& key) {
+  return section + "\n" + key;
+}
+
+std::string strip_comment(const std::string& line) {
+  const auto pos = line.find_first_of("#;");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+IniFile IniFile::parse(const std::string& text) {
+  IniFile ini;
+  std::istringstream in(text);
+  std::string raw;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim_copy(strip_comment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3)
+        throw std::invalid_argument(
+            format("ini: malformed section header at line %d: '%s'", line_no,
+                   raw.c_str()));
+      section = trim_copy(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument(
+          format("ini: expected 'key = value' at line %d: '%s'", line_no,
+                 raw.c_str()));
+    const std::string key = trim_copy(line.substr(0, eq));
+    const std::string value = trim_copy(line.substr(eq + 1));
+    if (key.empty())
+      throw std::invalid_argument(format("ini: empty key at line %d", line_no));
+    ini.values_[slot(section, key)] = value;
+  }
+  return ini;
+}
+
+std::optional<std::string> IniFile::get(const std::string& section,
+                                        const std::string& key) const {
+  const auto it = values_.find(slot(section, key));
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> IniFile::get_int(const std::string& section,
+                                             const std::string& key) const {
+  const auto v = get(section, key);
+  if (!v) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const std::int64_t out = std::stoll(*v, &used);
+    if (used != v->size()) throw std::invalid_argument("trailing chars");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(
+        format("ini: '%s.%s' is not an integer: '%s'", section.c_str(),
+               key.c_str(), v->c_str()));
+  }
+}
+
+std::optional<double> IniFile::get_double(const std::string& section,
+                                          const std::string& key) const {
+  const auto v = get(section, key);
+  if (!v) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(*v, &used);
+    if (used != v->size()) throw std::invalid_argument("trailing chars");
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(
+        format("ini: '%s.%s' is not a number: '%s'", section.c_str(),
+               key.c_str(), v->c_str()));
+  }
+}
+
+std::optional<bool> IniFile::get_bool(const std::string& section,
+                                      const std::string& key) const {
+  const auto v = get(section, key);
+  if (!v) return std::nullopt;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off")
+    return false;
+  throw std::invalid_argument(format("ini: '%s.%s' is not a boolean: '%s'",
+                                     section.c_str(), key.c_str(), v->c_str()));
+}
+
+bool IniFile::has_section(const std::string& section) const {
+  const std::string prefix = section + "\n";
+  const auto it = values_.lower_bound(prefix);
+  return it != values_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+}
+
+void IniFile::set(const std::string& section, const std::string& key,
+                  const std::string& value) {
+  values_[slot(section, key)] = value;
+}
+
+std::string IniFile::to_string() const {
+  std::ostringstream out;
+  std::string current_section = "";  // sentinel: never a real section
+  for (const auto& [k, v] : values_) {
+    const auto nl = k.find('\n');
+    const std::string section = k.substr(0, nl);
+    const std::string key = k.substr(nl + 1);
+    if (section != current_section) {
+      if (!section.empty()) out << "[" << section << "]\n";
+      current_section = section;
+    }
+    out << key << " = " << v << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace sqz::util

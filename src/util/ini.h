@@ -1,0 +1,48 @@
+// Minimal INI-style configuration parser.
+//
+// Grammar: optional [section] headers; key = value lines; '#' or ';'
+// comments (full-line or trailing); blank lines ignored; whitespace trimmed.
+// Used to describe accelerator configurations for the sqzsim CLI
+// (tools/sqzsim.cpp) without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace sqz::util {
+
+class IniFile {
+ public:
+  /// Parse from text. Throws std::invalid_argument with a line number on
+  /// malformed input (key without '=', unterminated section header, ...).
+  static IniFile parse(const std::string& text);
+
+  /// Value lookup; section "" is the implicit top-level section.
+  std::optional<std::string> get(const std::string& section,
+                                 const std::string& key) const;
+
+  /// Typed lookups; throw std::invalid_argument when present but malformed.
+  std::optional<std::int64_t> get_int(const std::string& section,
+                                      const std::string& key) const;
+  std::optional<double> get_double(const std::string& section,
+                                   const std::string& key) const;
+  std::optional<bool> get_bool(const std::string& section,
+                               const std::string& key) const;
+
+  bool has_section(const std::string& section) const;
+  std::size_t size() const noexcept { return values_.size(); }
+
+  void set(const std::string& section, const std::string& key,
+           const std::string& value);
+
+  /// Serialize back to INI text (sections sorted, keys sorted).
+  std::string to_string() const;
+
+ private:
+  // Keyed by "section\nkey" to keep one flat map.
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace sqz::util

@@ -1,0 +1,39 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace sqz::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogStatement::~LogStatement() {
+  if (!enabled()) return;
+  std::fprintf(stderr, "[sqz %s] %s\n", log_level_name(level_), stream_.str().c_str());
+}
+
+}  // namespace detail
+
+}  // namespace sqz::util

@@ -1,0 +1,55 @@
+// Minimal leveled logger for the squeezelerator library.
+//
+// Usage:
+//   SQZ_LOG(Info) << "simulated " << n << " layers";
+//
+// The logger is intentionally tiny: a global level, stderr sink, and a
+// stream-style macro. Benchmarks and tests lower the level to keep output
+// clean; examples raise it to narrate what the library is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sqz::util {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Returns a short uppercase tag ("INFO", "WARN", ...) for a level.
+const char* log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+
+// One log statement. Accumulates the message in a stringstream and emits it
+// (with level tag) on destruction, so a statement is atomic per line.
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement();
+
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    if (enabled()) stream_ << value;
+    return *this;
+  }
+
+  bool enabled() const noexcept { return level_ >= log_level(); }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace sqz::util
+
+#define SQZ_LOG(level) \
+  ::sqz::util::detail::LogStatement(::sqz::util::LogLevel::level)

@@ -1,0 +1,53 @@
+#include "util/rng.h"
+
+namespace sqz::util {
+
+std::uint64_t Rng::next_u64() noexcept {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ULL - (~0ULL % bound);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % bound;
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::next_unit() noexcept {
+  // 53 mantissa bits -> uniform in [0,1).
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::next_bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_unit() < p;
+}
+
+Rng Rng::split(std::uint64_t salt) noexcept {
+  Rng child(state_ ^ (salt * 0xD1B54A32D192ED03ULL + 0x8CB92BA72F3D8DD7ULL));
+  // Burn one value so adjacent salts diverge immediately.
+  child.next_u64();
+  return child;
+}
+
+std::uint64_t hash64(const char* data, std::uint64_t len) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::uint64_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace sqz::util

@@ -1,0 +1,45 @@
+// Deterministic random number generation.
+//
+// Every stochastic quantity in the library (synthetic weights, the 40% weight
+// sparsity model from the paper, random test shapes) is derived from an
+// explicit 64-bit seed so that simulations, tests, and benchmark tables are
+// bit-reproducible across runs and machines. The generator is SplitMix64 — a
+// tiny, well-distributed, splittable PRNG that needs no <random> engine state.
+#pragma once
+
+#include <cstdint>
+
+namespace sqz::util {
+
+/// Splittable deterministic PRNG (SplitMix64).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_unit() noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  bool next_bernoulli(double p) noexcept;
+
+  /// Derive an independent child generator; used to give each layer / filter
+  /// its own stream so adding a layer never perturbs another layer's weights.
+  Rng split(std::uint64_t salt) noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable 64-bit hash of a string (FNV-1a); used to salt per-layer streams.
+std::uint64_t hash64(const char* data, std::uint64_t len) noexcept;
+
+}  // namespace sqz::util

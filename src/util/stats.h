@@ -1,0 +1,34 @@
+// Small descriptive-statistics helpers used by reports and ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sqz::util {
+
+/// Online accumulator for min / max / mean / variance (Welford).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double mean() const noexcept { return mean_; }
+  /// Population variance; 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double min_ = 0.0, max_ = 0.0, mean_ = 0.0, m2_ = 0.0, sum_ = 0.0;
+};
+
+/// Geometric mean of positive values; returns 0 for an empty input.
+double geomean(const std::vector<double>& values);
+
+/// p-th percentile (0..100) by linear interpolation on a copy of the data.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace sqz::util

@@ -1,0 +1,85 @@
+#include "util/strings.h"
+
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace sqz::util {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string with_commas(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return negative ? "-" + out : out;
+}
+
+std::string si(double value, int precision) {
+  static constexpr const char* kSuffix[] = {"", "K", "M", "G", "T"};
+  double v = std::fabs(value);
+  int idx = 0;
+  while (v >= 1000.0 && idx < 4) {
+    v /= 1000.0;
+    ++idx;
+  }
+  if (value < 0) v = -v;
+  return format("%.*f%s", precision, v, kSuffix[idx]);
+}
+
+std::string percent(double fraction, int precision) {
+  return format("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string times(double ratio, int precision) {
+  return format("%.*fx", precision, ratio);
+}
+
+std::string trim_copy(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r\n");
+  return text.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> out;
+  std::string token;
+  std::istringstream in(text);
+  while (std::getline(in, token, delim)) out.push_back(token);
+  if (!text.empty() && text.back() == delim) out.emplace_back();
+  return out;
+}
+
+std::string pad_left(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text.substr(0, width);
+  return std::string(width - text.size(), ' ') + text;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text.substr(0, width);
+  return text + std::string(width - text.size(), ' ');
+}
+
+}  // namespace sqz::util

@@ -1,0 +1,35 @@
+// String formatting helpers shared by the table/CSV writers and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqz::util {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1234567" -> "1,234,567" (thousands separators, for table readability).
+std::string with_commas(std::int64_t value);
+
+/// Human-readable quantity with SI suffix: 1234567 -> "1.23M".
+std::string si(double value, int precision = 2);
+
+/// Fixed-point percentage: 0.2345 -> "23.4%".
+std::string percent(double fraction, int precision = 1);
+
+/// "x.xx×" speedup formatting.
+std::string times(double ratio, int precision = 2);
+
+/// Trim ASCII whitespace from both ends (returns a copy).
+std::string trim_copy(const std::string& text);
+
+/// Split on a delimiter; no empty-token suppression.
+std::vector<std::string> split(const std::string& text, char delim);
+
+/// Left/right padding to a fixed width (truncates if longer).
+std::string pad_left(const std::string& text, std::size_t width);
+std::string pad_right(const std::string& text, std::size_t width);
+
+}  // namespace sqz::util

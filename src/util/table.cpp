@@ -1,0 +1,73 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace sqz::util {
+
+void Table::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::set_alignments(std::vector<Align> alignments) {
+  alignments_ = std::move(alignments);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), pending_separator_});
+  pending_separator_ = false;
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+Align Table::alignment_for(std::size_t col) const {
+  if (col < alignments_.size()) return alignments_[col];
+  return col == 0 ? Align::Left : Align::Right;
+}
+
+std::string Table::to_string() const {
+  std::size_t cols = header_.size();
+  for (const Row& r : rows_) cols = std::max(cols, r.cells.size());
+
+  std::vector<std::size_t> widths(cols, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t c = 0; c < cols; ++c) line += std::string(widths[c] + 2, '-') + "+";
+    return line + "\n";
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      const std::string padded = alignment_for(c) == Align::Left
+                                     ? pad_right(cell, widths[c])
+                                     : pad_left(cell, widths[c]);
+      line += " " + padded + " |";
+    }
+    return line + "\n";
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  out << rule();
+  if (!header_.empty()) {
+    out << emit_row(header_);
+    out << rule();
+  }
+  for (const Row& r : rows_) {
+    if (r.separator_before) out << rule();
+    out << emit_row(r.cells);
+  }
+  out << rule();
+  return out.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace sqz::util

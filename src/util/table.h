@@ -1,0 +1,50 @@
+// ASCII table renderer. Every benchmark binary prints its paper table/figure
+// through this so the output is uniform and diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sqz::util {
+
+enum class Align { Left, Right };
+
+/// A simple column-aligned text table.
+///
+///   Table t("Table 2: Speedups");
+///   t.set_header({"Network", "vs OS", "vs WS"});
+///   t.add_row({"SqueezeNet v1.0", "1.26x", "2.06x"});
+///   t.print(std::cout);
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  /// Alignment per column; default is Left for column 0, Right otherwise.
+  void set_alignments(std::vector<Align> alignments);
+  void add_row(std::vector<std::string> row);
+  /// Horizontal separator before the next added row.
+  void add_separator();
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  Align alignment_for(std::size_t col) const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace sqz::util

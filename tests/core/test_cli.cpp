@@ -1,0 +1,145 @@
+#include "core/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "nn/serialize.h"
+#include "nn/zoo/zoo.h"
+
+namespace sqz::core {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, HelpPrintsUsage) {
+  const CliRun r = run({"--help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage: sqzsim"), std::string::npos);
+}
+
+TEST(Cli, DefaultRunReportsTotals) {
+  const CliRun r = run({});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("SqueezeNet v1.0"), std::string::npos);
+  EXPECT_NE(r.out.find("total:"), std::string::npos);
+  EXPECT_NE(r.out.find("utilization"), std::string::npos);
+}
+
+TEST(Cli, ZooSelectionAndKnobs) {
+  const CliRun r = run({"--model", "sqnxt", "--array", "16", "--rf", "8"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("1.0-SqNxt-23 v5"), std::string::npos);
+  EXPECT_NE(r.out.find("16x16"), std::string::npos);
+  EXPECT_NE(r.out.find("RF 8"), std::string::npos);
+}
+
+TEST(Cli, CompareShowsReferences) {
+  const CliRun r = run({"--model", "squeezenet11", "--compare"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("faster than WS-only"), std::string::npos);
+}
+
+TEST(Cli, PerLayerTable) {
+  const CliRun r = run({"--model", "tinydarknet", "--per-layer"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("Per-layer schedule"), std::string::npos);
+  EXPECT_NE(r.out.find("conv1"), std::string::npos);
+}
+
+TEST(Cli, CsvOutput) {
+  const CliRun r = run({"--model", "squeezenet11", "--csv"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("layer,kind,dataflow"), std::string::npos);
+  EXPECT_NE(r.out.find("conv1,conv,"), std::string::npos);
+}
+
+TEST(Cli, TimelineMode) {
+  const CliRun flat = run({"--model", "squeezenet11"});
+  const CliRun timeline = run({"--model", "squeezenet11", "--timeline"});
+  EXPECT_EQ(timeline.code, 0);
+  EXPECT_NE(flat.out, timeline.out);  // retimed totals differ
+}
+
+TEST(Cli, ModelFileLoads) {
+  const std::string path = ::testing::TempDir() + "/cli_model.txt";
+  {
+    std::ofstream f(path);
+    f << nn::serialize_model(nn::zoo::squeezenet_v11());
+  }
+  const CliRun r = run({"--model-file", path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("SqueezeNet v1.1"), std::string::npos);
+}
+
+TEST(Cli, ConfigFileLoads) {
+  const std::string path = ::testing::TempDir() + "/cli_accel.ini";
+  {
+    std::ofstream f(path);
+    f << "[accelerator]\nrf_entries = 4\nsupport = os\n";
+  }
+  const CliRun r = run({"--config", path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("RF 4"), std::string::npos);
+  EXPECT_NE(r.out.find("OS-only"), std::string::npos);
+}
+
+TEST(Cli, ErrorsReturnNonZeroWithUsage) {
+  for (const auto& args : std::vector<std::vector<std::string>>{
+           {"--model", "nonexistent"},
+           {"--bogus-flag"},
+           {"--support", "both"},
+           {"--objective", "speed"},
+           {"--model-file", "/nonexistent/path.txt"},
+           {"--array"},  // missing value
+       }) {
+    const CliRun r = run(args);
+    EXPECT_EQ(r.code, 1);
+    EXPECT_NE(r.err.find("sqzsim:"), std::string::npos);
+    EXPECT_NE(r.err.find("usage:"), std::string::npos);
+  }
+}
+
+TEST(Cli, BatchAndFuseFlags) {
+  const CliRun plain = run({"--model", "squeezenet10"});
+  const CliRun fused = run({"--model", "squeezenet10", "--fuse"});
+  EXPECT_EQ(fused.code, 0);
+  EXPECT_NE(plain.out, fused.out);  // pool-drain fusion changes the totals
+  const CliRun batched = run({"--model", "alexnet", "--batch", "8"});
+  EXPECT_EQ(batched.code, 0);
+  EXPECT_NE(batched.out, run({"--model", "alexnet"}).out);
+}
+
+TEST(Cli, ProgramListing) {
+  const CliRun r = run({"--model", "squeezenet11", "--program"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("program SqueezeNet v1.1"), std::string::npos);
+  EXPECT_NE(r.out.find("pe-array"), std::string::npos);
+  EXPECT_NE(r.out.find("expected total"), std::string::npos);
+}
+
+TEST(Cli, TileSearchMode) {
+  const CliRun timeline = run({"--model", "squeezenet11", "--timeline"});
+  const CliRun searched = run({"--model", "squeezenet11", "--tile-search"});
+  EXPECT_EQ(searched.code, 0);
+  EXPECT_NE(searched.out, timeline.out);  // searched tiles change totals
+}
+
+TEST(Cli, EnergyObjectiveAccepted) {
+  const CliRun r = run({"--model", "squeezenet11", "--objective", "energy"});
+  EXPECT_EQ(r.code, 0);
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -1,0 +1,67 @@
+#include "core/squeezelerator.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+
+namespace sqz::core {
+namespace {
+
+TEST(Compare, HybridWinsOrTies) {
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    const ComparisonResult c = compare_dataflows(m);
+    EXPECT_GE(c.speedup_vs_ws(), 1.0) << m.name();
+    EXPECT_GE(c.speedup_vs_os(), 1.0) << m.name();
+  }
+}
+
+TEST(Compare, ReferencesShareMicroarchitecture) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const ComparisonResult c = compare_dataflows(m);
+  EXPECT_EQ(c.ws_only.config.support, sim::DataflowSupport::WsOnly);
+  EXPECT_EQ(c.os_only.config.support, sim::DataflowSupport::OsOnly);
+  EXPECT_EQ(c.hybrid.config.support, sim::DataflowSupport::Hybrid);
+  EXPECT_EQ(c.ws_only.config.array_n, c.hybrid.config.array_n);
+  EXPECT_EQ(c.os_only.config.gb_kib, c.hybrid.config.gb_kib);
+  // Reference WS lacks the psum accumulator tune-up.
+  EXPECT_TRUE(c.ws_only.config.ws_psums_in_gb);
+  EXPECT_FALSE(c.hybrid.config.ws_psums_in_gb);
+}
+
+TEST(Compare, EnergyReductionDefinition) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const ComparisonResult c = compare_dataflows(m);
+  const double e_h = energy::network_energy(c.hybrid, c.units).total();
+  const double e_ws = energy::network_energy(c.ws_only, c.units).total();
+  EXPECT_NEAR(c.energy_reduction_vs_ws(), 1.0 - e_h / e_ws, 1e-12);
+}
+
+TEST(Compare, RespectsBaseConfig) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  sim::AcceleratorConfig small = sim::AcceleratorConfig::squeezelerator();
+  small.array_n = 8;
+  small.preload_width = 8;
+  small.drain_width = 8;
+  const ComparisonResult c = compare_dataflows(m, small);
+  EXPECT_EQ(c.hybrid.config.array_n, 8);
+  EXPECT_EQ(c.ws_only.config.array_n, 8);
+  // Smaller array -> more cycles than the default 32x32.
+  const ComparisonResult big = compare_dataflows(m);
+  EXPECT_GT(c.hybrid.total_cycles(), big.hybrid.total_cycles());
+}
+
+TEST(Compare, MobileNetIsTheExtremeWsCase) {
+  // Paper Table 2: MobileNet shows the largest WS speedup by far.
+  double mobilenet_speedup = 0.0, max_other = 0.0;
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    const double s = compare_dataflows(m).speedup_vs_ws();
+    if (m.name().find("MobileNet") != std::string::npos)
+      mobilenet_speedup = s;
+    else
+      max_other = std::max(max_other, s);
+  }
+  EXPECT_GT(mobilenet_speedup, max_other);
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -1,0 +1,58 @@
+#include "core/config_io.h"
+
+#include <gtest/gtest.h>
+
+namespace sqz::core {
+namespace {
+
+TEST(ConfigIo, RoundTrip) {
+  sim::AcceleratorConfig c = sim::AcceleratorConfig::squeezelerator();
+  c.array_n = 24;
+  c.rf_entries = 8;
+  c.weight_sparsity = 0.25;
+  c.support = sim::DataflowSupport::OsOnly;
+  c.ws_psums_in_gb = true;
+  c.preload_width = 24;
+  c.drain_width = 24;
+  const sim::AcceleratorConfig back =
+      config_from_ini(util::IniFile::parse(config_to_ini(c)));
+  EXPECT_EQ(back.array_n, 24);
+  EXPECT_EQ(back.rf_entries, 8);
+  EXPECT_DOUBLE_EQ(back.weight_sparsity, 0.25);
+  EXPECT_EQ(back.support, sim::DataflowSupport::OsOnly);
+  EXPECT_TRUE(back.ws_psums_in_gb);
+}
+
+TEST(ConfigIo, PartialOverridesKeepBase) {
+  const auto ini = util::IniFile::parse("[accelerator]\nrf_entries = 4\n");
+  const sim::AcceleratorConfig c = config_from_ini(ini);
+  EXPECT_EQ(c.rf_entries, 4);
+  EXPECT_EQ(c.array_n, 32);   // untouched default
+  EXPECT_EQ(c.gb_kib, 128);
+}
+
+TEST(ConfigIo, TopLevelKeysAccepted) {
+  const auto ini = util::IniFile::parse("array_n = 16\npreload_width = 16\n");
+  EXPECT_EQ(config_from_ini(ini).array_n, 16);
+}
+
+TEST(ConfigIo, SupportParsing) {
+  EXPECT_EQ(config_from_ini(util::IniFile::parse("support = ws\n")).support,
+            sim::DataflowSupport::WsOnly);
+  EXPECT_EQ(config_from_ini(util::IniFile::parse("support = os\n")).support,
+            sim::DataflowSupport::OsOnly);
+  EXPECT_EQ(config_from_ini(util::IniFile::parse("support = hybrid\n")).support,
+            sim::DataflowSupport::Hybrid);
+  EXPECT_THROW(config_from_ini(util::IniFile::parse("support = both\n")),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, ValidatesResult) {
+  EXPECT_THROW(config_from_ini(util::IniFile::parse("array_n = 0\n")),
+               std::invalid_argument);
+  EXPECT_THROW(config_from_ini(util::IniFile::parse("weight_sparsity = 1.5\n")),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sqz::core

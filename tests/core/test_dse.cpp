@@ -1,0 +1,72 @@
+#include "core/dse.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+
+namespace sqz::core {
+namespace {
+
+TEST(Dse, EvaluateProducesOnePointPerConfig) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const auto configs =
+      sweep_rf_entries(sim::AcceleratorConfig::squeezelerator(), {4, 8, 16});
+  const auto points = evaluate_designs(m, configs);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0].label, "RF=4");
+  EXPECT_EQ(points[2].config.rf_entries, 16);
+  for (const DesignPoint& p : points) {
+    EXPECT_GT(p.cycles, 0);
+    EXPECT_GT(p.energy, 0.0);
+    EXPECT_GT(p.utilization, 0.0);
+  }
+}
+
+TEST(Dse, ParetoFilterCorrect) {
+  std::vector<DesignPoint> pts(4);
+  pts[0].label = "a"; pts[0].cycles = 100; pts[0].energy = 100;
+  pts[1].label = "b"; pts[1].cycles = 50;  pts[1].energy = 200;
+  pts[2].label = "c"; pts[2].cycles = 200; pts[2].energy = 50;
+  pts[3].label = "d"; pts[3].cycles = 150; pts[3].energy = 150;  // dominated by a
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].label, "a");
+  EXPECT_EQ(front[1].label, "b");
+  EXPECT_EQ(front[2].label, "c");
+}
+
+TEST(Dse, ParetoHandlesDuplicates) {
+  std::vector<DesignPoint> pts(2);
+  pts[0].cycles = 100; pts[0].energy = 100;
+  pts[1].cycles = 100; pts[1].energy = 100;
+  EXPECT_EQ(pareto_front(pts).size(), 2u);  // equal points don't dominate
+}
+
+TEST(Dse, ParetoOfRealSweepNonEmpty) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const auto points = evaluate_designs(
+      m, sweep_array_n(sim::AcceleratorConfig::squeezelerator(), {8, 16, 32}));
+  const auto front = pareto_front(points);
+  EXPECT_GE(front.size(), 1u);
+  EXPECT_LE(front.size(), points.size());
+}
+
+TEST(Dse, SweepBuildersSetKnobs) {
+  const auto base = sim::AcceleratorConfig::squeezelerator();
+  EXPECT_EQ(sweep_array_n(base, {8})[0].second.array_n, 8);
+  EXPECT_EQ(sweep_array_n(base, {8})[0].first, "8x8");
+  EXPECT_DOUBLE_EQ(sweep_sparsity(base, {0.2})[0].second.weight_sparsity, 0.2);
+  EXPECT_EQ(sweep_sparsity(base, {0.2})[0].first, "sparsity=20%");
+  EXPECT_DOUBLE_EQ(sweep_dram_bandwidth(base, {8.0})[0].second.dram_bytes_per_cycle,
+                   8.0);
+}
+
+TEST(Dse, BiggerArrayFasterOnBigNetwork) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const auto points = evaluate_designs(
+      m, sweep_array_n(sim::AcceleratorConfig::squeezelerator(), {8, 32}));
+  EXPECT_GT(points[0].cycles, points[1].cycles);
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -1,0 +1,81 @@
+#include "core/multicore.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+
+namespace sqz::core {
+namespace {
+
+sim::AcceleratorConfig cfg_batch(int b) {
+  sim::AcceleratorConfig c = sim::AcceleratorConfig::squeezelerator();
+  c.batch = b;
+  return c;
+}
+
+TEST(Multicore, OneCoreMatchesPlainSimulation) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const auto plain = sched::simulate_network(m, cfg_batch(4));
+  const auto mc = simulate_multicore(m, cfg_batch(4), 1);
+  EXPECT_EQ(mc.makespan_cycles(), plain.total_cycles());
+  EXPECT_EQ(mc.per_core_batch, 4);
+}
+
+TEST(Multicore, SplitsBatchAcrossCores) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const auto mc = simulate_multicore(m, cfg_batch(8), 4);
+  EXPECT_EQ(mc.per_core_batch, 2);
+  EXPECT_EQ(mc.total_batch, 8);
+  // Ragged split rounds up.
+  EXPECT_EQ(simulate_multicore(m, cfg_batch(9), 4).per_core_batch, 3);
+}
+
+TEST(Multicore, PrivateChannelsScaleNearLinearly) {
+  // With a DRAM channel per core, batch-parallel cores are independent:
+  // four cores on a batch of 8 deliver ~4x the single-core throughput.
+  const nn::Model m = nn::zoo::squeezenext();
+  const auto one = simulate_multicore(m, cfg_batch(8), 1, /*shared_dram=*/false);
+  const auto four = simulate_multicore(m, cfg_batch(8), 4, /*shared_dram=*/false);
+  EXPECT_GT(four.throughput_ips(), 3.0 * one.throughput_ips());
+}
+
+TEST(Multicore, SharedDramLimitsScaling) {
+  // The SOC case: one 16 GB/s memory controller feeds every core, so the
+  // aggregate bandwidth — not the core count — caps throughput.
+  for (const nn::Model& m : {nn::zoo::alexnet(), nn::zoo::squeezenext()}) {
+    const auto one = simulate_multicore(m, cfg_batch(8), 1, true);
+    const auto four = simulate_multicore(m, cfg_batch(8), 4, true);
+    const double scaling = four.throughput_ips() / one.throughput_ips();
+    EXPECT_LT(scaling, 2.5) << m.name();
+    // Splitting the batch can even *lose* throughput: AlexNet's FC weights
+    // are re-fetched per core while each core sees a quarter of the
+    // bandwidth, undoing the single-core batch amortization.
+    EXPECT_GE(scaling, 0.3) << m.name();
+  }
+}
+
+TEST(Multicore, SharedNeverBeatsPrivateChannels) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  for (int cores : {2, 4}) {
+    const auto shared = simulate_multicore(m, cfg_batch(8), cores, true);
+    const auto priv = simulate_multicore(m, cfg_batch(8), cores, false);
+    EXPECT_GE(priv.throughput_ips(), shared.throughput_ips()) << cores;
+  }
+}
+
+TEST(Multicore, EnergyGrowsWithWeightRefetch) {
+  // Batch-parallel cores each fetch their own weights: total energy for the
+  // same batch is higher than single-core.
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const auto one = simulate_multicore(m, cfg_batch(8), 1);
+  const auto four = simulate_multicore(m, cfg_batch(8), 4);
+  EXPECT_GT(four.total_energy().total(), one.total_energy().total());
+}
+
+TEST(Multicore, RejectsBadCoreCount) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  EXPECT_THROW(simulate_multicore(m, cfg_batch(1), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sqz::core

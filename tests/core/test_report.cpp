@@ -1,0 +1,77 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+
+namespace sqz::core {
+namespace {
+
+TEST(Report, PerLayerTableHasEveryMacLayer) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const auto result =
+      sched::simulate_network(m, sim::AcceleratorConfig::squeezelerator());
+  const util::Table t = per_layer_table(m, result, "test");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("conv1"), std::string::npos);
+  EXPECT_NE(s.find("fire9/expand3x3"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+}
+
+TEST(Report, ComparisonTableTotalsPresent) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const ComparisonResult cmp = compare_dataflows(m);
+  const util::Table t = per_layer_comparison_table(m, cmp, "fig1");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("WS kcyc"), std::string::npos);
+  EXPECT_NE(s.find("TOTAL"), std::string::npos);
+}
+
+TEST(Report, Table2RowMatchesComparison) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const ComparisonResult cmp = compare_dataflows(m);
+  const Table2Row row = table2_row(m, cmp);
+  EXPECT_EQ(row.network, m.name());
+  EXPECT_DOUBLE_EQ(row.speedup_vs_os, cmp.speedup_vs_os());
+  EXPECT_DOUBLE_EQ(row.energy_red_vs_ws, cmp.energy_reduction_vs_ws());
+}
+
+TEST(Report, EnergyTableSharesSumToOne) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const auto result =
+      sched::simulate_network(m, sim::AcceleratorConfig::squeezelerator());
+  const util::Table t = energy_table(result, {}, "energy");
+  EXPECT_NE(t.to_string().find("DRAM"), std::string::npos);
+  EXPECT_NE(t.to_string().find("100.0%"), std::string::npos);
+}
+
+TEST(Power, AveragePowerDefinition) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const auto result =
+      sched::simulate_network(m, sim::AcceleratorConfig::squeezelerator());
+  const double e = energy::network_energy(result).total();
+  const double expected_mw =
+      e / static_cast<double>(result.total_cycles());  // 1 pJ/MAC, 1 GHz
+  EXPECT_NEAR(energy::average_power_mw(result), expected_mw, 1e-9);
+  // Doubling the clock doubles power (same energy in half the time).
+  EXPECT_NEAR(energy::average_power_mw(result, {}, 1.0, 2.0), 2 * expected_mw,
+              1e-9);
+  // A 2 pJ MAC doubles it too.
+  EXPECT_NEAR(energy::average_power_mw(result, {}, 2.0), 2 * expected_mw, 1e-9);
+}
+
+TEST(Power, EmbeddedEnvelopeOrderOfMagnitude) {
+  // At 1 pJ/MAC and 1 GHz the zoo draws a fraction of a watt to a few watts
+  // — the right envelope for the paper's battery-powered form factors.
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    const auto r =
+        sched::simulate_network(m, sim::AcceleratorConfig::squeezelerator());
+    const double mw = energy::average_power_mw(r);
+    EXPECT_GT(mw, 100.0) << m.name();
+    EXPECT_LT(mw, 10000.0) << m.name();
+  }
+}
+
+}  // namespace
+}  // namespace sqz::core

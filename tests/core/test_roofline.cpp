@@ -1,0 +1,89 @@
+#include "core/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+
+namespace sqz::core {
+namespace {
+
+RooflineReport report_for(const nn::Model& m) {
+  const auto cfg = sim::AcceleratorConfig::squeezelerator();
+  return roofline(m, sched::simulate_network(m, cfg));
+}
+
+TEST(Roofline, MachineBalancePoint) {
+  const RooflineReport r = report_for(nn::zoo::squeezenet_v11());
+  EXPECT_DOUBLE_EQ(r.peak_macs_per_cycle, 1024.0);
+  EXPECT_DOUBLE_EQ(r.dram_bytes_per_cycle, 16.0);
+  EXPECT_DOUBLE_EQ(r.balance_point, 64.0);  // MACs per DRAM byte
+}
+
+TEST(Roofline, AttainedNeverExceedsRoof) {
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    const RooflineReport r = report_for(m);
+    for (const RooflinePoint& p : r.layers) {
+      EXPECT_LE(p.attained_macs_per_cycle, p.roof_macs_per_cycle * 1.0001)
+          << m.name() << " " << p.layer_name;
+      EXPECT_LE(p.roof_fraction(), 1.0001);
+    }
+  }
+}
+
+TEST(Roofline, FcLayersAreMemoryBound) {
+  // Batch-1 FC: one MAC per weight byte moved — far below AI* = 64.
+  const nn::Model m = nn::zoo::alexnet();
+  const RooflineReport r = report_for(m);
+  for (const RooflinePoint& p : r.layers) {
+    if (m.layer(p.layer_idx).is_fc()) {
+      EXPECT_TRUE(p.memory_bound) << p.layer_name;
+      EXPECT_LT(p.arithmetic_intensity, 1.0) << p.layer_name;
+    }
+  }
+}
+
+TEST(Roofline, DepthwiseBelowPointwiseIntensity) {
+  // The paper's SqueezeNext argument: depthwise convolutions have poor
+  // arithmetic intensity relative to the pointwise layers around them.
+  const nn::Model m = nn::zoo::mobilenet();
+  const RooflineReport r = report_for(m);
+  double dw_sum = 0, pw_sum = 0;
+  int dw_n = 0, pw_n = 0;
+  for (const RooflinePoint& p : r.layers) {
+    const nn::Layer& l = m.layer(p.layer_idx);
+    if (l.is_depthwise()) {
+      dw_sum += p.arithmetic_intensity;
+      ++dw_n;
+    } else if (l.is_pointwise()) {
+      pw_sum += p.arithmetic_intensity;
+      ++pw_n;
+    }
+  }
+  ASSERT_GT(dw_n, 0);
+  ASSERT_GT(pw_n, 0);
+  EXPECT_LT(dw_sum / dw_n, pw_sum / pw_n);
+}
+
+TEST(Roofline, CoversEveryMacLayer) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const RooflineReport r = report_for(m);
+  int mac_layers = 0;
+  for (int i = 0; i < m.layer_count(); ++i)
+    if (m.layer(i).is_macs_layer()) ++mac_layers;
+  EXPECT_EQ(static_cast<int>(r.layers.size()), mac_layers);
+}
+
+TEST(Roofline, MoreBandwidthUnbindsLayers) {
+  // MobileNet is wholly memory-bound at the paper's 16 B/cycle (balance 64);
+  // at 1 KiB/cycle (balance 1) its pointwise layers move compute-side.
+  const nn::Model m = nn::zoo::mobilenet();
+  sim::AcceleratorConfig fat = sim::AcceleratorConfig::squeezelerator();
+  fat.dram_bytes_per_cycle = 1024.0;
+  const auto narrow = report_for(m);
+  const auto wide = roofline(m, sched::simulate_network(m, fat));
+  EXPECT_LT(wide.memory_bound_count(), narrow.memory_bound_count());
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -1,0 +1,48 @@
+#include "nn/accuracy.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+
+namespace sqz::nn {
+namespace {
+
+TEST(Accuracy, TableNonEmptyAndSane) {
+  const auto& table = accuracy_table();
+  EXPECT_GE(table.size(), 10u);
+  for (const AccuracyRecord& r : table) {
+    EXPECT_FALSE(r.model_name.empty());
+    EXPECT_GT(r.top1, 20.0);
+    EXPECT_LT(r.top1, 100.0);
+    EXPECT_FALSE(r.source.empty());
+  }
+}
+
+TEST(Accuracy, LookupHitAndMiss) {
+  const auto hit = published_accuracy("AlexNet");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->top1, 57.2, 0.01);
+  EXPECT_FALSE(published_accuracy("NotANetwork").has_value());
+}
+
+TEST(Accuracy, PaperHeadlineNumbers) {
+  // Paper conclusion: "we achieve 59.2% top-1 vs 57.1% of SqueezeNet".
+  EXPECT_NEAR(published_accuracy("1.0-SqNxt-23 v5")->top1, 59.2, 0.01);
+  EXPECT_NEAR(published_accuracy("SqueezeNet v1.0")->top1, 57.1, 0.01);
+}
+
+TEST(Accuracy, OptimizedVariantsNotWorse) {
+  // "the optimized versions have slightly better accuracy as compared to the
+  // initial variant".
+  const double v1 = published_accuracy("1.0-SqNxt-23 v1")->top1;
+  const double v5 = published_accuracy("1.0-SqNxt-23 v5")->top1;
+  EXPECT_GE(v5, v1);
+}
+
+TEST(Accuracy, EveryFigure4ModelHasARecord) {
+  for (const Model& m : zoo::figure4_models())
+    EXPECT_TRUE(published_accuracy(m.name()).has_value()) << m.name();
+}
+
+}  // namespace
+}  // namespace sqz::nn

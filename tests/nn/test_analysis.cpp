@@ -1,0 +1,110 @@
+#include "nn/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace sqz::nn {
+namespace {
+
+Model mixed_model() {
+  Model m("mixed", TensorShape{3, 32, 32});
+  m.add_conv("first", 16, 3, 1, 1);     // FirstConv
+  m.add_conv("pw", 32, 1, 1, 0);        // Pointwise
+  m.add_depthwise("dw", 3, 1, 1);       // Depthwise
+  m.add_conv("spatial", 32, 3, 1, 1);   // Spatial
+  m.add_maxpool("pool", 2, 2);          // Other
+  m.add_global_avgpool("g");
+  m.add_fc("fc", 10);                   // FullyConnected
+  m.finalize();
+  return m;
+}
+
+TEST(Analysis, CategorizeEachKind) {
+  const Model m = mixed_model();
+  EXPECT_EQ(categorize(m, 1), LayerCategory::FirstConv);
+  EXPECT_EQ(categorize(m, 2), LayerCategory::Pointwise);
+  EXPECT_EQ(categorize(m, 3), LayerCategory::Depthwise);
+  EXPECT_EQ(categorize(m, 4), LayerCategory::Spatial);
+  EXPECT_EQ(categorize(m, 5), LayerCategory::Other);
+  EXPECT_EQ(categorize(m, 7), LayerCategory::FullyConnected);
+}
+
+TEST(Analysis, SeparatedFiltersAreSpatial) {
+  // SqueezeNext's 1x3 / 3x1 separated convolutions count as FxF (F > 1).
+  Model m("sep", TensorShape{8, 16, 16});
+  m.add_conv("first", 8, 1, 1, 0);
+  ConvParams c13;
+  c13.out_channels = 8;
+  c13.kh = 1;
+  c13.kw = 3;
+  c13.pad_w = 1;
+  m.add_conv("c13", c13);
+  m.finalize();
+  EXPECT_EQ(categorize(m, 2), LayerCategory::Spatial);
+}
+
+TEST(Analysis, BreakdownSumsToTotal) {
+  const Model m = mixed_model();
+  const OpBreakdown b = analyze_ops(m);
+  std::int64_t sum = 0;
+  for (int c = 0; c < kLayerCategoryCount; ++c) sum += b.macs[c];
+  EXPECT_EQ(sum, b.total);
+  EXPECT_EQ(b.total, m.total_macs());
+}
+
+TEST(Analysis, FractionsSumToOne) {
+  const Model m = mixed_model();
+  const OpBreakdown b = analyze_ops(m);
+  double frac = 0.0;
+  for (int c = 0; c < kLayerCategoryCount; ++c)
+    frac += b.fraction(static_cast<LayerCategory>(c));
+  EXPECT_NEAR(frac, 1.0, 1e-12);
+}
+
+TEST(Analysis, EmptyBreakdownFractionsZero) {
+  Model m("pools", TensorShape{3, 8, 8});
+  m.add_maxpool("p", 2, 2);
+  m.finalize();
+  const OpBreakdown b = analyze_ops(m);
+  EXPECT_EQ(b.total, 0);
+  EXPECT_EQ(b.fraction(LayerCategory::Pointwise), 0.0);
+}
+
+TEST(Analysis, CategoryNames) {
+  EXPECT_STREQ(layer_category_name(LayerCategory::FirstConv), "Conv1");
+  EXPECT_STREQ(layer_category_name(LayerCategory::Pointwise), "1x1");
+  EXPECT_STREQ(layer_category_name(LayerCategory::Spatial), "FxF");
+  EXPECT_STREQ(layer_category_name(LayerCategory::Depthwise), "DW");
+}
+
+TEST(Analysis, WeightBytes) {
+  const Model m = mixed_model();
+  EXPECT_EQ(model_weight_bytes(m, 2), m.total_params() * 2);
+}
+
+TEST(Analysis, ArithmeticIntensity) {
+  const Model m = mixed_model();
+  // Pointwise conv: macs / ((in + out + params) * bytes)
+  const Layer& pw = m.layer(2);
+  const double ai = arithmetic_intensity(pw, 2);
+  const double expected =
+      static_cast<double>(pw.macs()) /
+      static_cast<double>((pw.in_shape.elems() + pw.out_shape.elems() +
+                           pw.params()) * 2);
+  EXPECT_DOUBLE_EQ(ai, expected);
+  EXPECT_EQ(arithmetic_intensity(m.layer(5), 2), 0.0);  // pool: no MACs
+}
+
+TEST(Analysis, DepthwiseHasLowArithmeticIntensity) {
+  // The paper avoids depthwise convolutions in SqueezeNext because of their
+  // poor arithmetic intensity; the metric should reflect that.
+  Model m("ai", TensorShape{64, 28, 28});
+  m.add_depthwise("dw", 3, 1, 1);
+  m.add_conv("pw_first", 64, 1, 1, 0, 0);
+  m.add_conv("std", 64, 3, 1, 1, 0);
+  m.finalize();
+  EXPECT_LT(arithmetic_intensity(m.layer(1), 2),
+            arithmetic_intensity(m.layer(3), 2));
+}
+
+}  // namespace
+}  // namespace sqz::nn

@@ -1,0 +1,133 @@
+// Randomized property tests over generated model graphs: every random model
+// must (a) round-trip through the text serializer, (b) compute identically
+// on the reference runtime and both functional dataflow emulators, and
+// (c) satisfy the simulator's conservation invariants.
+#include <gtest/gtest.h>
+
+#include "nn/serialize.h"
+#include "runtime/executor.h"
+#include "sched/network_sim.h"
+#include "sim/functional/engines.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sqz {
+namespace {
+
+/// Generate a random but valid layer graph (chains with occasional fire-style
+/// branches and residual adds), small enough for the functional emulators.
+nn::Model random_model(std::uint64_t seed) {
+  util::Rng rng(seed);
+  const int cin = static_cast<int>(rng.next_in(1, 6));
+  const int hw = static_cast<int>(rng.next_in(9, 24));
+  nn::Model m(util::format("fuzz-%llu", static_cast<unsigned long long>(seed)),
+              nn::TensorShape{cin, hw, hw});
+
+  int last = 0;
+  const int layers = static_cast<int>(rng.next_in(3, 7));
+  for (int i = 0; i < layers; ++i) {
+    const nn::TensorShape cur = m.layer(last).out_shape;
+    switch (rng.next_below(6)) {
+      case 0:
+      case 1: {  // conv
+        const int k = rng.next_bernoulli(0.5) ? 1 : 3;
+        const int stride = (cur.h > 8 && rng.next_bernoulli(0.3)) ? 2 : 1;
+        const int out = static_cast<int>(rng.next_in(2, 20));
+        last = m.add_conv(util::format("conv%d", i), out, k, stride,
+                          k == 3 ? 1 : 0, last);
+        break;
+      }
+      case 2: {  // depthwise
+        if (cur.h < 4) break;
+        last = m.add_depthwise(util::format("dw%d", i), 3, 1, 1, last);
+        break;
+      }
+      case 3: {  // pool
+        if (cur.h < 4) break;
+        last = m.add_maxpool(util::format("pool%d", i), 2, 2, last);
+        break;
+      }
+      case 4: {  // fire-style branch + concat
+        const int a = m.add_conv(util::format("br%da", i),
+                                 static_cast<int>(rng.next_in(2, 8)), 1, 1, 0,
+                                 last);
+        const int b = m.add_conv(util::format("br%db", i),
+                                 static_cast<int>(rng.next_in(2, 8)), 3, 1, 1,
+                                 last);
+        last = m.add_concat(util::format("cat%d", i), {a, b});
+        break;
+      }
+      case 5: {  // residual add around a conv
+        const int body = m.add_conv(util::format("res%d", i), cur.c, 3, 1, 1,
+                                    last);
+        last = m.add_add(util::format("add%d", i), body, last);
+        break;
+      }
+    }
+  }
+  m.add_global_avgpool("gap", last);
+  m.add_fc("fc", static_cast<int>(rng.next_in(2, 12)));
+  m.finalize();
+  return m;
+}
+
+class FuzzModels : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzModels, SerializationRoundTrips) {
+  const nn::Model m = random_model(GetParam());
+  const nn::Model parsed = nn::parse_model(nn::serialize_model(m));
+  ASSERT_EQ(parsed.layer_count(), m.layer_count());
+  for (int i = 0; i < m.layer_count(); ++i) {
+    EXPECT_EQ(parsed.layer(i).kind, m.layer(i).kind) << i;
+    EXPECT_EQ(parsed.layer(i).out_shape, m.layer(i).out_shape) << i;
+    EXPECT_EQ(parsed.layer(i).macs(), m.layer(i).macs()) << i;
+  }
+  // Fixed point: serializing the parse reproduces the text exactly.
+  EXPECT_EQ(nn::serialize_model(parsed), nn::serialize_model(m));
+}
+
+TEST_P(FuzzModels, DataflowEnginesMatchReferenceEverywhere) {
+  const nn::Model m = random_model(GetParam());
+  runtime::ExecutorConfig ec;
+  runtime::Executor ex(m, ec);
+  ex.run();
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  for (int i = 1; i < m.layer_count(); ++i) {
+    const nn::Layer& l = m.layer(i);
+    if (!l.is_conv()) continue;
+    const runtime::Tensor& in = ex.output(l.inputs.at(0));
+    runtime::Requant rq = ec.requant;
+    rq.relu = l.conv.relu;
+    const auto ws =
+        sim::functional::run_weight_stationary(l, in, ex.weights(i), rq, cfg);
+    const auto os =
+        sim::functional::run_output_stationary(l, in, ex.weights(i), rq, cfg);
+    EXPECT_EQ(ws.output, ex.output(i)) << m.name() << " " << l.name;
+    EXPECT_EQ(os.output, ex.output(i)) << m.name() << " " << l.name;
+  }
+}
+
+TEST_P(FuzzModels, SimulatorInvariantsHold) {
+  const nn::Model m = random_model(GetParam());
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  const auto r = sched::simulate_network(m, cfg);
+  EXPECT_EQ(r.total_useful_macs(), m.total_macs());
+  EXPECT_GT(r.total_cycles(), 0);
+  EXPECT_LE(r.utilization(), 1.0);
+  for (const auto& l : r.layers) {
+    EXPECT_GE(l.total_cycles, l.compute_cycles) << l.layer_name;
+    EXPECT_GE(l.counts.gb_reads, 0);
+  }
+  // Hybrid never loses to the forced references.
+  sim::AcceleratorConfig ws = cfg, os = cfg;
+  ws.support = sim::DataflowSupport::WsOnly;
+  os.support = sim::DataflowSupport::OsOnly;
+  EXPECT_LE(r.total_cycles(), sched::simulate_network(m, ws).total_cycles());
+  EXPECT_LE(r.total_cycles(), sched::simulate_network(m, os).total_cycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzModels,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace sqz

@@ -1,0 +1,93 @@
+#include "nn/layer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model.h"
+
+namespace sqz::nn {
+namespace {
+
+Model one_conv(int cin, int hw, ConvParams p) {
+  Model m("t", TensorShape{cin, hw, hw});
+  m.add_conv("c", p);
+  m.finalize();
+  return m;
+}
+
+TEST(Layer, ConvMacsAndParams) {
+  ConvParams p;
+  p.out_channels = 8;
+  p.kh = p.kw = 3;
+  p.stride = 1;
+  p.pad_h = p.pad_w = 1;
+  const Model m = one_conv(4, 10, p);
+  const Layer& l = m.layer(1);
+  // out 8x10x10, taps 3*3*4 = 36
+  EXPECT_EQ(l.taps_per_output(), 36);
+  EXPECT_EQ(l.macs(), 800 * 36);
+  EXPECT_EQ(l.params(), 8 * 36 + 8);
+}
+
+TEST(Layer, GroupedConvDividesChannels) {
+  ConvParams p;
+  p.out_channels = 8;
+  p.kh = p.kw = 3;
+  p.pad_h = p.pad_w = 1;
+  p.groups = 2;
+  const Model m = one_conv(4, 10, p);
+  const Layer& l = m.layer(1);
+  EXPECT_EQ(l.taps_per_output(), 3 * 3 * 2);
+  EXPECT_EQ(l.params(), 8 * 18 + 8);
+}
+
+TEST(Layer, DepthwisePredicates) {
+  Model m("t", TensorShape{6, 8, 8});
+  m.add_depthwise("dw", 3, 1, 1);
+  m.finalize();
+  const Layer& l = m.layer(1);
+  EXPECT_TRUE(l.is_depthwise());
+  EXPECT_FALSE(l.is_pointwise());
+  EXPECT_EQ(l.conv.groups, 6);
+  EXPECT_EQ(l.out_shape.c, 6);
+  EXPECT_EQ(l.macs(), 6 * 8 * 8 * 9);
+}
+
+TEST(Layer, PointwisePredicates) {
+  ConvParams p;
+  p.out_channels = 12;
+  p.kh = p.kw = 1;
+  const Model m = one_conv(4, 5, p);
+  EXPECT_TRUE(m.layer(1).is_pointwise());
+  EXPECT_FALSE(m.layer(1).is_depthwise());
+}
+
+TEST(Layer, FcMacsAndParams) {
+  Model m("t", TensorShape{4, 3, 3});
+  m.add_fc("f", 10);
+  m.finalize();
+  const Layer& l = m.layer(1);
+  EXPECT_EQ(l.macs(), 36 * 10);
+  EXPECT_EQ(l.params(), 36 * 10 + 10);
+  EXPECT_TRUE(l.is_macs_layer());
+  EXPECT_EQ(l.out_shape, (TensorShape{10, 1, 1}));
+}
+
+TEST(Layer, NonMacLayersHaveZeroMacs) {
+  Model m("t", TensorShape{4, 8, 8});
+  m.add_maxpool("p", 2, 2);
+  m.add_relu("r");
+  m.finalize();
+  EXPECT_EQ(m.layer(1).macs(), 0);
+  EXPECT_EQ(m.layer(1).params(), 0);
+  EXPECT_EQ(m.layer(2).macs(), 0);
+  EXPECT_FALSE(m.layer(1).is_macs_layer());
+}
+
+TEST(Layer, KindNames) {
+  EXPECT_STREQ(layer_kind_name(LayerKind::Conv), "conv");
+  EXPECT_STREQ(layer_kind_name(LayerKind::FullyConnected), "fc");
+  EXPECT_STREQ(layer_kind_name(LayerKind::Concat), "concat");
+}
+
+}  // namespace
+}  // namespace sqz::nn

@@ -1,0 +1,160 @@
+#include "nn/model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sqz::nn {
+namespace {
+
+TEST(Model, RejectsBadInputShape) {
+  EXPECT_THROW(Model("m", TensorShape{0, 5, 5}), std::invalid_argument);
+  EXPECT_THROW(Model("m", TensorShape{3, -1, 5}), std::invalid_argument);
+}
+
+TEST(Model, InputLayerIsImplicit) {
+  Model m("m", TensorShape{3, 8, 8});
+  EXPECT_EQ(m.layer_count(), 1);
+  EXPECT_EQ(m.layer(0).kind, LayerKind::Input);
+  EXPECT_EQ(m.layer(0).out_shape, (TensorShape{3, 8, 8}));
+}
+
+TEST(Model, ChainShapeInference) {
+  Model m("m", TensorShape{3, 32, 32});
+  m.add_conv("c1", 16, 3, 1, 1);
+  m.add_maxpool("p1", 2, 2);
+  m.add_conv("c2", 32, 3, 1, 1);
+  m.add_global_avgpool("g");
+  m.add_fc("f", 10);
+  m.finalize();
+  EXPECT_EQ(m.layer(1).out_shape, (TensorShape{16, 32, 32}));
+  EXPECT_EQ(m.layer(2).out_shape, (TensorShape{16, 16, 16}));
+  EXPECT_EQ(m.layer(3).out_shape, (TensorShape{32, 16, 16}));
+  EXPECT_EQ(m.layer(4).out_shape, (TensorShape{32, 1, 1}));
+  EXPECT_EQ(m.layer(5).out_shape, (TensorShape{10, 1, 1}));
+}
+
+TEST(Model, ExplicitFromIndices) {
+  Model m("m", TensorShape{4, 8, 8});
+  const int a = m.add_conv("a", 8, 1, 1, 0, 0);
+  const int b = m.add_conv("b", 8, 3, 1, 1, a);
+  const int c = m.add_conv("c", 8, 1, 1, 0, a);  // branch from a, not b
+  EXPECT_EQ(m.layer(c).inputs.at(0), a);
+  const int cat = m.add_concat("cat", {b, c});
+  m.finalize();
+  EXPECT_EQ(m.layer(cat).out_shape, (TensorShape{16, 8, 8}));
+}
+
+TEST(Model, ConcatRequiresMatchingSpatial) {
+  Model m("m", TensorShape{4, 8, 8});
+  const int a = m.add_conv("a", 8, 1, 1, 0);
+  const int b = m.add_maxpool("p", 2, 2, a);
+  EXPECT_THROW(m.add_concat("cat", {a, b}), std::invalid_argument);
+}
+
+TEST(Model, ConcatNeedsTwoInputs) {
+  Model m("m", TensorShape{4, 8, 8});
+  const int a = m.add_conv("a", 8, 1, 1, 0);
+  EXPECT_THROW(m.add_concat("cat", {a}), std::invalid_argument);
+}
+
+TEST(Model, AddRequiresSameShape) {
+  Model m("m", TensorShape{4, 8, 8});
+  const int a = m.add_conv("a", 8, 1, 1, 0);
+  const int b = m.add_conv("b", 16, 1, 1, 0, 0);
+  EXPECT_THROW(m.add_add("add", a, b), std::invalid_argument);
+}
+
+TEST(Model, ResidualAdd) {
+  Model m("m", TensorShape{8, 8, 8});
+  const int a = m.add_conv("a", 8, 3, 1, 1);
+  const int s = m.add_add("res", a, 0);
+  m.finalize();
+  EXPECT_EQ(m.layer(s).out_shape, (TensorShape{8, 8, 8}));
+}
+
+TEST(Model, RejectsOutOfRangeInput) {
+  Model m("m", TensorShape{4, 8, 8});
+  EXPECT_THROW(m.add_conv("a", 8, 1, 1, 0, 99), std::invalid_argument);
+  EXPECT_THROW(m.add_conv("a", 8, 1, 1, 0, -2), std::invalid_argument);
+}
+
+TEST(Model, RejectsBadGroups) {
+  Model m("m", TensorShape{5, 8, 8});
+  ConvParams p;
+  p.out_channels = 8;
+  p.kh = p.kw = 1;
+  p.groups = 2;  // 5 % 2 != 0
+  EXPECT_THROW(m.add_conv("c", p), std::invalid_argument);
+}
+
+TEST(Model, RejectsKernelLargerThanInput) {
+  Model m("m", TensorShape{3, 4, 4});
+  EXPECT_THROW(m.add_conv("c", 8, 7, 1, 0), std::invalid_argument);
+}
+
+TEST(Model, FinalizeFreezesModel) {
+  Model m("m", TensorShape{3, 8, 8});
+  m.add_conv("c", 8, 3, 1, 1);
+  m.finalize();
+  EXPECT_TRUE(m.finalized());
+  EXPECT_THROW(m.add_conv("d", 8, 3, 1, 1), std::logic_error);
+  EXPECT_NO_THROW(m.finalize());  // idempotent
+}
+
+TEST(Model, FinalizeRejectsEmptyModel) {
+  Model m("m", TensorShape{3, 8, 8});
+  EXPECT_THROW(m.finalize(), std::invalid_argument);
+}
+
+TEST(Model, TotalsSumLayers) {
+  Model m("m", TensorShape{3, 16, 16});
+  m.add_conv("c1", 8, 3, 1, 1);
+  m.add_conv("c2", 16, 1, 1, 0);
+  m.finalize();
+  EXPECT_EQ(m.total_macs(), m.layer(1).macs() + m.layer(2).macs());
+  EXPECT_EQ(m.total_params(), m.layer(1).params() + m.layer(2).params());
+}
+
+TEST(Model, FirstConvIndex) {
+  Model m("m", TensorShape{3, 16, 16});
+  m.add_maxpool("p", 2, 2);
+  m.add_conv("c", 8, 3, 1, 1);
+  m.finalize();
+  EXPECT_EQ(m.first_conv_index(), 2);
+}
+
+TEST(Model, FirstConvIndexNoConv) {
+  Model m("m", TensorShape{3, 16, 16});
+  m.add_fc("f", 4);
+  m.finalize();
+  EXPECT_EQ(m.first_conv_index(), -1);
+}
+
+TEST(Model, PeakActivationBytes) {
+  Model m("m", TensorShape{1, 4, 4});
+  m.add_conv("c", 2, 1, 1, 0);  // in 16, out 32 elems
+  m.finalize();
+  EXPECT_EQ(m.peak_activation_bytes(2), (16 + 32) * 2);
+}
+
+TEST(Model, SummaryMentionsLayers) {
+  Model m("m", TensorShape{3, 8, 8});
+  m.add_conv("my_conv", 8, 3, 1, 1);
+  m.finalize();
+  EXPECT_NE(m.summary().find("my_conv"), std::string::npos);
+}
+
+TEST(Model, DepthwiseAfterConcatTracksChannels) {
+  Model m("m", TensorShape{4, 8, 8});
+  const int a = m.add_conv("a", 8, 1, 1, 0);
+  const int b = m.add_conv("b", 8, 1, 1, 0, 0);
+  const int cat = m.add_concat("cat", {a, b});
+  const int dw = m.add_depthwise("dw", 3, 1, 1, cat);
+  m.finalize();
+  EXPECT_EQ(m.layer(dw).conv.groups, 16);
+  EXPECT_EQ(m.layer(dw).out_shape.c, 16);
+}
+
+}  // namespace
+}  // namespace sqz::nn

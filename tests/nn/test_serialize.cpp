@@ -1,0 +1,116 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/analysis.h"
+#include "nn/zoo/zoo.h"
+
+namespace sqz::nn {
+namespace {
+
+void expect_same_structure(const Model& a, const Model& b) {
+  ASSERT_EQ(a.layer_count(), b.layer_count());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.input_shape(), b.input_shape());
+  for (int i = 0; i < a.layer_count(); ++i) {
+    const Layer& la = a.layer(i);
+    const Layer& lb = b.layer(i);
+    EXPECT_EQ(la.kind, lb.kind) << i;
+    EXPECT_EQ(la.name, lb.name) << i;
+    EXPECT_EQ(la.inputs, lb.inputs) << i;
+    EXPECT_EQ(la.out_shape, lb.out_shape) << i;
+    EXPECT_EQ(la.macs(), lb.macs()) << i;
+    EXPECT_EQ(la.params(), lb.params()) << i;
+  }
+}
+
+TEST(Serialize, RoundTripsEveryZooModel) {
+  for (const Model& m : zoo::all_table1_models()) {
+    const Model parsed = parse_model(serialize_model(m));
+    expect_same_structure(m, parsed);
+  }
+}
+
+TEST(Serialize, RoundTripsBranchyGraph) {
+  Model m("branchy", TensorShape{4, 16, 16});
+  const int a = m.add_conv("a", 8, 3, 2, 0);
+  const int b = m.add_conv("b", 4, 1, 1, 0, a);
+  const int c = m.add_conv("c", 4, 3, 1, 1, a);
+  const int cat = m.add_concat("cat", {b, c});
+  const int d = m.add_conv("d", 8, 1, 1, 0, cat);
+  m.add_add("res", d, a);
+  m.add_global_avgpool("gap");
+  m.add_fc("fc", 5, false);
+  m.finalize();
+  expect_same_structure(m, parse_model(serialize_model(m)));
+}
+
+TEST(Serialize, ParsesHandWrittenDescription) {
+  const Model m = parse_model(
+      "model HandNet input 3x32x32\n"
+      "# a comment\n"
+      "conv name=c1 out=16 kernel=3x3 stride=2 pad=1x1\n"
+      "maxpool name=p1 kernel=2 stride=2\n"
+      "conv name=c2 out=32 kernel=1x1\n"
+      "gavgpool name=gap\n"
+      "fc name=out out=10 relu=0\n");
+  EXPECT_EQ(m.name(), "HandNet");
+  EXPECT_EQ(m.layer_count(), 6);
+  EXPECT_EQ(m.layer(1).out_shape, (TensorShape{16, 16, 16}));
+  EXPECT_EQ(m.layer(5).out_shape, (TensorShape{10, 1, 1}));
+  EXPECT_FALSE(m.layer(5).fc.relu);
+}
+
+TEST(Serialize, DepthwiseKeyword) {
+  const Model m = parse_model(
+      "model Dw input 8x16x16\n"
+      "depthwise name=dw kernel=3 stride=1 pad=1\n");
+  EXPECT_TRUE(m.layer(1).is_depthwise());
+  EXPECT_EQ(m.layer(1).conv.groups, 8);
+}
+
+TEST(Serialize, DefaultsMatchBuilder) {
+  const Model m = parse_model(
+      "model D input 4x8x8\n"
+      "conv name=c out=8 kernel=3x3 pad=1x1\n");  // stride/groups/relu default
+  EXPECT_EQ(m.layer(1).conv.stride, 1);
+  EXPECT_EQ(m.layer(1).conv.groups, 1);
+  EXPECT_TRUE(m.layer(1).conv.relu);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+  try {
+    parse_model("model X input 3x8x8\nbogus name=z\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Serialize, RejectsMalformedHeader) {
+  EXPECT_THROW(parse_model("conv name=c out=8 kernel=1x1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_model("model X input 3x8\n"), std::invalid_argument);
+  EXPECT_THROW(parse_model(""), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsBadAttributes) {
+  EXPECT_THROW(parse_model("model X input 3x8x8\nconv name=c out=abc kernel=1x1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_model("model X input 3x8x8\nconv noequals\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_model("model X input 3x8x8\nconcat name=c from=1\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, AnalysisSurvivesRoundTrip) {
+  const Model m = zoo::squeezenet_v11();
+  const Model parsed = parse_model(serialize_model(m));
+  const OpBreakdown a = analyze_ops(m);
+  const OpBreakdown b = analyze_ops(parsed);
+  EXPECT_EQ(a.total, b.total);
+  for (int c = 0; c < kLayerCategoryCount; ++c) EXPECT_EQ(a.macs[c], b.macs[c]);
+}
+
+}  // namespace
+}  // namespace sqz::nn

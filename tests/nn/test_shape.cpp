@@ -1,0 +1,77 @@
+#include "nn/shape.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sqz::nn {
+namespace {
+
+TEST(TensorShape, ElemsAndBytes) {
+  TensorShape s{3, 4, 5};
+  EXPECT_EQ(s.elems(), 60);
+  EXPECT_EQ(s.bytes(2), 120);
+  EXPECT_EQ(s.bytes(1), 60);
+}
+
+TEST(TensorShape, Equality) {
+  EXPECT_EQ((TensorShape{1, 2, 3}), (TensorShape{1, 2, 3}));
+  EXPECT_NE((TensorShape{1, 2, 3}), (TensorShape{3, 2, 1}));
+}
+
+TEST(TensorShape, ToString) {
+  EXPECT_EQ((TensorShape{96, 55, 55}).to_string(), "96x55x55");
+}
+
+TEST(ConvOutExtent, ClassicCases) {
+  EXPECT_EQ(conv_out_extent(227, 11, 4, 0), 55);   // AlexNet conv1
+  EXPECT_EQ(conv_out_extent(227, 7, 2, 0), 111);   // SqueezeNet conv1
+  EXPECT_EQ(conv_out_extent(13, 3, 1, 1), 13);     // same-padded 3x3
+  EXPECT_EQ(conv_out_extent(55, 3, 2, 0), 27);     // overlapping pool
+  EXPECT_EQ(conv_out_extent(224, 3, 2, 1), 112);   // MobileNet conv1
+}
+
+TEST(ConvOutExtent, SingleOutput) {
+  EXPECT_EQ(conv_out_extent(7, 7, 1, 0), 1);
+}
+
+TEST(ConvOutExtent, RejectsBadArguments) {
+  EXPECT_THROW(conv_out_extent(0, 3, 1, 0), std::invalid_argument);
+  EXPECT_THROW(conv_out_extent(5, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(conv_out_extent(5, 3, 0, 0), std::invalid_argument);
+  EXPECT_THROW(conv_out_extent(5, 3, 1, -1), std::invalid_argument);
+  EXPECT_THROW(conv_out_extent(3, 7, 1, 1), std::invalid_argument);  // too small
+}
+
+// Property: output extent is monotone non-decreasing in input size.
+TEST(ConvOutExtent, MonotoneInInput) {
+  for (int k : {1, 3, 5, 7}) {
+    for (int s : {1, 2, 4}) {
+      int prev = 0;
+      for (int in = k; in < 64; ++in) {
+        const int out = conv_out_extent(in, k, s, 0);
+        EXPECT_GE(out, prev);
+        prev = out;
+      }
+    }
+  }
+}
+
+// Property: every output position reads only in-bounds pixels after padding.
+TEST(ConvOutExtent, LastWindowFitsPaddedInput) {
+  for (int in : {7, 13, 28, 56}) {
+    for (int k : {1, 2, 3, 5}) {
+      for (int s : {1, 2, 3}) {
+        for (int p : {0, 1, 2}) {
+          if (in + 2 * p < k) continue;
+          const int out = conv_out_extent(in, k, s, p);
+          const int last_start = (out - 1) * s - p;
+          EXPECT_LE(last_start + k, in + p) << in << " " << k << " " << s << " " << p;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqz::nn

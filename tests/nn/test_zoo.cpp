@@ -1,0 +1,159 @@
+#include "nn/zoo/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/analysis.h"
+
+namespace sqz::nn::zoo {
+namespace {
+
+void expect_classifier(const Model& m) {
+  EXPECT_TRUE(m.finalized());
+  const Layer& last = m.layer(m.layer_count() - 1);
+  // Final tensor is a 1000-way class vector (possibly via global pooling).
+  EXPECT_EQ(last.out_shape.c, 1000) << m.name();
+  EXPECT_EQ(last.out_shape.h, 1);
+  EXPECT_EQ(last.out_shape.w, 1);
+}
+
+TEST(Zoo, AlexNetStructure) {
+  const Model m = alexnet();
+  expect_classifier(m);
+  // Published AlexNet: ~61M params, ~0.7G MACs.
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 61e6, 2e6);
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 724e6, 30e6);
+  EXPECT_EQ(m.layer(1).out_shape, (TensorShape{96, 55, 55}));
+}
+
+TEST(Zoo, SqueezeNetV10Structure) {
+  const Model m = squeezenet_v10();
+  expect_classifier(m);
+  // Published: 1.25M params ("50x fewer than AlexNet"), ~0.85G MACs.
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 1.25e6, 0.1e6);
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 830e6, 60e6);
+  EXPECT_EQ(m.layer(1).out_shape, (TensorShape{96, 111, 111}));
+}
+
+TEST(Zoo, SqueezeNetBypassMatchesBaseBudget) {
+  // Simple bypass adds only elementwise sums: same weights, same MACs.
+  const Model base = squeezenet_v10();
+  const Model bypass = squeezenet_v10_bypass();
+  EXPECT_EQ(bypass.total_params(), base.total_params());
+  EXPECT_EQ(bypass.total_macs(), base.total_macs());
+  int adds = 0;
+  for (const Layer& l : bypass.layers())
+    if (l.kind == LayerKind::Add) ++adds;
+  EXPECT_EQ(adds, 4);  // fire3/5/7/9
+  EXPECT_EQ(bypass.layer(bypass.layer_count() - 1).out_shape.c, 1000);
+}
+
+TEST(Zoo, SqueezeNetV11IsCheaper) {
+  const Model v10 = squeezenet_v10();
+  const Model v11 = squeezenet_v11();
+  // v1.1's claim: ~2.4x fewer operations at the same accuracy.
+  const double ratio = static_cast<double>(v10.total_macs()) /
+                       static_cast<double>(v11.total_macs());
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 2.9);
+  // Nearly identical parameter budget.
+  EXPECT_NEAR(static_cast<double>(v11.total_params()),
+              static_cast<double>(v10.total_params()), 0.15e6);
+}
+
+TEST(Zoo, MobileNetStructure) {
+  const Model m = mobilenet();
+  expect_classifier(m);
+  // Published 1.0 MobileNet-224: 4.2M params, 569M MACs.
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 4.2e6, 0.3e6);
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 569e6, 30e6);
+  // 13 depthwise + 13 pointwise block convs + conv1.
+  int dw = 0, pw = 0;
+  for (int i = 0; i < m.layer_count(); ++i) {
+    if (m.layer(i).is_depthwise()) ++dw;
+    if (m.layer(i).is_pointwise()) ++pw;
+  }
+  EXPECT_EQ(dw, 13);
+  EXPECT_EQ(pw, 13);
+}
+
+TEST(Zoo, MobileNetWidthMultiplierScalesDown) {
+  const auto full = mobilenet(1.0);
+  const auto half = mobilenet(0.5);
+  EXPECT_LT(half.total_macs(), full.total_macs() / 3);  // ~quadratic in width
+  EXPECT_LT(half.total_params(), full.total_params() / 3);
+  EXPECT_EQ(half.name(), "0.5 MobileNet-224");
+}
+
+TEST(Zoo, MobileNetRejectsNonPositiveWidth) {
+  EXPECT_THROW(mobilenet(0.0), std::invalid_argument);
+  EXPECT_THROW(mobilenet(-1.0), std::invalid_argument);
+}
+
+TEST(Zoo, TinyDarknetStructure) {
+  const Model m = tiny_darknet();
+  expect_classifier(m);
+  // Published: ~1.0M params, ~0.5G MACs ("tiny" 1x1/3x3 stacks).
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 1.0e6, 0.2e6);
+  EXPECT_NEAR(static_cast<double>(m.total_macs()), 495e6, 50e6);
+}
+
+TEST(Zoo, SqueezeNextStructure) {
+  const Model m = squeezenext();
+  expect_classifier(m);
+  // Published 1.0-SqNxt-23: ~0.7M params; far fewer MACs than SqueezeNet.
+  EXPECT_NEAR(static_cast<double>(m.total_params()), 0.75e6, 0.25e6);
+  EXPECT_LT(m.total_macs(), squeezenet_v10().total_macs() / 2);
+}
+
+TEST(Zoo, SqueezeNextVariantsShiftWork) {
+  const Model v1 = squeezenext(SqNxtVariant::V1);
+  const Model v2 = squeezenext(SqNxtVariant::V2);
+  const Model v5 = squeezenext(SqNxtVariant::V5);
+  // v2 shrinks conv1 from 7x7 to 5x5.
+  EXPECT_EQ(v1.layer(v1.first_conv_index()).conv.kh, 7);
+  EXPECT_EQ(v2.layer(v2.first_conv_index()).conv.kh, 5);
+  EXPECT_LT(v2.layer(1).macs(), v1.layer(1).macs());
+  // Variants keep roughly the same MAC budget (paper: "very small change in
+  // the overall MACs").
+  const double drift = std::abs(static_cast<double>(v5.total_macs()) -
+                                static_cast<double>(v2.total_macs())) /
+                       static_cast<double>(v2.total_macs());
+  EXPECT_LT(drift, 0.35);
+  // All five variants have 21 blocks (same depth).
+  EXPECT_EQ(v1.name(), "1.0-SqNxt-23 v1");
+  EXPECT_EQ(v5.name(), "1.0-SqNxt-23 v5");
+}
+
+TEST(Zoo, SqueezeNextDepthFamily) {
+  const Model d23 = squeezenext(SqNxtVariant::V5, 1.0, 23);
+  const Model d34 = squeezenext(SqNxtVariant::V5, 1.0, 34);
+  const Model d44 = squeezenext(SqNxtVariant::V5, 1.0, 44);
+  EXPECT_LT(d23.total_params(), d34.total_params());
+  EXPECT_LT(d34.total_params(), d44.total_params());
+  EXPECT_THROW(squeezenext(SqNxtVariant::V5, 1.0, 99), std::invalid_argument);
+}
+
+TEST(Zoo, SqueezeNextWidthFamily) {
+  const Model w1 = squeezenext(SqNxtVariant::V5, 1.0, 23);
+  const Model w2 = squeezenext(SqNxtVariant::V5, 2.0, 23);
+  EXPECT_GT(w2.total_macs(), 2 * w1.total_macs());
+}
+
+TEST(Zoo, Table1ModelsInPaperOrder) {
+  const auto models = all_table1_models();
+  ASSERT_EQ(models.size(), 6u);
+  EXPECT_EQ(models[0].name(), "AlexNet");
+  EXPECT_EQ(models[1].name(), "1.0 MobileNet-224");
+  EXPECT_EQ(models[2].name(), "Tiny Darknet");
+  EXPECT_EQ(models[3].name(), "SqueezeNet v1.0");
+  EXPECT_EQ(models[4].name(), "SqueezeNet v1.1");
+  EXPECT_EQ(models[5].name(), "SqueezeNext");
+}
+
+TEST(Zoo, Figure4SpectrumIsDiverse) {
+  const auto models = figure4_models();
+  EXPECT_GE(models.size(), 10u);
+}
+
+}  // namespace
+}  // namespace sqz::nn::zoo

@@ -1,0 +1,75 @@
+// Figure 3: per-layer inference time and PE utilization for the five
+// 1.0-SqNxt-23 variants. The paper's observations: initial layers have very
+// low utilization; moving layers from early to late stages and shrinking the
+// first filter reduces inference time and energy with ~constant MACs.
+#include <gtest/gtest.h>
+
+#include "core/codesign.h"
+#include "energy/model.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+
+namespace sqz::core {
+namespace {
+
+using nn::zoo::SqNxtVariant;
+
+sim::NetworkResult run(SqNxtVariant v) {
+  return sched::simulate_network(nn::zoo::squeezenext(v),
+                                 sim::AcceleratorConfig::squeezelerator());
+}
+
+TEST(Figure3, EarlyLayersHaveLowUtilization) {
+  const nn::Model m = nn::zoo::squeezenext(SqNxtVariant::V1);
+  const auto r = run(SqNxtVariant::V1);
+  const int pes = r.config.pe_count();
+  // Average utilization of stage-1 conv layers vs stage-3 conv layers.
+  double early = 0, late = 0;
+  int early_n = 0, late_n = 0;
+  for (const auto& l : r.layers) {
+    const nn::Layer& layer = m.layer(l.layer_idx);
+    if (!layer.is_conv()) continue;
+    if (layer.name.find("stage1/") == 0) {
+      early += l.utilization(pes);
+      ++early_n;
+    } else if (layer.name.find("stage3/") == 0) {
+      late += l.utilization(pes);
+      ++late_n;
+    }
+  }
+  ASSERT_GT(early_n, 0);
+  ASSERT_GT(late_n, 0);
+  EXPECT_LT(early / early_n, late / late_n);
+}
+
+TEST(Figure3, OptimizedVariantsAreFaster) {
+  const auto v1 = run(SqNxtVariant::V1).total_cycles();
+  const auto v2 = run(SqNxtVariant::V2).total_cycles();
+  const auto v5 = run(SqNxtVariant::V5).total_cycles();
+  EXPECT_LT(v2, v1);  // 5x5 conv1 helps
+  EXPECT_LT(v5, v2);  // block reallocation helps further
+}
+
+TEST(Figure3, OptimizedVariantsUseLessEnergy) {
+  const auto e = [](SqNxtVariant v) {
+    return energy::network_energy(run(v)).total();
+  };
+  EXPECT_LT(e(SqNxtVariant::V5), e(SqNxtVariant::V1));
+}
+
+TEST(Figure3, MacBudgetRoughlyConstant) {
+  // "this simple change results in a very small change in the overall MACs".
+  const auto v2 = nn::zoo::squeezenext(SqNxtVariant::V2).total_macs();
+  const auto v5 = nn::zoo::squeezenext(SqNxtVariant::V5).total_macs();
+  const double drift =
+      std::abs(static_cast<double>(v5 - v2)) / static_cast<double>(v2);
+  EXPECT_LT(drift, 0.35);
+}
+
+TEST(Figure3, UtilizationImprovesAcrossVariants) {
+  EXPECT_GT(run(SqNxtVariant::V5).utilization(),
+            run(SqNxtVariant::V1).utilization());
+}
+
+}  // namespace
+}  // namespace sqz::core

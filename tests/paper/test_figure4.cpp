@@ -1,0 +1,100 @@
+// Figure 4: the accuracy-vs-energy and accuracy-vs-speed spectrum.
+// "SqueezeNext shows superior performance (higher and to the left)."
+#include <gtest/gtest.h>
+
+#include "core/squeezelerator.h"
+#include "energy/model.h"
+#include "nn/accuracy.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+
+namespace sqz::core {
+namespace {
+
+struct Point {
+  std::string name;
+  double top1;
+  double cycles;
+  double energy;
+};
+
+const std::vector<Point>& spectrum() {
+  static const std::vector<Point> pts = [] {
+    std::vector<Point> out;
+    for (const nn::Model& m : nn::zoo::figure4_models()) {
+      const auto r = sched::simulate_network(
+          m, sim::AcceleratorConfig::squeezelerator());
+      Point p;
+      p.name = m.name();
+      p.top1 = nn::published_accuracy(m.name())->top1;
+      p.cycles = static_cast<double>(r.total_cycles());
+      p.energy = energy::network_energy(r).total();
+      out.push_back(std::move(p));
+    }
+    return out;
+  }();
+  return pts;
+}
+
+const Point& find(const std::string& name) {
+  for (const Point& p : spectrum())
+    if (p.name == name) return p;
+  throw std::runtime_error("missing point " + name);
+}
+
+TEST(Figure4, SqueezeNextDominatesSqueezeNet) {
+  // Better accuracy AND faster AND less energy: strictly dominant.
+  const Point& sqnxt = find("1.0-SqNxt-23 v5");
+  const Point& sqz = find("SqueezeNet v1.0");
+  EXPECT_GT(sqnxt.top1, sqz.top1);
+  EXPECT_LT(sqnxt.cycles, sqz.cycles);
+  EXPECT_LT(sqnxt.energy, sqz.energy);
+}
+
+TEST(Figure4, SqueezeNextFamilyTradesAccuracyForCost) {
+  // Deeper/wider SqueezeNext members climb in accuracy and cost — the
+  // "spectrum" a user selects from.
+  const Point& d23 = find("1.0-SqNxt-23 v5");
+  const Point& d44 = find("1.0-SqNxt-44 v5");
+  const Point& w2 = find("2.0-SqNxt-23 v5");
+  EXPECT_GT(d44.top1, d23.top1);
+  EXPECT_GT(d44.cycles, d23.cycles);
+  EXPECT_GT(w2.top1, d23.top1);
+  EXPECT_GT(w2.energy, d23.energy);
+}
+
+TEST(Figure4, MobileNetFamilyIsMonotone) {
+  const Point& q = find("0.25 MobileNet-224");
+  const Point& h = find("0.5 MobileNet-224");
+  const Point& f = find("1.0 MobileNet-224");
+  EXPECT_LT(q.top1, h.top1);
+  EXPECT_LT(h.top1, f.top1);
+  EXPECT_LT(q.cycles, h.cycles);
+  EXPECT_LT(h.cycles, f.cycles);
+}
+
+TEST(Figure4, SqueezeNextOnParetoFrontAmongFullWidthNetworks) {
+  // Among the full-width networks the paper's Table 1/2 evaluates, nothing
+  // dominates 1.0-SqNxt-23 v5 in (accuracy, energy). (On our simulator the
+  // reduced-width MobileNets land left of SqueezeNext on the energy axis —
+  // recorded as a delta in EXPERIMENTS.md.)
+  const Point& sqnxt = find("1.0-SqNxt-23 v5");
+  for (const char* name : {"SqueezeNet v1.0", "SqueezeNet v1.1", "Tiny Darknet",
+                           "1.0 MobileNet-224"}) {
+    const Point& p = find(name);
+    const bool dominates = p.top1 >= sqnxt.top1 && p.energy <= sqnxt.energy &&
+                           (p.top1 > sqnxt.top1 || p.energy < sqnxt.energy);
+    EXPECT_FALSE(dominates) << p.name << " dominates SqueezeNext";
+  }
+}
+
+TEST(Figure4, EveryPointWellFormed) {
+  for (const Point& p : spectrum()) {
+    EXPECT_GT(p.top1, 40.0) << p.name;
+    EXPECT_GT(p.cycles, 0.0) << p.name;
+    EXPECT_GT(p.energy, 0.0) << p.name;
+  }
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -1,0 +1,99 @@
+// Section 4.1.1 per-layer-category dataflow preferences, on a 32x32 array:
+//   * 1x1 convolutions:   WS 1.4x - 7.0x faster than OS
+//   * first conv layers:  OS 1.6x - 6.3x faster than WS
+//   * depthwise layers:   OS 19x - 96x faster than WS
+// We assert the same winners and overlapping factor ranges (exact endpoints
+// depend on the estimator's micro-parameters; see EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nn/analysis.h"
+#include "nn/zoo/zoo.h"
+#include "sim/layer_sim.h"
+
+namespace sqz::sim {
+namespace {
+
+struct Range {
+  double lo = 1e18, hi = 0.0;
+  void add(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+};
+
+class DataflowRanges : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const AcceleratorConfig cfg = AcceleratorConfig::squeezelerator();
+    for (const nn::Model& m : nn::zoo::all_table1_models()) {
+      for (int i = 1; i < m.layer_count(); ++i) {
+        if (!m.layer(i).is_conv()) continue;
+        const auto ws = simulate_layer(m, i, cfg, Dataflow::WeightStationary);
+        const auto os = simulate_layer(m, i, cfg, Dataflow::OutputStationary);
+        const double ws_over_os = static_cast<double>(ws.total_cycles) /
+                                  static_cast<double>(os.total_cycles);
+        switch (nn::categorize(m, i)) {
+          case nn::LayerCategory::Pointwise:
+            pointwise().add(1.0 / ws_over_os);  // "WS x-times faster"
+            break;
+          case nn::LayerCategory::FirstConv:
+            first_conv().add(ws_over_os);  // "OS x-times faster"
+            break;
+          case nn::LayerCategory::Depthwise:
+            depthwise().add(ws_over_os);
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+  static Range& pointwise() { static Range r; return r; }
+  static Range& first_conv() { static Range r; return r; }
+  static Range& depthwise() { static Range r; return r; }
+};
+
+TEST_F(DataflowRanges, PointwiseFavorsWs) {
+  // Winner check: on average WS wins 1x1 layers; the range overlaps the
+  // paper's 1.4-7.0x.
+  EXPECT_GE(pointwise().hi, 1.4);
+  EXPECT_LE(pointwise().hi, 10.0);
+  EXPECT_GE(pointwise().lo, 0.8);  // never a big OS win
+}
+
+TEST_F(DataflowRanges, FirstConvFavorsOs) {
+  EXPECT_GE(first_conv().lo, 1.3);   // OS always wins conv1
+  EXPECT_GE(first_conv().hi, 3.0);   // and by a large factor at the top
+  EXPECT_LE(first_conv().hi, 12.0);
+}
+
+TEST_F(DataflowRanges, DepthwiseFavorsOsMassively) {
+  EXPECT_GE(depthwise().lo, 10.0);
+  EXPECT_LE(depthwise().hi, 120.0);
+  // Overlaps the paper's 19-96x band.
+  EXPECT_GE(depthwise().hi, 19.0);
+}
+
+TEST(Section411, NormalConvolutionsAreContested) {
+  // Paper: "In the case of the normal 3x3 convolutions, various factors
+  // affect [the winner] ... each layer configuration must be simulated."
+  // Both dataflows must win somewhere among the zoo's FxF layers.
+  const AcceleratorConfig cfg = AcceleratorConfig::squeezelerator();
+  int ws_wins = 0, os_wins = 0;
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    for (int i = 1; i < m.layer_count(); ++i) {
+      if (!m.layer(i).is_conv()) continue;
+      if (nn::categorize(m, i) != nn::LayerCategory::Spatial) continue;
+      const auto ws = simulate_layer(m, i, cfg, Dataflow::WeightStationary);
+      const auto os = simulate_layer(m, i, cfg, Dataflow::OutputStationary);
+      (ws.total_cycles <= os.total_cycles ? ws_wins : os_wins) += 1;
+    }
+  }
+  EXPECT_GT(ws_wins, 0);
+  EXPECT_GT(os_wins, 0);
+}
+
+}  // namespace
+}  // namespace sqz::sim

@@ -1,0 +1,71 @@
+// Table 1: relative percentage of MAC operations per layer category.
+// Our static analysis must land close to the paper's reported breakdowns.
+#include <gtest/gtest.h>
+
+#include "nn/analysis.h"
+#include "nn/zoo/zoo.h"
+
+namespace sqz::nn {
+namespace {
+
+struct PaperRow {
+  const char* network;
+  double conv1, pw, fxf, dw;  // percent
+  double tolerance;           // percentage points
+};
+
+// Paper values; tolerance covers counting-convention differences and our
+// documented SqueezeNext reconstruction (DESIGN.md §3).
+const PaperRow kPaperTable1[] = {
+    {"AlexNet", 20, 0, 69, 0, 9},
+    {"1.0 MobileNet-224", 1, 95, 0, 3, 3},
+    {"Tiny Darknet", 5, 13, 82, 0, 3},
+    {"SqueezeNet v1.0", 21, 25, 54, 0, 3},
+    {"SqueezeNet v1.1", 6, 40, 54, 0, 3},
+    {"SqueezeNext", 16, 44, 40, 0, 12},
+};
+
+TEST(Table1, LayerCategoryBreakdownsMatchPaper) {
+  const auto models = zoo::all_table1_models();
+  ASSERT_EQ(models.size(), std::size(kPaperTable1));
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const PaperRow& row = kPaperTable1[i];
+    ASSERT_EQ(models[i].name(), row.network);
+    const OpBreakdown b = analyze_ops(models[i]);
+    EXPECT_NEAR(100 * b.fraction(LayerCategory::FirstConv), row.conv1,
+                row.tolerance)
+        << row.network << " Conv1";
+    EXPECT_NEAR(100 * b.fraction(LayerCategory::Pointwise), row.pw, row.tolerance)
+        << row.network << " 1x1";
+    EXPECT_NEAR(100 * b.fraction(LayerCategory::Spatial), row.fxf, row.tolerance)
+        << row.network << " FxF";
+    EXPECT_NEAR(100 * b.fraction(LayerCategory::Depthwise), row.dw, row.tolerance)
+        << row.network << " DW";
+  }
+}
+
+TEST(Table1, WsSuitedFractionSpansWideRange) {
+  // Paper: "the proportion of the layer operations which are well-suited to
+  // the WS dataflow ranges from 0% to 95%".
+  double min_pw = 1.0, max_pw = 0.0;
+  for (const Model& m : zoo::all_table1_models()) {
+    const double pw = analyze_ops(m).fraction(LayerCategory::Pointwise);
+    min_pw = std::min(min_pw, pw);
+    max_pw = std::max(max_pw, pw);
+  }
+  EXPECT_LT(min_pw, 0.05);
+  EXPECT_GT(max_pw, 0.90);
+}
+
+TEST(Table1, OnlyMobileNetHasDepthwise) {
+  for (const Model& m : zoo::all_table1_models()) {
+    const double dw = analyze_ops(m).fraction(LayerCategory::Depthwise);
+    if (m.name().find("MobileNet") != std::string::npos)
+      EXPECT_GT(dw, 0.0);
+    else
+      EXPECT_EQ(dw, 0.0) << m.name();
+  }
+}
+
+}  // namespace
+}  // namespace sqz::nn

@@ -1,0 +1,98 @@
+// Table 2: speedups and energy reductions of the Squeezelerator over the
+// single-dataflow references for the six networks. We assert the paper's
+// qualitative structure and factor bands (exact values in EXPERIMENTS.md).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/squeezelerator.h"
+#include "nn/zoo/zoo.h"
+
+namespace sqz::core {
+namespace {
+
+class Table2 : public ::testing::Test {
+ protected:
+  static const std::map<std::string, ComparisonResult>& rows() {
+    static const auto r = [] {
+      std::map<std::string, ComparisonResult> out;
+      for (const nn::Model& m : nn::zoo::all_table1_models())
+        out.emplace(m.name(), compare_dataflows(m));
+      return out;
+    }();
+    return r;
+  }
+};
+
+TEST_F(Table2, AlexNetBarelyBenefits) {
+  // Paper: 1.00x / 1.19x — FC-dominated AlexNet is co-design-immune.
+  const auto& c = rows().at("AlexNet");
+  EXPECT_LT(c.speedup_vs_os(), 1.25);
+  EXPECT_LT(c.speedup_vs_ws(), 1.35);
+}
+
+TEST_F(Table2, MobileNetExtremes) {
+  // Paper: 1.91x vs OS and 6.35x vs WS ("the benefits of supporting two
+  // dataflow architectural styles are obvious in the case of MobileNet").
+  const auto& c = rows().at("1.0 MobileNet-224");
+  EXPECT_GT(c.speedup_vs_os(), 1.5);
+  EXPECT_LT(c.speedup_vs_os(), 2.6);
+  EXPECT_GT(c.speedup_vs_ws(), 5.0);
+  EXPECT_LT(c.speedup_vs_ws(), 11.0);
+}
+
+TEST_F(Table2, SqueezeNetFamilyBands) {
+  const auto& v10 = rows().at("SqueezeNet v1.0");
+  EXPECT_GT(v10.speedup_vs_os(), 1.05);  // paper 1.26
+  EXPECT_LT(v10.speedup_vs_os(), 1.55);
+  EXPECT_GT(v10.speedup_vs_ws(), 1.40);  // paper 2.06
+  EXPECT_LT(v10.speedup_vs_ws(), 2.60);
+  const auto& v11 = rows().at("SqueezeNet v1.1");
+  EXPECT_GT(v11.speedup_vs_os(), 1.15);  // paper 1.34
+  EXPECT_LT(v11.speedup_vs_os(), 1.75);
+  // v1.1 benefits less over WS than v1.0 (paper: 1.18 vs 2.06) — its conv1
+  // is tiny and its 1x1 share is larger.
+  EXPECT_LT(v11.speedup_vs_ws(), v10.speedup_vs_ws());
+}
+
+TEST_F(Table2, SqueezeNextBands) {
+  const auto& c = rows().at("SqueezeNext");
+  EXPECT_GT(c.speedup_vs_os(), 1.1);  // paper 1.26
+  EXPECT_LT(c.speedup_vs_os(), 1.8);
+  EXPECT_GT(c.speedup_vs_ws(), 1.4);  // paper 2.44
+  EXPECT_LT(c.speedup_vs_ws(), 3.0);
+}
+
+TEST_F(Table2, TinyDarknetModerate) {
+  const auto& c = rows().at("Tiny Darknet");
+  EXPECT_GT(c.speedup_vs_os(), 1.0);  // paper 1.14
+  EXPECT_LT(c.speedup_vs_os(), 1.6);
+  EXPECT_GT(c.speedup_vs_ws(), 1.0);  // paper 1.32
+  EXPECT_LT(c.speedup_vs_ws(), 1.7);
+}
+
+TEST_F(Table2, EnergyDeltasAreSmallAndMostlyFavourable) {
+  // Paper: energy reductions are modest (-2%..24%); DRAM and MAC energy
+  // dominate and are shared. We assert the same smallness, and that the
+  // hybrid never costs much more than either reference.
+  for (const auto& [name, c] : rows()) {
+    EXPECT_GT(c.energy_reduction_vs_os(), -0.10) << name;
+    EXPECT_LT(c.energy_reduction_vs_os(), 0.30) << name;
+    EXPECT_GT(c.energy_reduction_vs_ws(), -0.02) << name;
+    EXPECT_LT(c.energy_reduction_vs_ws(), 0.30) << name;
+  }
+}
+
+TEST_F(Table2, OsGainCorrelatesWithPointwiseShare) {
+  // Paper: "The improvement over the OS architecture has a high correlation
+  // with the proportion of the 1x1 convolutions in the network."
+  // MobileNet (95% 1x1) must gain more vs OS than AlexNet (0% 1x1).
+  EXPECT_GT(rows().at("1.0 MobileNet-224").speedup_vs_os(),
+            rows().at("AlexNet").speedup_vs_os());
+  // And SqueezeNet v1.1 (40% 1x1) more than v1.0 (25% 1x1).
+  EXPECT_GT(rows().at("SqueezeNet v1.1").speedup_vs_os(),
+            rows().at("SqueezeNet v1.0").speedup_vs_os());
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -1,0 +1,127 @@
+#include "runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "nn/model.h"
+#include "runtime/ops.h"
+
+namespace sqz::runtime {
+namespace {
+
+nn::Model fire_like_model() {
+  nn::Model m("fire", nn::TensorShape{4, 12, 12});
+  const int c1 = m.add_conv("conv1", 8, 3, 2, 0);
+  const int sq = m.add_conv("squeeze", 4, 1, 1, 0, c1);
+  const int e1 = m.add_conv("e1", 8, 1, 1, 0, sq);
+  const int e3 = m.add_conv("e3", 8, 3, 1, 1, sq);
+  const int cat = m.add_concat("cat", {e1, e3});
+  const int pool = m.add_maxpool("pool", 2, 2, cat);
+  const int res = m.add_add("res", pool, pool);
+  m.add_global_avgpool("gap", res);
+  m.add_fc("fc", 10, false);
+  m.finalize();
+  return m;
+}
+
+TEST(Executor, RunsWholeGraph) {
+  const nn::Model m = fire_like_model();
+  Executor ex(m, ExecutorConfig{});
+  ex.run();
+  EXPECT_EQ(ex.final_output().shape(), (nn::TensorShape{10, 1, 1}));
+  for (int i = 0; i < m.layer_count(); ++i)
+    EXPECT_EQ(ex.output(i).shape(), m.layer(i).out_shape) << i;
+}
+
+TEST(Executor, Deterministic) {
+  const nn::Model m = fire_like_model();
+  Executor a(m, ExecutorConfig{});
+  Executor b(m, ExecutorConfig{});
+  a.run();
+  b.run();
+  EXPECT_EQ(a.final_output(), b.final_output());
+}
+
+TEST(Executor, InputSeedChangesOutputs) {
+  const nn::Model m = fire_like_model();
+  ExecutorConfig c1, c2;
+  c2.input_seed = c1.input_seed + 1;
+  Executor a(m, c1), b(m, c2);
+  a.run();
+  b.run();
+  EXPECT_NE(a.final_output(), b.final_output());
+}
+
+TEST(Executor, MatchesManualOps) {
+  // A 2-layer model executed manually must match the executor exactly.
+  nn::Model m("two", nn::TensorShape{3, 8, 8});
+  m.add_conv("c1", 6, 3, 1, 1);
+  m.add_maxpool("p", 2, 2);
+  m.finalize();
+  Executor ex(m, ExecutorConfig{});
+  ex.run();
+
+  const Tensor in = generate_input(m, ExecutorConfig{}.input_seed);
+  Requant rq = ExecutorConfig{}.requant;
+  rq.relu = m.layer(1).conv.relu;
+  const Tensor conv = conv2d(in, ex.weights(1), m.layer(1).conv, rq);
+  const Tensor pool = maxpool(conv, m.layer(2).pool);
+  EXPECT_EQ(ex.output(1), conv);
+  EXPECT_EQ(ex.output(2), pool);
+}
+
+TEST(Executor, OutputBeforeRunThrows) {
+  const nn::Model m = fire_like_model();
+  Executor ex(m, ExecutorConfig{});
+  EXPECT_THROW(ex.output(1), std::logic_error);
+}
+
+TEST(Executor, RejectsWrongInputShape) {
+  const nn::Model m = fire_like_model();
+  Executor ex(m, ExecutorConfig{});
+  EXPECT_THROW(ex.run(Tensor(nn::TensorShape{3, 12, 12})), std::invalid_argument);
+}
+
+TEST(Executor, RejectsUnfinalizedModel) {
+  nn::Model m("u", nn::TensorShape{3, 8, 8});
+  m.add_conv("c", 4, 3, 1, 1);
+  EXPECT_THROW(Executor(m, ExecutorConfig{}), std::invalid_argument);
+}
+
+TEST(Executor, GemmPathIsBitExactWithDirectPath) {
+  const nn::Model m = fire_like_model();
+  ExecutorConfig direct_cfg, gemm_cfg;
+  direct_cfg.gemm_threshold_macs = std::numeric_limits<std::int64_t>::max();
+  gemm_cfg.gemm_threshold_macs = 0;  // every conv through im2col+GEMM
+  Executor direct(m, direct_cfg), gemm(m, gemm_cfg);
+  direct.run();
+  gemm.run();
+  for (int i = 0; i < m.layer_count(); ++i)
+    EXPECT_EQ(direct.output(i), gemm.output(i)) << m.layer(i).name;
+}
+
+TEST(Executor, WeightCacheIsStable) {
+  const nn::Model m = fire_like_model();
+  Executor ex(m, ExecutorConfig{});
+  const WeightTensor& w1 = ex.weights(1);
+  const WeightTensor& w2 = ex.weights(1);
+  EXPECT_EQ(&w1, &w2);  // same cached object
+}
+
+TEST(Executor, ResidualAddDoublesValues) {
+  nn::Model m("res", nn::TensorShape{2, 4, 4});
+  const int c = m.add_conv("c", 2, 1, 1, 0);
+  m.add_add("a", c, c);
+  m.finalize();
+  Executor ex(m, ExecutorConfig{});
+  ex.run();
+  const Tensor& conv = ex.output(1);
+  const Tensor& sum = ex.output(2);
+  for (std::int64_t i = 0; i < conv.size(); ++i)
+    EXPECT_EQ(sum.data()[i], sat_add16(conv.data()[i], conv.data()[i]));
+}
+
+}  // namespace
+}  // namespace sqz::runtime

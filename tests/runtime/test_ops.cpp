@@ -1,0 +1,246 @@
+#include "runtime/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sqz::runtime {
+namespace {
+
+const Requant kNoQuant{.shift = 0, .relu = false};
+
+Tensor filled(nn::TensorShape shape, std::int16_t base = 1) {
+  Tensor t(shape);
+  std::int16_t v = base;
+  for (std::int64_t i = 0; i < t.size(); ++i) t.data()[i] = v++;
+  return t;
+}
+
+TEST(Conv2d, IdentityKernelCopiesInput) {
+  const Tensor in = filled({1, 3, 3});
+  WeightTensor w(1, 1, 1, 1);
+  w.set(0, 0, 0, 0, 1);
+  nn::ConvParams p;
+  p.out_channels = 1;
+  p.kh = p.kw = 1;
+  const Tensor out = conv2d(in, w, p, kNoQuant);
+  EXPECT_EQ(out, in);
+}
+
+TEST(Conv2d, KnownBoxFilter) {
+  // 2x2 all-ones kernel over a 3x3 ramp 1..9, stride 1, no pad -> 2x2 sums.
+  const Tensor in = filled({1, 3, 3});
+  WeightTensor w(1, 1, 2, 2);
+  for (int ky = 0; ky < 2; ++ky)
+    for (int kx = 0; kx < 2; ++kx) w.set(0, 0, ky, kx, 1);
+  nn::ConvParams p;
+  p.out_channels = 1;
+  p.kh = p.kw = 2;
+  const Tensor out = conv2d(in, w, p, kNoQuant);
+  EXPECT_EQ(out.at(0, 0, 0), 1 + 2 + 4 + 5);
+  EXPECT_EQ(out.at(0, 0, 1), 2 + 3 + 5 + 6);
+  EXPECT_EQ(out.at(0, 1, 0), 4 + 5 + 7 + 8);
+  EXPECT_EQ(out.at(0, 1, 1), 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2d, PaddingContributesZero) {
+  const Tensor in = filled({1, 2, 2});  // [[1,2],[3,4]]
+  WeightTensor w(1, 1, 3, 3);
+  for (int ky = 0; ky < 3; ++ky)
+    for (int kx = 0; kx < 3; ++kx) w.set(0, 0, ky, kx, 1);
+  nn::ConvParams p;
+  p.out_channels = 1;
+  p.kh = p.kw = 3;
+  p.pad_h = p.pad_w = 1;
+  const Tensor out = conv2d(in, w, p, kNoQuant);
+  EXPECT_EQ(out.shape(), (nn::TensorShape{1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), 1 + 2 + 3 + 4);  // whole image in window
+}
+
+TEST(Conv2d, StrideSkipsPositions) {
+  const Tensor in = filled({1, 4, 4});
+  WeightTensor w(1, 1, 1, 1);
+  w.set(0, 0, 0, 0, 1);
+  nn::ConvParams p;
+  p.out_channels = 1;
+  p.kh = p.kw = 1;
+  p.stride = 2;
+  const Tensor out = conv2d(in, w, p, kNoQuant);
+  EXPECT_EQ(out.shape(), (nn::TensorShape{1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), in.at(0, 0, 0));
+  EXPECT_EQ(out.at(0, 1, 1), in.at(0, 2, 2));
+}
+
+TEST(Conv2d, SumsAcrossChannels) {
+  Tensor in({2, 1, 1});
+  in.set(0, 0, 0, 10);
+  in.set(1, 0, 0, 3);
+  WeightTensor w(1, 2, 1, 1);
+  w.set(0, 0, 0, 0, 2);
+  w.set(0, 1, 0, 0, -1);
+  nn::ConvParams p;
+  p.out_channels = 1;
+  p.kh = p.kw = 1;
+  const Tensor out = conv2d(in, w, p, kNoQuant);
+  EXPECT_EQ(out.at(0, 0, 0), 20 - 3);
+}
+
+TEST(Conv2d, GroupsIsolateChannels) {
+  Tensor in({2, 1, 1});
+  in.set(0, 0, 0, 10);
+  in.set(1, 0, 0, 3);
+  WeightTensor w(2, 1, 1, 1);
+  w.set(0, 0, 0, 0, 1);
+  w.set(1, 0, 0, 0, 1);
+  nn::ConvParams p;
+  p.out_channels = 2;
+  p.kh = p.kw = 1;
+  p.groups = 2;
+  const Tensor out = conv2d(in, w, p, kNoQuant);
+  EXPECT_EQ(out.at(0, 0, 0), 10);  // group 0 sees only channel 0
+  EXPECT_EQ(out.at(1, 0, 0), 3);
+}
+
+TEST(Conv2d, BiasAdded) {
+  Tensor in({1, 1, 1});
+  in.set(0, 0, 0, 5);
+  WeightTensor w(1, 1, 1, 1);
+  w.set(0, 0, 0, 0, 2);
+  w.set_bias(0, 100);
+  nn::ConvParams p;
+  p.out_channels = 1;
+  p.kh = p.kw = 1;
+  EXPECT_EQ(conv2d(in, w, p, kNoQuant).at(0, 0, 0), 110);
+}
+
+TEST(Conv2d, RequantAndRelu) {
+  Tensor in({1, 1, 1});
+  in.set(0, 0, 0, -8);
+  WeightTensor w(1, 1, 1, 1);
+  w.set(0, 0, 0, 0, 2);
+  nn::ConvParams p;
+  p.out_channels = 1;
+  p.kh = p.kw = 1;
+  EXPECT_EQ(conv2d(in, w, p, Requant{.shift = 2, .relu = false}).at(0, 0, 0), -4);
+  EXPECT_EQ(conv2d(in, w, p, Requant{.shift = 2, .relu = true}).at(0, 0, 0), 0);
+}
+
+TEST(Conv2d, RejectsMismatchedWeights) {
+  const Tensor in = filled({2, 3, 3});
+  WeightTensor w(1, 1, 1, 1);
+  nn::ConvParams p;
+  p.out_channels = 1;
+  p.kh = p.kw = 1;
+  EXPECT_THROW(conv2d(in, w, p, kNoQuant), std::invalid_argument);  // ic 2 != 1
+}
+
+TEST(FullyConnected, MatrixVector) {
+  const Tensor in = filled({1, 1, 3});  // [1 2 3]
+  WeightTensor w(2, 3, 1, 1);
+  // Row 0: [1 1 1], row 1: [0 0 2]
+  for (int i = 0; i < 3; ++i) w.set(0, i, 0, 0, 1);
+  w.set(1, 2, 0, 0, 2);
+  nn::FcParams p{2, false};
+  const Tensor out = fully_connected(in, w, p, kNoQuant);
+  EXPECT_EQ(out.at(0, 0, 0), 6);
+  EXPECT_EQ(out.at(1, 0, 0), 6);
+}
+
+TEST(FullyConnected, FlattensChw) {
+  // The weight index must follow channel-major flattening.
+  Tensor in({2, 1, 2});
+  in.set(0, 0, 0, 1);
+  in.set(0, 0, 1, 2);
+  in.set(1, 0, 0, 3);
+  in.set(1, 0, 1, 4);
+  WeightTensor w(1, 4, 1, 1);
+  w.set(0, 3, 0, 0, 1);  // picks flat index 3 == (c1, x1)
+  nn::FcParams p{1, false};
+  EXPECT_EQ(fully_connected(in, w, p, kNoQuant).at(0, 0, 0), 4);
+}
+
+TEST(MaxPool, PicksWindowMax) {
+  const Tensor in = filled({1, 4, 4});
+  const Tensor out = maxpool(in, nn::PoolParams{2, 2, 2, 0});
+  EXPECT_EQ(out.shape(), (nn::TensorShape{1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), 6);
+  EXPECT_EQ(out.at(0, 1, 1), 16);
+}
+
+TEST(MaxPool, OverlappingWindows) {
+  const Tensor in = filled({1, 5, 5});
+  const Tensor out = maxpool(in, nn::PoolParams{3, 3, 2, 0});
+  EXPECT_EQ(out.shape(), (nn::TensorShape{1, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), 13);
+}
+
+TEST(MaxPool, NegativeValuesHandled) {
+  Tensor in({1, 2, 2});
+  in.set(0, 0, 0, -5);
+  in.set(0, 0, 1, -3);
+  in.set(0, 1, 0, -9);
+  in.set(0, 1, 1, -7);
+  const Tensor out = maxpool(in, nn::PoolParams{2, 2, 2, 0});
+  EXPECT_EQ(out.at(0, 0, 0), -3);
+}
+
+TEST(AvgPool, TruncatingAverage) {
+  const Tensor in = filled({1, 2, 2});  // 1 2 3 4 -> mean 2.5 trunc 2
+  const Tensor out = avgpool(in, nn::PoolParams{2, 2, 2, 0});
+  EXPECT_EQ(out.at(0, 0, 0), 2);
+}
+
+TEST(GlobalAvgPool, PerChannelMean) {
+  Tensor in({2, 2, 2});
+  for (int y = 0; y < 2; ++y)
+    for (int x = 0; x < 2; ++x) {
+      in.set(0, y, x, 8);
+      in.set(1, y, x, static_cast<std::int16_t>(y * 2 + x));  // 0..3
+    }
+  const Tensor out = global_avgpool(in);
+  EXPECT_EQ(out.at(0, 0, 0), 8);
+  EXPECT_EQ(out.at(1, 0, 0), 1);  // (0+1+2+3)/4
+}
+
+TEST(Relu, ClampsNegatives) {
+  Tensor in({1, 1, 3});
+  in.set(0, 0, 0, -2);
+  in.set(0, 0, 1, 0);
+  in.set(0, 0, 2, 2);
+  const Tensor out = relu(in);
+  EXPECT_EQ(out.at(0, 0, 0), 0);
+  EXPECT_EQ(out.at(0, 0, 1), 0);
+  EXPECT_EQ(out.at(0, 0, 2), 2);
+}
+
+TEST(Concat, StacksChannels) {
+  const Tensor a = filled({1, 2, 2}, 1);
+  const Tensor b = filled({2, 2, 2}, 10);
+  const Tensor out = concat_channels({&a, &b});
+  EXPECT_EQ(out.shape(), (nn::TensorShape{3, 2, 2}));
+  EXPECT_EQ(out.at(0, 0, 0), a.at(0, 0, 0));
+  EXPECT_EQ(out.at(1, 1, 1), b.at(0, 1, 1));
+  EXPECT_EQ(out.at(2, 0, 0), b.at(1, 0, 0));
+}
+
+TEST(Concat, RejectsMismatch) {
+  const Tensor a = filled({1, 2, 2});
+  const Tensor b = filled({1, 3, 3});
+  EXPECT_THROW(concat_channels({&a, &b}), std::invalid_argument);
+  EXPECT_THROW(concat_channels({}), std::invalid_argument);
+}
+
+TEST(AddTensors, ElementwiseSaturating) {
+  Tensor a({1, 1, 2}), b({1, 1, 2});
+  a.set(0, 0, 0, 32000);
+  b.set(0, 0, 0, 32000);
+  a.set(0, 0, 1, 5);
+  b.set(0, 0, 1, -3);
+  const Tensor out = add_tensors(a, b);
+  EXPECT_EQ(out.at(0, 0, 0), 32767);
+  EXPECT_EQ(out.at(0, 0, 1), 2);
+  EXPECT_THROW(add_tensors(a, filled({1, 2, 2})), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sqz::runtime

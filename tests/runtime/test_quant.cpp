@@ -1,0 +1,48 @@
+#include "runtime/quant.h"
+
+#include <gtest/gtest.h>
+
+namespace sqz::runtime {
+namespace {
+
+TEST(Requant, ShiftRoundsToNearest) {
+  Requant rq{.shift = 4, .relu = false};
+  EXPECT_EQ(rq.apply(16), 1);
+  EXPECT_EQ(rq.apply(7), 0);   // 7/16 rounds down
+  EXPECT_EQ(rq.apply(8), 1);   // ties round up
+  EXPECT_EQ(rq.apply(24), 2);  // 1.5 -> 2
+}
+
+TEST(Requant, NegativeValues) {
+  Requant rq{.shift = 4, .relu = false};
+  EXPECT_EQ(rq.apply(-16), -1);
+  EXPECT_EQ(rq.apply(-32), -2);
+}
+
+TEST(Requant, ReluClampsNegative) {
+  Requant rq{.shift = 4, .relu = true};
+  EXPECT_EQ(rq.apply(-160), 0);
+  EXPECT_EQ(rq.apply(160), 10);
+}
+
+TEST(Requant, SaturatesToInt16) {
+  Requant rq{.shift = 0, .relu = false};
+  EXPECT_EQ(rq.apply(1 << 20), 32767);
+  EXPECT_EQ(rq.apply(-(1 << 20)), -32768);
+}
+
+TEST(Requant, Shift0PassesThrough) {
+  Requant rq{.shift = 0, .relu = false};
+  // shift==0 uses rounding term 1<<-1; the struct documents shift >= 1 in
+  // normal use, but shift=0 must still saturate correctly for in-range input.
+  EXPECT_EQ(rq.apply(123), 123);
+}
+
+TEST(SatAdd16, Saturates) {
+  EXPECT_EQ(sat_add16(32000, 1000), 32767);
+  EXPECT_EQ(sat_add16(-32000, -1000), -32768);
+  EXPECT_EQ(sat_add16(100, -30), 70);
+}
+
+}  // namespace
+}  // namespace sqz::runtime

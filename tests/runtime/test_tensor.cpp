@@ -1,0 +1,86 @@
+#include "runtime/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sqz::runtime {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(nn::TensorShape{2, 3, 4});
+  EXPECT_EQ(t.size(), 24);
+  for (int c = 0; c < 2; ++c)
+    for (int y = 0; y < 3; ++y)
+      for (int x = 0; x < 4; ++x) EXPECT_EQ(t.at(c, y, x), 0);
+}
+
+TEST(Tensor, SetGetRoundTrip) {
+  Tensor t(nn::TensorShape{2, 3, 4});
+  t.set(1, 2, 3, -77);
+  EXPECT_EQ(t.at(1, 2, 3), -77);
+  EXPECT_EQ(t.at(1, 2, 2), 0);
+}
+
+TEST(Tensor, ChannelMajorLayout) {
+  Tensor t(nn::TensorShape{2, 2, 2});
+  t.set(0, 0, 0, 1);
+  t.set(0, 0, 1, 2);
+  t.set(0, 1, 0, 3);
+  t.set(1, 0, 0, 5);
+  EXPECT_EQ(t.data()[0], 1);
+  EXPECT_EQ(t.data()[1], 2);
+  EXPECT_EQ(t.data()[2], 3);
+  EXPECT_EQ(t.data()[4], 5);
+}
+
+TEST(Tensor, PaddedReadsReturnZeroOutside) {
+  Tensor t(nn::TensorShape{1, 2, 2});
+  t.set(0, 0, 0, 9);
+  EXPECT_EQ(t.at_padded(0, -1, 0), 0);
+  EXPECT_EQ(t.at_padded(0, 0, -1), 0);
+  EXPECT_EQ(t.at_padded(0, 2, 0), 0);
+  EXPECT_EQ(t.at_padded(0, 0, 2), 0);
+  EXPECT_EQ(t.at_padded(0, 0, 0), 9);
+}
+
+TEST(Tensor, RejectsBadShape) {
+  EXPECT_THROW(Tensor(nn::TensorShape{0, 1, 1}), std::invalid_argument);
+}
+
+TEST(Tensor, EqualityIsElementwise) {
+  Tensor a(nn::TensorShape{1, 2, 2}), b(nn::TensorShape{1, 2, 2});
+  EXPECT_EQ(a, b);
+  b.set(0, 1, 1, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(WeightTensor, LayoutAndBias) {
+  WeightTensor w(2, 3, 2, 2);
+  EXPECT_EQ(w.size(), 2 * 3 * 2 * 2);
+  w.set(1, 2, 1, 0, 42);
+  EXPECT_EQ(w.at(1, 2, 1, 0), 42);
+  EXPECT_EQ(w.at(1, 2, 0, 1), 0);
+  w.set_bias(1, -1000);
+  EXPECT_EQ(w.bias(1), -1000);
+  EXPECT_EQ(w.bias(0), 0);
+}
+
+TEST(WeightTensor, NonzeroCounts) {
+  WeightTensor w(2, 1, 2, 2);
+  EXPECT_EQ(w.nonzero_count(), 0);
+  w.set(0, 0, 0, 0, 5);
+  w.set(0, 0, 1, 1, -5);
+  w.set(1, 0, 0, 1, 7);
+  EXPECT_EQ(w.nonzero_count(), 3);
+  EXPECT_EQ(w.nonzero_count(0, 0), 2);
+  EXPECT_EQ(w.nonzero_count(1, 0), 1);
+}
+
+TEST(WeightTensor, RejectsBadDims) {
+  EXPECT_THROW(WeightTensor(0, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(WeightTensor(1, 1, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sqz::runtime

@@ -1,0 +1,116 @@
+#include "runtime/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nn/model.h"
+
+namespace sqz::runtime {
+namespace {
+
+nn::Model conv_model() {
+  nn::Model m("w", nn::TensorShape{8, 12, 12});
+  m.add_conv("c", 16, 3, 1, 1);
+  m.add_maxpool("p", 2, 2);
+  m.add_fc("f", 10);
+  m.finalize();
+  return m;
+}
+
+TEST(Weights, DeterministicAcrossCalls) {
+  const nn::Model m = conv_model();
+  WeightGenConfig cfg;
+  const WeightTensor a = generate_weights(m, 1, cfg);
+  const WeightTensor b = generate_weights(m, 1, cfg);
+  EXPECT_EQ(a.nonzero_count(), b.nonzero_count());
+  for (int oc = 0; oc < a.oc(); ++oc)
+    for (int ic = 0; ic < a.ic_per_group(); ++ic)
+      for (int ky = 0; ky < a.kh(); ++ky)
+        for (int kx = 0; kx < a.kw(); ++kx)
+          ASSERT_EQ(a.at(oc, ic, ky, kx), b.at(oc, ic, ky, kx));
+}
+
+TEST(Weights, SparsityNearConfigured) {
+  const nn::Model m = conv_model();
+  WeightGenConfig cfg;
+  cfg.sparsity = 0.40;
+  const WeightTensor w = generate_weights(m, 1, cfg);
+  const double zero_frac =
+      1.0 - static_cast<double>(w.nonzero_count()) / static_cast<double>(w.size());
+  EXPECT_NEAR(zero_frac, 0.40, 0.05);
+}
+
+TEST(Weights, DenseWhenSparsityZero) {
+  const nn::Model m = conv_model();
+  WeightGenConfig cfg;
+  cfg.sparsity = 0.0;
+  const WeightTensor w = generate_weights(m, 1, cfg);
+  EXPECT_EQ(w.nonzero_count(), w.size());
+}
+
+TEST(Weights, MagnitudeBounded) {
+  const nn::Model m = conv_model();
+  WeightGenConfig cfg;
+  cfg.magnitude = 7;
+  const WeightTensor w = generate_weights(m, 1, cfg);
+  for (int oc = 0; oc < w.oc(); ++oc)
+    for (int ic = 0; ic < w.ic_per_group(); ++ic)
+      for (int ky = 0; ky < w.kh(); ++ky)
+        for (int kx = 0; kx < w.kw(); ++kx) {
+          ASSERT_LE(w.at(oc, ic, ky, kx), 7);
+          ASSERT_GE(w.at(oc, ic, ky, kx), -7);
+        }
+}
+
+TEST(Weights, DifferentLayersGetDifferentStreams) {
+  const nn::Model m = conv_model();
+  WeightGenConfig cfg;
+  const WeightTensor conv = generate_weights(m, 1, cfg);
+  const WeightTensor fc = generate_weights(m, 3, cfg);
+  EXPECT_EQ(fc.oc(), 10);
+  EXPECT_EQ(fc.ic_per_group(), 16 * 6 * 6);
+  // Streams differ: astronomically unlikely the first plane matches.
+  bool differ = false;
+  for (int k = 0; k < 9 && !differ; ++k)
+    differ = conv.at(0, 0, k / 3, k % 3) != fc.at(0, k, 0, 0);
+  EXPECT_TRUE(differ);
+}
+
+TEST(Weights, BiasesToggle) {
+  const nn::Model m = conv_model();
+  WeightGenConfig cfg;
+  cfg.biases = false;
+  const WeightTensor w = generate_weights(m, 1, cfg);
+  for (int oc = 0; oc < w.oc(); ++oc) EXPECT_EQ(w.bias(oc), 0);
+}
+
+TEST(Weights, RejectsParameterlessLayers) {
+  const nn::Model m = conv_model();
+  EXPECT_THROW(generate_weights(m, 2, WeightGenConfig{}), std::invalid_argument);
+}
+
+TEST(Weights, DepthwiseShape) {
+  nn::Model m("dw", nn::TensorShape{6, 8, 8});
+  m.add_depthwise("d", 3, 1, 1);
+  m.finalize();
+  const WeightTensor w = generate_weights(m, 1, WeightGenConfig{});
+  EXPECT_EQ(w.oc(), 6);
+  EXPECT_EQ(w.ic_per_group(), 1);
+}
+
+TEST(GenerateInput, DeterministicAndBounded) {
+  const nn::Model m = conv_model();
+  const Tensor a = generate_input(m, 7);
+  const Tensor b = generate_input(m, 7);
+  const Tensor c = generate_input(m, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(a.data()[i], 127);
+    EXPECT_GE(a.data()[i], -128);
+  }
+}
+
+}  // namespace
+}  // namespace sqz::runtime

@@ -1,0 +1,102 @@
+#include "sched/compile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nn/zoo/zoo.h"
+
+namespace sqz::sched {
+namespace {
+
+const sim::AcceleratorConfig kCfg = sim::AcceleratorConfig::squeezelerator();
+
+TEST(Compile, OneCommandPerLayer) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const Program p = compile(m, kCfg);
+  EXPECT_EQ(static_cast<int>(p.commands.size()), m.layer_count() - 1);
+  for (std::size_t i = 0; i < p.commands.size(); ++i)
+    EXPECT_EQ(p.commands[i].layer_idx, static_cast<int>(i) + 1);
+}
+
+TEST(Compile, ExpectedCyclesMatchSimulator) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const Program p = compile(m, kCfg);
+  const auto r = simulate_network(m, kCfg);
+  EXPECT_EQ(p.expected_total_cycles(), r.total_cycles());
+}
+
+TEST(Compile, UnitsAssignedByLayerKind) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const Program p = compile(m, kCfg);
+  for (const LayerCommand& c : p.commands) {
+    const nn::Layer& l = m.layer(c.layer_idx);
+    if (l.is_macs_layer())
+      EXPECT_EQ(c.unit, LayerCommand::Unit::PeArray) << c.layer_name;
+    else if (l.kind == nn::LayerKind::Concat)
+      EXPECT_EQ(c.unit, LayerCommand::Unit::View) << c.layer_name;
+    else
+      EXPECT_EQ(c.unit, LayerCommand::Unit::Simd) << c.layer_name;
+  }
+}
+
+TEST(Compile, DataflowsMatchSelector) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const Program p = compile(m, kCfg);
+  const auto r = simulate_network(m, kCfg);
+  for (std::size_t i = 0; i < p.commands.size(); ++i)
+    if (p.commands[i].unit == LayerCommand::Unit::PeArray)
+      EXPECT_EQ(p.commands[i].dataflow, r.layers[i].dataflow)
+          << p.commands[i].layer_name;
+}
+
+TEST(Compile, DmaDescriptorsMatchSimulatedTraffic) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const Program p = compile(m, kCfg);
+  const auto r = simulate_network(m, kCfg);
+  // Program DMA = simulated dram words (the flat model has no halo term).
+  EXPECT_GE(p.total_dma_words(), r.total_counts().dram_words);
+}
+
+TEST(Compile, FusedPoolsMarked) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  SimulationOptions opt;
+  opt.fuse_pool_drain = true;
+  const Program p = compile(m, kCfg, opt);
+  const auto is_fused = [&](const char* name) {
+    for (const LayerCommand& c : p.commands)
+      if (c.layer_name.find(name) != std::string::npos)
+        return c.unit == LayerCommand::Unit::FusedIntoProducer;
+    return false;
+  };
+  EXPECT_TRUE(is_fused("pool1"));
+}
+
+TEST(Compile, WeightWordsMatchModel) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const Program p = compile(m, kCfg);
+  std::int64_t weights = 0;
+  for (const LayerCommand& c : p.commands) weights += c.weight_words;
+  EXPECT_EQ(weights, m.total_params());
+}
+
+TEST(Compile, ListingIsCompleteAndReadable) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const std::string listing = compile(m, kCfg).listing();
+  EXPECT_NE(listing.find("conv1"), std::string::npos);
+  EXPECT_NE(listing.find("fire9/expand3x3"), std::string::npos);
+  EXPECT_NE(listing.find("expected total"), std::string::npos);
+  // Every PE-array command names its dataflow.
+  EXPECT_NE(listing.find(" WS"), std::string::npos);
+  EXPECT_NE(listing.find(" OS"), std::string::npos);
+}
+
+TEST(Compile, TileCountsPositive) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  for (const LayerCommand& c : compile(m, kCfg).commands)
+    if (c.unit != LayerCommand::Unit::FusedIntoProducer)
+      EXPECT_GE(c.tile_count, 1) << c.layer_name;
+}
+
+}  // namespace
+}  // namespace sqz::sched

@@ -1,0 +1,112 @@
+#include "sched/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "energy/model.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+
+namespace sqz::sched {
+namespace {
+
+TEST(Fusion, FindsConvPoolPairs) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const auto fusions = find_pool_fusions(m);
+  // conv1->pool1 fuses; pool4/pool8 follow concats, not convs.
+  ASSERT_EQ(fusions.size(), 1u);
+  EXPECT_EQ(m.layer(fusions[0].conv_idx).name, "conv1");
+  EXPECT_EQ(m.layer(fusions[0].pool_idx).name, "pool1");
+}
+
+TEST(Fusion, RequiresSoleConsumer) {
+  nn::Model m("shared", nn::TensorShape{4, 16, 16});
+  const int c = m.add_conv("c", 8, 3, 1, 1);
+  m.add_maxpool("p", 2, 2, c);
+  m.add_conv("branch", 8, 1, 1, 0, c);  // second consumer of c
+  m.finalize();
+  EXPECT_TRUE(find_pool_fusions(m).empty());
+}
+
+TEST(Fusion, PoolAfterConcatDoesNotFuse) {
+  nn::Model m("cat", nn::TensorShape{4, 16, 16});
+  const int a = m.add_conv("a", 4, 1, 1, 0);
+  const int b = m.add_conv("b", 4, 1, 1, 0, 0);
+  const int cat = m.add_concat("cat", {a, b});
+  m.add_maxpool("p", 2, 2, cat);
+  m.finalize();
+  EXPECT_TRUE(find_pool_fusions(m).empty());
+}
+
+TEST(Fusion, AvgPoolFusesToo) {
+  nn::Model m("avg", nn::TensorShape{4, 16, 16});
+  m.add_conv("c", 8, 3, 1, 1);
+  m.add_avgpool("p", 2, 2);
+  m.finalize();
+  EXPECT_EQ(find_pool_fusions(m).size(), 1u);
+}
+
+TEST(Fusion, ReducesCyclesAndTraffic) {
+  // SqueezeNet conv1 spills its 2.3 MB output; fusing pool1 into the drain
+  // cuts the spilled tensor ~4x.
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const auto cfg = sim::AcceleratorConfig::squeezelerator();
+  SimulationOptions plain, fused;
+  fused.fuse_pool_drain = true;
+  const auto base = simulate_network(m, cfg, plain);
+  const auto opt = simulate_network(m, cfg, fused);
+  EXPECT_LT(opt.total_cycles(), base.total_cycles());
+  EXPECT_LT(opt.total_counts().dram_words, base.total_counts().dram_words);
+  EXPECT_LT(opt.total_counts().gb_writes, base.total_counts().gb_writes);
+  EXPECT_LT(energy::network_energy(opt).total(),
+            energy::network_energy(base).total());
+}
+
+TEST(Fusion, FusedPoolLayerCostsNothing) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  SimulationOptions fused;
+  fused.fuse_pool_drain = true;
+  const auto r = simulate_network(
+      m, sim::AcceleratorConfig::squeezelerator(), fused);
+  bool saw_fused = false;
+  for (const auto& l : r.layers) {
+    if (l.layer_name.find("(fused)") != std::string::npos) {
+      saw_fused = true;
+      EXPECT_EQ(l.total_cycles, 0);
+      EXPECT_EQ(l.counts.dram_words, 0);
+    }
+    if (l.layer_name == "conv1+pool") {
+      // The conv's stored output is the pooled tensor.
+      EXPECT_LT(l.counts.dram_words,
+                m.layer(1).params() + m.layer(1).in_shape.elems() +
+                    m.layer(1).out_shape.elems());
+    }
+  }
+  EXPECT_TRUE(saw_fused);
+}
+
+TEST(Fusion, NeverHelpsNetworksWithoutPairs) {
+  // SqueezeNext pools only after conv1... check: if no fusions, results match.
+  nn::Model m("nopool", nn::TensorShape{8, 16, 16});
+  m.add_conv("a", 8, 3, 1, 1);
+  m.add_conv("b", 8, 3, 1, 1);
+  m.finalize();
+  const auto cfg = sim::AcceleratorConfig::squeezelerator();
+  SimulationOptions plain, fused;
+  fused.fuse_pool_drain = true;
+  EXPECT_EQ(simulate_network(m, cfg, plain).total_cycles(),
+            simulate_network(m, cfg, fused).total_cycles());
+}
+
+TEST(Fusion, ComposesWithTimeline) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  SimulationOptions opt;
+  opt.fuse_pool_drain = true;
+  opt.tile_timeline = true;
+  const auto r =
+      simulate_network(m, sim::AcceleratorConfig::squeezelerator(), opt);
+  EXPECT_GT(r.total_cycles(), 0);
+  EXPECT_EQ(r.total_useful_macs(), m.total_macs());
+}
+
+}  // namespace
+}  // namespace sqz::sched

@@ -1,0 +1,109 @@
+#include "sched/network_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+
+namespace sqz::sched {
+namespace {
+
+const sim::AcceleratorConfig kCfg = sim::AcceleratorConfig::squeezelerator();
+
+TEST(NetworkSim, TotalsAreLayerSums) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const sim::NetworkResult r = simulate_network(m, kCfg);
+  std::int64_t cycles = 0, macs = 0;
+  sim::AccessCounts counts;
+  for (const auto& l : r.layers) {
+    cycles += l.total_cycles;
+    macs += l.useful_macs;
+    counts += l.counts;
+  }
+  EXPECT_EQ(r.total_cycles(), cycles);
+  EXPECT_EQ(r.total_useful_macs(), macs);
+  EXPECT_EQ(r.total_counts(), counts);
+}
+
+TEST(NetworkSim, UsefulMacsMatchModel) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const sim::NetworkResult r = simulate_network(m, kCfg);
+  EXPECT_EQ(r.total_useful_macs(), m.total_macs());
+}
+
+TEST(NetworkSim, OneResultPerNonInputLayer) {
+  const nn::Model m = nn::zoo::tiny_darknet();
+  const sim::NetworkResult r = simulate_network(m, kCfg);
+  EXPECT_EQ(static_cast<int>(r.layers.size()), m.layer_count() - 1);
+}
+
+TEST(NetworkSim, Deterministic) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const auto a = simulate_network(m, kCfg);
+  const auto b = simulate_network(m, kCfg);
+  EXPECT_EQ(a.total_cycles(), b.total_cycles());
+  EXPECT_EQ(a.total_counts(), b.total_counts());
+}
+
+TEST(NetworkSim, UtilizationIsSane) {
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    const sim::NetworkResult r = simulate_network(m, kCfg);
+    EXPECT_GT(r.utilization(), 0.0) << m.name();
+    EXPECT_LT(r.utilization(), 1.0) << m.name();
+  }
+}
+
+TEST(NetworkSim, LatencyMsAtClock) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const sim::NetworkResult r = simulate_network(m, kCfg);
+  EXPECT_NEAR(r.latency_ms(1.0),
+              static_cast<double>(r.total_cycles()) / 1e6, 1e-9);
+  EXPECT_NEAR(r.latency_ms(2.0), r.latency_ms(1.0) / 2.0, 1e-9);
+}
+
+TEST(NetworkSim, RejectsUnfinalizedModel) {
+  nn::Model m("u", nn::TensorShape{3, 8, 8});
+  m.add_conv("c", 4, 3, 1, 1);
+  EXPECT_THROW(simulate_network(m, kCfg), std::invalid_argument);
+}
+
+TEST(NetworkSim, RejectsInvalidConfig) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  sim::AcceleratorConfig bad = kCfg;
+  bad.array_n = 0;
+  EXPECT_THROW(simulate_network(m, bad), std::invalid_argument);
+}
+
+TEST(NetworkSim, HybridNeverSlowerThanForced) {
+  // The per-layer selector can only improve on either single dataflow.
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    sim::AcceleratorConfig ws = kCfg, os = kCfg;
+    ws.support = sim::DataflowSupport::WsOnly;
+    os.support = sim::DataflowSupport::OsOnly;
+    const auto hybrid = simulate_network(m, kCfg).total_cycles();
+    const auto ws_cycles = simulate_network(m, ws).total_cycles();
+    const auto os_cycles = simulate_network(m, os).total_cycles();
+    EXPECT_LE(hybrid, ws_cycles) << m.name();
+    EXPECT_LE(hybrid, os_cycles) << m.name();
+  }
+}
+
+TEST(NetworkSim, MoreDramBandwidthNeverSlower) {
+  const nn::Model m = nn::zoo::alexnet();
+  sim::AcceleratorConfig slow = kCfg, fast = kCfg;
+  slow.dram_bytes_per_cycle = 8.0;
+  fast.dram_bytes_per_cycle = 64.0;
+  EXPECT_GE(simulate_network(m, slow).total_cycles(),
+            simulate_network(m, fast).total_cycles());
+}
+
+TEST(NetworkSim, SparsitySpeedsUpOsNetworks) {
+  const nn::Model m = nn::zoo::tiny_darknet();
+  sim::AcceleratorConfig dense = kCfg, sparse = kCfg;
+  dense.weight_sparsity = 0.0;
+  sparse.weight_sparsity = 0.6;
+  EXPECT_GT(simulate_network(m, dense).total_cycles(),
+            simulate_network(m, sparse).total_cycles());
+}
+
+}  // namespace
+}  // namespace sqz::sched

@@ -1,0 +1,83 @@
+#include "sched/residency.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+
+namespace sqz::sched {
+namespace {
+
+const sim::AcceleratorConfig kCfg = sim::AcceleratorConfig::squeezelerator();
+
+TEST(Residency, SmallActivationsStayOnChip) {
+  nn::Model m("small", nn::TensorShape{8, 16, 16});
+  m.add_conv("a", 16, 3, 1, 1);
+  m.add_conv("b", 16, 3, 1, 1);
+  m.add_conv("c", 16, 3, 1, 1);
+  m.finalize();
+  const ResidencyPlan plan = plan_residency(m, kCfg);
+  // Mid-layers fit comfortably in 128 KiB.
+  EXPECT_TRUE(plan.kept.at(1));
+  EXPECT_TRUE(plan.kept.at(2));
+}
+
+TEST(Residency, ModelInputAlwaysFromDram) {
+  nn::Model m("x", nn::TensorShape{1, 2, 2});
+  m.add_conv("a", 1, 1, 1, 0);
+  m.finalize();
+  const ResidencyPlan plan = plan_residency(m, kCfg);
+  EXPECT_FALSE(plan.kept.at(0));
+  const sim::TensorPlacement p = plan.placement_for(m, 1);
+  EXPECT_FALSE(p.input_in_gb);
+}
+
+TEST(Residency, FinalOutputWrittenBack) {
+  nn::Model m("x", nn::TensorShape{4, 8, 8});
+  m.add_conv("a", 4, 1, 1, 0);
+  m.add_conv("b", 4, 1, 1, 0);
+  m.finalize();
+  const ResidencyPlan plan = plan_residency(m, kCfg);
+  EXPECT_FALSE(plan.kept.back());
+}
+
+TEST(Residency, HugeEarlyMapsSpill) {
+  // SqueezeNet conv1 output: 96*111*111*2B = 2.3 MB >> 128 KiB.
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const ResidencyPlan plan = plan_residency(m, kCfg);
+  EXPECT_FALSE(plan.kept.at(1)) << "conv1 output must stream through DRAM";
+  // Late fire modules (13x13 maps) stay on-chip.
+  bool some_late_kept = false;
+  for (int i = m.layer_count() - 10; i < m.layer_count() - 1; ++i)
+    if (plan.kept.at(static_cast<std::size_t>(i))) some_late_kept = true;
+  EXPECT_TRUE(some_late_kept);
+}
+
+TEST(Residency, BiggerBufferKeepsMore) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  sim::AcceleratorConfig big = kCfg;
+  big.gb_kib = 8 * 1024;  // 8 MiB
+  const ResidencyPlan small_plan = plan_residency(m, kCfg);
+  const ResidencyPlan big_plan = plan_residency(m, big);
+  int small_kept = 0, big_kept = 0;
+  for (std::size_t i = 0; i < small_plan.kept.size(); ++i) {
+    small_kept += small_plan.kept[i] ? 1 : 0;
+    big_kept += big_plan.kept[i] ? 1 : 0;
+  }
+  EXPECT_GT(big_kept, small_kept);
+}
+
+TEST(Residency, PlacementRequiresAllProducersKept) {
+  nn::Model m("cat", nn::TensorShape{4, 8, 8});
+  const int a = m.add_conv("a", 4, 1, 1, 0);
+  const int b = m.add_conv("b", 4, 1, 1, 0, 0);
+  const int cat = m.add_concat("cat", {a, b});
+  m.add_conv("c", 4, 1, 1, 0, cat);
+  m.finalize();
+  ResidencyPlan plan = plan_residency(m, kCfg);
+  plan.kept[static_cast<std::size_t>(b)] = false;  // force one producer out
+  const sim::TensorPlacement p = plan.placement_for(m, cat);
+  EXPECT_FALSE(p.input_in_gb);
+}
+
+}  // namespace
+}  // namespace sqz::sched

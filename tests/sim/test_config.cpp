@@ -1,0 +1,83 @@
+#include "sim/config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sqz::sim {
+namespace {
+
+TEST(Config, DefaultsMatchPaper) {
+  const AcceleratorConfig c = AcceleratorConfig::squeezelerator();
+  EXPECT_EQ(c.array_n, 32);           // 32x32 PE experiments
+  EXPECT_EQ(c.rf_entries, 16);        // post-tune-up register file
+  EXPECT_EQ(c.gb_kib, 128);           // 128KB global buffer
+  EXPECT_EQ(c.dram_latency_cycles, 100);
+  EXPECT_DOUBLE_EQ(c.dram_bytes_per_cycle, 16.0);  // 16 GB/s at 1 GHz
+  EXPECT_EQ(c.data_bytes, 2);         // 16-bit integer data path
+  EXPECT_DOUBLE_EQ(c.weight_sparsity, 0.40);
+  EXPECT_EQ(c.support, DataflowSupport::Hybrid);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Config, Presets) {
+  EXPECT_EQ(AcceleratorConfig::squeezelerator_rf8().rf_entries, 8);
+  EXPECT_EQ(AcceleratorConfig::reference_ws().support, DataflowSupport::WsOnly);
+  EXPECT_TRUE(AcceleratorConfig::reference_ws().ws_psums_in_gb);
+  EXPECT_EQ(AcceleratorConfig::reference_os().support, DataflowSupport::OsOnly);
+  EXPECT_FALSE(AcceleratorConfig::squeezelerator().ws_psums_in_gb);
+}
+
+TEST(Config, DerivedQuantities) {
+  AcceleratorConfig c;
+  EXPECT_EQ(c.pe_count(), 1024);
+  EXPECT_EQ(c.gb_capacity_words(), 128 * 1024 / 2);
+}
+
+TEST(Config, ValidateRejectsBadValues) {
+  const auto broken = [](auto mutate) {
+    AcceleratorConfig c;
+    mutate(c);
+    return c;
+  };
+  EXPECT_THROW(broken([](auto& c) { c.array_n = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.rf_entries = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.gb_kib = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.preload_width = 0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.drain_width = -1; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.dram_latency_cycles = -1; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.dram_bytes_per_cycle = 0.0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.data_bytes = 3; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.weight_sparsity = 1.0; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.weight_sparsity = -0.1; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.weight_reserve_words = 1 << 20; }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(broken([](auto& c) { c.psum_accum_words = 1; }).validate(),
+               std::invalid_argument);
+}
+
+TEST(Config, DataflowNames) {
+  EXPECT_STREQ(dataflow_abbrev(Dataflow::WeightStationary), "WS");
+  EXPECT_STREQ(dataflow_abbrev(Dataflow::OutputStationary), "OS");
+  EXPECT_STREQ(dataflow_name(Dataflow::WeightStationary), "weight-stationary");
+}
+
+TEST(Config, ToStringMentionsKeyParams) {
+  const std::string s = AcceleratorConfig::squeezelerator().to_string();
+  EXPECT_NE(s.find("32x32"), std::string::npos);
+  EXPECT_NE(s.find("128"), std::string::npos);
+  EXPECT_NE(s.find("hybrid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqz::sim

@@ -1,0 +1,52 @@
+#include "sim/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace sqz::sim {
+namespace {
+
+AcceleratorConfig cfg() { return AcceleratorConfig::squeezelerator(); }
+
+TEST(Dram, TransferCyclesScaleWithWords) {
+  const DramModel d(cfg());
+  // 16 B/cycle, 2 B/word -> 8 words per cycle.
+  EXPECT_EQ(d.transfer_cycles(8), 1);
+  EXPECT_EQ(d.transfer_cycles(9), 2);
+  EXPECT_EQ(d.transfer_cycles(80), 10);
+  EXPECT_EQ(d.transfer_cycles(0), 0);
+  EXPECT_EQ(d.transfer_cycles(-5), 0);
+}
+
+TEST(Dram, ExposedFullyHiddenBehindCompute) {
+  const DramModel d(cfg());
+  // 800 words = 100 transfer cycles < 1000 compute -> only latency exposed.
+  EXPECT_EQ(d.exposed_cycles(800, 1000), 100);
+}
+
+TEST(Dram, ExposedExcessWhenDmaBound) {
+  const DramModel d(cfg());
+  // 16000 words = 2000 cycles vs 500 compute -> 1500 excess + latency.
+  EXPECT_EQ(d.exposed_cycles(16000, 500), 1500 + 100);
+}
+
+TEST(Dram, NoTrafficNoLatency) {
+  const DramModel d(cfg());
+  EXPECT_EQ(d.exposed_cycles(0, 12345), 0);
+}
+
+TEST(Dram, BandwidthKnob) {
+  AcceleratorConfig c = cfg();
+  c.dram_bytes_per_cycle = 32.0;
+  const DramModel d(c);
+  EXPECT_EQ(d.transfer_cycles(32), 2);  // 16 words/cycle now
+}
+
+TEST(Dram, LatencyKnob) {
+  AcceleratorConfig c = cfg();
+  c.dram_latency_cycles = 7;
+  const DramModel d(c);
+  EXPECT_EQ(d.exposed_cycles(8, 100), 7);
+}
+
+}  // namespace
+}  // namespace sqz::sim

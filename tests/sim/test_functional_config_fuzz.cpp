@@ -1,0 +1,99 @@
+// Randomized-configuration exactness fuzz: the functional emulators must
+// match the analytical mappers cycle- and count-exactly not only at the
+// paper's configuration but across the whole configuration space — random
+// array sizes, port widths, register files, accumulator depths, sparsity
+// and psum placements.
+#include <gtest/gtest.h>
+
+#include "nn/model.h"
+#include "runtime/ops.h"
+#include "runtime/weights.h"
+#include "sim/functional/engines.h"
+#include "sim/mappers.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace sqz::sim::functional {
+namespace {
+
+AcceleratorConfig random_config(util::Rng& rng) {
+  AcceleratorConfig cfg;
+  cfg.array_n = static_cast<int>(rng.next_in(2, 24));
+  cfg.rf_entries = static_cast<int>(rng.next_in(1, 24));
+  cfg.preload_width = static_cast<int>(rng.next_in(1, 48));
+  cfg.drain_width = static_cast<int>(rng.next_in(1, 48));
+  cfg.psum_accum_words =
+      static_cast<int>(rng.next_in(cfg.array_n, 4096));
+  cfg.os_zero_skip = rng.next_bernoulli(0.8);
+  cfg.ws_psums_in_gb = rng.next_bernoulli(0.3);
+  cfg.weight_sparsity = rng.next_unit() * 0.7;
+  cfg.validate();
+  return cfg;
+}
+
+nn::Model random_conv(util::Rng& rng) {
+  const int cin = static_cast<int>(rng.next_in(1, 20));
+  const int hw = static_cast<int>(rng.next_in(5, 18));
+  const int k = static_cast<int>(rng.next_in(1, std::min(hw, 5)));
+  const int stride = static_cast<int>(rng.next_in(1, 2));
+  // Groups: 1, cin (depthwise), or a divisor.
+  int groups = 1;
+  const auto dice = rng.next_below(4);
+  if (dice == 1) groups = cin;
+  else if (dice == 2 && cin % 2 == 0) groups = 2;
+  const int cout = static_cast<int>(rng.next_in(1, 12)) * groups;
+
+  nn::Model m(util::format("cfgfuzz"), nn::TensorShape{cin, hw, hw});
+  nn::ConvParams p;
+  p.out_channels = cout;
+  p.kh = p.kw = k;
+  p.stride = stride;
+  p.pad_h = p.pad_w = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(k)));
+  p.groups = groups;
+  p.relu = rng.next_bernoulli(0.7);
+  m.add_conv("c", p);
+  m.finalize();
+  return m;
+}
+
+class ConfigFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConfigFuzz, BothDataflowsExactUnderRandomConfigs) {
+  util::Rng rng(GetParam() * 7919 + 13);
+  const AcceleratorConfig cfg = random_config(rng);
+  const nn::Model m = random_conv(rng);
+  const nn::Layer& l = m.layer(1);
+
+  runtime::WeightGenConfig wc;
+  wc.sparsity = cfg.weight_sparsity;
+  const runtime::WeightTensor w = runtime::generate_weights(m, 1, wc);
+  const runtime::Tensor in = runtime::generate_input(m, GetParam());
+  runtime::Requant rq;
+  rq.relu = l.conv.relu;
+  const runtime::Tensor ref = runtime::conv2d(in, w, l.conv, rq);
+
+  // Weight-stationary.
+  {
+    const FunctionalResult f = run_weight_stationary(l, in, w, rq, cfg);
+    const MappingResult a = map_weight_stationary(l, cfg);
+    ASSERT_EQ(f.output, ref) << cfg.to_string();
+    ASSERT_EQ(f.compute_cycles, a.compute_cycles) << cfg.to_string();
+    ASSERT_EQ(f.counts, a.counts) << cfg.to_string();
+  }
+  // Output-stationary.
+  {
+    const FunctionalResult f = run_output_stationary(l, in, w, rq, cfg);
+    const SparsityInfo sp = cfg.os_zero_skip ? SparsityInfo::measured(w)
+                                             : SparsityInfo::dense(l);
+    const MappingResult a = map_output_stationary(l, cfg, sp);
+    ASSERT_EQ(f.output, ref) << cfg.to_string();
+    ASSERT_EQ(f.compute_cycles, a.compute_cycles) << cfg.to_string();
+    ASSERT_EQ(f.counts, a.counts) << cfg.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace sqz::sim::functional

@@ -1,0 +1,162 @@
+#include "sim/layer_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model.h"
+#include "sim/dram.h"
+
+namespace sqz::sim {
+namespace {
+
+const AcceleratorConfig kCfg = AcceleratorConfig::squeezelerator();
+
+nn::Model simple_net() {
+  nn::Model m("net", nn::TensorShape{8, 16, 16});
+  m.add_conv("conv", 16, 3, 1, 1);     // 1
+  m.add_maxpool("pool", 2, 2);         // 2
+  m.add_relu("relu");                  // 3
+  m.add_global_avgpool("gap");         // 4
+  m.add_fc("fc", 10);                  // 5
+  m.finalize();
+  return m;
+}
+
+TEST(LayerSim, ConvOnPeArray) {
+  const nn::Model m = simple_net();
+  const LayerResult r =
+      simulate_layer(m, 1, kCfg, Dataflow::WeightStationary);
+  EXPECT_TRUE(r.on_pe_array);
+  EXPECT_EQ(r.dataflow, Dataflow::WeightStationary);
+  EXPECT_EQ(r.useful_macs, m.layer(1).macs());
+  EXPECT_GT(r.compute_cycles, 0);
+}
+
+TEST(LayerSim, TotalCyclesComposition) {
+  // total = max(compute, dma transfer) + dram latency when traffic exists.
+  const nn::Model m = simple_net();
+  const LayerResult r =
+      simulate_layer(m, 1, kCfg, Dataflow::WeightStationary);
+  const DramModel dram(kCfg);
+  EXPECT_EQ(r.dram_cycles, dram.transfer_cycles(r.counts.dram_words));
+  EXPECT_EQ(r.total_cycles,
+            std::max(r.compute_cycles, r.dram_cycles) + kCfg.dram_latency_cycles);
+}
+
+TEST(LayerSim, PlacementControlsDramTraffic) {
+  const nn::Model m = simple_net();
+  const std::int64_t in_words = m.layer(1).in_shape.elems();
+  const std::int64_t out_words = m.layer(1).out_shape.elems();
+  const std::int64_t weights = m.layer(1).params();
+
+  TensorPlacement spill;  // everything through DRAM
+  const LayerResult both = simulate_layer(m, 1, kCfg, Dataflow::WeightStationary,
+                                          spill);
+  EXPECT_EQ(both.counts.dram_words, weights + in_words + out_words);
+
+  TensorPlacement resident{.input_in_gb = true, .output_in_gb = true};
+  const LayerResult none = simulate_layer(m, 1, kCfg, Dataflow::WeightStationary,
+                                          resident);
+  EXPECT_EQ(none.counts.dram_words, weights);  // weights always stream
+
+  TensorPlacement in_only{.input_in_gb = true, .output_in_gb = false};
+  const LayerResult out_spill = simulate_layer(
+      m, 1, kCfg, Dataflow::WeightStationary, in_only);
+  EXPECT_EQ(out_spill.counts.dram_words, weights + out_words);
+}
+
+TEST(LayerSim, FcAlwaysWeightStationary) {
+  const nn::Model m = simple_net();
+  const LayerResult r =
+      simulate_layer(m, 5, kCfg, Dataflow::OutputStationary);
+  EXPECT_EQ(r.dataflow, Dataflow::WeightStationary);
+}
+
+TEST(LayerSim, FcIsDramBound) {
+  // Batch-1 FC: weight streaming dominates (the paper's AlexNet story).
+  nn::Model m("fc", nn::TensorShape{256, 6, 6});
+  m.add_fc("f", 4096);
+  m.finalize();
+  const LayerResult r =
+      simulate_layer(m, 1, kCfg, Dataflow::WeightStationary);
+  EXPECT_GT(r.dram_cycles, r.compute_cycles);
+}
+
+TEST(LayerSim, SimdLayersOffArray) {
+  const nn::Model m = simple_net();
+  for (int idx : {2, 3, 4}) {
+    const LayerResult r =
+        simulate_layer(m, idx, kCfg, Dataflow::WeightStationary);
+    EXPECT_FALSE(r.on_pe_array) << idx;
+    EXPECT_EQ(r.useful_macs, 0);
+    EXPECT_GT(r.compute_cycles, 0);
+    EXPECT_EQ(r.counts.mac_ops, 0);
+  }
+}
+
+TEST(LayerSim, PoolCyclesScaleWithWindow) {
+  nn::Model m("p", nn::TensorShape{8, 32, 32});
+  m.add_maxpool("p2", 2, 2);      // 8*16*16*4 ops
+  m.add_maxpool("p3", 3, 1, 1);   // larger window on 16x16
+  m.finalize();
+  const LayerResult p2 = simulate_layer(m, 1, kCfg, Dataflow::WeightStationary);
+  const std::int64_t ops2 = 8LL * 16 * 16 * 4;
+  EXPECT_EQ(p2.compute_cycles, (ops2 + kCfg.simd_lanes - 1) / kCfg.simd_lanes);
+}
+
+TEST(LayerSim, ConcatIsFreeOnChip) {
+  nn::Model m("c", nn::TensorShape{4, 8, 8});
+  const int a = m.add_conv("a", 4, 1, 1, 0);
+  const int b = m.add_conv("b", 4, 1, 1, 0, 0);
+  m.add_concat("cat", {a, b});
+  m.finalize();
+  TensorPlacement resident{.input_in_gb = true, .output_in_gb = true};
+  const LayerResult r =
+      simulate_layer(m, 3, kCfg, Dataflow::WeightStationary, resident);
+  EXPECT_EQ(r.compute_cycles, 0);
+  EXPECT_EQ(r.counts.dram_words, 0);
+  EXPECT_EQ(r.counts.gb_reads, 0);
+}
+
+TEST(LayerSim, DmaTrafficRaisesGbAccesses) {
+  const nn::Model m = simple_net();
+  TensorPlacement resident{.input_in_gb = true, .output_in_gb = true};
+  TensorPlacement spill;
+  const auto res = simulate_layer(m, 1, kCfg, Dataflow::WeightStationary, resident);
+  const auto sp = simulate_layer(m, 1, kCfg, Dataflow::WeightStationary, spill);
+  // Spilled tensors transit the GB on their way to/from DRAM.
+  EXPECT_GT(sp.counts.gb_writes, res.counts.gb_writes);
+  EXPECT_GT(sp.counts.gb_reads, res.counts.gb_reads);
+}
+
+TEST(LayerSim, RejectsInputLayer) {
+  const nn::Model m = simple_net();
+  EXPECT_THROW(simulate_layer(m, 0, kCfg, Dataflow::WeightStationary),
+               std::invalid_argument);
+}
+
+TEST(LayerSim, EffectiveDataflowRules) {
+  const nn::Model m = simple_net();
+  AcceleratorConfig ws_only = kCfg, os_only = kCfg;
+  ws_only.support = DataflowSupport::WsOnly;
+  os_only.support = DataflowSupport::OsOnly;
+  // Conv obeys the forced support.
+  EXPECT_EQ(effective_dataflow(m.layer(1), ws_only, Dataflow::OutputStationary),
+            Dataflow::WeightStationary);
+  EXPECT_EQ(effective_dataflow(m.layer(1), os_only, Dataflow::WeightStationary),
+            Dataflow::OutputStationary);
+  EXPECT_EQ(effective_dataflow(m.layer(1), kCfg, Dataflow::OutputStationary),
+            Dataflow::OutputStationary);
+  // FC is always WS even on the OS-only reference.
+  EXPECT_EQ(effective_dataflow(m.layer(5), os_only, Dataflow::OutputStationary),
+            Dataflow::WeightStationary);
+}
+
+TEST(LayerSim, UtilizationBounded) {
+  const nn::Model m = simple_net();
+  const LayerResult r = simulate_layer(m, 1, kCfg, Dataflow::OutputStationary);
+  EXPECT_GT(r.utilization(kCfg.pe_count()), 0.0);
+  EXPECT_LE(r.utilization(kCfg.pe_count()), 1.0);
+}
+
+}  // namespace
+}  // namespace sqz::sim

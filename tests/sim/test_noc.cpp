@@ -1,0 +1,108 @@
+#include "sim/noc.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model.h"
+#include "nn/zoo/zoo.h"
+
+namespace sqz::sim {
+namespace {
+
+const AcceleratorConfig kCfg = AcceleratorConfig::squeezelerator();
+
+nn::Model conv_net(int cin, int hw, int cout, int k, int stride = 1) {
+  nn::Model m("w", nn::TensorShape{cin, hw, hw});
+  m.add_conv("c", cout, k, stride, k / 2);
+  m.finalize();
+  return m;
+}
+
+WireTraffic wires(const nn::Model& m, Dataflow df,
+                  const AcceleratorConfig& cfg = kCfg) {
+  return analyze_wire_traffic(m.layer(1), cfg, df,
+                              SparsityInfo::expected(m.layer(1), 0.40));
+}
+
+TEST(Noc, WsShiftHopsEqualMacs) {
+  // Every WS MAC forwards its product one chain link.
+  const nn::Model m = conv_net(16, 20, 32, 3);
+  const WireTraffic w = wires(m, Dataflow::WeightStationary);
+  EXPECT_EQ(w.shift_hops, m.layer(1).macs());
+}
+
+TEST(Noc, WsDrainsOneHopPerPsumPass) {
+  // Column sums exit at the chain bottom: one hop per streamed psum.
+  const nn::Model m = conv_net(32, 16, 32, 1);
+  const WireTraffic w = wires(m, Dataflow::WeightStationary);
+  // One tap, one cin block: one pass -> one psum per (pixel, column).
+  EXPECT_EQ(w.drain_hops, m.layer(1).out_shape.elems());
+}
+
+TEST(Noc, OsDrainDistanceGrowsWithTileHeight) {
+  // A full 32-row tile drains outputs across ~16 hops on average; an 8-row
+  // tile (same outputs, smaller array) across ~4.
+  const nn::Model m = conv_net(8, 32, 8, 1);
+  AcceleratorConfig small = kCfg;
+  small.array_n = 8;
+  small.preload_width = 8;
+  small.drain_width = 8;
+  const WireTraffic big = wires(m, Dataflow::OutputStationary, kCfg);
+  const WireTraffic tiny = wires(m, Dataflow::OutputStationary, small);
+  const auto per_output = [&](const WireTraffic& w) {
+    return static_cast<double>(w.drain_hops) /
+           static_cast<double>(m.layer(1).out_shape.elems());
+  };
+  EXPECT_GT(per_output(big), 2.0 * per_output(tiny));
+}
+
+TEST(Noc, OsShiftHopsTrackExecutedMacs) {
+  const nn::Model m = conv_net(16, 32, 16, 3);
+  const WireTraffic w = wires(m, Dataflow::OutputStationary);
+  // One mesh hop per executed (zero-skipped) MAC.
+  const double expected = 0.6 * static_cast<double>(m.layer(1).macs());
+  EXPECT_NEAR(static_cast<double>(w.shift_hops), expected, 0.05 * expected);
+}
+
+TEST(Noc, BroadcastCostIndependentOfConsumers) {
+  // A WS row broadcast energizes its span whether 2 or 32 columns listen;
+  // per-MAC wire cost therefore *rises* when columns idle.
+  const nn::Model wide = conv_net(32, 16, 32, 1);
+  const nn::Model narrow = conv_net(32, 16, 4, 1);
+  const double wide_hpm = wires(wide, Dataflow::WeightStationary)
+                              .hops_per_mac(wide.layer(1).macs());
+  const double narrow_hpm = wires(narrow, Dataflow::WeightStationary)
+                                .hops_per_mac(narrow.layer(1).macs());
+  EXPECT_LE(wide_hpm, narrow_hpm * 1.01);
+}
+
+TEST(Noc, FcAlwaysRoutesWs) {
+  nn::Model m("fc", nn::TensorShape{16, 4, 4});
+  m.add_fc("f", 64);
+  m.finalize();
+  const WireTraffic ws = analyze_wire_traffic(
+      m.layer(1), kCfg, Dataflow::WeightStationary,
+      SparsityInfo::expected(m.layer(1), 0.4));
+  const WireTraffic os = analyze_wire_traffic(
+      m.layer(1), kCfg, Dataflow::OutputStationary,
+      SparsityInfo::expected(m.layer(1), 0.4));
+  EXPECT_EQ(ws.total_hops(), os.total_hops());  // both the WS route
+}
+
+TEST(Noc, HopsPerMacIsFinite) {
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    for (int i = 1; i < m.layer_count(); ++i) {
+      if (!m.layer(i).is_conv()) continue;
+      for (Dataflow df :
+           {Dataflow::WeightStationary, Dataflow::OutputStationary}) {
+        const WireTraffic w = analyze_wire_traffic(
+            m.layer(i), kCfg, df, SparsityInfo::expected(m.layer(i), 0.40));
+        const double hpm = w.hops_per_mac(m.layer(i).macs());
+        EXPECT_GT(hpm, 0.0) << m.name() << " " << m.layer(i).name;
+        EXPECT_LT(hpm, 64.0) << m.name() << " " << m.layer(i).name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqz::sim

@@ -1,0 +1,140 @@
+#include "sim/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model.h"
+
+namespace sqz::sim {
+namespace {
+
+nn::Layer make_conv(int cin, int hw, int cout, int k, int stride, int pad,
+                    int groups = 1) {
+  nn::Model m("t", nn::TensorShape{cin, hw, hw});
+  nn::ConvParams p;
+  p.out_channels = cout;
+  p.kh = p.kw = k;
+  p.stride = stride;
+  p.pad_h = p.pad_w = pad;
+  p.groups = groups;
+  m.add_conv("c", p);
+  m.finalize();
+  return m.layer(1);
+}
+
+const AcceleratorConfig kCfg = AcceleratorConfig::squeezelerator();
+
+TEST(WsSchedule, WideLayerNoPacking) {
+  const WsSchedule s = WsSchedule::plan(make_conv(64, 14, 128, 3, 1, 1), kCfg);
+  EXPECT_EQ(s.tap_pack, 1);
+  EXPECT_EQ(s.cin_blocks, 2);   // 64 / 32
+  EXPECT_EQ(s.cout_blocks, 4);  // 128 / 32
+  EXPECT_EQ(s.stream_penalty, 1);
+  EXPECT_EQ(s.pixels, 14 * 14);
+}
+
+TEST(WsSchedule, FirstLayerPacksTaps) {
+  const WsSchedule s = WsSchedule::plan(make_conv(3, 33, 96, 7, 2, 0), kCfg);
+  EXPECT_EQ(s.tap_pack, 2);  // capped at kWsMaxTapPack
+  EXPECT_EQ(s.cin_blocks, 1);
+  EXPECT_EQ(s.stream_penalty, 2);  // stride 2
+  EXPECT_EQ(s.tap_groups_per_row(), 4);  // ceil(7/2)
+  EXPECT_EQ(s.taps_in_group(3), 1);      // last group is a single tap
+  EXPECT_EQ(s.taps_in_group(0), 2);
+}
+
+TEST(WsSchedule, DepthwisePacks) {
+  nn::Model m("dw", nn::TensorShape{32, 16, 16});
+  m.add_depthwise("d", 3, 1, 1);
+  m.finalize();
+  const WsSchedule s = WsSchedule::plan(m.layer(1), kCfg);
+  EXPECT_EQ(s.groups, 32);
+  EXPECT_EQ(s.cin_pg, 1);
+  EXPECT_EQ(s.tap_pack, 2);
+  EXPECT_EQ(s.tap_groups_per_row(), 2);  // ceil(3/2)
+}
+
+TEST(WsSchedule, KwOneCannotPack) {
+  // 3x1 separated conv: only one tap per row; nothing to pack.
+  nn::Model m("t", nn::TensorShape{8, 16, 16});
+  nn::ConvParams p;
+  p.out_channels = 16;
+  p.kh = 3;
+  p.kw = 1;
+  p.pad_h = 1;
+  m.add_conv("c", p);
+  m.finalize();
+  const WsSchedule s = WsSchedule::plan(m.layer(1), kCfg);
+  EXPECT_EQ(s.tap_pack, 1);
+}
+
+TEST(WsSchedule, StridePenaltyCapped) {
+  const WsSchedule s = WsSchedule::plan(make_conv(3, 227, 96, 11, 4, 0), kCfg);
+  EXPECT_EQ(s.stream_penalty, 2);  // min(stride, 2)
+}
+
+TEST(WsSchedule, FcGeometry) {
+  nn::Model m("fc", nn::TensorShape{16, 4, 4});
+  m.add_fc("f", 100);
+  m.finalize();
+  const WsSchedule s = WsSchedule::plan(m.layer(1), kCfg);
+  EXPECT_TRUE(s.is_fc);
+  EXPECT_EQ(s.cin_pg, 256);
+  EXPECT_EQ(s.cout_pg, 100);
+  EXPECT_EQ(s.pixels, 1);
+  EXPECT_EQ(s.cin_blocks, 8);
+  EXPECT_EQ(s.cout_blocks, 4);
+}
+
+TEST(WsSchedule, PixelChunkTracksAccumulator) {
+  AcceleratorConfig c = kCfg;
+  c.psum_accum_words = 64;
+  const WsSchedule s = WsSchedule::plan(make_conv(64, 14, 128, 3, 1, 1), c);
+  EXPECT_EQ(s.pixel_chunk, 2);  // 64 / 32
+}
+
+TEST(WsSchedule, RejectsNonMacLayer) {
+  nn::Model m("p", nn::TensorShape{4, 8, 8});
+  m.add_maxpool("pool", 2, 2);
+  m.finalize();
+  EXPECT_THROW(WsSchedule::plan(m.layer(1), kCfg), std::invalid_argument);
+}
+
+TEST(OsSchedule, TilesCoverOutput) {
+  const OsSchedule s = OsSchedule::plan(make_conv(3, 227, 96, 7, 2, 0), kCfg);
+  EXPECT_EQ(s.oh, 111);
+  EXPECT_EQ(s.tiles_y, 4);
+  EXPECT_EQ(s.tiles_x, 4);
+  EXPECT_FALSE(s.loads_overlap_compute);
+}
+
+TEST(OsSchedule, PointwiseOverlapsLoads) {
+  const OsSchedule s = OsSchedule::plan(make_conv(64, 14, 128, 1, 1, 0), kCfg);
+  EXPECT_TRUE(s.loads_overlap_compute);
+  EXPECT_EQ(s.tiles_y, 1);
+}
+
+TEST(OsSchedule, BlockPixelsIncludeHalo) {
+  const OsSchedule s = OsSchedule::plan(make_conv(8, 64, 8, 3, 1, 1), kCfg);
+  // Full 32x32 tile, 3x3 stride 1: block is 34x34.
+  EXPECT_EQ(s.block_pixels(32, 32), 34 * 34);
+  // Edge tile of 10x10 outputs: block 12x12.
+  EXPECT_EQ(s.block_pixels(10, 10), 12 * 12);
+}
+
+TEST(OsSchedule, LoadCyclesBandwidthAndRowFloor) {
+  const OsSchedule s = OsSchedule::plan(make_conv(8, 64, 8, 3, 1, 1), kCfg);
+  // 34*34 = 1156 pixels / 32 per cycle = 37 cycles (> 34-row floor).
+  EXPECT_EQ(s.load_cycles(32, 32, kCfg), 37);
+  // Small tile: bandwidth says ceil(144/32)=5, but 12 rows must inject.
+  EXPECT_EQ(s.load_cycles(10, 10, kCfg), 12);
+}
+
+TEST(OsSchedule, RejectsFc) {
+  nn::Model m("fc", nn::TensorShape{16, 4, 4});
+  m.add_fc("f", 100);
+  m.finalize();
+  EXPECT_THROW(OsSchedule::plan(m.layer(1), kCfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sqz::sim

@@ -1,0 +1,85 @@
+#include "sim/sparsity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/model.h"
+#include "runtime/weights.h"
+
+namespace sqz::sim {
+namespace {
+
+nn::Model conv_model(int cin = 8, int cout = 16, int k = 3) {
+  nn::Model m("s", nn::TensorShape{cin, 12, 12});
+  m.add_conv("c", cout, k, 1, 1);
+  m.finalize();
+  return m;
+}
+
+TEST(Sparsity, ExpectedTotals) {
+  const nn::Model m = conv_model();
+  const SparsityInfo s = SparsityInfo::expected(m.layer(1), 0.40);
+  EXPECT_EQ(s.total_weights(), 16 * 8 * 9);
+  EXPECT_EQ(s.total_nonzero(),
+            static_cast<std::int64_t>(std::llround(16 * 8 * 9 * 0.6)));
+}
+
+TEST(Sparsity, DenseHasNoZeros) {
+  const nn::Model m = conv_model();
+  const SparsityInfo s = SparsityInfo::dense(m.layer(1));
+  EXPECT_EQ(s.total_nonzero(), s.total_weights());
+  EXPECT_EQ(s.nnz_chunk(0, 16, 0), 16 * 9);
+}
+
+TEST(Sparsity, ExpectedChunkScalesWithCount) {
+  const nn::Model m = conv_model();
+  const SparsityInfo s = SparsityInfo::expected(m.layer(1), 0.40);
+  // 9 taps * 0.6 = 5.4 per plane; chunk of 10 -> 54.
+  EXPECT_EQ(s.nnz_chunk(0, 10, 3), 54);
+  EXPECT_EQ(s.nnz_chunk(6, 1, 0), 5);  // llround(5.4)
+}
+
+TEST(Sparsity, MeasuredMatchesWeights) {
+  const nn::Model m = conv_model();
+  runtime::WeightGenConfig wc;
+  wc.sparsity = 0.40;
+  const runtime::WeightTensor w = runtime::generate_weights(m, 1, wc);
+  const SparsityInfo s = SparsityInfo::measured(w);
+  EXPECT_EQ(s.total_nonzero(), w.nonzero_count());
+  EXPECT_EQ(s.total_weights(), w.size());
+  // Chunk sums equal the sum of per-plane counts.
+  std::int64_t manual = 0;
+  for (int oc = 3; oc < 9; ++oc) manual += w.nonzero_count(oc, 2);
+  EXPECT_EQ(s.nnz_chunk(3, 6, 2), manual);
+}
+
+TEST(Sparsity, MeasuredNearExpected) {
+  const nn::Model m = conv_model(32, 64, 3);
+  runtime::WeightGenConfig wc;
+  wc.sparsity = 0.40;
+  const runtime::WeightTensor w = runtime::generate_weights(m, 1, wc);
+  const SparsityInfo measured = SparsityInfo::measured(w);
+  const SparsityInfo expected = SparsityInfo::expected(m.layer(1), 0.40);
+  const double ratio = static_cast<double>(measured.total_nonzero()) /
+                       static_cast<double>(expected.total_nonzero());
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(Sparsity, RejectsBadRate) {
+  const nn::Model m = conv_model();
+  EXPECT_THROW(SparsityInfo::expected(m.layer(1), 1.0), std::invalid_argument);
+  EXPECT_THROW(SparsityInfo::expected(m.layer(1), -0.2), std::invalid_argument);
+}
+
+TEST(Sparsity, FcLayerSupported) {
+  nn::Model m("fc", nn::TensorShape{4, 2, 2});
+  m.add_fc("f", 10);
+  m.finalize();
+  const SparsityInfo s = SparsityInfo::expected(m.layer(1), 0.5);
+  EXPECT_EQ(s.total_weights(), 160);
+  EXPECT_EQ(s.total_nonzero(), 80);
+}
+
+}  // namespace
+}  // namespace sqz::sim

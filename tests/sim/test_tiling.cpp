@@ -1,0 +1,168 @@
+#include "sim/tiling.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "sim/layer_sim.h"
+#include "sim/timeline.h"
+
+namespace sqz::sim {
+namespace {
+
+const AcceleratorConfig kCfg = AcceleratorConfig::squeezelerator();
+
+nn::Model conv_net(int cin, int hw, int cout, int k) {
+  nn::Model m("t", nn::TensorShape{cin, hw, hw});
+  m.add_conv("c", cout, k, 1, k / 2);
+  m.finalize();
+  return m;
+}
+
+TilePlan plan(const nn::Model& m, TensorPlacement p, std::int64_t compute = 10000) {
+  return plan_layer_tiles(m, 1, kCfg, p, compute);
+}
+
+TEST(Tiling, ConservesComputeAndDma) {
+  const nn::Model m = conv_net(32, 64, 64, 3);
+  const TensorPlacement spill;  // everything through DRAM
+  const TilePlan tp = plan(m, spill, 123457);
+  EXPECT_EQ(tp.total_compute(), 123457);
+  const std::int64_t expected_dma = m.layer(1).params() +
+                                    m.layer(1).in_shape.elems() +
+                                    m.layer(1).out_shape.elems() +
+                                    tp.halo_reread_words;
+  EXPECT_EQ(tp.total_dma_words(), expected_dma);
+}
+
+TEST(Tiling, ResidentTensorsProduceNoActivationDma) {
+  const nn::Model m = conv_net(16, 20, 16, 3);
+  const TensorPlacement resident{.input_in_gb = true, .output_in_gb = true};
+  const TilePlan tp = plan(m, resident);
+  EXPECT_EQ(tp.total_dma_words(), m.layer(1).params());  // weights only
+  EXPECT_EQ(tp.halo_reread_words, 0);
+}
+
+TEST(Tiling, StreamingSplitsIntoBands) {
+  const nn::Model m = conv_net(16, 64, 16, 3);
+  const TilePlan tp = plan(m, TensorPlacement{});
+  EXPECT_GT(tp.tiles.size(), 1u);
+  EXPECT_LE(tp.tiles.size(), 64u);  // at most one band per output row
+}
+
+TEST(Tiling, OversizedLayerSplitsByCapacity) {
+  // SqueezeNet conv1: activations far exceed the 128 KiB buffer.
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const TilePlan tp = plan_layer_tiles(m, 1, kCfg, TensorPlacement{}, 1 << 20);
+  // Streamed words / half the activation region gives the minimum band count.
+  const std::int64_t streamed =
+      m.layer(1).in_shape.elems() + m.layer(1).out_shape.elems();
+  const std::int64_t budget =
+      (kCfg.gb_capacity_words() - kCfg.weight_reserve_words) / 2;
+  EXPECT_GE(static_cast<std::int64_t>(tp.tiles.size()),
+            (streamed + budget - 1) / budget);
+}
+
+TEST(Tiling, HaloRereadsOnlyWhenInputStreams) {
+  const nn::Model m = conv_net(16, 64, 16, 3);
+  const TilePlan streaming = plan(m, TensorPlacement{});
+  EXPECT_GT(streaming.halo_reread_words, 0);
+  const TilePlan resident =
+      plan(m, TensorPlacement{.input_in_gb = true, .output_in_gb = false});
+  EXPECT_EQ(resident.halo_reread_words, 0);
+}
+
+TEST(Tiling, PointwiseHasNoHalo) {
+  const nn::Model m = conv_net(16, 64, 16, 1);
+  const TilePlan tp = plan(m, TensorPlacement{});
+  EXPECT_EQ(tp.halo_reread_words, 0);
+}
+
+TEST(Tiling, FcSplitsAlongOutputs) {
+  nn::Model m("fc", nn::TensorShape{256, 6, 6});
+  m.add_fc("f", 4096);
+  m.finalize();
+  const TilePlan tp = plan_layer_tiles(m, 1, kCfg, TensorPlacement{}, 50000);
+  EXPECT_GT(tp.tiles.size(), 1u);
+  EXPECT_EQ(tp.halo_reread_words, 0);
+  EXPECT_EQ(tp.total_compute(), 50000);
+}
+
+TEST(Tiling, RejectsInputLayer) {
+  const nn::Model m = conv_net(4, 8, 4, 1);
+  EXPECT_THROW(plan_layer_tiles(m, 0, kCfg, TensorPlacement{}, 1),
+               std::invalid_argument);
+}
+
+TEST(Tiling, BandSharesDifferByAtMostOne) {
+  const nn::Model m = conv_net(16, 64, 16, 3);
+  const TilePlan tp = plan(m, TensorPlacement{}, 99991);  // prime: ragged shares
+  std::int64_t lo = tp.tiles.front().compute_cycles, hi = lo;
+  for (const TileJob& t : tp.tiles) {
+    lo = std::min(lo, t.compute_cycles);
+    hi = std::max(hi, t.compute_cycles);
+  }
+  EXPECT_LE(hi - lo, 1);
+}
+
+TEST(TileSearch, NeverWorseThanHeuristic) {
+  // The searched plan's makespan must beat or match the fixed heuristic on
+  // every layer of the zoo.
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  for (int i = 1; i < m.layer_count(); ++i) {
+    const TensorPlacement p{};
+    const std::int64_t compute = 20000;
+    const TileSearchResult best = search_layer_tiles(m, i, kCfg, p, compute);
+    const TilePlan heur = plan_layer_tiles(m, i, kCfg, p, compute);
+    const TimelineResult heur_tl =
+        run_timeline(heur.tiles, kCfg, BufferingMode::Double);
+    EXPECT_LE(best.makespan_cycles, heur_tl.total_cycles) << m.layer(i).name;
+  }
+}
+
+TEST(TileSearch, BeatsSingleBandByHidingLatency) {
+  // Even with weights-only DMA, a few bands let the one DRAM access latency
+  // hide behind compute; the search must never lose to the single-band plan.
+  nn::Model m("tiny", nn::TensorShape{8, 8, 8});
+  m.add_conv("c", 8, 1, 1, 0);
+  m.finalize();
+  const TensorPlacement resident{.input_in_gb = true, .output_in_gb = true};
+  const TileSearchResult best = search_layer_tiles(m, 1, kCfg, resident, 500);
+  const TilePlan single =
+      plan_layer_tiles_with_bands(m, 1, kCfg, resident, 500, 1);
+  const TimelineResult single_tl =
+      run_timeline(single.tiles, kCfg, BufferingMode::Double);
+  EXPECT_LE(best.makespan_cycles, single_tl.total_cycles);
+  EXPECT_LE(best.bands, 8);  // tiny layer: no reason to shred it
+}
+
+TEST(TileSearch, BandsBoundedByRowsAndCapacity) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const TileSearchResult best =
+      search_layer_tiles(m, 1, kCfg, TensorPlacement{}, 200000);
+  EXPECT_GE(best.bands, 1);
+  EXPECT_LE(best.bands, m.layer(1).out_shape.h);
+  EXPECT_EQ(best.plan.total_compute(), 200000);
+}
+
+TEST(TileSearch, ExplicitBandCountRespectsCapacityFloor) {
+  // Asking for one band on a layer whose working set exceeds the activation
+  // region is overridden by the capacity minimum.
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const TilePlan one = plan_layer_tiles_with_bands(
+      m, 1, kCfg, TensorPlacement{}, 100000, 1);
+  EXPECT_GT(one.tiles.size(), 1u);
+}
+
+TEST(TileSearch, NetworkLevelSearchAtLeastAsFast) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  sched::SimulationOptions heur, search;
+  heur.tile_timeline = search.tile_timeline = true;
+  search.tile_search = true;
+  const auto a = sched::simulate_network(m, kCfg, heur).total_cycles();
+  const auto b = sched::simulate_network(m, kCfg, search).total_cycles();
+  EXPECT_LE(b, a);
+}
+
+}  // namespace
+}  // namespace sqz::sim

@@ -1,0 +1,134 @@
+#include "sim/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+
+namespace sqz::sim {
+namespace {
+
+AcceleratorConfig cfg_with(int latency) {
+  AcceleratorConfig c = AcceleratorConfig::squeezelerator();
+  c.dram_latency_cycles = latency;
+  return c;
+}
+
+// 16 B/cycle at 2 B/word -> 8 words per DMA cycle.
+TileJob job(std::int64_t in_words, std::int64_t compute, std::int64_t out_words) {
+  return TileJob{in_words, compute, out_words};
+}
+
+TEST(Timeline, EmptyJobList) {
+  const TimelineResult r = run_timeline({}, cfg_with(100), BufferingMode::Double);
+  EXPECT_EQ(r.total_cycles, 0);
+  EXPECT_TRUE(r.events.empty());
+}
+
+TEST(Timeline, SingleTileExactSchedule) {
+  // load: 100 + 80/8 = 110; compute 200 starting at 110; store 40/8 = 5.
+  const TimelineResult r =
+      run_timeline({job(80, 200, 40)}, cfg_with(100), BufferingMode::Double);
+  EXPECT_EQ(r.total_cycles, 110 + 200 + 5);
+  EXPECT_EQ(r.compute_busy_cycles, 200);
+  EXPECT_EQ(r.dma_busy_cycles, 110 + 5);
+}
+
+TEST(Timeline, DoubleBufferOverlapsPrefetchWithCompute) {
+  // Two identical tiles, compute-bound: tile 1's load (110) hides entirely
+  // under tile 0's compute (200).
+  const auto tiles = std::vector<TileJob>{job(80, 200, 0), job(80, 200, 0)};
+  const TimelineResult r = run_timeline(tiles, cfg_with(100), BufferingMode::Double);
+  EXPECT_EQ(r.total_cycles, 110 + 200 + 200);
+}
+
+TEST(Timeline, SingleBufferSerializes) {
+  // With one staging buffer, tile 1's load waits for tile 0's compute.
+  const auto tiles = std::vector<TileJob>{job(80, 200, 0), job(80, 200, 0)};
+  const TimelineResult r = run_timeline(tiles, cfg_with(100), BufferingMode::Single);
+  EXPECT_EQ(r.total_cycles, 110 + 200 + 110 + 200);
+}
+
+TEST(Timeline, DmaBoundPipelineApproachesTransferTime) {
+  // Compute tiny, loads dominate: makespan ~ sum of load times.
+  std::vector<TileJob> tiles(10, job(800, 5, 0));  // each load: 10 + 100
+  const TimelineResult r = run_timeline(tiles, cfg_with(10), BufferingMode::Double);
+  EXPECT_EQ(r.total_cycles, 10 * 110 + 5);  // last compute pokes out
+}
+
+TEST(Timeline, StoresShareTheDmaEngine) {
+  // Stores of tile i delay the prefetch of tile i+1 on the shared engine.
+  const auto tiles =
+      std::vector<TileJob>{job(80, 10, 800), job(80, 10, 0)};
+  const TimelineResult r = run_timeline(tiles, cfg_with(0), BufferingMode::Double);
+  // load0: [0,10); compute0: [10,20); load1 issued at 10: [10,20);
+  // store0 at max(20,20)=[20,120); compute1 at 20..30. Total = 120.
+  EXPECT_EQ(r.total_cycles, 120);
+}
+
+TEST(Timeline, DoubleNeverSlowerThanSingle) {
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    sched::SimulationOptions dbl, sgl;
+    dbl.tile_timeline = sgl.tile_timeline = true;
+    sgl.double_buffered = false;
+    const auto cfg = AcceleratorConfig::squeezelerator();
+    EXPECT_LE(sched::simulate_network(m, cfg, dbl).total_cycles(),
+              sched::simulate_network(m, cfg, sgl).total_cycles())
+        << m.name();
+  }
+}
+
+TEST(Timeline, BoundsVsAnalyticModel) {
+  // For every layer: timeline total is at least the flat lower bound
+  // max(compute, transfer) and at most the fully serial sum (+ per-band
+  // latencies).
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const auto cfg = AcceleratorConfig::squeezelerator();
+  sched::SimulationOptions opt;
+  opt.tile_timeline = true;
+  const auto flat = sched::simulate_network(m, cfg);
+  const auto timeline = sched::simulate_network(m, cfg, opt);
+  ASSERT_EQ(flat.layers.size(), timeline.layers.size());
+  for (std::size_t i = 0; i < flat.layers.size(); ++i) {
+    const auto& f = flat.layers[i];
+    const auto& t = timeline.layers[i];
+    EXPECT_GE(t.total_cycles, std::max(f.compute_cycles, f.dram_cycles))
+        << f.layer_name;
+    // Serial upper bound with generous per-band latency slack.
+    EXPECT_LE(t.total_cycles,
+              f.compute_cycles + t.dram_cycles + 64 * cfg.dram_latency_cycles)
+        << f.layer_name;
+  }
+}
+
+TEST(Timeline, OccupancyBounded) {
+  std::vector<TileJob> tiles(4, job(80, 100, 80));
+  const TimelineResult r = run_timeline(tiles, cfg_with(50), BufferingMode::Double);
+  EXPECT_GT(r.compute_occupancy(), 0.0);
+  EXPECT_LE(r.compute_occupancy(), 1.0);
+}
+
+TEST(Timeline, TraceListsEventsInTimeOrder) {
+  std::vector<TileJob> tiles(3, job(80, 100, 40));
+  const TimelineResult r = run_timeline(tiles, cfg_with(10), BufferingMode::Double);
+  const std::string trace = r.trace();
+  EXPECT_NE(trace.find("load"), std::string::npos);
+  EXPECT_NE(trace.find("compute"), std::string::npos);
+  EXPECT_NE(trace.find("store"), std::string::npos);
+  // Events cover all three tiles.
+  EXPECT_NE(trace.find("tile 0"), std::string::npos);
+  EXPECT_NE(trace.find("tile 2"), std::string::npos);
+}
+
+TEST(Timeline, RetimeAddsHaloTraffic) {
+  const nn::Model m = nn::zoo::squeezenet_v10();
+  const auto cfg = AcceleratorConfig::squeezelerator();
+  sched::SimulationOptions opt;
+  opt.tile_timeline = true;
+  const auto flat = sched::simulate_network(m, cfg);
+  const auto timeline = sched::simulate_network(m, cfg, opt);
+  EXPECT_GE(timeline.total_counts().dram_words, flat.total_counts().dram_words);
+}
+
+}  // namespace
+}  // namespace sqz::sim

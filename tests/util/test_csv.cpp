@@ -1,0 +1,38 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sqz::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesFieldsWithSpecials) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_row({"a", "b,c"});
+  w.write_row({"1", "2"});
+  EXPECT_EQ(os.str(), "a,\"b,c\"\n1,2\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(CsvWriter, NumericRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.write_numeric_row("x", {1.5, 2.25}, 2);
+  EXPECT_EQ(os.str(), "x,1.50,2.25\n");
+}
+
+}  // namespace
+}  // namespace sqz::util

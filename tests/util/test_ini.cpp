@@ -1,0 +1,95 @@
+#include "util/ini.h"
+
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace sqz::util {
+namespace {
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const IniFile ini = IniFile::parse(
+      "top = 1\n"
+      "[accelerator]\n"
+      "array_n = 32\n"
+      "name = squeezelerator\n"
+      "[other]\n"
+      "array_n = 8\n");
+  EXPECT_EQ(ini.get("", "top"), "1");
+  EXPECT_EQ(ini.get("accelerator", "array_n"), "32");
+  EXPECT_EQ(ini.get("other", "array_n"), "8");
+  EXPECT_EQ(ini.get("accelerator", "name"), "squeezelerator");
+  EXPECT_FALSE(ini.get("accelerator", "missing").has_value());
+  EXPECT_FALSE(ini.get("missing", "array_n").has_value());
+}
+
+TEST(Ini, CommentsAndWhitespace) {
+  const IniFile ini = IniFile::parse(
+      "# full line comment\n"
+      "  key1   =   spaced value  \n"
+      "key2 = 7 ; trailing comment\n"
+      "\n"
+      "; another comment style\n");
+  EXPECT_EQ(ini.get("", "key1"), "spaced value");
+  EXPECT_EQ(ini.get_int("", "key2"), 7);
+}
+
+TEST(Ini, TypedGetters) {
+  const IniFile ini = IniFile::parse(
+      "i = -42\nd = 2.5\nb1 = true\nb2 = off\nb3 = 1\n");
+  EXPECT_EQ(ini.get_int("", "i"), -42);
+  EXPECT_DOUBLE_EQ(*ini.get_double("", "d"), 2.5);
+  EXPECT_EQ(ini.get_bool("", "b1"), true);
+  EXPECT_EQ(ini.get_bool("", "b2"), false);
+  EXPECT_EQ(ini.get_bool("", "b3"), true);
+  EXPECT_FALSE(ini.get_int("", "missing").has_value());
+}
+
+TEST(Ini, TypedGettersRejectMalformed) {
+  const IniFile ini = IniFile::parse("i = 12abc\nb = maybe\nd = 1.2.3\n");
+  EXPECT_THROW(ini.get_int("", "i"), std::invalid_argument);
+  EXPECT_THROW(ini.get_bool("", "b"), std::invalid_argument);
+  EXPECT_THROW(ini.get_double("", "d"), std::invalid_argument);
+}
+
+TEST(Ini, ParseErrorsCarryLineNumbers) {
+  try {
+    IniFile::parse("good = 1\nbad line without equals\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(IniFile::parse("[unterminated\n"), std::invalid_argument);
+  EXPECT_THROW(IniFile::parse("= value\n"), std::invalid_argument);
+}
+
+TEST(Ini, LastValueWins) {
+  const IniFile ini = IniFile::parse("k = 1\nk = 2\n");
+  EXPECT_EQ(ini.get_int("", "k"), 2);
+}
+
+TEST(Ini, HasSection) {
+  const IniFile ini = IniFile::parse("[a]\nx = 1\n");
+  EXPECT_TRUE(ini.has_section("a"));
+  EXPECT_FALSE(ini.has_section("b"));
+}
+
+TEST(Ini, RoundTrip) {
+  IniFile ini;
+  ini.set("sec", "key", "value");
+  ini.set("", "top", "1");
+  const IniFile again = IniFile::parse(ini.to_string());
+  EXPECT_EQ(again.get("sec", "key"), "value");
+  EXPECT_EQ(again.get("", "top"), "1");
+}
+
+TEST(TrimCopy, Basics) {
+  EXPECT_EQ(trim_copy("  x  "), "x");
+  EXPECT_EQ(trim_copy("\t\r\n"), "");
+  EXPECT_EQ(trim_copy("a b"), "a b");
+}
+
+}  // namespace
+}  // namespace sqz::util

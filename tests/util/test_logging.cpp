@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace sqz::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::Warn;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST_F(LoggingTest, Names) {
+  EXPECT_STREQ(log_level_name(LogLevel::Info), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::Error), "ERROR");
+}
+
+TEST_F(LoggingTest, DisabledStatementDoesNotEvaluateEnabled) {
+  set_log_level(LogLevel::Off);
+  detail::LogStatement stmt(LogLevel::Error);
+  EXPECT_FALSE(stmt.enabled());
+}
+
+TEST_F(LoggingTest, EnabledAtOrAboveLevel) {
+  set_log_level(LogLevel::Warn);
+  EXPECT_FALSE(detail::LogStatement(LogLevel::Info).enabled());
+  EXPECT_TRUE(detail::LogStatement(LogLevel::Warn).enabled());
+  EXPECT_TRUE(detail::LogStatement(LogLevel::Error).enabled());
+}
+
+}  // namespace
+}  // namespace sqz::util

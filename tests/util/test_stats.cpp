@@ -1,0 +1,81 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sqz::util {
+namespace {
+
+TEST(Accumulator, Empty) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator a;
+  a.add(5.0);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5.0);
+  EXPECT_EQ(a.max(), 5.0);
+  EXPECT_EQ(a.mean(), 5.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.sum(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(v);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);  // classic textbook dataset
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator a;
+  a.add(-3.0);
+  a.add(3.0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.min(), -3.0);
+}
+
+TEST(Geomean, Basics) {
+  EXPECT_EQ(geomean({}), 0.0);
+  EXPECT_DOUBLE_EQ(geomean({4.0}), 4.0);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(Percentile, Basics) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  EXPECT_EQ(percentile({7.0}, 99), 7.0);
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 200), 3.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+}
+
+}  // namespace
+}  // namespace sqz::util

@@ -1,0 +1,57 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace sqz::util {
+namespace {
+
+TEST(Format, Printf) {
+  EXPECT_EQ(format("x=%d y=%.1f", 3, 2.5), "x=3 y=2.5");
+  EXPECT_EQ(format("%s", ""), "");
+}
+
+TEST(WithCommas, Grouping) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+TEST(Si, Suffixes) {
+  EXPECT_EQ(si(950.0), "950.00");
+  EXPECT_EQ(si(1234.0), "1.23K");
+  EXPECT_EQ(si(1234567.0), "1.23M");
+  EXPECT_EQ(si(2.5e9, 1), "2.5G");
+  EXPECT_EQ(si(3e12, 0), "3T");
+}
+
+TEST(Percent, Formatting) {
+  EXPECT_EQ(percent(0.234), "23.4%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(percent(0.0), "0.0%");
+}
+
+TEST(Times, Formatting) {
+  EXPECT_EQ(times(2.59), "2.59x");
+  EXPECT_EQ(times(1.0, 1), "1.0x");
+}
+
+TEST(Split, Basics) {
+  EXPECT_EQ(split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(split("a,b,c", ',')[1], "b");
+  EXPECT_TRUE(split("", ',').empty());
+  const auto trailing = split("a,", ',');
+  ASSERT_EQ(trailing.size(), 2u);
+  EXPECT_EQ(trailing[1], "");
+}
+
+TEST(Pad, LeftAndRight) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 4), "abcd");  // truncates
+  EXPECT_EQ(pad_right("abcdef", 4), "abcd");
+}
+
+}  // namespace
+}  // namespace sqz::util

@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sqz::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Title");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "22"});
+  std::istringstream in(t.to_string());
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(in, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);  // every rendered line same width
+  }
+}
+
+TEST(Table, SeparatorInsertsRule) {
+  Table t;
+  t.add_row({"a"});
+  t.add_separator();
+  t.add_row({"b"});
+  const std::string s = t.to_string();
+  // separator + top + bottom rules = at least 3 dashed lines
+  std::size_t rules = 0, pos = 0;
+  while ((pos = s.find("+-", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_GE(rules, 3u);
+}
+
+TEST(Table, RaggedRowsPadded) {
+  Table t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.to_string().find("only-one"), std::string::npos);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t;
+  t.add_row({"z"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+}  // namespace
+}  // namespace sqz::util

@@ -1,0 +1,12 @@
+// sqzsim — command-line front end of the Squeezelerator simulator.
+// All logic lives in core/cli.h so it is unit tested; this is just main().
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return sqz::core::run_cli(args, std::cout, std::cerr);
+}
