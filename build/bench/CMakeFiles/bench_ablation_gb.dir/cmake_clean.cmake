@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gb.dir/bench_ablation_gb.cpp.o"
+  "CMakeFiles/bench_ablation_gb.dir/bench_ablation_gb.cpp.o.d"
+  "bench_ablation_gb"
+  "bench_ablation_gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multicore.dir/bench_ablation_multicore.cpp.o"
+  "CMakeFiles/bench_ablation_multicore.dir/bench_ablation_multicore.cpp.o.d"
+  "bench_ablation_multicore"
+  "bench_ablation_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

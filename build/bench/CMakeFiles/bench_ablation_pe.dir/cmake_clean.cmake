@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pe.dir/bench_ablation_pe.cpp.o"
+  "CMakeFiles/bench_ablation_pe.dir/bench_ablation_pe.cpp.o.d"
+  "bench_ablation_pe"
+  "bench_ablation_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataflow_sweep.dir/bench_dataflow_sweep.cpp.o"
+  "CMakeFiles/bench_dataflow_sweep.dir/bench_dataflow_sweep.cpp.o.d"
+  "bench_dataflow_sweep"
+  "bench_dataflow_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataflow_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_traffic.dir/bench_wire_traffic.cpp.o"
+  "CMakeFiles/bench_wire_traffic.dir/bench_wire_traffic.cpp.o.d"
+  "bench_wire_traffic"
+  "bench_wire_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

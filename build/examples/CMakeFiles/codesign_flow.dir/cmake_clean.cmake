@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codesign_flow.dir/codesign_flow.cpp.o"
+  "CMakeFiles/codesign_flow.dir/codesign_flow.cpp.o.d"
+  "codesign_flow"
+  "codesign_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codesign_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_network.cpp" "examples/CMakeFiles/custom_network.dir/custom_network.cpp.o" "gcc" "examples/CMakeFiles/custom_network.dir/custom_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sqz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sqz_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sqz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sqz_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sqz_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sqz_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

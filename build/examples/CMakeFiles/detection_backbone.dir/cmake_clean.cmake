@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_backbone.dir/detection_backbone.cpp.o"
+  "CMakeFiles/detection_backbone.dir/detection_backbone.cpp.o.d"
+  "detection_backbone"
+  "detection_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/sqz_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/sqz_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/cli.cpp" "src/core/CMakeFiles/sqz_core.dir/cli.cpp.o" "gcc" "src/core/CMakeFiles/sqz_core.dir/cli.cpp.o.d"
+  "/root/repo/src/core/codesign.cpp" "src/core/CMakeFiles/sqz_core.dir/codesign.cpp.o" "gcc" "src/core/CMakeFiles/sqz_core.dir/codesign.cpp.o.d"
+  "/root/repo/src/core/config_io.cpp" "src/core/CMakeFiles/sqz_core.dir/config_io.cpp.o" "gcc" "src/core/CMakeFiles/sqz_core.dir/config_io.cpp.o.d"
+  "/root/repo/src/core/dse.cpp" "src/core/CMakeFiles/sqz_core.dir/dse.cpp.o" "gcc" "src/core/CMakeFiles/sqz_core.dir/dse.cpp.o.d"
+  "/root/repo/src/core/multicore.cpp" "src/core/CMakeFiles/sqz_core.dir/multicore.cpp.o" "gcc" "src/core/CMakeFiles/sqz_core.dir/multicore.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/sqz_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/sqz_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/roofline.cpp" "src/core/CMakeFiles/sqz_core.dir/roofline.cpp.o" "gcc" "src/core/CMakeFiles/sqz_core.dir/roofline.cpp.o.d"
+  "/root/repo/src/core/squeezelerator.cpp" "src/core/CMakeFiles/sqz_core.dir/squeezelerator.cpp.o" "gcc" "src/core/CMakeFiles/sqz_core.dir/squeezelerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sqz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sqz_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sqz_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sqz_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sqz_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqz_core.dir/advisor.cpp.o"
+  "CMakeFiles/sqz_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/sqz_core.dir/cli.cpp.o"
+  "CMakeFiles/sqz_core.dir/cli.cpp.o.d"
+  "CMakeFiles/sqz_core.dir/codesign.cpp.o"
+  "CMakeFiles/sqz_core.dir/codesign.cpp.o.d"
+  "CMakeFiles/sqz_core.dir/config_io.cpp.o"
+  "CMakeFiles/sqz_core.dir/config_io.cpp.o.d"
+  "CMakeFiles/sqz_core.dir/dse.cpp.o"
+  "CMakeFiles/sqz_core.dir/dse.cpp.o.d"
+  "CMakeFiles/sqz_core.dir/multicore.cpp.o"
+  "CMakeFiles/sqz_core.dir/multicore.cpp.o.d"
+  "CMakeFiles/sqz_core.dir/report.cpp.o"
+  "CMakeFiles/sqz_core.dir/report.cpp.o.d"
+  "CMakeFiles/sqz_core.dir/roofline.cpp.o"
+  "CMakeFiles/sqz_core.dir/roofline.cpp.o.d"
+  "CMakeFiles/sqz_core.dir/squeezelerator.cpp.o"
+  "CMakeFiles/sqz_core.dir/squeezelerator.cpp.o.d"
+  "libsqz_core.a"
+  "libsqz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

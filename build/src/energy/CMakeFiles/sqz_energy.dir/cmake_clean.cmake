@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqz_energy.dir/model.cpp.o"
+  "CMakeFiles/sqz_energy.dir/model.cpp.o.d"
+  "libsqz_energy.a"
+  "libsqz_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqz_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

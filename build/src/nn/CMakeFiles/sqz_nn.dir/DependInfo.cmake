@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/accuracy.cpp" "src/nn/CMakeFiles/sqz_nn.dir/accuracy.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/accuracy.cpp.o.d"
+  "/root/repo/src/nn/analysis.cpp" "src/nn/CMakeFiles/sqz_nn.dir/analysis.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/analysis.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/sqz_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/sqz_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/sqz_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/shape.cpp" "src/nn/CMakeFiles/sqz_nn.dir/shape.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/shape.cpp.o.d"
+  "/root/repo/src/nn/zoo/alexnet.cpp" "src/nn/CMakeFiles/sqz_nn.dir/zoo/alexnet.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/zoo/alexnet.cpp.o.d"
+  "/root/repo/src/nn/zoo/mobilenet.cpp" "src/nn/CMakeFiles/sqz_nn.dir/zoo/mobilenet.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/zoo/mobilenet.cpp.o.d"
+  "/root/repo/src/nn/zoo/squeezenet.cpp" "src/nn/CMakeFiles/sqz_nn.dir/zoo/squeezenet.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/zoo/squeezenet.cpp.o.d"
+  "/root/repo/src/nn/zoo/squeezenext.cpp" "src/nn/CMakeFiles/sqz_nn.dir/zoo/squeezenext.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/zoo/squeezenext.cpp.o.d"
+  "/root/repo/src/nn/zoo/tiny_darknet.cpp" "src/nn/CMakeFiles/sqz_nn.dir/zoo/tiny_darknet.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/zoo/tiny_darknet.cpp.o.d"
+  "/root/repo/src/nn/zoo/zoo.cpp" "src/nn/CMakeFiles/sqz_nn.dir/zoo/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/sqz_nn.dir/zoo/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sqz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

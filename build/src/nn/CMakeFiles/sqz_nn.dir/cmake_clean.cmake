@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqz_nn.dir/accuracy.cpp.o"
+  "CMakeFiles/sqz_nn.dir/accuracy.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/analysis.cpp.o"
+  "CMakeFiles/sqz_nn.dir/analysis.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/layer.cpp.o"
+  "CMakeFiles/sqz_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/model.cpp.o"
+  "CMakeFiles/sqz_nn.dir/model.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/serialize.cpp.o"
+  "CMakeFiles/sqz_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/shape.cpp.o"
+  "CMakeFiles/sqz_nn.dir/shape.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/zoo/alexnet.cpp.o"
+  "CMakeFiles/sqz_nn.dir/zoo/alexnet.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/zoo/mobilenet.cpp.o"
+  "CMakeFiles/sqz_nn.dir/zoo/mobilenet.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/zoo/squeezenet.cpp.o"
+  "CMakeFiles/sqz_nn.dir/zoo/squeezenet.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/zoo/squeezenext.cpp.o"
+  "CMakeFiles/sqz_nn.dir/zoo/squeezenext.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/zoo/tiny_darknet.cpp.o"
+  "CMakeFiles/sqz_nn.dir/zoo/tiny_darknet.cpp.o.d"
+  "CMakeFiles/sqz_nn.dir/zoo/zoo.cpp.o"
+  "CMakeFiles/sqz_nn.dir/zoo/zoo.cpp.o.d"
+  "libsqz_nn.a"
+  "libsqz_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqz_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

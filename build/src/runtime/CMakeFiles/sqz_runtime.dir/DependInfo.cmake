@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/executor.cpp" "src/runtime/CMakeFiles/sqz_runtime.dir/executor.cpp.o" "gcc" "src/runtime/CMakeFiles/sqz_runtime.dir/executor.cpp.o.d"
+  "/root/repo/src/runtime/gemm.cpp" "src/runtime/CMakeFiles/sqz_runtime.dir/gemm.cpp.o" "gcc" "src/runtime/CMakeFiles/sqz_runtime.dir/gemm.cpp.o.d"
+  "/root/repo/src/runtime/ops.cpp" "src/runtime/CMakeFiles/sqz_runtime.dir/ops.cpp.o" "gcc" "src/runtime/CMakeFiles/sqz_runtime.dir/ops.cpp.o.d"
+  "/root/repo/src/runtime/quant.cpp" "src/runtime/CMakeFiles/sqz_runtime.dir/quant.cpp.o" "gcc" "src/runtime/CMakeFiles/sqz_runtime.dir/quant.cpp.o.d"
+  "/root/repo/src/runtime/tensor.cpp" "src/runtime/CMakeFiles/sqz_runtime.dir/tensor.cpp.o" "gcc" "src/runtime/CMakeFiles/sqz_runtime.dir/tensor.cpp.o.d"
+  "/root/repo/src/runtime/weights.cpp" "src/runtime/CMakeFiles/sqz_runtime.dir/weights.cpp.o" "gcc" "src/runtime/CMakeFiles/sqz_runtime.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sqz_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

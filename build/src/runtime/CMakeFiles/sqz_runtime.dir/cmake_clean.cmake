@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqz_runtime.dir/executor.cpp.o"
+  "CMakeFiles/sqz_runtime.dir/executor.cpp.o.d"
+  "CMakeFiles/sqz_runtime.dir/gemm.cpp.o"
+  "CMakeFiles/sqz_runtime.dir/gemm.cpp.o.d"
+  "CMakeFiles/sqz_runtime.dir/ops.cpp.o"
+  "CMakeFiles/sqz_runtime.dir/ops.cpp.o.d"
+  "CMakeFiles/sqz_runtime.dir/quant.cpp.o"
+  "CMakeFiles/sqz_runtime.dir/quant.cpp.o.d"
+  "CMakeFiles/sqz_runtime.dir/tensor.cpp.o"
+  "CMakeFiles/sqz_runtime.dir/tensor.cpp.o.d"
+  "CMakeFiles/sqz_runtime.dir/weights.cpp.o"
+  "CMakeFiles/sqz_runtime.dir/weights.cpp.o.d"
+  "libsqz_runtime.a"
+  "libsqz_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqz_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

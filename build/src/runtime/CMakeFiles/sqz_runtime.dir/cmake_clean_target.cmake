@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqz_runtime.a"
+)

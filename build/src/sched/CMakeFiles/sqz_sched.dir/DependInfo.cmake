@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/compile.cpp" "src/sched/CMakeFiles/sqz_sched.dir/compile.cpp.o" "gcc" "src/sched/CMakeFiles/sqz_sched.dir/compile.cpp.o.d"
+  "/root/repo/src/sched/fusion.cpp" "src/sched/CMakeFiles/sqz_sched.dir/fusion.cpp.o" "gcc" "src/sched/CMakeFiles/sqz_sched.dir/fusion.cpp.o.d"
+  "/root/repo/src/sched/network_sim.cpp" "src/sched/CMakeFiles/sqz_sched.dir/network_sim.cpp.o" "gcc" "src/sched/CMakeFiles/sqz_sched.dir/network_sim.cpp.o.d"
+  "/root/repo/src/sched/residency.cpp" "src/sched/CMakeFiles/sqz_sched.dir/residency.cpp.o" "gcc" "src/sched/CMakeFiles/sqz_sched.dir/residency.cpp.o.d"
+  "/root/repo/src/sched/selector.cpp" "src/sched/CMakeFiles/sqz_sched.dir/selector.cpp.o" "gcc" "src/sched/CMakeFiles/sqz_sched.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sqz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sqz_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sqz_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sqz_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

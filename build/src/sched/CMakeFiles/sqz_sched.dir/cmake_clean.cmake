@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqz_sched.dir/compile.cpp.o"
+  "CMakeFiles/sqz_sched.dir/compile.cpp.o.d"
+  "CMakeFiles/sqz_sched.dir/fusion.cpp.o"
+  "CMakeFiles/sqz_sched.dir/fusion.cpp.o.d"
+  "CMakeFiles/sqz_sched.dir/network_sim.cpp.o"
+  "CMakeFiles/sqz_sched.dir/network_sim.cpp.o.d"
+  "CMakeFiles/sqz_sched.dir/residency.cpp.o"
+  "CMakeFiles/sqz_sched.dir/residency.cpp.o.d"
+  "CMakeFiles/sqz_sched.dir/selector.cpp.o"
+  "CMakeFiles/sqz_sched.dir/selector.cpp.o.d"
+  "libsqz_sched.a"
+  "libsqz_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqz_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/sim/CMakeFiles/sqz_sim.dir/config.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/config.cpp.o.d"
+  "/root/repo/src/sim/counters.cpp" "src/sim/CMakeFiles/sqz_sim.dir/counters.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/counters.cpp.o.d"
+  "/root/repo/src/sim/dram.cpp" "src/sim/CMakeFiles/sqz_sim.dir/dram.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/dram.cpp.o.d"
+  "/root/repo/src/sim/functional/os_engine.cpp" "src/sim/CMakeFiles/sqz_sim.dir/functional/os_engine.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/functional/os_engine.cpp.o.d"
+  "/root/repo/src/sim/functional/ws_engine.cpp" "src/sim/CMakeFiles/sqz_sim.dir/functional/ws_engine.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/functional/ws_engine.cpp.o.d"
+  "/root/repo/src/sim/layer_sim.cpp" "src/sim/CMakeFiles/sqz_sim.dir/layer_sim.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/layer_sim.cpp.o.d"
+  "/root/repo/src/sim/mappers.cpp" "src/sim/CMakeFiles/sqz_sim.dir/mappers.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/mappers.cpp.o.d"
+  "/root/repo/src/sim/noc.cpp" "src/sim/CMakeFiles/sqz_sim.dir/noc.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/noc.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/sim/CMakeFiles/sqz_sim.dir/schedule.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/schedule.cpp.o.d"
+  "/root/repo/src/sim/sparsity.cpp" "src/sim/CMakeFiles/sqz_sim.dir/sparsity.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/sparsity.cpp.o.d"
+  "/root/repo/src/sim/tiling.cpp" "src/sim/CMakeFiles/sqz_sim.dir/tiling.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/tiling.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/sqz_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/timeline.cpp.o.d"
+  "/root/repo/src/sim/timeline_sim.cpp" "src/sim/CMakeFiles/sqz_sim.dir/timeline_sim.cpp.o" "gcc" "src/sim/CMakeFiles/sqz_sim.dir/timeline_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/sqz_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sqz_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sqz_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqz_sim.dir/config.cpp.o"
+  "CMakeFiles/sqz_sim.dir/config.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/counters.cpp.o"
+  "CMakeFiles/sqz_sim.dir/counters.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/dram.cpp.o"
+  "CMakeFiles/sqz_sim.dir/dram.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/functional/os_engine.cpp.o"
+  "CMakeFiles/sqz_sim.dir/functional/os_engine.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/functional/ws_engine.cpp.o"
+  "CMakeFiles/sqz_sim.dir/functional/ws_engine.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/layer_sim.cpp.o"
+  "CMakeFiles/sqz_sim.dir/layer_sim.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/mappers.cpp.o"
+  "CMakeFiles/sqz_sim.dir/mappers.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/noc.cpp.o"
+  "CMakeFiles/sqz_sim.dir/noc.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/schedule.cpp.o"
+  "CMakeFiles/sqz_sim.dir/schedule.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/sparsity.cpp.o"
+  "CMakeFiles/sqz_sim.dir/sparsity.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/tiling.cpp.o"
+  "CMakeFiles/sqz_sim.dir/tiling.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/timeline.cpp.o"
+  "CMakeFiles/sqz_sim.dir/timeline.cpp.o.d"
+  "CMakeFiles/sqz_sim.dir/timeline_sim.cpp.o"
+  "CMakeFiles/sqz_sim.dir/timeline_sim.cpp.o.d"
+  "libsqz_sim.a"
+  "libsqz_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqz_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqz_util.dir/csv.cpp.o"
+  "CMakeFiles/sqz_util.dir/csv.cpp.o.d"
+  "CMakeFiles/sqz_util.dir/ini.cpp.o"
+  "CMakeFiles/sqz_util.dir/ini.cpp.o.d"
+  "CMakeFiles/sqz_util.dir/logging.cpp.o"
+  "CMakeFiles/sqz_util.dir/logging.cpp.o.d"
+  "CMakeFiles/sqz_util.dir/rng.cpp.o"
+  "CMakeFiles/sqz_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sqz_util.dir/stats.cpp.o"
+  "CMakeFiles/sqz_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sqz_util.dir/strings.cpp.o"
+  "CMakeFiles/sqz_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sqz_util.dir/table.cpp.o"
+  "CMakeFiles/sqz_util.dir/table.cpp.o.d"
+  "libsqz_util.a"
+  "libsqz_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqz_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

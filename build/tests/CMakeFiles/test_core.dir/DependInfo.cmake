@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_advisor.cpp" "tests/CMakeFiles/test_core.dir/core/test_advisor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_advisor.cpp.o.d"
+  "/root/repo/tests/core/test_cli.cpp" "tests/CMakeFiles/test_core.dir/core/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cli.cpp.o.d"
+  "/root/repo/tests/core/test_codesign.cpp" "tests/CMakeFiles/test_core.dir/core/test_codesign.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_codesign.cpp.o.d"
+  "/root/repo/tests/core/test_compare.cpp" "tests/CMakeFiles/test_core.dir/core/test_compare.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_compare.cpp.o.d"
+  "/root/repo/tests/core/test_config_io.cpp" "tests/CMakeFiles/test_core.dir/core/test_config_io.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_config_io.cpp.o.d"
+  "/root/repo/tests/core/test_dse.cpp" "tests/CMakeFiles/test_core.dir/core/test_dse.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dse.cpp.o.d"
+  "/root/repo/tests/core/test_multicore.cpp" "tests/CMakeFiles/test_core.dir/core/test_multicore.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_multicore.cpp.o.d"
+  "/root/repo/tests/core/test_report.cpp" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "/root/repo/tests/core/test_roofline.cpp" "tests/CMakeFiles/test_core.dir/core/test_roofline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sqz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sqz_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sqz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sqz_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sqz_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sqz_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

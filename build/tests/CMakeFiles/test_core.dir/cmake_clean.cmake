@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_advisor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_advisor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cli.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cli.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_codesign.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_codesign.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_compare.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_compare.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_config_io.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_config_io.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dse.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dse.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_multicore.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_multicore.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_roofline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_roofline.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_accuracy.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_accuracy.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_analysis.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_analysis.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_fuzz_models.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_fuzz_models.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_layer.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_layer.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_model.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_model.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_serialize.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_shape.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_shape.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_zoo.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_zoo.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper.dir/paper/test_figure1.cpp.o"
+  "CMakeFiles/test_paper.dir/paper/test_figure1.cpp.o.d"
+  "CMakeFiles/test_paper.dir/paper/test_figure3.cpp.o"
+  "CMakeFiles/test_paper.dir/paper/test_figure3.cpp.o.d"
+  "CMakeFiles/test_paper.dir/paper/test_figure4.cpp.o"
+  "CMakeFiles/test_paper.dir/paper/test_figure4.cpp.o.d"
+  "CMakeFiles/test_paper.dir/paper/test_headline.cpp.o"
+  "CMakeFiles/test_paper.dir/paper/test_headline.cpp.o.d"
+  "CMakeFiles/test_paper.dir/paper/test_section411.cpp.o"
+  "CMakeFiles/test_paper.dir/paper/test_section411.cpp.o.d"
+  "CMakeFiles/test_paper.dir/paper/test_statements.cpp.o"
+  "CMakeFiles/test_paper.dir/paper/test_statements.cpp.o.d"
+  "CMakeFiles/test_paper.dir/paper/test_table1.cpp.o"
+  "CMakeFiles/test_paper.dir/paper/test_table1.cpp.o.d"
+  "CMakeFiles/test_paper.dir/paper/test_table2.cpp.o"
+  "CMakeFiles/test_paper.dir/paper/test_table2.cpp.o.d"
+  "test_paper"
+  "test_paper.pdb"
+  "test_paper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

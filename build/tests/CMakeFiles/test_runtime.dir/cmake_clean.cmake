@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_executor.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_executor.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_gemm.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_gemm.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_ops.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_ops.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_quant.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_quant.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_tensor.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_tensor.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_weights.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_weights.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

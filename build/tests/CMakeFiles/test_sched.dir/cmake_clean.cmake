@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/test_compile.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_compile.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_fusion.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_fusion.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_network_sim.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_network_sim.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_residency.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_residency.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/test_selector.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/test_selector.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_batch.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_batch.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_batch.cpp.o.d"
+  "/root/repo/tests/sim/test_config.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_config.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_config.cpp.o.d"
+  "/root/repo/tests/sim/test_dram.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_dram.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_dram.cpp.o.d"
+  "/root/repo/tests/sim/test_functional_config_fuzz.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_functional_config_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_functional_config_fuzz.cpp.o.d"
+  "/root/repo/tests/sim/test_functional_cross.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_functional_cross.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_functional_cross.cpp.o.d"
+  "/root/repo/tests/sim/test_functional_os.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_functional_os.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_functional_os.cpp.o.d"
+  "/root/repo/tests/sim/test_functional_ws.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_functional_ws.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_functional_ws.cpp.o.d"
+  "/root/repo/tests/sim/test_layer_sim.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_layer_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_layer_sim.cpp.o.d"
+  "/root/repo/tests/sim/test_mappers_os.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_mappers_os.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_mappers_os.cpp.o.d"
+  "/root/repo/tests/sim/test_mappers_ws.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_mappers_ws.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_mappers_ws.cpp.o.d"
+  "/root/repo/tests/sim/test_noc.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_noc.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_noc.cpp.o.d"
+  "/root/repo/tests/sim/test_schedule.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_schedule.cpp.o.d"
+  "/root/repo/tests/sim/test_sparsity.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sparsity.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sparsity.cpp.o.d"
+  "/root/repo/tests/sim/test_tiling.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_tiling.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_tiling.cpp.o.d"
+  "/root/repo/tests/sim/test_timeline.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sqz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sqz_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sqz_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/sqz_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/sqz_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/sqz_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sqz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

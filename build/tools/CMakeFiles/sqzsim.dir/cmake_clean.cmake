@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqzsim.dir/sqzsim.cpp.o"
+  "CMakeFiles/sqzsim.dir/sqzsim.cpp.o.d"
+  "sqzsim"
+  "sqzsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqzsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
