@@ -7,6 +7,7 @@
 
 #include "core/config_io.h"
 #include "core/report.h"
+#include "core/trace.h"
 #include "sched/compile.h"
 #include "core/squeezelerator.h"
 #include "energy/model.h"
@@ -38,6 +39,8 @@ struct CliOptions {
   bool program = false;
   bool csv = false;
   bool help = false;
+  std::string json_path;   ///< --json: machine-readable run report.
+  std::string trace_path;  ///< --trace: Chrome trace-event schedule.
 };
 
 nn::Model load_model(const CliOptions& opt) {
@@ -55,7 +58,7 @@ nn::Model load_model(const CliOptions& opt) {
   if (opt.model == "tinydarknet") return tiny_darknet();
   if (opt.model == "squeezenet10") return squeezenet_v10();
   if (opt.model == "squeezenet11") return squeezenet_v11();
-  if (opt.model == "sqnxt") return squeezenext();
+  if (opt.model == "sqnxt" || opt.model == "sqnxt23") return squeezenext();
   throw std::invalid_argument(
       "unknown model '" + opt.model +
       "' (alexnet mobilenet tinydarknet squeezenet10 squeezenet11 sqnxt, or "
@@ -88,6 +91,8 @@ CliOptions parse_args(const std::vector<std::string>& args) {
     else if (a == "--fuse") opt.fuse = true;
     else if (a == "--program") opt.program = true;
     else if (a == "--csv") opt.csv = true;
+    else if (a == "--json") opt.json_path = value_of(i);
+    else if (a == "--trace") opt.trace_path = value_of(i);
     else throw std::invalid_argument("unknown argument: " + a);
   }
   return opt;
@@ -163,7 +168,13 @@ std::string cli_usage() {
       "  --fuse              fuse pools into their producing conv's drain\n"
       "  --program           print the compiled static schedule (the layer\n"
       "                      command stream a sequencer would execute)\n"
-      "  --csv               per-layer CSV instead of tables\n";
+      "  --csv               per-layer CSV instead of tables\n"
+      "  --json FILE         write the machine-readable run report (per-layer\n"
+      "                      cycles/counts/energy, config provenance; see\n"
+      "                      ARCHITECTURE.md \"Observability\")\n"
+      "  --trace FILE        write the schedule as a Chrome trace-event file\n"
+      "                      (open at ui.perfetto.dev or chrome://tracing;\n"
+      "                      tile-level detail with --timeline)\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -187,6 +198,21 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     sim_opt.fuse_pool_drain = opt.fuse;
 
     const sim::NetworkResult result = sched::simulate_network(model, cfg, sim_opt);
+
+    if (!opt.json_path.empty()) {
+      std::ofstream f(opt.json_path);
+      if (!f)
+        throw std::invalid_argument("cannot open --json output: " +
+                                    opt.json_path);
+      write_json_report(model, result, sim_opt.units, f);
+    }
+    if (!opt.trace_path.empty()) {
+      std::ofstream f(opt.trace_path);
+      if (!f)
+        throw std::invalid_argument("cannot open --trace output: " +
+                                    opt.trace_path);
+      write_chrome_trace(model, result, f);
+    }
 
     if (opt.csv) {
       emit_csv(model, result, out);

@@ -5,6 +5,7 @@
 //          [--support hybrid|ws|os] [--objective cycles|energy]
 //          [--config accel.ini] [--model-file net.txt]
 //          [--per-layer] [--compare] [--timeline] [--csv]
+//          [--json report.json] [--trace trace.json]
 #pragma once
 
 #include <iosfwd>

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace sqz::core {
@@ -91,6 +92,27 @@ std::string config_to_ini(const sim::AcceleratorConfig& config) {
   ini.set(s, "ws_psums_in_gb", config.ws_psums_in_gb ? "true" : "false");
   ini.set(s, "support", support_str(config.support));
   return ini.to_string();
+}
+
+void config_to_json(const sim::AcceleratorConfig& config, util::JsonWriter& w) {
+  w.member("array_n", config.array_n);
+  w.member("rf_entries", config.rf_entries);
+  w.member("gb_kib", config.gb_kib);
+  w.member("preload_width", config.preload_width);
+  w.member("drain_width", config.drain_width);
+  w.member("weight_reserve_words", config.weight_reserve_words);
+  w.member("psum_accum_words", config.psum_accum_words);
+  w.member("simd_lanes", config.simd_lanes);
+  w.member("dram_latency_cycles", config.dram_latency_cycles);
+  w.member("dram_bytes_per_cycle", config.dram_bytes_per_cycle);
+  w.member("batch", config.batch);
+  w.member("data_bytes", config.data_bytes);
+  w.member("weight_sparsity", config.weight_sparsity);
+  w.member("os_zero_skip", config.os_zero_skip);
+  w.member("ws_psums_in_gb", config.ws_psums_in_gb);
+  w.member("support", support_str(config.support));
+  w.member("pe_count", config.pe_count());
+  w.member("summary", config.to_string());
 }
 
 }  // namespace sqz::core

@@ -16,6 +16,10 @@
 #include "sim/config.h"
 #include "util/ini.h"
 
+namespace sqz::util {
+class JsonWriter;
+}
+
 namespace sqz::core {
 
 /// Apply every recognized key of `[accelerator]` (or the top-level section)
@@ -27,5 +31,9 @@ sim::AcceleratorConfig config_from_ini(const util::IniFile& ini,
 
 /// Render a config as INI text that config_from_ini round-trips.
 std::string config_to_ini(const sim::AcceleratorConfig& config);
+
+/// Append every config parameter as a member of the currently open JSON
+/// object — the provenance block of the run report (core/report.h).
+void config_to_json(const sim::AcceleratorConfig& config, util::JsonWriter& w);
 
 }  // namespace sqz::core

@@ -1,8 +1,26 @@
 #include "core/dse.h"
 
+#include <ostream>
+
+#include "core/config_io.h"
+#include "core/report.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace sqz::core {
+
+namespace {
+
+bool dominated_by_any(const DesignPoint& p, const std::vector<DesignPoint>& points) {
+  for (const DesignPoint& q : points) {
+    const bool q_no_worse = q.cycles <= p.cycles && q.energy <= p.energy;
+    const bool q_better = q.cycles < p.cycles || q.energy < p.energy;
+    if (q_no_worse && q_better) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 std::vector<DesignPoint> evaluate_designs(
     const nn::Model& model,
@@ -25,19 +43,37 @@ std::vector<DesignPoint> evaluate_designs(
 
 std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
   std::vector<DesignPoint> front;
-  for (const DesignPoint& p : points) {
-    bool dominated = false;
-    for (const DesignPoint& q : points) {
-      const bool q_no_worse = q.cycles <= p.cycles && q.energy <= p.energy;
-      const bool q_better = q.cycles < p.cycles || q.energy < p.energy;
-      if (q_no_worse && q_better) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) front.push_back(p);
-  }
+  for (const DesignPoint& p : points)
+    if (!dominated_by_any(p, points)) front.push_back(p);
   return front;
+}
+
+void write_design_points_json(const std::string& sweep_name,
+                              const std::vector<DesignPoint>& points,
+                              std::ostream& out) {
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.member("schema_version", kReportSchemaVersion);
+  w.member("generator", "sqzsim");
+  w.member("sweep", sweep_name);
+  w.key("points");
+  w.begin_array();
+  for (const DesignPoint& p : points) {
+    w.begin_object();
+    w.member("label", p.label);
+    w.member("cycles", p.cycles);
+    w.member("energy", p.energy);
+    w.member("utilization", p.utilization);
+    w.member("pareto", !dominated_by_any(p, points));
+    w.key("config");
+    w.begin_object();
+    config_to_json(p.config, w);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << "\n";
 }
 
 std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_rf_entries(

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,14 @@ std::vector<DesignPoint> evaluate_designs(
 
 /// Points not dominated in (cycles, energy); input order is preserved.
 std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points);
+
+/// Dump a sweep as a JSON document: every DesignPoint with its label, full
+/// config provenance, metrics, and `"pareto": true/false` membership in the
+/// (cycles, energy) front — the dashboard/regression-diff format for DSE
+/// runs. `sweep_name` labels the document (e.g. "rf_entries on sqnxt23").
+void write_design_points_json(const std::string& sweep_name,
+                              const std::vector<DesignPoint>& points,
+                              std::ostream& out);
 
 // --- sweep builders -------------------------------------------------------
 

@@ -1,5 +1,9 @@
 #include "core/report.h"
 
+#include <ostream>
+
+#include "core/config_io.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace sqz::core {
@@ -83,6 +87,80 @@ Table energy_table(const sim::NetworkResult& result, const energy::UnitEnergies&
   t.add_separator();
   t.add_row({"TOTAL", util::si(e.total()), "100.0%"});
   return t;
+}
+
+void write_json_report(const nn::Model& model, const sim::NetworkResult& result,
+                       const energy::UnitEnergies& units, std::ostream& out) {
+  util::JsonWriter w(out);
+  w.begin_object();
+  w.member("schema_version", kReportSchemaVersion);
+  w.member("generator", "sqzsim");
+
+  w.key("model");
+  w.begin_object();
+  w.member("name", result.model_name);
+  w.member("layers", static_cast<std::int64_t>(result.layers.size()));
+  w.end_object();
+
+  w.key("config");
+  w.begin_object();
+  config_to_json(result.config, w);
+  w.end_object();
+
+  w.key("unit_energies");
+  w.begin_object();
+  energy::units_to_json(units, w);
+  w.end_object();
+
+  w.key("totals");
+  w.begin_object();
+  w.member("cycles", result.total_cycles());
+  w.member("latency_ms", result.latency_ms());
+  w.member("useful_macs", result.total_useful_macs());
+  w.member("utilization", result.utilization());
+  w.key("counts");
+  w.begin_object();
+  sim::counts_to_json(result.total_counts(), w);
+  w.end_object();
+  w.key("energy");
+  w.begin_object();
+  energy::breakdown_to_json(energy::network_energy(result, units), w);
+  w.end_object();
+  w.end_object();
+
+  w.key("layers");
+  w.begin_array();
+  const int pes = result.config.pe_count();
+  for (const sim::LayerResult& l : result.layers) {
+    w.begin_object();
+    w.member("index", l.layer_idx);
+    w.member("name", l.layer_name);
+    w.member("kind", nn::layer_kind_name(model.layer(l.layer_idx).kind));
+    w.member("engine", l.on_pe_array ? "pe-array" : "simd");
+    w.key("dataflow");
+    if (l.on_pe_array)
+      w.value(sim::dataflow_abbrev(l.dataflow));
+    else
+      w.null_value();
+    w.member("useful_macs", l.useful_macs);
+    w.member("compute_cycles", l.compute_cycles);
+    w.member("dram_cycles", l.dram_cycles);
+    w.member("total_cycles", l.total_cycles);
+    w.member("utilization", l.utilization(pes));
+    w.key("counts");
+    w.begin_object();
+    sim::counts_to_json(l.counts, w);
+    w.end_object();
+    w.key("energy");
+    w.begin_object();
+    energy::breakdown_to_json(energy::energy_of(l.counts, units), w);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  out << "\n";
 }
 
 }  // namespace sqz::core

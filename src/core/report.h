@@ -1,7 +1,9 @@
 // Report builders shared by the benchmark binaries: render simulation
-// results as the paper's tables and per-layer figures.
+// results as the paper's tables and per-layer figures, plus the
+// machine-readable JSON run report behind `sqzsim --json`.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "core/squeezelerator.h"
@@ -37,5 +39,17 @@ Table2Row table2_row(const nn::Model& model, const ComparisonResult& cmp);
 util::Table energy_table(const sim::NetworkResult& result,
                          const energy::UnitEnergies& units,
                          const std::string& title);
+
+/// Version of the JSON run-report schema ("schema_version" in the report).
+/// Bump on any field rename/removal; additions are backward compatible.
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Write the complete machine-readable run report: schema version, config
+/// provenance, unit energies, network totals, and one record per layer
+/// (dataflow decision, cycles, per-level access counts, energy breakdown).
+/// Every total is computed from `result` exactly as the ASCII tables
+/// compute it, so the JSON and table paths can be diffed against each other.
+void write_json_report(const nn::Model& model, const sim::NetworkResult& result,
+                       const energy::UnitEnergies& units, std::ostream& out);
 
 }  // namespace sqz::core

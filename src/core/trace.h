@@ -1,0 +1,33 @@
+// Chrome trace-event export of a simulated network schedule.
+//
+// Writes the JSON object format consumed by chrome://tracing and Perfetto
+// (ui.perfetto.dev): three tracks — "PE array", "SIMD unit", "DMA" — with
+// one complete ("ph":"X") event per layer phase, and, when the run used the
+// tile timeline (sim/timeline.h), the per-tile load/compute/store intervals
+// nested inside each layer span. One trace microsecond equals one core
+// clock cycle (1 ns at the paper's 1 GHz), so durations read directly as
+// cycle counts.
+#pragma once
+
+#include <iosfwd>
+
+#include "nn/model.h"
+#include "sim/counters.h"
+
+namespace sqz::core {
+
+/// Trace track (thread) ids, stable across runs.
+inline constexpr int kTracePidSim = 0;
+inline constexpr int kTraceTidPeArray = 0;
+inline constexpr int kTraceTidSimd = 1;
+inline constexpr int kTraceTidDma = 2;
+
+/// Write `result`'s whole-network schedule as a Chrome trace. Layers are
+/// laid out back-to-back (the sequencer executes them in order), so the
+/// last event ends at result.total_cycles(). Events on each track are
+/// non-overlapping and well-nested: a layer's tile/phase events lie inside
+/// its layer span.
+void write_chrome_trace(const nn::Model& model, const sim::NetworkResult& result,
+                        std::ostream& out);
+
+}  // namespace sqz::core

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace sqz::energy {
@@ -29,6 +30,25 @@ std::string EnergyBreakdown::to_string() const {
                       util::si(rf).c_str(), util::si(inter_pe).c_str(),
                       util::si(acc).c_str(), util::si(gb).c_str(),
                       util::si(dram).c_str());
+}
+
+void breakdown_to_json(const EnergyBreakdown& e, util::JsonWriter& w) {
+  w.member("mac", e.mac);
+  w.member("rf", e.rf);
+  w.member("inter_pe", e.inter_pe);
+  w.member("acc", e.acc);
+  w.member("gb", e.gb);
+  w.member("dram", e.dram);
+  w.member("total", e.total());
+}
+
+void units_to_json(const UnitEnergies& units, util::JsonWriter& w) {
+  w.member("mac", units.mac);
+  w.member("rf", units.rf);
+  w.member("inter_pe", units.inter_pe);
+  w.member("acc", units.acc);
+  w.member("gb", units.gb);
+  w.member("dram", units.dram);
 }
 
 EnergyBreakdown energy_of(const sim::AccessCounts& counts, const UnitEnergies& units) {

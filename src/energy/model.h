@@ -12,6 +12,10 @@
 
 #include "sim/counters.h"
 
+namespace sqz::util {
+class JsonWriter;
+}
+
 namespace sqz::energy {
 
 /// Per-access energy at each hierarchy level, normalized to one MAC == 1.0.
@@ -42,6 +46,13 @@ struct EnergyBreakdown {
   EnergyBreakdown& operator+=(const EnergyBreakdown& o) noexcept;
   std::string to_string() const;
 };
+
+/// Append the per-level energies plus "total" as members of the currently
+/// open JSON object (the caller brackets with begin_object/end_object).
+void breakdown_to_json(const EnergyBreakdown& e, util::JsonWriter& w);
+
+/// Append the unit energies as members of the currently open JSON object.
+void units_to_json(const UnitEnergies& units, util::JsonWriter& w);
 
 /// Energy of one access-count record.
 EnergyBreakdown energy_of(const sim::AccessCounts& counts,

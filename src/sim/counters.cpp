@@ -1,6 +1,20 @@
 #include "sim/counters.h"
 
+#include "util/json.h"
+
 namespace sqz::sim {
+
+void counts_to_json(const AccessCounts& counts, util::JsonWriter& w) {
+  w.member("mac_ops", counts.mac_ops);
+  w.member("rf_reads", counts.rf_reads);
+  w.member("rf_writes", counts.rf_writes);
+  w.member("inter_pe", counts.inter_pe);
+  w.member("acc_reads", counts.acc_reads);
+  w.member("acc_writes", counts.acc_writes);
+  w.member("gb_reads", counts.gb_reads);
+  w.member("gb_writes", counts.gb_writes);
+  w.member("dram_words", counts.dram_words);
+}
 
 AccessCounts& AccessCounts::operator+=(const AccessCounts& o) noexcept {
   mac_ops += o.mac_ops;

@@ -11,6 +11,10 @@
 
 #include "sim/config.h"
 
+namespace sqz::util {
+class JsonWriter;
+}
+
 namespace sqz::sim {
 
 /// Word-granularity access counts at each level of the hierarchy.
@@ -33,6 +37,21 @@ struct AccessCounts {
   bool operator==(const AccessCounts&) const = default;
 };
 
+/// Append every counter as a member of the currently open JSON object
+/// (the caller brackets with begin_object/end_object).
+void counts_to_json(const AccessCounts& counts, util::JsonWriter& w);
+
+/// One interval on one engine. Recorded by the tile timeline
+/// (sim/timeline.h) and retained per layer in timeline-mode runs so
+/// exporters (core/trace.h) can reconstruct the whole-network schedule.
+struct TimelineEvent {
+  enum class Engine { Dma, Compute } engine;
+  int tile = 0;
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::string what;  ///< "load", "compute", "store"
+};
+
 /// Result of simulating one layer on a fixed configuration and dataflow.
 struct LayerResult {
   int layer_idx = 0;
@@ -46,6 +65,11 @@ struct LayerResult {
   std::int64_t total_cycles = 0;     ///< After double-buffer overlap + latency.
 
   AccessCounts counts;
+
+  /// Tile-level engine intervals, layer-relative (cycle 0 = layer start).
+  /// Populated by retime_layer when the run uses the tile timeline; empty
+  /// under the flat analytic model.
+  std::vector<TimelineEvent> timeline;
 
   /// PE-array utilization: useful MACs per PE per total cycle.
   double utilization(int pe_count) const noexcept {

@@ -14,20 +14,12 @@
 #include <vector>
 
 #include "sim/config.h"
+#include "sim/counters.h"  // TimelineEvent
 #include "sim/tiling.h"
 
 namespace sqz::sim {
 
 enum class BufferingMode { Single, Double };
-
-/// One interval on one engine, for the trace.
-struct TimelineEvent {
-  enum class Engine { Dma, Compute } engine;
-  int tile = 0;
-  std::int64_t start = 0;
-  std::int64_t end = 0;
-  std::string what;  ///< "load", "compute", "store"
-};
 
 struct TimelineResult {
   std::int64_t total_cycles = 0;

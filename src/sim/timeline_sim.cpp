@@ -17,13 +17,14 @@ LayerResult retime_layer(const nn::Model& model, const LayerResult& analytic,
                 .plan
           : plan_layer_tiles(model, analytic.layer_idx, config, placement,
                              analytic.compute_cycles);
-  const TimelineResult tl =
+  TimelineResult tl =
       run_timeline(plan.tiles, config,
                    double_buffered ? BufferingMode::Double : BufferingMode::Single);
 
   LayerResult r = analytic;
   r.total_cycles = tl.total_cycles;
   r.dram_cycles = tl.dma_busy_cycles;
+  r.timeline = std::move(tl.events);
   // Halo re-reads discovered by the tiler are real DRAM traffic the flat
   // analytic model does not see.
   r.counts.dram_words += plan.halo_reread_words;

@@ -1,0 +1,153 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sqz::util {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Shortest round-trip: try increasing precision until strtod gives the
+  // identical bits back; %.17g always does, most values need far fewer.
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  std::string s = buf;
+  // "1e+06" style is valid JSON; "inf"/"nan" cannot reach here. A bare
+  // integer like "5" is fine too — JSON does not distinguish.
+  return s;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < frames_.size() * static_cast<std::size_t>(indent_);
+       ++i)
+    os_ << ' ';
+}
+
+void JsonWriter::before_value(bool is_key) {
+  if (top_level_written_ && frames_.empty())
+    throw std::logic_error("JsonWriter: document already complete");
+  if (!frames_.empty() && frames_.back() == Frame::Object && !is_key &&
+      !key_pending_)
+    throw std::logic_error("JsonWriter: object member needs a key() first");
+  if (key_pending_ && is_key)
+    throw std::logic_error("JsonWriter: key() already pending");
+  if (frames_.empty() || key_pending_) {
+    // Top-level value, or the value following a key: no separator.
+    if (!is_key) key_pending_ = false;
+    return;
+  }
+  if (frames_.back() == Frame::Array || is_key) {
+    if (frame_has_items_.back()) os_ << ',';
+    newline_indent();
+    frame_has_items_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value(false);
+  os_ << '{';
+  frames_.push_back(Frame::Object);
+  frame_has_items_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  if (frames_.empty() || frames_.back() != Frame::Object || key_pending_)
+    throw std::logic_error("JsonWriter: end_object() without matching object");
+  const bool had_items = frame_has_items_.back();
+  frames_.pop_back();
+  frame_has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << '}';
+  if (frames_.empty()) top_level_written_ = true;
+}
+
+void JsonWriter::begin_array() {
+  before_value(false);
+  os_ << '[';
+  frames_.push_back(Frame::Array);
+  frame_has_items_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  if (frames_.empty() || frames_.back() != Frame::Array)
+    throw std::logic_error("JsonWriter: end_array() without matching array");
+  const bool had_items = frame_has_items_.back();
+  frames_.pop_back();
+  frame_has_items_.pop_back();
+  if (had_items) newline_indent();
+  os_ << ']';
+  if (frames_.empty()) top_level_written_ = true;
+}
+
+void JsonWriter::key(const std::string& name) {
+  if (frames_.empty() || frames_.back() != Frame::Object)
+    throw std::logic_error("JsonWriter: key() outside an object");
+  before_value(true);
+  os_ << '"' << json_escape(name) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  key_pending_ = true;
+}
+
+void JsonWriter::value(const std::string& v) {
+  before_value(false);
+  os_ << '"' << json_escape(v) << '"';
+  if (frames_.empty()) top_level_written_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value(false);
+  os_ << v;
+  if (frames_.empty()) top_level_written_ = true;
+}
+
+void JsonWriter::value(double v) {
+  before_value(false);
+  os_ << json_number(v);
+  if (frames_.empty()) top_level_written_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  before_value(false);
+  os_ << (v ? "true" : "false");
+  if (frames_.empty()) top_level_written_ = true;
+}
+
+void JsonWriter::null_value() {
+  before_value(false);
+  os_ << "null";
+  if (frames_.empty()) top_level_written_ = true;
+}
+
+}  // namespace sqz::util

@@ -1,0 +1,81 @@
+// Dependency-free streaming JSON writer.
+//
+// Backs the machine-readable run reports and the Chrome trace exporter
+// (core/report.h, core/trace.h): a push-style writer with a structural
+// state machine, so emitted documents are well-formed by construction —
+// misnested begin/end calls or a value without a key throw std::logic_error
+// instead of producing broken output. Doubles are printed with the shortest
+// decimal form that round-trips bit-exactly through strtod.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sqz::util {
+
+/// Escape one string for inclusion in a JSON document (no surrounding
+/// quotes): ", \, and control characters; other bytes pass through (UTF-8).
+std::string json_escape(const std::string& text);
+
+/// Format a double as JSON: shortest decimal digits that parse back to the
+/// identical double; non-finite values render as null (JSON has no NaN/Inf).
+std::string json_number(double value);
+
+/// Streaming writer. Typical use:
+///
+///   JsonWriter w(out);
+///   w.begin_object();
+///   w.member("name", "conv1");
+///   w.key("counts"); w.begin_object(); ... w.end_object();
+///   w.end_object();   // w.done() is now true
+///
+/// Output is pretty-printed with 2-space indentation (indent 0 = compact).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object member name; must be followed by exactly one value/container.
+  void key(const std::string& name);
+
+  void value(const std::string& v);
+  void value(const char* v) { value(std::string(v)); }
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(std::size_t v) { value(static_cast<std::int64_t>(v)); }
+  void value(double v);
+  void value(bool v);
+  void null_value();
+
+  /// key() + value() in one call.
+  template <typename T>
+  void member(const std::string& name, const T& v) {
+    key(name);
+    value(v);
+  }
+
+  /// True once the single top-level value has been completely written.
+  bool done() const noexcept { return top_level_written_ && frames_.empty(); }
+
+ private:
+  enum class Frame { Object, Array };
+
+  void before_value(bool is_key);
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Frame> frames_;
+  std::vector<bool> frame_has_items_;
+  bool key_pending_ = false;
+  bool top_level_written_ = false;
+};
+
+}  // namespace sqz::util

@@ -2,11 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include "core/report.h"
+
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
+#include "energy/model.h"
 #include "nn/serialize.h"
 #include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "support/mini_json.h"
 
 namespace sqz::core {
 namespace {
@@ -139,6 +145,86 @@ TEST(Cli, TileSearchMode) {
 TEST(Cli, EnergyObjectiveAccepted) {
   const CliRun r = run({"--model", "squeezenet11", "--objective", "energy"});
   EXPECT_EQ(r.code, 0);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(Cli, JsonReportMatchesSimulation) {
+  const std::string path = ::testing::TempDir() + "/cli_report.json";
+  const CliRun r = run({"--model", "sqnxt23", "--json", path});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("total:"), std::string::npos);  // table still prints
+
+  const test::JsonValue report = test::parse_json(slurp(path));
+  const sim::NetworkResult expect = sched::simulate_network(
+      nn::zoo::squeezenext(), sim::AcceleratorConfig::squeezelerator());
+  EXPECT_EQ(report.at("schema_version").as_int(), kReportSchemaVersion);
+  EXPECT_EQ(report.at("model").at("name").as_string(), "1.0-SqNxt-23 v5");
+  EXPECT_EQ(report.at("totals").at("cycles").as_int(), expect.total_cycles());
+  EXPECT_EQ(report.at("totals").at("energy").at("total").as_double(),
+            energy::network_energy(expect).total());
+  EXPECT_EQ(report.at("layers").items.size(), expect.layers.size());
+}
+
+TEST(Cli, JsonReportHonoursKnobs) {
+  const std::string path = ::testing::TempDir() + "/cli_report_knobs.json";
+  const CliRun r = run({"--model", "squeezenet11", "--array", "16", "--support",
+                        "os", "--json", path});
+  ASSERT_EQ(r.code, 0);
+  const test::JsonValue report = test::parse_json(slurp(path));
+  EXPECT_EQ(report.at("config").at("array_n").as_int(), 16);
+  EXPECT_EQ(report.at("config").at("support").as_string(), "os");
+  for (const test::JsonValue& l : report.at("layers").items)
+    if (l.at("engine").as_string() == "pe-array" &&
+        l.at("kind").as_string() == "conv")
+      EXPECT_EQ(l.at("dataflow").as_string(), "OS");
+}
+
+TEST(Cli, TraceFileIsValidAndSpansTheRun) {
+  const std::string path = ::testing::TempDir() + "/cli_trace.json";
+  const CliRun r = run({"--model", "sqnxt23", "--trace", path});
+  ASSERT_EQ(r.code, 0);
+
+  const test::JsonValue trace = test::parse_json(slurp(path));
+  const sim::NetworkResult expect = sched::simulate_network(
+      nn::zoo::squeezenext(), sim::AcceleratorConfig::squeezelerator());
+  EXPECT_EQ(trace.at("otherData").at("total_cycles").as_int(),
+            expect.total_cycles());
+  std::int64_t max_end = 0;
+  for (const test::JsonValue& e : trace.at("traceEvents").items)
+    if (e.at("ph").as_string() == "X")
+      max_end = std::max(max_end, e.at("ts").as_int() + e.at("dur").as_int());
+  EXPECT_EQ(max_end, expect.total_cycles());
+}
+
+TEST(Cli, JsonAndTraceWithTimelineMode) {
+  const std::string rpath = ::testing::TempDir() + "/cli_tl_report.json";
+  const std::string tpath = ::testing::TempDir() + "/cli_tl_trace.json";
+  const CliRun r = run({"--model", "squeezenet11", "--timeline", "--json", rpath,
+                        "--trace", tpath});
+  ASSERT_EQ(r.code, 0);
+  const test::JsonValue report = test::parse_json(slurp(rpath));
+  const test::JsonValue trace = test::parse_json(slurp(tpath));
+  // Report and trace agree with each other on the retimed totals.
+  EXPECT_EQ(report.at("totals").at("cycles").as_int(),
+            trace.at("otherData").at("total_cycles").as_int());
+  bool has_tile_events = false;
+  for (const test::JsonValue& e : trace.at("traceEvents").items)
+    has_tile_events |=
+        e.at("ph").as_string() == "X" && e.at("cat").as_string() == "tile";
+  EXPECT_TRUE(has_tile_events);
+}
+
+TEST(Cli, UnwritableJsonPathFails) {
+  const CliRun r = run({"--json", "/nonexistent-dir/report.json"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("cannot open --json output"), std::string::npos);
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "nn/zoo/zoo.h"
+#include "support/mini_json.h"
 
 namespace sqz::core {
 namespace {
@@ -33,6 +36,48 @@ TEST(Dse, ParetoFilterCorrect) {
   EXPECT_EQ(front[0].label, "a");
   EXPECT_EQ(front[1].label, "b");
   EXPECT_EQ(front[2].label, "c");
+}
+
+TEST(Dse, JsonDumpCarriesEveryPointWithParetoMembership) {
+  std::vector<DesignPoint> pts(4);
+  pts[0].label = "a"; pts[0].cycles = 100; pts[0].energy = 100;
+  pts[1].label = "b"; pts[1].cycles = 50;  pts[1].energy = 200;
+  pts[2].label = "c"; pts[2].cycles = 200; pts[2].energy = 50;
+  pts[3].label = "d"; pts[3].cycles = 150; pts[3].energy = 150;  // dominated
+  for (DesignPoint& p : pts) p.config = sim::AcceleratorConfig::squeezelerator();
+
+  std::ostringstream os;
+  write_design_points_json("test sweep", pts, os);
+  const test::JsonValue doc = test::parse_json(os.str());
+
+  EXPECT_EQ(doc.at("sweep").as_string(), "test sweep");
+  const test::JsonValue& out = doc.at("points");
+  ASSERT_EQ(out.items.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(out.at(i).at("label").as_string(), pts[i].label);
+    EXPECT_EQ(out.at(i).at("cycles").as_int(), pts[i].cycles);
+    EXPECT_EQ(out.at(i).at("config").at("array_n").as_int(), 32);
+  }
+  EXPECT_TRUE(out.at(std::size_t{0}).at("pareto").as_bool());
+  EXPECT_TRUE(out.at(std::size_t{1}).at("pareto").as_bool());
+  EXPECT_TRUE(out.at(std::size_t{2}).at("pareto").as_bool());
+  EXPECT_FALSE(out.at(std::size_t{3}).at("pareto").as_bool());
+}
+
+TEST(Dse, JsonDumpOfARealSweepParses) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  const auto points = evaluate_designs(
+      m, sweep_rf_entries(sim::AcceleratorConfig::squeezelerator(), {8, 16}));
+  std::ostringstream os;
+  write_design_points_json("rf_entries on squeezenet11", points, os);
+  const test::JsonValue doc = test::parse_json(os.str());
+  ASSERT_EQ(doc.at("points").items.size(), 2u);
+  // At least one point of any non-empty sweep is on the front.
+  bool any_pareto = false;
+  for (const test::JsonValue& p : doc.at("points").items)
+    any_pareto |= p.at("pareto").as_bool();
+  EXPECT_TRUE(any_pareto);
+  EXPECT_EQ(doc.at("points").at(std::size_t{0}).at("config").at("rf_entries").as_int(), 8);
 }
 
 TEST(Dse, ParetoHandlesDuplicates) {

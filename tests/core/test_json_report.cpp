@@ -1,0 +1,126 @@
+// The JSON run report must agree exactly with the simulation result the
+// ASCII tables are rendered from — same cycles, counts, and energies.
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "support/mini_json.h"
+
+namespace sqz::core {
+namespace {
+
+using test::JsonValue;
+using test::parse_json;
+
+JsonValue report_for(const nn::Model& model, const sched::SimulationOptions& opt,
+                     const sim::NetworkResult& result) {
+  (void)model;
+  std::ostringstream os;
+  write_json_report(model, result, opt.units, os);
+  return parse_json(os.str());
+}
+
+TEST(JsonReport, SchemaVersionAndProvenance) {
+  const nn::Model model = nn::zoo::squeezenet_v11();
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  const sim::NetworkResult result = sched::simulate_network(model, cfg);
+  const JsonValue r = report_for(model, {}, result);
+
+  EXPECT_EQ(r.at("schema_version").as_int(), kReportSchemaVersion);
+  EXPECT_EQ(r.at("generator").as_string(), "sqzsim");
+  EXPECT_EQ(r.at("model").at("name").as_string(), "SqueezeNet v1.1");
+  EXPECT_EQ(r.at("config").at("array_n").as_int(), cfg.array_n);
+  EXPECT_EQ(r.at("config").at("rf_entries").as_int(), cfg.rf_entries);
+  EXPECT_EQ(r.at("config").at("support").as_string(), "hybrid");
+  EXPECT_EQ(r.at("config").at("weight_sparsity").as_double(), cfg.weight_sparsity);
+  EXPECT_EQ(r.at("unit_energies").at("dram").as_double(), 200.0);
+}
+
+TEST(JsonReport, TotalsMatchTheTablePathExactly) {
+  const nn::Model model = nn::zoo::squeezenext();
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  const sim::NetworkResult result = sched::simulate_network(model, cfg);
+  const energy::UnitEnergies units;
+  const JsonValue r = report_for(model, {}, result);
+
+  EXPECT_EQ(r.at("totals").at("cycles").as_int(), result.total_cycles());
+  EXPECT_EQ(r.at("totals").at("useful_macs").as_int(), result.total_useful_macs());
+  EXPECT_EQ(r.at("totals").at("latency_ms").as_double(), result.latency_ms());
+  EXPECT_EQ(r.at("totals").at("utilization").as_double(), result.utilization());
+  EXPECT_EQ(r.at("totals").at("counts").at("dram_words").as_int(),
+            result.total_counts().dram_words);
+  EXPECT_EQ(r.at("totals").at("energy").at("total").as_double(),
+            energy::network_energy(result, units).total());
+}
+
+TEST(JsonReport, PerLayerRecordsMatchAndSumToTotals) {
+  const nn::Model model = nn::zoo::squeezenet_v10();
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  const sim::NetworkResult result = sched::simulate_network(model, cfg);
+  const energy::UnitEnergies units;
+  const JsonValue r = report_for(model, {}, result);
+
+  const JsonValue& layers = r.at("layers");
+  ASSERT_EQ(layers.items.size(), result.layers.size());
+
+  std::int64_t cycle_sum = 0;
+  double energy_sum = 0.0;
+  for (std::size_t i = 0; i < result.layers.size(); ++i) {
+    const sim::LayerResult& l = result.layers[i];
+    const JsonValue& j = layers.at(i);
+    EXPECT_EQ(j.at("name").as_string(), l.layer_name);
+    EXPECT_EQ(j.at("index").as_int(), l.layer_idx);
+    EXPECT_EQ(j.at("total_cycles").as_int(), l.total_cycles);
+    EXPECT_EQ(j.at("compute_cycles").as_int(), l.compute_cycles);
+    EXPECT_EQ(j.at("counts").at("mac_ops").as_int(), l.counts.mac_ops);
+    EXPECT_EQ(j.at("counts").at("gb_reads").as_int(), l.counts.gb_reads);
+    EXPECT_EQ(j.at("energy").at("total").as_double(),
+              energy::energy_of(l.counts, units).total());
+    EXPECT_EQ(j.at("engine").as_string(), l.on_pe_array ? "pe-array" : "simd");
+    if (l.on_pe_array) {
+      EXPECT_EQ(j.at("dataflow").as_string(), sim::dataflow_abbrev(l.dataflow));
+    } else {
+      EXPECT_EQ(j.at("dataflow").type, JsonValue::Type::Null);
+    }
+    cycle_sum += j.at("total_cycles").as_int();
+    energy_sum += j.at("energy").at("total").as_double();
+  }
+  EXPECT_EQ(cycle_sum, r.at("totals").at("cycles").as_int());
+  EXPECT_NEAR(energy_sum, r.at("totals").at("energy").at("total").as_double(),
+              energy_sum * 1e-12);
+}
+
+TEST(JsonReport, TimelineModeReportsRetimedCycles) {
+  const nn::Model model = nn::zoo::squeezenet_v11();
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  sched::SimulationOptions opt;
+  opt.tile_timeline = true;
+  const sim::NetworkResult result = sched::simulate_network(model, cfg, opt);
+  const JsonValue r = report_for(model, opt, result);
+  EXPECT_EQ(r.at("totals").at("cycles").as_int(), result.total_cycles());
+}
+
+TEST(JsonReport, DataflowDecisionsAreInspectable) {
+  // The report exists so "why did this layer choose WS over OS" is readable
+  // without the debugger: every PE-array layer carries its decision.
+  const nn::Model model = nn::zoo::squeezenet_v10();
+  const sim::NetworkResult result =
+      sched::simulate_network(model, sim::AcceleratorConfig::squeezelerator());
+  const JsonValue r = report_for(model, {}, result);
+  int ws = 0, os = 0;
+  for (const JsonValue& j : r.at("layers").items) {
+    if (j.at("engine").as_string() != "pe-array") continue;
+    const std::string& df = j.at("dataflow").as_string();
+    (df == "WS" ? ws : os) += 1;
+  }
+  // SqueezeNet on the hybrid accelerator uses both dataflows (Figure 1).
+  EXPECT_GT(ws, 0);
+  EXPECT_GT(os, 0);
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -1,0 +1,154 @@
+// Chrome trace export: the file must be valid trace-event JSON whose
+// per-track complete events are monotonic and well-nested, and whose span
+// agrees with the simulated cycle totals.
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "support/mini_json.h"
+
+namespace sqz::core {
+namespace {
+
+using test::JsonValue;
+using test::parse_json;
+
+struct Span {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+  std::string name;
+};
+
+JsonValue trace_for(const nn::Model& model, const sched::SimulationOptions& opt) {
+  const sim::NetworkResult result = sched::simulate_network(
+      model, sim::AcceleratorConfig::squeezelerator(), opt);
+  std::ostringstream os;
+  write_chrome_trace(model, result, os);
+  return parse_json(os.str());
+}
+
+/// Collect "X" events per track and check stack-nesting: sorted by start
+/// (longer first on ties), every event either nests inside the open one or
+/// begins at/after its end. Overlap without containment fails.
+void check_tracks(const JsonValue& trace, std::map<int, std::vector<Span>>* out) {
+  for (const JsonValue& e : trace.at("traceEvents").items) {
+    if (e.at("ph").as_string() != "X") continue;
+    ASSERT_TRUE(e.has("ts"));
+    ASSERT_TRUE(e.has("dur"));
+    ASSERT_TRUE(e.has("pid"));
+    const std::int64_t ts = e.at("ts").as_int();
+    const std::int64_t dur = e.at("dur").as_int();
+    EXPECT_GE(ts, 0);
+    EXPECT_GT(dur, 0);  // zero-duration events are suppressed
+    (*out)[static_cast<int>(e.at("tid").as_int())].push_back(
+        Span{ts, ts + dur, e.at("name").as_string()});
+  }
+  for (auto& [tid, spans] : *out) {
+    std::stable_sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
+      if (a.start != b.start) return a.start < b.start;
+      return a.end > b.end;
+    });
+    std::vector<std::int64_t> stack;
+    for (const Span& s : spans) {
+      while (!stack.empty() && s.start >= stack.back()) stack.pop_back();
+      if (!stack.empty()) {
+        EXPECT_LE(s.end, stack.back())
+            << "track " << tid << ": '" << s.name << "' [" << s.start << ","
+            << s.end << ") overlaps its enclosing event";
+      }
+      stack.push_back(s.end);
+    }
+  }
+}
+
+TEST(ChromeTrace, FlatModelTraceIsWellFormed) {
+  const nn::Model model = nn::zoo::squeezenet_v11();
+  const JsonValue trace = trace_for(model, {});
+
+  EXPECT_TRUE(trace.at("traceEvents").is_array());
+  std::map<int, std::vector<Span>> tracks;
+  check_tracks(trace, &tracks);
+
+  // PE-array, SIMD, and DMA tracks all carry events for this network.
+  EXPECT_FALSE(tracks[kTraceTidPeArray].empty());
+  EXPECT_FALSE(tracks[kTraceTidSimd].empty());
+  EXPECT_FALSE(tracks[kTraceTidDma].empty());
+}
+
+TEST(ChromeTrace, SpanMatchesNetworkTotal) {
+  const nn::Model model = nn::zoo::squeezenext();
+  const sim::NetworkResult result =
+      sched::simulate_network(model, sim::AcceleratorConfig::squeezelerator());
+  std::ostringstream os;
+  write_chrome_trace(model, result, os);
+  const JsonValue trace = parse_json(os.str());
+
+  std::int64_t max_end = 0;
+  for (const JsonValue& e : trace.at("traceEvents").items) {
+    if (e.at("ph").as_string() != "X") continue;
+    max_end = std::max(max_end, e.at("ts").as_int() + e.at("dur").as_int());
+  }
+  EXPECT_EQ(max_end, result.total_cycles());
+  EXPECT_EQ(trace.at("otherData").at("total_cycles").as_int(),
+            result.total_cycles());
+}
+
+TEST(ChromeTrace, MetadataNamesAllTracks) {
+  const JsonValue trace = trace_for(nn::zoo::tiny_darknet(), {});
+  std::map<int, std::string> names;
+  for (const JsonValue& e : trace.at("traceEvents").items) {
+    if (e.at("ph").as_string() == "M" && e.at("name").as_string() == "thread_name")
+      names[static_cast<int>(e.at("tid").as_int())] =
+          e.at("args").at("name").as_string();
+  }
+  EXPECT_EQ(names[kTraceTidPeArray], "PE array");
+  EXPECT_EQ(names[kTraceTidSimd], "SIMD unit");
+  EXPECT_EQ(names[kTraceTidDma], "DMA");
+}
+
+TEST(ChromeTrace, TimelineModeEmitsNestedTileEvents) {
+  sched::SimulationOptions opt;
+  opt.tile_timeline = true;
+  const JsonValue trace = trace_for(nn::zoo::squeezenet_v11(), opt);
+
+  std::map<int, std::vector<Span>> tracks;
+  check_tracks(trace, &tracks);  // nesting holds with tile detail too
+
+  int tile_events = 0, dma_loads = 0;
+  for (const JsonValue& e : trace.at("traceEvents").items) {
+    if (e.at("ph").as_string() != "X" || e.at("cat").as_string() != "tile")
+      continue;
+    ++tile_events;
+    if (e.at("tid").as_int() == kTraceTidDma && e.at("name").as_string() == "load")
+      ++dma_loads;
+    ASSERT_TRUE(e.at("args").has("tile"));
+  }
+  EXPECT_GT(tile_events, 0);
+  EXPECT_GT(dma_loads, 0);  // double-buffered prefetches are visible
+}
+
+TEST(ChromeTrace, LayerSpansCarryTheDataflowDecision) {
+  const JsonValue trace = trace_for(nn::zoo::squeezenet_v10(), {});
+  bool saw_ws = false, saw_os = false;
+  for (const JsonValue& e : trace.at("traceEvents").items) {
+    if (e.at("ph").as_string() != "X" || e.at("cat").as_string() != "layer")
+      continue;
+    if (e.at("tid").as_int() != kTraceTidPeArray) continue;
+    const std::string& df = e.at("args").at("dataflow").as_string();
+    saw_ws |= df == "WS";
+    saw_os |= df == "OS";
+    EXPECT_NE(e.at("name").as_string().find("[" + df + "]"), std::string::npos);
+  }
+  EXPECT_TRUE(saw_ws);
+  EXPECT_TRUE(saw_os);
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -1,0 +1,279 @@
+// Strict, hand-rolled JSON parser for tests only.
+//
+// Deliberately independent of util/json.h (the writer under test): the
+// round-trip tests would be meaningless if reader and writer shared code.
+// Strictness: exactly one top-level value, RFC 8259 number grammar, no
+// trailing input, duplicate object keys rejected. Any violation throws
+// std::runtime_error with a byte offset.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sqz::test {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw_number;  ///< Original token, for exact integer checks.
+  std::string text;        ///< String value (decoded).
+  std::vector<JsonValue> items;                            ///< Array.
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Object, ordered.
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return true;
+    return false;
+  }
+
+  const JsonValue& at(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return v;
+    throw std::runtime_error("mini_json: missing key '" + key + "'");
+  }
+
+  const JsonValue& at(std::size_t i) const {
+    if (i >= items.size()) throw std::runtime_error("mini_json: index out of range");
+    return items[i];
+  }
+
+  double as_double() const {
+    if (type != Type::Number) throw std::runtime_error("mini_json: not a number");
+    return number;
+  }
+
+  std::int64_t as_int() const {
+    const double d = as_double();
+    const auto i = static_cast<std::int64_t>(d);
+    if (static_cast<double>(i) != d)
+      throw std::runtime_error("mini_json: number is not integral: " + raw_number);
+    return i;
+  }
+
+  const std::string& as_string() const {
+    if (type != Type::String) throw std::runtime_error("mini_json: not a string");
+    return text;
+  }
+
+  bool as_bool() const {
+    if (type != Type::Bool) throw std::runtime_error("mini_json: not a bool");
+    return boolean;
+  }
+};
+
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    skip_ws();
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing input after top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("mini_json: " + why + " at byte " +
+                             std::to_string(pos_));
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) throw std::runtime_error("mini_json: unexpected end");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.type = JsonValue::Type::String;
+      v.text = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') {
+      JsonValue v;
+      v.type = JsonValue::Type::Bool;
+      if (consume_literal("true")) v.boolean = true;
+      else if (consume_literal("false")) v.boolean = false;
+      else fail("bad literal");
+      return v;
+    }
+    if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control char in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = next();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) fail("surrogates unsupported");
+          // Minimal UTF-8 encoding (the writer only emits \u00xx).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (peek() == '0') {
+      ++pos_;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    } else {
+      fail("bad number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        fail("bad fraction");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        fail("bad exponent");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    v.raw_number = text_.substr(start, pos_ - start);
+    v.number = std::strtod(v.raw_number.c_str(), nullptr);
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      v.items.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      if (v.has(key)) fail("duplicate key '" + key + "'");
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v.members.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline JsonValue parse_json(const std::string& text) {
+  return MiniJsonParser(text).parse();
+}
+
+}  // namespace sqz::test

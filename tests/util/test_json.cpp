@@ -1,0 +1,182 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "support/mini_json.h"
+
+namespace sqz::util {
+namespace {
+
+using test::JsonValue;
+using test::parse_json;
+
+std::string compact(const std::function<void(JsonWriter&)>& build) {
+  std::ostringstream os;
+  JsonWriter w(os, /*indent=*/0);
+  build(w);
+  EXPECT_TRUE(w.done());
+  return os.str();
+}
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("conv1 [WS]"), "conv1 [WS]");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(json_escape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(json_escape("\b\f"), "\\b\\f");
+}
+
+TEST(JsonEscape, Utf8BytesPassThrough) {
+  EXPECT_EQ(json_escape("32\xc3\x97"
+                        "32"),
+            "32\xc3\x97"
+            "32");  // "32×32"
+}
+
+TEST(JsonNumber, IntegersAndSimpleFractions) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(5.0), "5");
+  EXPECT_EQ(json_number(0.4), "0.4");
+  EXPECT_EQ(json_number(-2.5), "-2.5");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonNumber, RoundTripsExactly) {
+  // The formatter promises the shortest decimal string that parses back to
+  // the identical double — check awkward values bit-exactly.
+  for (double v : {1.0 / 3.0, 0.1, 1e300, -1e-300, 3.14159265358979,
+                   123456789.123456789, 2.2250738585072014e-308}) {
+    const std::string s = json_number(v);
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  EXPECT_EQ(compact([](JsonWriter& w) {
+              w.begin_object();
+              w.end_object();
+            }),
+            "{}");
+  EXPECT_EQ(compact([](JsonWriter& w) {
+              w.begin_array();
+              w.end_array();
+            }),
+            "[]");
+}
+
+TEST(JsonWriter, ObjectMembersAndArrays) {
+  const std::string s = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.member("name", "fire2/squeeze1x1");
+    w.member("cycles", std::int64_t{934825});
+    w.member("ratio", 0.5);
+    w.member("on", true);
+    w.key("df");
+    w.null_value();
+    w.key("tags");
+    w.begin_array();
+    w.value("a");
+    w.value(std::int64_t{2});
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(s,
+            "{\"name\":\"fire2/squeeze1x1\",\"cycles\":934825,\"ratio\":"
+            "0.5,\"on\":true,\"df\":null,\"tags\":[\"a\",2]}");
+}
+
+TEST(JsonWriter, PrettyPrintIsStable) {
+  std::ostringstream os;
+  JsonWriter w(os, 2);
+  w.begin_object();
+  w.member("a", std::int64_t{1});
+  w.key("b");
+  w.begin_array();
+  w.value(std::int64_t{2});
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonWriter, RoundTripsThroughStrictParser) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.member("weird key \"x\"\n", "va\\lue\t");
+  w.member("min", std::numeric_limits<std::int64_t>::min());
+  w.member("max", std::numeric_limits<std::int64_t>::max());
+  w.member("frac", 1.0 / 3.0);
+  w.key("nested");
+  w.begin_array();
+  w.begin_object();
+  w.member("deep", false);
+  w.end_object();
+  w.null_value();
+  w.end_array();
+  w.end_object();
+
+  const JsonValue v = parse_json(os.str());
+  EXPECT_EQ(v.at("weird key \"x\"\n").as_string(), "va\\lue\t");
+  EXPECT_EQ(v.at("min").as_int(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(v.at("max").raw_number, "9223372036854775807");
+  EXPECT_EQ(v.at("frac").as_double(), 1.0 / 3.0);
+  EXPECT_EQ(v.at("nested").at(std::size_t{0}).at("deep").as_bool(), false);
+  EXPECT_EQ(v.at("nested").at(std::size_t{1}).type, JsonValue::Type::Null);
+}
+
+TEST(JsonWriter, MisuseThrowsInsteadOfEmittingGarbage) {
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(std::int64_t{1}), std::logic_error);  // key missing
+  }
+  {
+    JsonWriter w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // key outside object
+  }
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);  // mismatched close
+  }
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.end_object(), std::logic_error);  // dangling key
+    EXPECT_THROW(w.key("j"), std::logic_error);      // key after key
+  }
+  {
+    JsonWriter w(os);
+    w.value("done");
+    EXPECT_TRUE(w.done());
+    EXPECT_THROW(w.value("again"), std::logic_error);  // two top-level values
+  }
+}
+
+TEST(MiniJsonParser, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":1,}", "{\"a\" 1}", "01",
+                          "1.", "1e", "\"\\x\"", "tru", "{\"a\":1}{", "[1] 2",
+                          "{\"a\":1,\"a\":2}", "\"\x01\""}) {
+    EXPECT_THROW(parse_json(bad), std::runtime_error) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace sqz::util

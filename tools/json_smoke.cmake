@@ -1,0 +1,77 @@
+# ctest smoke run of the sqzsim binary's observability outputs (no Python):
+#   sqzsim --model sqnxt23 --json report.json --trace trace.json
+# then assert, with CMake's built-in string(JSON) parser, that the report
+# parses, carries the schema version, and that its cycle total exactly
+# matches the "total: N cycles" line of the ASCII table output.
+#
+# Invoked by the sqzsim_json_smoke test registered in tools/CMakeLists.txt:
+#   cmake -DSQZSIM=<path-to-binary> -DWORK_DIR=<scratch> -P json_smoke.cmake
+
+if(NOT DEFINED SQZSIM OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "json_smoke.cmake needs -DSQZSIM=... and -DWORK_DIR=...")
+endif()
+
+set(report "${WORK_DIR}/smoke_report.json")
+set(trace "${WORK_DIR}/smoke_trace.json")
+
+execute_process(
+  COMMAND "${SQZSIM}" --model sqnxt23 --json "${report}" --trace "${trace}"
+  OUTPUT_VARIABLE table_out
+  RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "sqzsim exited with ${code}")
+endif()
+
+# --- the ASCII table path: "total: 934,825 cycles (...)" -------------------
+if(NOT table_out MATCHES "total: ([0-9,]+) cycles")
+  message(FATAL_ERROR "no 'total: N cycles' line in sqzsim output:\n${table_out}")
+endif()
+string(REPLACE "," "" table_cycles "${CMAKE_MATCH_1}")
+
+# --- the JSON report path --------------------------------------------------
+file(READ "${report}" report_text)
+string(JSON schema_version ERROR_VARIABLE json_err GET "${report_text}" schema_version)
+if(json_err)
+  message(FATAL_ERROR "report does not parse: ${json_err}")
+endif()
+if(NOT schema_version EQUAL 1)
+  message(FATAL_ERROR "unexpected schema_version '${schema_version}'")
+endif()
+string(JSON model_name GET "${report_text}" model name)
+if(NOT model_name STREQUAL "1.0-SqNxt-23 v5")
+  message(FATAL_ERROR "unexpected model name '${model_name}'")
+endif()
+string(JSON json_cycles GET "${report_text}" totals cycles)
+if(NOT json_cycles STREQUAL table_cycles)
+  message(FATAL_ERROR
+      "JSON totals.cycles (${json_cycles}) != table total (${table_cycles})")
+endif()
+
+# Per-layer totals must sum to the network total (report invariant).
+string(JSON layer_count LENGTH "${report_text}" layers)
+math(EXPR last "${layer_count} - 1")
+set(sum 0)
+foreach(i RANGE 0 ${last})
+  string(JSON c GET "${report_text}" layers ${i} total_cycles)
+  math(EXPR sum "${sum} + ${c}")
+endforeach()
+if(NOT sum EQUAL json_cycles)
+  message(FATAL_ERROR "per-layer cycles sum to ${sum}, totals say ${json_cycles}")
+endif()
+
+# --- the trace -------------------------------------------------------------
+file(READ "${trace}" trace_text)
+string(JSON trace_total ERROR_VARIABLE json_err GET "${trace_text}" otherData total_cycles)
+if(json_err)
+  message(FATAL_ERROR "trace does not parse: ${json_err}")
+endif()
+if(NOT trace_total STREQUAL table_cycles)
+  message(FATAL_ERROR
+      "trace total_cycles (${trace_total}) != table total (${table_cycles})")
+endif()
+string(JSON first_event GET "${trace_text}" traceEvents 0 ph)
+if(NOT first_event STREQUAL "M")
+  message(FATAL_ERROR "trace does not start with metadata events")
+endif()
+
+message(STATUS "sqzsim json smoke ok: ${table_cycles} cycles, ${layer_count} layers")
