@@ -6,12 +6,38 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "nn/analysis.h"
 #include "nn/zoo/zoo.h"
 #include "sim/layer_sim.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/threadpool.h"
+
+namespace {
+
+struct Range {
+  double lo = 1e18, hi = 0.0;
+  void add(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  void merge(const Range& o) {
+    lo = std::min(lo, o.lo);
+    hi = std::max(hi, o.hi);
+  }
+};
+
+// One model's contribution to the sweep: its detail-table rows plus the
+// min/max envelope per layer category.
+struct ModelSweep {
+  std::vector<std::vector<std::string>> rows;
+  Range pw, conv1, dw;
+};
+
+}  // namespace
 
 int main() {
   using namespace sqz;
@@ -21,43 +47,52 @@ int main() {
   detail.set_header(
       {"Network", "Layer", "Category", "WS kcyc", "OS kcyc", "winner", "by"});
 
-  struct Range {
-    double lo = 1e18, hi = 0.0;
-    void add(double v) {
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
-  };
-  Range pw, conv1, dw;
+  // Every (model, layer, dataflow) simulation is independent: sweep the zoo
+  // in parallel, one task per model, each writing its own slot; rows and
+  // ranges are merged in zoo order afterwards so the output is identical to
+  // the serial sweep.
+  const auto models = nn::zoo::all_table1_models();
+  std::vector<ModelSweep> sweeps(models.size());
+  util::ThreadPool::global().parallel_for_index(
+      models.size(), [&](std::size_t mi) {
+        const nn::Model& m = models[mi];
+        ModelSweep& s = sweeps[mi];
+        for (int i = 1; i < m.layer_count(); ++i) {
+          if (!m.layer(i).is_conv()) continue;
+          const auto cat = nn::categorize(m, i);
+          const auto ws =
+              sim::simulate_layer(m, i, cfg, sim::Dataflow::WeightStationary);
+          const auto os =
+              sim::simulate_layer(m, i, cfg, sim::Dataflow::OutputStationary);
+          const double ws_over_os = static_cast<double>(ws.total_cycles) /
+                                    static_cast<double>(os.total_cycles);
+          switch (cat) {
+            case nn::LayerCategory::Pointwise: s.pw.add(1.0 / ws_over_os); break;
+            case nn::LayerCategory::FirstConv: s.conv1.add(ws_over_os); break;
+            case nn::LayerCategory::Depthwise: s.dw.add(ws_over_os); break;
+            default: break;
+          }
+          // Keep the detail table readable: category representatives only.
+          if (cat == nn::LayerCategory::FirstConv ||
+              cat == nn::LayerCategory::Depthwise ||
+              (cat == nn::LayerCategory::Pointwise && i % 7 == 0)) {
+            const bool ws_wins = ws.total_cycles <= os.total_cycles;
+            s.rows.push_back(
+                {m.name(), m.layer(i).name, nn::layer_category_name(cat),
+                 util::format("%.1f", ws.total_cycles / 1e3),
+                 util::format("%.1f", os.total_cycles / 1e3),
+                 ws_wins ? "WS" : "OS",
+                 util::times(ws_wins ? 1.0 / ws_over_os : ws_over_os)});
+          }
+        }
+      });
 
-  for (const nn::Model& m : nn::zoo::all_table1_models()) {
-    for (int i = 1; i < m.layer_count(); ++i) {
-      if (!m.layer(i).is_conv()) continue;
-      const auto cat = nn::categorize(m, i);
-      const auto ws =
-          sim::simulate_layer(m, i, cfg, sim::Dataflow::WeightStationary);
-      const auto os =
-          sim::simulate_layer(m, i, cfg, sim::Dataflow::OutputStationary);
-      const double ws_over_os = static_cast<double>(ws.total_cycles) /
-                                static_cast<double>(os.total_cycles);
-      switch (cat) {
-        case nn::LayerCategory::Pointwise: pw.add(1.0 / ws_over_os); break;
-        case nn::LayerCategory::FirstConv: conv1.add(ws_over_os); break;
-        case nn::LayerCategory::Depthwise: dw.add(ws_over_os); break;
-        default: break;
-      }
-      // Keep the detail table readable: category representatives only.
-      if (cat == nn::LayerCategory::FirstConv ||
-          cat == nn::LayerCategory::Depthwise ||
-          (cat == nn::LayerCategory::Pointwise && i % 7 == 0)) {
-        const bool ws_wins = ws.total_cycles <= os.total_cycles;
-        detail.add_row(
-            {m.name(), m.layer(i).name, nn::layer_category_name(cat),
-             util::format("%.1f", ws.total_cycles / 1e3),
-             util::format("%.1f", os.total_cycles / 1e3), ws_wins ? "WS" : "OS",
-             util::times(ws_wins ? 1.0 / ws_over_os : ws_over_os)});
-      }
-    }
+  Range pw, conv1, dw;
+  for (const ModelSweep& s : sweeps) {
+    for (const auto& row : s.rows) detail.add_row(row);
+    pw.merge(s.pw);
+    conv1.merge(s.conv1);
+    dw.merge(s.dw);
   }
   detail.print(std::cout);
 

@@ -3,11 +3,14 @@
 #include <cstdio>
 #include <iostream>
 
+#include <vector>
+
 #include "core/report.h"
 #include "core/squeezelerator.h"
 #include "nn/zoo/zoo.h"
 #include "util/strings.h"
 #include "util/table.h"
+#include "util/threadpool.h"
 
 int main() {
   using namespace sqz;
@@ -27,9 +30,15 @@ int main() {
                 "paper S(OS/WS)", "paper E(OS/WS)"});
 
   const auto models = nn::zoo::all_table1_models();
+  // Three full-network simulations per model; evaluate the models in
+  // parallel into position-indexed slots, then render rows in zoo order.
+  std::vector<core::Table2Row> rows(models.size());
+  util::ThreadPool::global().parallel_for_index(
+      models.size(), [&](std::size_t i) {
+        rows[i] = core::table2_row(models[i], core::compare_dataflows(models[i]));
+      });
   for (std::size_t i = 0; i < models.size(); ++i) {
-    const core::ComparisonResult cmp = core::compare_dataflows(models[i]);
-    const core::Table2Row row = core::table2_row(models[i], cmp);
+    const core::Table2Row& row = rows[i];
     t.add_row({row.network, util::times(row.speedup_vs_os),
                util::times(row.speedup_vs_ws),
                util::format("%+.0f%%", 100 * row.energy_red_vs_os),

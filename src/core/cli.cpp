@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "core/config_io.h"
+#include "core/dse.h"
 #include "core/report.h"
 #include "core/trace.h"
 #include "sched/compile.h"
@@ -16,6 +17,7 @@
 #include "sched/network_sim.h"
 #include "util/csv.h"
 #include "util/strings.h"
+#include "util/threadpool.h"
 
 namespace sqz::core {
 
@@ -39,6 +41,8 @@ struct CliOptions {
   bool program = false;
   bool csv = false;
   bool help = false;
+  bool dump_rf_sweep = false;  ///< --dump-rf-sweep: sweep JSON to stdout.
+  int jobs = 0;            ///< --jobs: 0 = SQZ_JOBS / hardware concurrency.
   std::string json_path;   ///< --json: machine-readable run report.
   std::string trace_path;  ///< --trace: Chrome trace-event schedule.
 };
@@ -91,8 +95,14 @@ CliOptions parse_args(const std::vector<std::string>& args) {
     else if (a == "--fuse") opt.fuse = true;
     else if (a == "--program") opt.program = true;
     else if (a == "--csv") opt.csv = true;
+    else if (a == "--jobs") {
+      opt.jobs = std::stoi(value_of(i));
+      if (opt.jobs < 1)
+        throw std::invalid_argument("--jobs must be a positive integer");
+    }
     else if (a == "--json") opt.json_path = value_of(i);
     else if (a == "--trace") opt.trace_path = value_of(i);
+    else if (a == "--dump-rf-sweep") opt.dump_rf_sweep = true;
     else throw std::invalid_argument("unknown argument: " + a);
   }
   return opt;
@@ -169,12 +179,20 @@ std::string cli_usage() {
       "  --program           print the compiled static schedule (the layer\n"
       "                      command stream a sequencer would execute)\n"
       "  --csv               per-layer CSV instead of tables\n"
+      "  --jobs N            worker threads for parallel evaluation (sweeps,\n"
+      "                      co-design tuning, multicore); default SQZ_JOBS or\n"
+      "                      hardware concurrency. Results are bit-identical\n"
+      "                      at any job count\n"
       "  --json FILE         write the machine-readable run report (per-layer\n"
       "                      cycles/counts/energy, config provenance; see\n"
       "                      ARCHITECTURE.md \"Observability\")\n"
       "  --trace FILE        write the schedule as a Chrome trace-event file\n"
       "                      (open at ui.perfetto.dev or chrome://tracing;\n"
-      "                      tile-level detail with --timeline)\n";
+      "                      tile-level detail with --timeline)\n"
+      "  --dump-rf-sweep     evaluate the RF {8,16} sweep on the selected\n"
+      "                      model and print the DSE sweep JSON to stdout\n"
+      "                      (regenerates tests/data/rf_sweep_golden.json\n"
+      "                      with --model sqnxt23)\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -185,8 +203,17 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       out << cli_usage();
       return 0;
     }
+    util::ThreadPool::set_global_jobs(opt.jobs);
+
     const nn::Model model = load_model(opt);
     const sim::AcceleratorConfig cfg = build_config(opt);
+
+    if (opt.dump_rf_sweep) {
+      const auto points =
+          evaluate_designs(model, sweep_rf_entries(cfg, {8, 16}));
+      write_design_points_json("rf_entries on " + opt.model, points, out);
+      return 0;
+    }
 
     sched::SimulationOptions sim_opt;
     if (opt.objective == "cycles") sim_opt.objective = sched::Objective::Cycles;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/threadpool.h"
+
 namespace sqz::core {
 
 TuningResult tune_accelerator(const nn::Model& model, const TuningSpace& space,
@@ -10,39 +12,51 @@ TuningResult tune_accelerator(const nn::Model& model, const TuningSpace& space,
                               sched::Objective objective,
                               const energy::UnitEnergies& units) {
   TuningResult result;
-  double best_primary = std::numeric_limits<double>::infinity();
-  double best_secondary = std::numeric_limits<double>::infinity();
-  int best_rf = std::numeric_limits<int>::max();
 
+  // Materialize the (array_n x rf) cross product in sweep order, evaluate
+  // every candidate in parallel into its own slot, then reduce serially in
+  // the original order so the winner and its tie-breaks never depend on
+  // thread scheduling.
   for (int n : space.array_n) {
     for (int rf : space.rf_entries) {
       sim::AcceleratorConfig cfg = base;
       cfg.array_n = n;
       cfg.rf_entries = rf;
-      const sim::NetworkResult net =
-          sched::simulate_network(model, cfg, objective, units);
       TuningCandidate cand;
       cand.config = cfg;
-      cand.cycles = net.total_cycles();
-      cand.energy = energy::network_energy(net, units).total();
       result.candidates.push_back(cand);
+    }
+  }
 
-      const double primary = objective == sched::Objective::Cycles
-                                 ? static_cast<double>(cand.cycles)
-                                 : cand.energy;
-      const double secondary = objective == sched::Objective::Cycles
-                                   ? cand.energy
-                                   : static_cast<double>(cand.cycles);
-      const bool better =
-          primary < best_primary ||
-          (primary == best_primary && secondary < best_secondary) ||
-          (primary == best_primary && secondary == best_secondary && rf < best_rf);
-      if (better) {
-        best_primary = primary;
-        best_secondary = secondary;
-        best_rf = rf;
-        result.best = cfg;
-      }
+  util::ThreadPool::global().parallel_for_index(
+      result.candidates.size(), [&](std::size_t i) {
+        TuningCandidate& cand = result.candidates[i];
+        const sim::NetworkResult net =
+            sched::simulate_network(model, cand.config, objective, units);
+        cand.cycles = net.total_cycles();
+        cand.energy = energy::network_energy(net, units).total();
+      });
+
+  double best_primary = std::numeric_limits<double>::infinity();
+  double best_secondary = std::numeric_limits<double>::infinity();
+  int best_rf = std::numeric_limits<int>::max();
+  for (const TuningCandidate& cand : result.candidates) {
+    const double primary = objective == sched::Objective::Cycles
+                               ? static_cast<double>(cand.cycles)
+                               : cand.energy;
+    const double secondary = objective == sched::Objective::Cycles
+                                 ? cand.energy
+                                 : static_cast<double>(cand.cycles);
+    const int rf = cand.config.rf_entries;
+    const bool better =
+        primary < best_primary ||
+        (primary == best_primary && secondary < best_secondary) ||
+        (primary == best_primary && secondary == best_secondary && rf < best_rf);
+    if (better) {
+      best_primary = primary;
+      best_secondary = secondary;
+      best_rf = rf;
+      result.best = cand.config;
     }
   }
   return result;

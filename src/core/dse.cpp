@@ -6,6 +6,7 @@
 #include "core/report.h"
 #include "util/json.h"
 #include "util/strings.h"
+#include "util/threadpool.h"
 
 namespace sqz::core {
 
@@ -26,18 +27,22 @@ std::vector<DesignPoint> evaluate_designs(
     const nn::Model& model,
     const std::vector<std::pair<std::string, sim::AcceleratorConfig>>& configs,
     sched::Objective objective, const energy::UnitEnergies& units) {
-  std::vector<DesignPoint> points;
-  points.reserve(configs.size());
-  for (const auto& [label, cfg] : configs) {
-    const sim::NetworkResult net = sched::simulate_network(model, cfg, objective, units);
-    DesignPoint p;
-    p.label = label;
-    p.config = cfg;
-    p.cycles = net.total_cycles();
-    p.energy = energy::network_energy(net, units).total();
-    p.utilization = net.utilization();
-    points.push_back(std::move(p));
-  }
+  // Each design point is an independent full-network simulation; fan them
+  // out and write into position-indexed slots so the output (and therefore
+  // Pareto membership and JSON dumps) is byte-identical at any job count.
+  std::vector<DesignPoint> points(configs.size());
+  util::ThreadPool::global().parallel_for_index(
+      configs.size(), [&](std::size_t i) {
+        const auto& [label, cfg] = configs[i];
+        const sim::NetworkResult net =
+            sched::simulate_network(model, cfg, objective, units);
+        DesignPoint& p = points[i];
+        p.label = label;
+        p.config = cfg;
+        p.cycles = net.total_cycles();
+        p.energy = energy::network_energy(net, units).total();
+        p.utilization = net.utilization();
+      });
   return points;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/threadpool.h"
+
 namespace sqz::core {
 
 double MulticoreResult::throughput_ips(double clock_ghz) const noexcept {
@@ -13,11 +15,12 @@ double MulticoreResult::throughput_ips(double clock_ghz) const noexcept {
 
 energy::EnergyBreakdown MulticoreResult::total_energy(
     const energy::UnitEnergies& units) const {
-  energy::EnergyBreakdown per = energy::network_energy(per_core, units);
   // All cores execute the same per-core workload; idle-core slack from a
-  // ragged batch split is already inside per_core (it ran ceil(B/C) images).
+  // ragged batch split is already inside each core's run (ceil(B/C) images).
+  // Summed in core index order so the total is reproducible bit for bit.
   energy::EnergyBreakdown total;
-  for (int c = 0; c < cores; ++c) total += per;
+  for (const sim::NetworkResult& r : core_results)
+    total += energy::network_energy(r, units);
   return total;
 }
 
@@ -39,7 +42,16 @@ MulticoreResult simulate_multicore(const nn::Model& model,
     per_core.dram_bytes_per_cycle = config.dram_bytes_per_cycle / cores;
   per_core.validate();
 
-  r.per_core = sched::simulate_network(model, per_core, objective);
+  // One simulation task per core, fanned out across the evaluation pool.
+  // Cores are identical today (uniform batch split), so every slot holds the
+  // same result regardless of job count; the per-core structure is what a
+  // future heterogeneous split will fill in.
+  r.core_results.resize(static_cast<std::size_t>(cores));
+  util::ThreadPool::global().parallel_for_index(
+      r.core_results.size(), [&](std::size_t c) {
+        r.core_results[c] = sched::simulate_network(model, per_core, objective);
+      });
+  r.per_core = r.core_results.front();
   return r;
 }
 

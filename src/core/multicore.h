@@ -8,6 +8,8 @@
 // scaling: weight traffic multiplies by the core count).
 #pragma once
 
+#include <vector>
+
 #include "energy/model.h"
 #include "nn/model.h"
 #include "sched/network_sim.h"
@@ -20,11 +22,19 @@ struct MulticoreResult {
   int cores = 1;
   int total_batch = 1;
   int per_core_batch = 1;
-  sim::NetworkResult per_core;  ///< One core's run (all cores identical).
+  sim::NetworkResult per_core;  ///< Core 0's run (all cores identical).
 
-  /// Wall-clock cycles for the whole batch (cores run in parallel).
+  /// Every core's simulation, core index order. Cores are evaluated through
+  /// util::ThreadPool (one task per core) into position-indexed slots, so
+  /// the vector is bit-identical at any job count.
+  std::vector<sim::NetworkResult> core_results;
+
+  /// Wall-clock cycles for the whole batch: the slowest core.
   std::int64_t makespan_cycles() const noexcept {
-    return per_core.total_cycles();
+    std::int64_t worst = 0;
+    for (const sim::NetworkResult& r : core_results)
+      worst = worst < r.total_cycles() ? r.total_cycles() : worst;
+    return core_results.empty() ? per_core.total_cycles() : worst;
   }
   /// Images per second at the given clock.
   double throughput_ips(double clock_ghz = 1.0) const noexcept;

@@ -2,9 +2,12 @@
 
 #include <ostream>
 
+#include <thread>
+
 #include "core/config_io.h"
 #include "util/json.h"
 #include "util/strings.h"
+#include "util/threadpool.h"
 
 namespace sqz::core {
 
@@ -95,6 +98,15 @@ void write_json_report(const nn::Model& model, const sim::NetworkResult& result,
   w.begin_object();
   w.member("schema_version", kReportSchemaVersion);
   w.member("generator", "sqzsim");
+
+  // Provenance of the producing process, not of the result: metrics are
+  // bit-identical at any job count, so `jobs` here is purely diagnostic.
+  w.key("provenance");
+  w.begin_object();
+  w.member("jobs", util::ThreadPool::global_jobs());
+  w.member("hardware_concurrency",
+           static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  w.end_object();
 
   w.key("model");
   w.begin_object();

@@ -1,0 +1,160 @@
+#include "util/threadpool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace sqz::util {
+
+namespace {
+
+// Set for the lifetime of a pool worker thread; nested parallel_for_index
+// calls from inside a task detect it and run inline instead of enqueueing
+// (a worker blocking on its own pool's queue could deadlock).
+thread_local bool tl_pool_worker = false;
+
+}  // namespace
+
+// Shared state of one parallel_for_index call. Runners (workers and the
+// caller) pull indices from `next` until exhausted or a failure is recorded.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int pending = 0;  ///< Enqueued runner tasks not yet finished.
+  std::exception_ptr error;
+
+  void run_indices() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || failed.load(std::memory_order_relaxed)) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {
+  workers_.reserve(static_cast<std::size_t>(jobs_ - 1));
+  for (int i = 0; i < jobs_ - 1; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::worker_main() {
+  tl_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_index(std::size_t n,
+                                    const std::function<void(std::size_t)>& fn) {
+  // Inline paths: trivial batches, a one-job pool, or a nested call from a
+  // worker thread. Exceptions propagate naturally.
+  if (n == 0) return;
+  if (jobs_ == 1 || n == 1 || tl_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+
+  // One runner per worker that could usefully participate; the caller is
+  // runner number `runners + 1`.
+  const std::size_t runners =
+      std::min(workers_.size(), n > 1 ? n - 1 : std::size_t{0});
+  batch->pending = static_cast<int>(runners);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t r = 0; r < runners; ++r) {
+      queue_.emplace_back([batch] {
+        batch->run_indices();
+        {
+          std::lock_guard<std::mutex> batch_lock(batch->mu);
+          --batch->pending;
+        }
+        batch->done_cv.notify_one();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  batch->run_indices();
+
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&] { return batch->pending == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+namespace {
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;  // guarded by g_global_mu
+int g_global_override = 0;                  // guarded by g_global_mu; 0 = auto
+
+}  // namespace
+
+int ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("SQZ_JOBS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (!g_global_pool) {
+    const int jobs = g_global_override > 0 ? g_global_override : default_jobs();
+    g_global_pool = std::make_unique<ThreadPool>(jobs);
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_jobs(int jobs) {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  g_global_override = jobs > 0 ? jobs : 0;
+  const int want = g_global_override > 0 ? g_global_override : default_jobs();
+  if (g_global_pool && g_global_pool->jobs() == want) return;
+  g_global_pool.reset();  // next global() call rebuilds at the new size
+}
+
+int ThreadPool::global_jobs() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_pool) return g_global_pool->jobs();
+  return g_global_override > 0 ? g_global_override : default_jobs();
+}
+
+}  // namespace sqz::util

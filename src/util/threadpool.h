@@ -1,0 +1,81 @@
+// Fixed-size task pool for embarrassingly-parallel sweep evaluation.
+//
+// The design-space layers (core/dse, core/codesign, core/multicore, the
+// bench sweep drivers) evaluate many independent design points; this pool
+// lets them fan those evaluations out across threads while keeping results
+// bit-exact: callers write each result into a pre-sized slot indexed by
+// input position, so output ordering never depends on thread scheduling.
+//
+// Deliberately minimal — no work stealing, no futures. One blocking
+// primitive, `parallel_for_index(n, fn)`, runs fn(0..n-1) with the caller
+// thread participating, propagates the first worker exception to the
+// caller, executes inline when the pool has one job (or on nested calls,
+// which also makes nesting deadlock-free).
+//
+// Job-count policy, strongest first: ThreadPool::set_global_jobs (the
+// `--jobs` CLI flag), the SQZ_JOBS environment variable, then
+// std::thread::hardware_concurrency().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqz::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `jobs - 1` worker threads (the caller is the remaining job).
+  /// jobs < 1 is clamped to 1; jobs == 1 means every call runs inline.
+  explicit ThreadPool(int jobs);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int jobs() const noexcept { return jobs_; }
+
+  /// Run fn(i) for every i in [0, n), blocking until all complete. The
+  /// caller thread participates, so jobs=1 (and n<=1) degenerates to a plain
+  /// loop on the caller. Iterations must be independent; for deterministic
+  /// output, fn must write only to state owned by its own index. If any
+  /// iteration throws, the first exception (in completion order) is
+  /// rethrown on the caller after the batch drains; remaining indices are
+  /// abandoned. Nested calls from inside a worker run inline.
+  void parallel_for_index(std::size_t n,
+                          const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool used by the sweep layers. Created on first use with
+  /// set_global_jobs()'s value if one was set, else default_jobs().
+  static ThreadPool& global();
+
+  /// Resize the global pool (the `--jobs` override). jobs <= 0 restores the
+  /// default policy (SQZ_JOBS, then hardware concurrency). Not safe to call
+  /// concurrently with a running parallel_for_index on the global pool.
+  static void set_global_jobs(int jobs);
+
+  /// Job count the global pool has (or would be created with).
+  static int global_jobs();
+
+  /// SQZ_JOBS environment override if set to a positive integer, else
+  /// std::thread::hardware_concurrency() (at least 1).
+  static int default_jobs();
+
+ private:
+  struct Batch;
+
+  void worker_main();
+
+  const int jobs_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace sqz::util

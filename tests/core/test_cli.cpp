@@ -221,6 +221,39 @@ TEST(Cli, JsonAndTraceWithTimelineMode) {
   EXPECT_TRUE(has_tile_events);
 }
 
+TEST(Cli, JobsFlagDoesNotChangeOutput) {
+  const CliRun serial = run({"--model", "squeezenet11", "--per-layer", "--jobs", "1"});
+  const CliRun parallel = run({"--model", "squeezenet11", "--per-layer", "--jobs", "8"});
+  EXPECT_EQ(serial.code, 0);
+  EXPECT_EQ(parallel.code, 0);
+  EXPECT_EQ(serial.out, parallel.out);
+}
+
+TEST(Cli, JobsFlagRejectsNonPositive) {
+  const CliRun r = run({"--jobs", "0"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("--jobs"), std::string::npos);
+}
+
+TEST(Cli, JsonReportRecordsJobsProvenance) {
+  const std::string path = ::testing::TempDir() + "/cli_report_jobs.json";
+  const CliRun r = run({"--model", "squeezenet11", "--jobs", "3", "--json", path});
+  ASSERT_EQ(r.code, 0);
+  const test::JsonValue report = test::parse_json(slurp(path));
+  EXPECT_EQ(report.at("provenance").at("jobs").as_int(), 3);
+  EXPECT_GE(report.at("provenance").at("hardware_concurrency").as_int(), 0);
+}
+
+TEST(Cli, DumpRfSweepEmitsSweepJson) {
+  const CliRun r = run({"--model", "sqnxt23", "--dump-rf-sweep"});
+  ASSERT_EQ(r.code, 0);
+  const test::JsonValue doc = test::parse_json(r.out);
+  EXPECT_EQ(doc.at("sweep").as_string(), "rf_entries on sqnxt23");
+  ASSERT_EQ(doc.at("points").items.size(), 2u);
+  EXPECT_EQ(doc.at("points").at(std::size_t{0}).at("config").at("rf_entries").as_int(), 8);
+  EXPECT_EQ(doc.at("points").at(std::size_t{1}).at("config").at("rf_entries").as_int(), 16);
+}
+
 TEST(Cli, UnwritableJsonPathFails) {
   const CliRun r = run({"--json", "/nonexistent-dir/report.json"});
   EXPECT_EQ(r.code, 1);

@@ -87,6 +87,36 @@ TEST(Dse, ParetoHandlesDuplicates) {
   EXPECT_EQ(pareto_front(pts).size(), 2u);  // equal points don't dominate
 }
 
+TEST(Dse, ParetoKeepsEveryDuplicateOfAFrontPoint) {
+  // Pin the tie rule the parallel writer relies on: duplicate
+  // (cycles, energy) points are all kept (domination requires strict
+  // improvement on one axis), so front membership is a function of the
+  // point multiset alone and can never depend on evaluation order.
+  std::vector<DesignPoint> pts(5);
+  pts[0].label = "dup0"; pts[0].cycles = 50;  pts[0].energy = 50;
+  pts[1].label = "loser"; pts[1].cycles = 90; pts[1].energy = 90;  // dominated
+  pts[2].label = "dup1"; pts[2].cycles = 50;  pts[2].energy = 50;
+  pts[3].label = "dup2"; pts[3].cycles = 50;  pts[3].energy = 50;
+  pts[4].label = "other"; pts[4].cycles = 40;  pts[4].energy = 60;  // on front
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 4u);
+  // All three duplicates survive, in input order, alongside the other member.
+  EXPECT_EQ(front[0].label, "dup0");
+  EXPECT_EQ(front[1].label, "dup1");
+  EXPECT_EQ(front[2].label, "dup2");
+  EXPECT_EQ(front[3].label, "other");
+}
+
+TEST(Dse, ParetoExcludesEveryDuplicateOfADominatedPoint) {
+  std::vector<DesignPoint> pts(3);
+  pts[0].label = "bad0"; pts[0].cycles = 100; pts[0].energy = 100;
+  pts[1].label = "best"; pts[1].cycles = 10;  pts[1].energy = 10;
+  pts[2].label = "bad1"; pts[2].cycles = 100; pts[2].energy = 100;
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].label, "best");
+}
+
 TEST(Dse, ParetoOfRealSweepNonEmpty) {
   const nn::Model m = nn::zoo::squeezenet_v11();
   const auto points = evaluate_designs(

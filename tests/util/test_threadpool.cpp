@@ -1,0 +1,139 @@
+#include "util/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace sqz::util {
+namespace {
+
+TEST(ThreadPool, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.parallel_for_index(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SingleTaskRuns) {
+  ThreadPool pool(4);
+  int value = 0;
+  pool.parallel_for_index(1, [&](std::size_t i) { value = static_cast<int>(i) + 41; });
+  EXPECT_EQ(value, 41);
+}
+
+TEST(ThreadPool, FewerTasksThanJobsCoversEveryIndexOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for_index(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanJobsCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_index(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, SlotWritesByIndexAreOrdered) {
+  // The determinism contract the sweep layer relies on: writing results
+  // into position-indexed slots yields the serial output at any job count.
+  ThreadPool pool(8);
+  std::vector<int> out(512, -1);
+  pool.parallel_for_index(out.size(), [&](std::size_t i) {
+    out[i] = static_cast<int>(i) * 3;
+  });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(ThreadPool, WorkerExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_index(100,
+                              [&](std::size_t i) {
+                                if (i == 57) throw std::runtime_error("boom 57");
+                              }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionMessagePreserved) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for_index(8, [&](std::size_t) {
+      throw std::runtime_error("sweep failed");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "sweep failed");
+  }
+}
+
+TEST(ThreadPool, PoolStaysUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_index(
+                   16, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.parallel_for_index(16, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 120);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16);
+  pool.parallel_for_index(4, [&](std::size_t outer) {
+    pool.parallel_for_index(4, [&](std::size_t inner) {
+      hits[outer * 4 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, JobsOneExecutesInlineOnTheCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(32);
+  pool.parallel_for_index(ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, JobsClampedToAtLeastOne) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.jobs(), 1);
+  int runs = 0;
+  pool.parallel_for_index(5, [&](std::size_t) { ++runs; });
+  EXPECT_EQ(runs, 5);
+}
+
+TEST(ThreadPool, DefaultJobsHonoursSqzJobsEnv) {
+  ASSERT_EQ(setenv("SQZ_JOBS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::default_jobs(), 3);
+  ASSERT_EQ(setenv("SQZ_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::default_jobs(), 1);  // falls back to hardware
+  ASSERT_EQ(unsetenv("SQZ_JOBS"), 0);
+  EXPECT_GE(ThreadPool::default_jobs(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolResizesOnSetGlobalJobs) {
+  ThreadPool::set_global_jobs(2);
+  EXPECT_EQ(ThreadPool::global_jobs(), 2);
+  EXPECT_EQ(ThreadPool::global().jobs(), 2);
+  ThreadPool::set_global_jobs(5);
+  EXPECT_EQ(ThreadPool::global().jobs(), 5);
+  ThreadPool::set_global_jobs(0);  // back to the default policy
+  EXPECT_EQ(ThreadPool::global_jobs(), ThreadPool::default_jobs());
+}
+
+}  // namespace
+}  // namespace sqz::util
