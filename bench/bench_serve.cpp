@@ -1,0 +1,78 @@
+// google-benchmark micro-benchmarks of the serving layer: request
+// canonicalization cost (what a cache hit pays), the content-addressed
+// cache itself, and the HTTP message grammar. These bound the daemon's
+// per-request overhead against the milliseconds a simulation costs.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "serve/api.h"
+#include "serve/http.h"
+#include "serve/simcache.h"
+
+namespace {
+
+using namespace sqz;
+
+const std::string kSimulateBody =
+    R"({"model":"squeezenet11","config":{"rf_entries":8},)"
+    R"("options":{"objective":"cycles"}})";
+
+void BM_ParseAndCanonicalizeRequest(benchmark::State& state) {
+  for (auto _ : state) {
+    const serve::SimulateRequest req =
+        serve::parse_simulate_request(kSimulateBody);
+    benchmark::DoNotOptimize(serve::canonical_key(req).size());
+  }
+}
+BENCHMARK(BM_ParseAndCanonicalizeRequest);
+
+void BM_Fnv1aHash(benchmark::State& state) {
+  const std::string key(static_cast<std::size_t>(state.range(0)), 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::SimCache::fnv1a(key));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Fnv1aHash)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_SimCacheHit(benchmark::State& state) {
+  serve::SimCache cache(1024);
+  const std::string key(256, 'k');
+  cache.put(key, std::string(16384, 'v'));  // a typical report's size class
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.get(key)->size());
+  }
+}
+BENCHMARK(BM_SimCacheHit);
+
+void BM_SimCachePutEvicting(benchmark::State& state) {
+  serve::SimCache cache(64);  // every put beyond 64 evicts
+  const std::string value(16384, 'v');
+  std::size_t n = 0;
+  for (auto _ : state) {
+    cache.put("key-" + std::to_string(n++), value);
+  }
+}
+BENCHMARK(BM_SimCachePutEvicting);
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  serve::HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/simulate";
+  req.headers.emplace_back("Content-Type", "application/json");
+  req.body = kSimulateBody;
+  const std::string wire = req.serialize();
+  for (auto _ : state) {
+    serve::HttpRequest out;
+    std::size_t consumed = 0;
+    benchmark::DoNotOptimize(
+        serve::parse_http_request(wire, out, consumed, nullptr));
+  }
+}
+BENCHMARK(BM_HttpParseRequest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -15,7 +15,9 @@
 #include "nn/serialize.h"
 #include "nn/zoo/zoo.h"
 #include "sched/network_sim.h"
+#include "serve/http.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/threadpool.h"
 
@@ -43,6 +45,7 @@ struct CliOptions {
   bool help = false;
   bool dump_rf_sweep = false;  ///< --dump-rf-sweep: sweep JSON to stdout.
   int jobs = 0;            ///< --jobs: 0 = SQZ_JOBS / hardware concurrency.
+  std::string connect;     ///< --connect host:port: run on a sqzserved daemon.
   std::string json_path;   ///< --json: machine-readable run report.
   std::string trace_path;  ///< --trace: Chrome trace-event schedule.
 };
@@ -56,17 +59,7 @@ nn::Model load_model(const CliOptions& opt) {
     text << in.rdbuf();
     return nn::parse_model(text.str());
   }
-  using namespace nn::zoo;
-  if (opt.model == "alexnet") return alexnet();
-  if (opt.model == "mobilenet") return mobilenet();
-  if (opt.model == "tinydarknet") return tiny_darknet();
-  if (opt.model == "squeezenet10") return squeezenet_v10();
-  if (opt.model == "squeezenet11") return squeezenet_v11();
-  if (opt.model == "sqnxt" || opt.model == "sqnxt23") return squeezenext();
-  throw std::invalid_argument(
-      "unknown model '" + opt.model +
-      "' (alexnet mobilenet tinydarknet squeezenet10 squeezenet11 sqnxt, or "
-      "--model-file)");
+  return zoo_model_by_name(opt.model);
 }
 
 CliOptions parse_args(const std::vector<std::string>& args) {
@@ -95,11 +88,9 @@ CliOptions parse_args(const std::vector<std::string>& args) {
     else if (a == "--fuse") opt.fuse = true;
     else if (a == "--program") opt.program = true;
     else if (a == "--csv") opt.csv = true;
-    else if (a == "--jobs") {
-      opt.jobs = std::stoi(value_of(i));
-      if (opt.jobs < 1)
-        throw std::invalid_argument("--jobs must be a positive integer");
-    }
+    else if (a == "--jobs")
+      opt.jobs = util::ThreadPool::parse_jobs(value_of(i), "--jobs");
+    else if (a == "--connect") opt.connect = value_of(i);
     else if (a == "--json") opt.json_path = value_of(i);
     else if (a == "--trace") opt.trace_path = value_of(i);
     else if (a == "--dump-rf-sweep") opt.dump_rf_sweep = true;
@@ -136,6 +127,93 @@ sim::AcceleratorConfig build_config(const CliOptions& opt) {
   return cfg;
 }
 
+// --connect: post the run to a sqzserved daemon (serve/server.h) instead of
+// simulating locally. The daemon executes the same core paths, so the JSON
+// it returns is byte-identical to what a local `--json` run writes.
+int run_remote(const CliOptions& opt, std::ostream& out, std::ostream& err) {
+  const char* local_only = nullptr;
+  if (opt.per_layer) local_only = "--per-layer";
+  else if (opt.compare) local_only = "--compare";
+  else if (opt.csv) local_only = "--csv";
+  else if (opt.program) local_only = "--program";
+  else if (!opt.trace_path.empty()) local_only = "--trace";
+  if (local_only)
+    throw std::invalid_argument(
+        std::string(local_only) +
+        " is local-only; with --connect the daemon returns the JSON report");
+
+  const std::size_t colon = opt.connect.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == opt.connect.size())
+    throw std::invalid_argument("--connect expects host:port, got '" +
+                                opt.connect + "'");
+  const std::string host = opt.connect.substr(0, colon);
+  const int port =
+      util::ThreadPool::parse_jobs(opt.connect.substr(colon + 1), "--connect port");
+  if (port > 65535)
+    throw std::invalid_argument("--connect port must be in [1, 65535]");
+
+  if (opt.objective != "cycles" && opt.objective != "energy")
+    throw std::invalid_argument("--objective must be cycles|energy");
+  const sim::AcceleratorConfig cfg = build_config(opt);
+
+  std::ostringstream body;
+  util::JsonWriter w(body, /*indent=*/0);
+  w.begin_object();
+  if (!opt.model_file.empty()) {
+    std::ifstream in(opt.model_file);
+    if (!in)
+      throw std::invalid_argument("cannot open model file: " + opt.model_file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    w.member("model_text", text.str());
+  } else {
+    w.member("model", opt.model);
+  }
+  w.member("config_ini", config_to_ini(cfg));
+  if (opt.dump_rf_sweep) {
+    // Mirrors the local path: the RF {8,16} sweep at the default objective.
+    w.key("sweep");
+    w.begin_object();
+    w.member("knob", "rf_entries");
+    w.key("values");
+    w.begin_array();
+    w.value(8);
+    w.value(16);
+    w.end_array();
+    w.end_object();
+  } else {
+    w.key("options");
+    w.begin_object();
+    w.member("objective", opt.objective);
+    w.member("timeline", opt.timeline || opt.tile_search);
+    w.member("tile_search", opt.tile_search);
+    w.member("fuse", opt.fuse);
+    w.end_object();
+  }
+  w.end_object();
+
+  serve::HttpRequest req;
+  req.method = "POST";
+  req.target = opt.dump_rf_sweep ? "/v1/sweep" : "/v1/simulate";
+  req.headers.emplace_back("Content-Type", "application/json");
+  req.body = body.str();
+  const serve::HttpResponse resp = serve::http_fetch(host, port, std::move(req));
+  if (resp.status != 200) {
+    err << "sqzsim: daemon returned " << resp.status << " " << resp.reason
+        << ": " << resp.body;
+    return 1;
+  }
+  if (!opt.json_path.empty() && !opt.dump_rf_sweep) {
+    std::ofstream f(opt.json_path);
+    if (!f)
+      throw std::invalid_argument("cannot open --json output: " + opt.json_path);
+    f << resp.body;
+  } else {
+    out << resp.body;
+  }
+  return 0;
+}
+
 void emit_csv(const nn::Model& model, const sim::NetworkResult& r,
               std::ostream& out) {
   util::CsvWriter csv(out);
@@ -153,6 +231,20 @@ void emit_csv(const nn::Model& model, const sim::NetworkResult& r,
 }
 
 }  // namespace
+
+nn::Model zoo_model_by_name(const std::string& name) {
+  using namespace nn::zoo;
+  if (name == "alexnet") return alexnet();
+  if (name == "mobilenet") return mobilenet();
+  if (name == "tinydarknet") return tiny_darknet();
+  if (name == "squeezenet10") return squeezenet_v10();
+  if (name == "squeezenet11") return squeezenet_v11();
+  if (name == "sqnxt" || name == "sqnxt23") return squeezenext();
+  throw std::invalid_argument(
+      "unknown model '" + name +
+      "' (alexnet mobilenet tinydarknet squeezenet10 squeezenet11 sqnxt, or "
+      "--model-file)");
+}
 
 std::string cli_usage() {
   return
@@ -192,7 +284,12 @@ std::string cli_usage() {
       "  --dump-rf-sweep     evaluate the RF {8,16} sweep on the selected\n"
       "                      model and print the DSE sweep JSON to stdout\n"
       "                      (regenerates tests/data/rf_sweep_golden.json\n"
-      "                      with --model sqnxt23)\n";
+      "                      with --model sqnxt23)\n"
+      "  --connect HOST:PORT run on a sqzserved daemon instead of locally;\n"
+      "                      prints the daemon's JSON report (or sweep JSON\n"
+      "                      with --dump-rf-sweep), byte-identical to a local\n"
+      "                      --json run. Table flags (--per-layer, --compare,\n"
+      "                      --csv, --program, --trace) are local-only\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -204,6 +301,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
       return 0;
     }
     util::ThreadPool::set_global_jobs(opt.jobs);
+
+    if (!opt.connect.empty()) return run_remote(opt, out, err);
 
     const nn::Model model = load_model(opt);
     const sim::AcceleratorConfig cfg = build_config(opt);

@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "nn/model.h"
+
 namespace sqz::core {
 
 /// Run the CLI. Returns a process exit code (0 on success); all output goes
@@ -21,5 +23,11 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
 
 /// The usage text printed on --help or argument errors.
 std::string cli_usage();
+
+/// Look up a zoo network by its CLI name (alexnet, mobilenet, tinydarknet,
+/// squeezenet10, squeezenet11, sqnxt/sqnxt23). Shared by the CLI and the
+/// serving layer so both resolve names identically; throws
+/// std::invalid_argument on an unknown name.
+nn::Model zoo_model_by_name(const std::string& name);
 
 }  // namespace sqz::core

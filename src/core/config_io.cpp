@@ -39,9 +39,15 @@ sim::AcceleratorConfig config_from_ini(const util::IniFile& ini,
   const auto known = {
       "array_n", "rf_entries", "gb_kib", "preload_width", "drain_width",
       "weight_reserve_words", "psum_accum_words", "simd_lanes",
-      "dram_latency", "dram_bytes_per_cycle", "data_bytes", "weight_sparsity",
-      "os_zero_skip", "ws_psums_in_gb", "support"};
-  (void)known;
+      "dram_latency", "dram_bytes_per_cycle", "batch", "data_bytes",
+      "weight_sparsity", "os_zero_skip", "ws_psums_in_gb", "support"};
+  for (const std::string& key : ini.keys(section)) {
+    bool ok = false;
+    for (const char* k : known) ok |= key == k;
+    if (!ok)
+      throw std::invalid_argument("config: unknown key '" + key +
+                                  "' in [" + section + "]");
+  }
 
   if (auto v = ini.get_int(section, "array_n")) c.array_n = static_cast<int>(*v);
   if (auto v = ini.get_int(section, "rf_entries"))
@@ -61,6 +67,7 @@ sim::AcceleratorConfig config_from_ini(const util::IniFile& ini,
     c.dram_latency_cycles = static_cast<int>(*v);
   if (auto v = ini.get_double(section, "dram_bytes_per_cycle"))
     c.dram_bytes_per_cycle = *v;
+  if (auto v = ini.get_int(section, "batch")) c.batch = static_cast<int>(*v);
   if (auto v = ini.get_int(section, "data_bytes"))
     c.data_bytes = static_cast<int>(*v);
   if (auto v = ini.get_double(section, "weight_sparsity")) c.weight_sparsity = *v;
@@ -86,6 +93,7 @@ std::string config_to_ini(const sim::AcceleratorConfig& config) {
   ini.set(s, "dram_latency", std::to_string(config.dram_latency_cycles));
   ini.set(s, "dram_bytes_per_cycle",
           util::format("%g", config.dram_bytes_per_cycle));
+  ini.set(s, "batch", std::to_string(config.batch));
   ini.set(s, "data_bytes", std::to_string(config.data_bytes));
   ini.set(s, "weight_sparsity", util::format("%g", config.weight_sparsity));
   ini.set(s, "os_zero_skip", config.os_zero_skip ? "true" : "false");

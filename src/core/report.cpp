@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <ostream>
+#include <sstream>
 
 #include <thread>
 
@@ -173,6 +174,14 @@ void write_json_report(const nn::Model& model, const sim::NetworkResult& result,
 
   w.end_object();
   out << "\n";
+}
+
+std::string json_report_string(const nn::Model& model,
+                               const sim::NetworkResult& result,
+                               const energy::UnitEnergies& units) {
+  std::ostringstream os;
+  write_json_report(model, result, units, os);
+  return os.str();
 }
 
 }  // namespace sqz::core

@@ -52,4 +52,10 @@ inline constexpr int kReportSchemaVersion = 1;
 void write_json_report(const nn::Model& model, const sim::NetworkResult& result,
                        const energy::UnitEnergies& units, std::ostream& out);
 
+/// write_json_report into a string — the serving layer's response body and
+/// cache value. Byte-identical to what `sqzsim --json` writes to its file.
+std::string json_report_string(const nn::Model& model,
+                               const sim::NetworkResult& result,
+                               const energy::UnitEnergies& units);
+
 }  // namespace sqz::core

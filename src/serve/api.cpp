@@ -1,0 +1,317 @@
+#include "serve/api.h"
+
+#include <functional>
+#include <sstream>
+
+#include "core/cli.h"
+#include "core/config_io.h"
+#include "core/dse.h"
+#include "core/report.h"
+#include "nn/serialize.h"
+#include "util/ini.h"
+#include "util/json.h"
+#include "util/json_parse.h"
+
+namespace sqz::serve {
+
+namespace {
+
+using util::JsonValue;
+
+[[noreturn]] void bad_request(const std::string& why) {
+  throw ApiError(400, why);
+}
+
+const JsonValue* member(const JsonValue& obj, const std::string& key) {
+  for (const auto& [k, v] : obj.members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+JsonValue parse_body(const std::string& body) {
+  JsonValue doc;
+  try {
+    doc = util::parse_json(body);
+  } catch (const std::exception& e) {
+    bad_request(std::string("request body is not valid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) bad_request("request body must be a JSON object");
+  return doc;
+}
+
+void reject_unknown_members(const JsonValue& obj,
+                            std::initializer_list<const char*> known,
+                            const std::string& where) {
+  for (const auto& [k, v] : obj.members) {
+    bool ok = false;
+    for (const char* allowed : known) ok |= k == allowed;
+    if (!ok) bad_request("unknown field '" + k + "' in " + where);
+  }
+}
+
+nn::Model parse_model_field(const JsonValue& doc, std::string& label) {
+  const JsonValue* name = member(doc, "model");
+  const JsonValue* text = member(doc, "model_text");
+  if (name && text) bad_request("give either 'model' or 'model_text', not both");
+  try {
+    if (text) {
+      label = "custom";
+      return nn::parse_model(text->as_string());
+    }
+    if (name) {
+      label = name->as_string();
+      return core::zoo_model_by_name(label);
+    }
+  } catch (const ApiError&) {
+    throw;
+  } catch (const std::exception& e) {
+    bad_request(e.what());
+  }
+  bad_request("request needs a 'model' (zoo name) or 'model_text'");
+}
+
+// The "config" object reuses core/config_io's INI path: each member becomes
+// an INI key, so knob validation, unknown-key rejection, and defaults are
+// exactly the CLI's. Numbers keep their original token for lossless
+// int/double handling.
+sim::AcceleratorConfig parse_config_field(const JsonValue& doc) {
+  const JsonValue* obj = member(doc, "config");
+  const JsonValue* ini_text = member(doc, "config_ini");
+  if (obj && ini_text)
+    bad_request("give either 'config' or 'config_ini', not both");
+  try {
+    if (ini_text)
+      return core::config_from_ini(util::IniFile::parse(ini_text->as_string()));
+    if (obj) {
+      if (!obj->is_object()) bad_request("'config' must be an object");
+      util::IniFile ini;
+      for (const auto& [k, v] : obj->members) {
+        switch (v.type) {
+          case JsonValue::Type::Number: ini.set("", k, v.raw_number); break;
+          case JsonValue::Type::String: ini.set("", k, v.text); break;
+          case JsonValue::Type::Bool:
+            ini.set("", k, v.boolean ? "true" : "false");
+            break;
+          default:
+            bad_request("config." + k + " must be a number, string, or bool");
+        }
+      }
+      return core::config_from_ini(ini);
+    }
+    return sim::AcceleratorConfig::squeezelerator();
+  } catch (const ApiError&) {
+    throw;
+  } catch (const std::exception& e) {
+    bad_request(e.what());
+  }
+}
+
+sched::SimulationOptions parse_options_field(const JsonValue& doc) {
+  sched::SimulationOptions opt;
+  const JsonValue* o = member(doc, "options");
+  if (!o) return opt;
+  if (!o->is_object()) bad_request("'options' must be an object");
+  reject_unknown_members(
+      *o, {"objective", "timeline", "double_buffered", "tile_search", "fuse"},
+      "options");
+  try {
+    if (const JsonValue* v = member(*o, "objective")) {
+      if (v->as_string() == "cycles") opt.objective = sched::Objective::Cycles;
+      else if (v->as_string() == "energy")
+        opt.objective = sched::Objective::Energy;
+      else bad_request("options.objective must be cycles|energy");
+    }
+    if (const JsonValue* v = member(*o, "timeline"))
+      opt.tile_timeline = v->as_bool();
+    if (const JsonValue* v = member(*o, "double_buffered"))
+      opt.double_buffered = v->as_bool();
+    if (const JsonValue* v = member(*o, "tile_search")) {
+      opt.tile_search = v->as_bool();
+      if (opt.tile_search) opt.tile_timeline = true;  // as the CLI implies
+    }
+    if (const JsonValue* v = member(*o, "fuse"))
+      opt.fuse_pool_drain = v->as_bool();
+  } catch (const ApiError&) {
+    throw;
+  } catch (const std::exception& e) {
+    bad_request(std::string("options: ") + e.what());
+  }
+  return opt;
+}
+
+void options_to_canonical_json(const sched::SimulationOptions& opt,
+                               util::JsonWriter& w) {
+  w.key("options");
+  w.begin_object();
+  w.member("objective",
+           opt.objective == sched::Objective::Energy ? "energy" : "cycles");
+  w.member("timeline", opt.tile_timeline);
+  w.member("double_buffered", opt.double_buffered);
+  w.member("tile_search", opt.tile_search);
+  w.member("fuse", opt.fuse_pool_drain);
+  w.end_object();
+}
+
+// nn::Model has no default constructor, so requests are assembled through
+// aggregate initialization once every part has parsed.
+SimulateRequest parse_simulate_fields(const JsonValue& doc) {
+  std::string label;
+  nn::Model model = parse_model_field(doc, label);
+  return SimulateRequest{std::move(model), std::move(label),
+                         parse_config_field(doc), parse_options_field(doc)};
+}
+
+}  // namespace
+
+SimulateRequest parse_simulate_request(const std::string& body) {
+  const JsonValue doc = parse_body(body);
+  reject_unknown_members(
+      doc, {"model", "model_text", "config", "config_ini", "options"},
+      "request");
+  return parse_simulate_fields(doc);
+}
+
+SweepRequest parse_sweep_request(const std::string& body) {
+  const JsonValue doc = parse_body(body);
+  reject_unknown_members(
+      doc, {"model", "model_text", "config", "config_ini", "options", "sweep"},
+      "request");
+  SweepRequest req{parse_simulate_fields(doc), /*knob=*/"", /*values=*/{}};
+
+  const JsonValue* sweep = member(doc, "sweep");
+  if (!sweep || !sweep->is_object())
+    bad_request("sweep request needs a 'sweep' object");
+  reject_unknown_members(*sweep, {"knob", "values"}, "sweep");
+  const JsonValue* knob = member(*sweep, "knob");
+  const JsonValue* values = member(*sweep, "values");
+  if (!knob || !values) bad_request("'sweep' needs 'knob' and 'values'");
+  try {
+    req.knob = knob->as_string();
+  } catch (const std::exception&) {
+    bad_request("sweep.knob must be a string");
+  }
+  if (req.knob != "rf_entries" && req.knob != "array_n" &&
+      req.knob != "sparsity" && req.knob != "dram_bytes_per_cycle")
+    bad_request("sweep.knob must be one of rf_entries|array_n|sparsity|"
+                "dram_bytes_per_cycle, got '" + req.knob + "'");
+  if (!values->is_array() || values->items.empty())
+    bad_request("sweep.values must be a non-empty array of numbers");
+  if (values->items.size() > 4096)
+    bad_request("sweep.values is limited to 4096 points");
+  for (const JsonValue& v : values->items) {
+    if (!v.is_number()) bad_request("sweep.values must be numbers");
+    req.values.push_back(v.number);
+  }
+  return req;
+}
+
+namespace {
+
+std::vector<int> integral_values(const SweepRequest& req) {
+  std::vector<int> out;
+  for (const double v : req.values) {
+    const int i = static_cast<int>(v);
+    if (static_cast<double>(i) != v)
+      bad_request("sweep.values for " + req.knob + " must be integers");
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> build_sweep(
+    const SweepRequest& req) {
+  if (req.knob == "rf_entries")
+    return core::sweep_rf_entries(req.base.config, integral_values(req));
+  if (req.knob == "array_n")
+    return core::sweep_array_n(req.base.config, integral_values(req));
+  if (req.knob == "sparsity")
+    return core::sweep_sparsity(req.base.config, req.values);
+  return core::sweep_dram_bandwidth(req.base.config, req.values);
+}
+
+}  // namespace
+
+std::string canonical_key(const SimulateRequest& req) {
+  std::ostringstream os;
+  util::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.member("op", "simulate");
+  w.member("model", nn::serialize_model(req.model));
+  w.member("config", core::config_to_ini(req.config));
+  options_to_canonical_json(req.options, w);
+  w.end_object();
+  return os.str();
+}
+
+std::string canonical_key(const SweepRequest& req) {
+  std::ostringstream os;
+  util::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.member("op", "sweep");
+  // The sweep label is embedded in the response's "sweep" name, so two
+  // spellings of the same network must not share response bytes.
+  w.member("label", req.base.model_label);
+  w.member("model", nn::serialize_model(req.base.model));
+  w.member("config", core::config_to_ini(req.base.config));
+  options_to_canonical_json(req.base.options, w);
+  w.member("knob", req.knob);
+  w.key("values");
+  w.begin_array();
+  for (const double v : req.values) w.value(v);
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+std::string run_simulate(const SimulateRequest& req) {
+  try {
+    const sim::NetworkResult result =
+        sched::simulate_network(req.model, req.config, req.options);
+    return core::json_report_string(req.model, result, req.options.units);
+  } catch (const std::exception& e) {
+    bad_request(e.what());
+  }
+}
+
+std::string run_sweep(const SweepRequest& req) {
+  try {
+    const auto points = core::evaluate_designs(
+        req.base.model, build_sweep(req), req.base.options.objective,
+        req.base.options.units);
+    std::ostringstream os;
+    core::write_design_points_json(req.knob + " on " + req.base.model_label,
+                                   points, os);
+    return os.str();
+  } catch (const ApiError&) {
+    throw;
+  } catch (const std::exception& e) {
+    bad_request(e.what());
+  }
+}
+
+namespace {
+
+SimService::Result serve_cached(SimCache* cache, const std::string& key,
+                                const std::function<std::string()>& execute) {
+  if (!cache) return {execute(), false};
+  if (auto hit = cache->get(key)) return {*hit, true};
+  SimService::Result r{execute(), false};
+  cache->put(key, r.body);
+  return r;
+}
+
+}  // namespace
+
+SimService::Result SimService::simulate(const std::string& request_body) {
+  const SimulateRequest req = parse_simulate_request(request_body);
+  return serve_cached(cache_, canonical_key(req),
+                      [&] { return run_simulate(req); });
+}
+
+SimService::Result SimService::sweep(const std::string& request_body) {
+  const SweepRequest req = parse_sweep_request(request_body);
+  return serve_cached(cache_, canonical_key(req),
+                      [&] { return run_sweep(req); });
+}
+
+}  // namespace sqz::serve

@@ -1,0 +1,100 @@
+// The simulation service API: JSON request bodies -> core simulation ->
+// the exact JSON documents the CLI emits (`sqzsim --json` for
+// POST /v1/simulate, `sqzsim --dump-rf-sweep`-style DSE dumps for
+// POST /v1/sweep). Responses are byte-identical to local runs by
+// construction: both paths call the same core/report and core/dse writers.
+//
+// Request schema (POST /v1/simulate):
+//   {
+//     "model":      "sqnxt23",          // zoo name (core/cli.h spelling), or
+//     "model_text": "model ...",        // inline nn/serialize.h description
+//     "config":     {"rf_entries": 8},  // knobs over the Squeezelerator base
+//     "config_ini": "[accelerator]...", //   ...or a full core/config_io INI
+//     "options": {"objective": "cycles", "timeline": false,
+//                 "double_buffered": true, "tile_search": false,
+//                 "fuse": false}
+//   }
+// Every field is optional except one of model/model_text. POST /v1/sweep
+// adds {"sweep": {"knob": "rf_entries", "values": [8, 16]}}; knobs:
+// rf_entries, array_n, sparsity, dram_bytes_per_cycle.
+//
+// Cache-key canonicalization: requests are reduced to a compact JSON string
+// with a fixed field order in which the model is the *serialized model
+// text* (so a zoo name and its inline equivalent collide), the config is
+// the config_to_ini rendering (full field set, sorted keys), and options
+// carry their defaults explicitly. The SimCache keys on the FNV-1a hash of
+// that string. Unit energies are not part of the key (the API does not
+// expose them). The sweep key additionally carries the verbatim model
+// label, which is embedded in the response's "sweep" name.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "sched/network_sim.h"
+#include "serve/simcache.h"
+#include "sim/config.h"
+
+namespace sqz::serve {
+
+/// Request-handling failure with the HTTP status it should map to.
+class ApiError : public std::runtime_error {
+ public:
+  ApiError(int status, const std::string& message)
+      : std::runtime_error(message), status_(status) {}
+  int status() const noexcept { return status_; }
+
+ private:
+  int status_;
+};
+
+/// A validated /v1/simulate request.
+struct SimulateRequest {
+  nn::Model model;
+  std::string model_label;  ///< Verbatim "model" field, or "custom".
+  sim::AcceleratorConfig config;
+  sched::SimulationOptions options;
+};
+
+/// A validated /v1/sweep request.
+struct SweepRequest {
+  SimulateRequest base;
+  std::string knob;
+  std::vector<double> values;
+};
+
+/// Parse and validate request bodies. Throw ApiError(400) with a
+/// client-readable message on any violation (bad JSON, unknown model,
+/// unknown config key, invalid knob value, ...).
+SimulateRequest parse_simulate_request(const std::string& body);
+SweepRequest parse_sweep_request(const std::string& body);
+
+/// The canonical cache-key strings defined above.
+std::string canonical_key(const SimulateRequest& req);
+std::string canonical_key(const SweepRequest& req);
+
+/// Stateless executors: run the simulation and render the response body.
+std::string run_simulate(const SimulateRequest& req);
+std::string run_sweep(const SweepRequest& req);
+
+/// The cached service: parse -> canonicalize -> cache lookup -> execute.
+class SimService {
+ public:
+  struct Result {
+    std::string body;
+    bool cache_hit = false;
+  };
+
+  /// `cache` may be null to serve uncached.
+  explicit SimService(SimCache* cache) : cache_(cache) {}
+
+  Result simulate(const std::string& request_body);
+  Result sweep(const std::string& request_body);
+
+ private:
+  SimCache* cache_;
+};
+
+}  // namespace sqz::serve

@@ -1,0 +1,326 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace sqz::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 64 * 1024 * 1024;
+
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  return true;
+}
+
+const std::string* find_header(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [k, v] : headers)
+    if (iequals(k, name)) return &v;
+  return nullptr;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+// Parse the header block starting after the start line. Returns NeedMore
+// until the blank line arrives, then leaves `pos` at the first body byte.
+ParseStatus parse_headers(
+    const std::string& buffer, std::size_t& pos,
+    std::vector<std::pair<std::string, std::string>>& headers,
+    std::string* error) {
+  for (;;) {
+    const std::size_t eol = buffer.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      if (buffer.size() - pos > kMaxHeaderBytes) {
+        if (error) *error = "header block too large";
+        return ParseStatus::Error;
+      }
+      return ParseStatus::NeedMore;
+    }
+    if (eol == pos) {  // blank line: end of headers
+      pos = eol + 2;
+      return ParseStatus::Ok;
+    }
+    const std::string line = buffer.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      if (error) *error = "malformed header line: " + line;
+      return ParseStatus::Error;
+    }
+    headers.emplace_back(trim(line.substr(0, colon)),
+                         trim(line.substr(colon + 1)));
+    pos = eol + 2;
+  }
+}
+
+// Content-Length framing shared by request and response parsing. Returns Ok
+// once `header_end + length` bytes are buffered.
+ParseStatus parse_body(
+    const std::string& buffer, std::size_t body_start,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::string& body, std::size_t& consumed, std::string* error) {
+  std::size_t length = 0;
+  if (const std::string* cl = find_header(headers, "Content-Length")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
+    if (end == cl->c_str() || *end != '\0' || v > kMaxBodyBytes) {
+      if (error) *error = "bad Content-Length: " + *cl;
+      return ParseStatus::Error;
+    }
+    length = static_cast<std::size_t>(v);
+  }
+  if (find_header(headers, "Transfer-Encoding")) {
+    if (error) *error = "Transfer-Encoding not supported";
+    return ParseStatus::Error;
+  }
+  if (buffer.size() - body_start < length) return ParseStatus::NeedMore;
+  body = buffer.substr(body_start, length);
+  consumed = body_start + length;
+  return ParseStatus::Ok;
+}
+
+const char* reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+void append_headers(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    std::size_t body_size, bool force_content_length) {
+  bool have_length = false;
+  for (const auto& [k, v] : headers) {
+    out += k;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+    have_length |= iequals(k, "Content-Length");
+  }
+  if (!have_length && (body_size > 0 || force_content_length)) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+
+}  // namespace
+
+const std::string* HttpRequest::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+
+bool HttpRequest::wants_close() const {
+  if (const std::string* c = header("Connection")) {
+    if (iequals(*c, "close")) return true;
+    if (iequals(*c, "keep-alive")) return false;
+  }
+  return version == "HTTP/1.0";
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  append_headers(out, headers, body.size(), method == "POST");
+  out += body;
+  return out;
+}
+
+const std::string* HttpResponse::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out =
+      "HTTP/1.1 " + std::to_string(status) + " " + reason + "\r\n";
+  append_headers(out, headers, body.size(), /*force_content_length=*/true);
+  out += body;
+  return out;
+}
+
+HttpResponse make_response(int status, const std::string& content_type,
+                           std::string body) {
+  HttpResponse r;
+  r.status = status;
+  r.reason = reason_for(status);
+  r.headers.emplace_back("Content-Type", content_type);
+  r.body = std::move(body);
+  return r;
+}
+
+ParseStatus parse_http_request(const std::string& buffer, HttpRequest& out,
+                               std::size_t& consumed, std::string* error) {
+  const std::size_t eol = buffer.find("\r\n");
+  if (eol == std::string::npos) {
+    if (buffer.size() > kMaxHeaderBytes) {
+      if (error) *error = "request line too long";
+      return ParseStatus::Error;
+    }
+    return ParseStatus::NeedMore;
+  }
+  const std::string line = buffer.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                                   : line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || line.find(' ', sp2 + 1) != std::string::npos) {
+    if (error) *error = "malformed request line: " + line;
+    return ParseStatus::Error;
+  }
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  req.version = line.substr(sp2 + 1);
+  if (req.version.rfind("HTTP/1.", 0) != 0) {
+    if (error) *error = "unsupported protocol: " + req.version;
+    return ParseStatus::Error;
+  }
+  std::size_t pos = eol + 2;
+  const ParseStatus hs = parse_headers(buffer, pos, req.headers, error);
+  if (hs != ParseStatus::Ok) return hs;
+  const ParseStatus bs =
+      parse_body(buffer, pos, req.headers, req.body, consumed, error);
+  if (bs != ParseStatus::Ok) return bs;
+  out = std::move(req);
+  return ParseStatus::Ok;
+}
+
+ParseStatus parse_http_response(const std::string& buffer, HttpResponse& out,
+                                std::size_t& consumed, std::string* error) {
+  const std::size_t eol = buffer.find("\r\n");
+  if (eol == std::string::npos) {
+    if (buffer.size() > kMaxHeaderBytes) {
+      if (error) *error = "status line too long";
+      return ParseStatus::Error;
+    }
+    return ParseStatus::NeedMore;
+  }
+  const std::string line = buffer.substr(0, eol);
+  if (line.rfind("HTTP/1.", 0) != 0) {
+    if (error) *error = "malformed status line: " + line;
+    return ParseStatus::Error;
+  }
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || line.size() < sp1 + 4) {
+    if (error) *error = "malformed status line: " + line;
+    return ParseStatus::Error;
+  }
+  HttpResponse resp;
+  resp.status = 0;
+  for (std::size_t i = sp1 + 1; i < sp1 + 4; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(line[i]))) {
+      if (error) *error = "malformed status code: " + line;
+      return ParseStatus::Error;
+    }
+    resp.status = resp.status * 10 + (line[i] - '0');
+  }
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  resp.reason = sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
+  std::size_t pos = eol + 2;
+  const ParseStatus hs = parse_headers(buffer, pos, resp.headers, error);
+  if (hs != ParseStatus::Ok) return hs;
+  const ParseStatus bs =
+      parse_body(buffer, pos, resp.headers, resp.body, consumed, error);
+  if (bs != ParseStatus::Ok) return bs;
+  out = std::move(resp);
+  return ParseStatus::Ok;
+}
+
+namespace {
+
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+HttpResponse http_fetch(const std::string& host, int port, HttpRequest req,
+                        int timeout_ms) {
+  if (port <= 0 || port > 65535)
+    throw std::runtime_error("http_fetch: bad port " + std::to_string(port));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("http_fetch: cannot resolve '" + host +
+                             "' (use a numeric IPv4 address or localhost)");
+
+  Fd sock;
+  sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (sock.fd < 0) throw_errno("http_fetch: socket");
+  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw_errno("http_fetch: connect to " + host + ":" + std::to_string(port));
+
+  if (!req.header("Host"))
+    req.headers.emplace_back("Host", host + ":" + std::to_string(port));
+  if (!req.header("Connection")) req.headers.emplace_back("Connection", "close");
+
+  const std::string wire = req.serialize();
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(sock.fd, wire.data() + sent, wire.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) throw_errno("http_fetch: send");
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string buffer;
+  char chunk[16384];
+  for (;;) {
+    pollfd p{sock.fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, timeout_ms);
+    if (pr < 0) throw_errno("http_fetch: poll");
+    if (pr == 0) throw std::runtime_error("http_fetch: response timeout");
+    const ssize_t n = ::recv(sock.fd, chunk, sizeof(chunk), 0);
+    if (n < 0) throw_errno("http_fetch: recv");
+    if (n == 0) throw std::runtime_error("http_fetch: connection closed early");
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    HttpResponse resp;
+    std::size_t consumed = 0;
+    std::string err;
+    switch (parse_http_response(buffer, resp, consumed, &err)) {
+      case ParseStatus::Ok: return resp;
+      case ParseStatus::NeedMore: break;
+      case ParseStatus::Error:
+        throw std::runtime_error("http_fetch: bad response: " + err);
+    }
+  }
+}
+
+}  // namespace sqz::serve

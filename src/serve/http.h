@@ -1,0 +1,73 @@
+// Minimal HTTP/1.1 message layer for the simulation service.
+//
+// Same spirit as util/json: dependency-free, strict, and unit-testable
+// without sockets. Messages are parsed incrementally from a byte buffer
+// (parse_http_request / parse_http_response return NeedMore until a full
+// message is buffered), so the connection loop in serve/server.cpp and the
+// blocking client share one grammar. Only what the service needs is
+// implemented: Content-Length framing (no chunked transfer), no multi-line
+// headers, one message at a time.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sqz::serve {
+
+struct HttpRequest {
+  std::string method;
+  std::string target;   ///< Origin-form path, e.g. "/v1/simulate".
+  std::string version = "HTTP/1.1";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* header(const std::string& name) const;
+
+  /// True when the peer asked for the connection to close after this
+  /// exchange ("Connection: close", or an HTTP/1.0 request).
+  bool wants_close() const;
+
+  /// Wire form (adds Content-Length when a body is present).
+  std::string serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* header(const std::string& name) const;
+
+  /// Wire form; always emits Content-Length so the peer can frame the body.
+  std::string serialize() const;
+};
+
+/// Build a response with Content-Type set and the standard reason phrase
+/// for `status` (200, 400, 404, 405, 500; anything else gets "Error").
+HttpResponse make_response(int status, const std::string& content_type,
+                           std::string body);
+
+enum class ParseStatus { Ok, NeedMore, Error };
+
+/// Parse one request from the front of `buffer`. On Ok, `out` is filled and
+/// `consumed` is the byte count to strip before parsing the next message.
+/// On Error, `error` (if non-null) describes the violation. Limits: 64 KiB
+/// of headers, 64 MiB of body.
+ParseStatus parse_http_request(const std::string& buffer, HttpRequest& out,
+                               std::size_t& consumed, std::string* error);
+
+/// Same, for one response.
+ParseStatus parse_http_response(const std::string& buffer, HttpResponse& out,
+                                std::size_t& consumed, std::string* error);
+
+/// Blocking client: connect to host:port (numeric IPv4 or "localhost"),
+/// send `req`, read one response. Throws std::runtime_error on connect,
+/// I/O, timeout, or parse failure. The Host header is filled in if absent.
+HttpResponse http_fetch(const std::string& host, int port, HttpRequest req,
+                        int timeout_ms = 60000);
+
+}  // namespace sqz::serve

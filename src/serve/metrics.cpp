@@ -1,0 +1,78 @@
+#include "serve/metrics.h"
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace sqz::serve {
+
+void Metrics::request_started() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.in_flight;
+}
+
+void Metrics::request_finished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s_.in_flight > 0) --s_.in_flight;
+}
+
+void Metrics::record_request(double seconds, int status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s_.requests_total == 0 || seconds < s_.latency_min_s)
+    s_.latency_min_s = seconds;
+  if (seconds > s_.latency_max_s) s_.latency_max_s = seconds;
+  latency_sum_s_ += seconds;
+  ++s_.requests_total;
+  s_.latency_mean_s = latency_sum_s_ / static_cast<double>(s_.requests_total);
+  if (status >= 500) ++s_.responses_5xx;
+  else if (status >= 400) ++s_.responses_4xx;
+  else if (status >= 200 && status < 300) ++s_.responses_2xx;
+}
+
+Metrics::Snapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return s_;
+}
+
+std::string Metrics::render(const SimCache::Stats& cache) const {
+  const Snapshot s = snapshot();
+  std::ostringstream out;
+  const auto counter = [&](const char* name, const char* help, double v) {
+    out << "# HELP " << name << " " << help << "\n";
+    out << "# TYPE " << name
+        << (std::string(name).find("_total") != std::string::npos ? " counter"
+                                                                  : " gauge")
+        << "\n";
+    out << name << " " << util::json_number(v) << "\n";
+  };
+  counter("sqzserved_requests_total", "Requests served (any status).",
+          static_cast<double>(s.requests_total));
+  counter("sqzserved_responses_2xx_total", "Successful responses.",
+          static_cast<double>(s.responses_2xx));
+  counter("sqzserved_responses_4xx_total", "Client-error responses.",
+          static_cast<double>(s.responses_4xx));
+  counter("sqzserved_responses_5xx_total", "Server-error responses.",
+          static_cast<double>(s.responses_5xx));
+  counter("sqzserved_requests_in_flight", "Accepted, response not yet sent.",
+          static_cast<double>(s.in_flight));
+  counter("sqzserved_request_latency_seconds_min",
+          "Fastest request so far (0 before the first).", s.latency_min_s);
+  counter("sqzserved_request_latency_seconds_mean",
+          "Mean request handle time.", s.latency_mean_s);
+  counter("sqzserved_request_latency_seconds_max",
+          "Slowest request so far.", s.latency_max_s);
+  counter("sqzserved_cache_hits_total", "Simulation results served from cache.",
+          static_cast<double>(cache.hits));
+  counter("sqzserved_cache_disk_hits_total",
+          "Cache hits that came from the disk tier.",
+          static_cast<double>(cache.disk_hits));
+  counter("sqzserved_cache_misses_total", "Simulations executed.",
+          static_cast<double>(cache.misses));
+  counter("sqzserved_cache_evictions_total", "Memory-tier LRU evictions.",
+          static_cast<double>(cache.evictions));
+  counter("sqzserved_cache_entries", "Memory-tier resident entries.",
+          static_cast<double>(cache.entries));
+  return out.str();
+}
+
+}  // namespace sqz::serve

@@ -1,0 +1,43 @@
+// Request counters and latency aggregates for the simulation service,
+// rendered as Prometheus text exposition on GET /metrics.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "serve/simcache.h"
+
+namespace sqz::serve {
+
+class Metrics {
+ public:
+  struct Snapshot {
+    std::uint64_t requests_total = 0;   ///< Responses sent, any status.
+    std::uint64_t responses_2xx = 0;
+    std::uint64_t responses_4xx = 0;
+    std::uint64_t responses_5xx = 0;
+    std::uint64_t in_flight = 0;        ///< Accepted, response not yet sent.
+    double latency_min_s = 0.0;         ///< 0 until the first request.
+    double latency_mean_s = 0.0;
+    double latency_max_s = 0.0;
+  };
+
+  void request_started();
+  void request_finished();
+
+  /// Record one served request: wall-clock handle time and response status.
+  void record_request(double seconds, int status);
+
+  Snapshot snapshot() const;
+
+  /// The /metrics body: request/latency gauges plus the cache's counters.
+  std::string render(const SimCache::Stats& cache) const;
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot s_;
+  double latency_sum_s_ = 0.0;
+};
+
+}  // namespace sqz::serve

@@ -1,0 +1,225 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/json.h"
+#include "util/threadpool.h"
+
+namespace sqz::serve {
+
+namespace {
+
+constexpr int kPollTickMs = 100;
+constexpr int kIdleTimeoutTicks = 300;  // 30 s without bytes closes the conn
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // peer went away; nothing useful to do
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      cache_(options.cache_entries, options.cache_dir),
+      service_(&cache_) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (listen_fd_ >= 0) throw std::runtime_error("server already started");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("server: bad bind address '" + options_.host +
+                             "' (numeric IPv4 required)");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0)
+    throw std::runtime_error(std::string("server: socket: ") +
+                             std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("server: cannot bind " + options_.host + ":" +
+                             std::to_string(options_.port) + ": " + why);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("server: listen: " + why);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  stopping_.store(false);
+  accepting_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (listen_fd_ < 0 && !accept_thread_.joinable()) return;
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Drain: every dispatched connection holds a slot until its loop exits.
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  accepting_.store(false);
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&p, 1, kPollTickMs);
+    if (pr <= 0) continue;  // timeout tick or EINTR: re-check stopping_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++active_connections_;
+    }
+    util::ThreadPool::global().submit([this, fd] {
+      handle_connection(fd);
+      ::close(fd);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --active_connections_;
+      }
+      drained_cv_.notify_all();
+    });
+  }
+  accepting_.store(false);
+}
+
+void Server::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[16384];
+  int idle_ticks = 0;
+
+  for (;;) {
+    // Try to serve every complete request already buffered.
+    for (;;) {
+      HttpRequest request;
+      std::size_t consumed = 0;
+      std::string parse_error;
+      const ParseStatus ps =
+          parse_http_request(buffer, request, consumed, &parse_error);
+      if (ps == ParseStatus::Error) {
+        HttpResponse resp = make_response(
+            400, "application/json",
+            "{\"error\": \"" + util::json_escape(parse_error) + "\"}\n");
+        resp.headers.emplace_back("Connection", "close");
+        send_all(fd, resp.serialize());
+        return;
+      }
+      if (ps == ParseStatus::NeedMore) break;
+      buffer.erase(0, consumed);
+
+      metrics_.request_started();
+      const auto t0 = std::chrono::steady_clock::now();
+      HttpResponse resp = route(request);
+      const double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      metrics_.record_request(seconds, resp.status);
+      metrics_.request_finished();
+
+      const bool close_after = request.wants_close() || stopping_.load();
+      resp.headers.emplace_back("Connection",
+                                close_after ? "close" : "keep-alive");
+      if (!send_all(fd, resp.serialize()) || close_after) return;
+      idle_ticks = 0;
+    }
+
+    // Wait for more bytes; shut idle connections on stop or timeout.
+    pollfd p{fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, kPollTickMs);
+    if (pr < 0 && errno != EINTR) return;
+    if (pr == 0) {
+      if (stopping_.load() && buffer.empty()) return;  // idle at shutdown
+      if (++idle_ticks > kIdleTimeoutTicks) return;
+      continue;
+    }
+    if (pr > 0) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return;  // peer closed or error
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      idle_ticks = 0;
+    }
+  }
+}
+
+HttpResponse Server::route(const HttpRequest& request) {
+  const auto json_error = [](int status, const std::string& message) {
+    HttpResponse r = make_response(
+        status, "application/json",
+        "{\"error\": \"" + util::json_escape(message) + "\"}\n");
+    return r;
+  };
+
+  try {
+    if (request.target == "/healthz") {
+      if (request.method != "GET" && request.method != "HEAD")
+        return json_error(405, "use GET " + request.target);
+      return make_response(200, "text/plain", "ok\n");
+    }
+    if (request.target == "/metrics") {
+      if (request.method != "GET")
+        return json_error(405, "use GET /metrics");
+      return make_response(200, "text/plain; version=0.0.4",
+                           metrics_.render(cache_.stats()));
+    }
+    if (request.target == "/v1/simulate" || request.target == "/v1/sweep") {
+      if (request.method != "POST")
+        return json_error(405, "use POST " + request.target);
+      const SimService::Result result = request.target == "/v1/simulate"
+                                            ? service_.simulate(request.body)
+                                            : service_.sweep(request.body);
+      HttpResponse resp =
+          make_response(200, "application/json", result.body);
+      resp.headers.emplace_back("X-Sqz-Cache",
+                                result.cache_hit ? "hit" : "miss");
+      return resp;
+    }
+    return json_error(404, "no such endpoint: " + request.target);
+  } catch (const ApiError& e) {
+    return json_error(e.status(), e.what());
+  } catch (const std::exception& e) {
+    return json_error(500, e.what());
+  }
+}
+
+}  // namespace sqz::serve

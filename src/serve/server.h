@@ -1,0 +1,87 @@
+// The sqzserved daemon core: a POSIX-socket HTTP/1.1 server exposing the
+// simulator as a long-running service (see ARCHITECTURE.md "Serving").
+//
+// Endpoints:
+//   POST /v1/simulate  JSON request -> core/report run-report JSON,
+//                      byte-identical to `sqzsim --json`
+//   POST /v1/sweep     JSON request -> core/dse sweep-dump JSON
+//   GET  /healthz      liveness probe, "ok\n"
+//   GET  /metrics      Prometheus text (serve/metrics.h)
+//
+// One accept thread; each connection is dispatched onto the process-wide
+// util::ThreadPool (`--jobs` sizing applies), where the full
+// request/response loop runs. Keep-alive is honored, so a client can issue
+// a design-space iteration over one connection. Results flow through the
+// content-addressed SimCache; repeated design points never re-simulate.
+// stop() is a graceful drain: the listener closes first, in-flight
+// connections finish (idle keep-alive connections are closed at the next
+// poll tick), then stop() returns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/api.h"
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "serve/simcache.h"
+
+namespace sqz::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";  ///< Bind address (numeric IPv4).
+  int port = 8080;                 ///< 0 = ephemeral (see Server::port()).
+  std::size_t cache_entries = 1024;
+  std::string cache_dir;           ///< Empty = memory tier only.
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();  ///< Calls stop().
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen, and spawn the accept thread. Throws std::runtime_error
+  /// when the address cannot be bound.
+  void start();
+
+  /// Graceful shutdown: stop accepting, drain in-flight connections, join.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return accepting_.load(); }
+
+  /// The bound port (useful with port 0 in ServerOptions).
+  int port() const { return port_; }
+
+  SimCache& cache() { return cache_; }
+  const Metrics& metrics() const { return metrics_; }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  HttpResponse route(const HttpRequest& request);
+
+  ServerOptions options_;
+  SimCache cache_;
+  Metrics metrics_;
+  SimService service_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> accepting_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mu_;
+  std::condition_variable drained_cv_;
+  int active_connections_ = 0;  ///< Guarded by mu_; drives the drain wait.
+};
+
+}  // namespace sqz::serve

@@ -1,0 +1,143 @@
+#include "serve/simcache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sqz::serve {
+
+namespace fs = std::filesystem;
+
+std::uint64_t SimCache::fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;  // FNV prime
+  }
+  return h;
+}
+
+SimCache::SimCache(std::size_t max_entries, const std::string& disk_dir)
+    : max_entries_(max_entries < 1 ? 1 : max_entries), disk_dir_(disk_dir) {
+  if (!disk_dir_.empty()) {
+    std::error_code ec;
+    fs::create_directories(disk_dir_, ec);
+    if (ec || !fs::is_directory(disk_dir_))
+      throw std::runtime_error("simcache: cannot create cache dir '" +
+                               disk_dir_ + "'");
+  }
+}
+
+std::string SimCache::disk_path(std::uint64_t hash) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.sqz",
+                static_cast<unsigned long long>(hash));
+  return disk_dir_ + "/" + name;
+}
+
+std::optional<std::string> SimCache::get(const std::string& canonical_key) {
+  const std::uint64_t hash = fnv1a(canonical_key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(hash);
+    if (it != index_.end() && it->second->key == canonical_key) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      ++stats_.hits;
+      return it->second->value;
+    }
+  }
+  if (!disk_dir_.empty()) {
+    if (auto value = disk_get(hash, canonical_key)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hits;
+      ++stats_.disk_hits;
+      insert_locked(hash, canonical_key, *value);  // promote to memory
+      return value;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void SimCache::put(const std::string& canonical_key, const std::string& value) {
+  const std::uint64_t hash = fnv1a(canonical_key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.insertions;
+    insert_locked(hash, canonical_key, value);
+  }
+  if (!disk_dir_.empty()) disk_put(hash, canonical_key, value);
+}
+
+void SimCache::insert_locked(std::uint64_t hash, const std::string& key,
+                             const std::string& value) {
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    // Same hash: refresh (same key) or replace (collision — rarer than a
+    // cosmic ray; last writer wins, the key guard keeps lookups correct).
+    it->second->key = key;
+    it->second->value = value;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{hash, key, value});
+  index_[hash] = lru_.begin();
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().hash);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+}
+
+// Disk format: "<key-length>\n<key><value>". The length header (not a
+// separator) keeps arbitrary key bytes unambiguous.
+void SimCache::disk_put(std::uint64_t hash, const std::string& canonical_key,
+                        const std::string& value) {
+  const std::string path = disk_path(hash);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // disk tier is best-effort; memory tier still serves
+    out << canonical_key.size() << "\n" << canonical_key << value;
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  std::rename(tmp.c_str(), path.c_str());  // atomic publish on POSIX
+}
+
+std::optional<std::string> SimCache::disk_get(
+    std::uint64_t hash, const std::string& canonical_key) {
+  std::ifstream in(disk_path(hash), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string header;
+  if (!std::getline(in, header)) return std::nullopt;
+  std::size_t key_len = 0;
+  try {
+    key_len = static_cast<std::size_t>(std::stoull(header));
+  } catch (...) {
+    return std::nullopt;
+  }
+  std::string key(key_len, '\0');
+  if (!in.read(key.data(), static_cast<std::streamsize>(key_len)))
+    return std::nullopt;
+  if (key != canonical_key) return std::nullopt;  // hash collision on disk
+  std::ostringstream value;
+  value << in.rdbuf();
+  return value.str();
+}
+
+SimCache::Stats SimCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace sqz::serve

@@ -1,0 +1,86 @@
+// Content-addressed result cache for the simulation service.
+//
+// Keys are the FNV-1a 64-bit hash of a *canonicalized* request (see
+// serve/api.h: zoo names resolve to the serialized model text, configs
+// render through config_to_ini, options take a fixed field order), so two
+// requests that mean the same simulation share one entry regardless of how
+// the client spelled them. The hash indexes the tiers; the full canonical
+// key is stored alongside each value and compared on lookup, so a 64-bit
+// collision degrades to a miss, never to a wrong result.
+//
+// Two tiers:
+//   - in-memory, LRU-bounded by entry count (repeat design points return in
+//     microseconds);
+//   - optional on-disk (`--cache-dir`): one file per key, written on every
+//     insert, read (and promoted to memory) on a memory miss. Unbounded;
+//     survives daemon restarts. Entries are immutable — the same canonical
+//     request always produces the same bytes — so files are never updated
+//     in place, and concurrent daemons may safely share a directory.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace sqz::serve {
+
+class SimCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;        ///< Served from memory or disk.
+    std::uint64_t disk_hits = 0;   ///< Subset of hits that came from disk.
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;   ///< Memory-tier LRU evictions.
+    std::size_t entries = 0;       ///< Current memory-tier size.
+  };
+
+  /// `max_entries` bounds the memory tier (>= 1). `disk_dir` enables the
+  /// on-disk tier; the directory is created if missing (throws
+  /// std::runtime_error when that fails).
+  explicit SimCache(std::size_t max_entries, const std::string& disk_dir = "");
+
+  SimCache(const SimCache&) = delete;
+  SimCache& operator=(const SimCache&) = delete;
+
+  /// Look up a canonicalized request. Thread-safe.
+  std::optional<std::string> get(const std::string& canonical_key);
+
+  /// Insert a result. Re-inserting an existing key refreshes its LRU slot;
+  /// values are assumed immutable per key. Thread-safe.
+  void put(const std::string& canonical_key, const std::string& value);
+
+  Stats stats() const;
+
+  /// FNV-1a 64-bit over arbitrary bytes — the content address.
+  static std::uint64_t fnv1a(std::string_view bytes) noexcept;
+
+ private:
+  struct Entry {
+    std::uint64_t hash;
+    std::string key;    ///< Full canonical key, collision guard.
+    std::string value;
+  };
+
+  std::optional<std::string> disk_get(std::uint64_t hash,
+                                      const std::string& canonical_key);
+  void disk_put(std::uint64_t hash, const std::string& canonical_key,
+                const std::string& value);
+  void insert_locked(std::uint64_t hash, const std::string& key,
+                     const std::string& value);
+  std::string disk_path(std::uint64_t hash) const;
+
+  const std::size_t max_entries_;
+  const std::string disk_dir_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace sqz::serve

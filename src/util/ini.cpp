@@ -113,6 +113,16 @@ bool IniFile::has_section(const std::string& section) const {
   return it != values_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
 }
 
+std::vector<std::string> IniFile::keys(const std::string& section) const {
+  const std::string prefix = section + "\n";
+  std::vector<std::string> out;
+  for (auto it = values_.lower_bound(prefix);
+       it != values_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it)
+    out.push_back(it->first.substr(prefix.size()));
+  return out;
+}
+
 void IniFile::set(const std::string& section, const std::string& key,
                   const std::string& value) {
   values_[slot(section, key)] = value;

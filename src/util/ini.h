@@ -10,6 +10,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace sqz::util {
 
@@ -33,6 +34,9 @@ class IniFile {
 
   bool has_section(const std::string& section) const;
   std::size_t size() const noexcept { return values_.size(); }
+
+  /// All keys of one section, sorted (section "" = top level).
+  std::vector<std::string> keys(const std::string& section) const;
 
   void set(const std::string& section, const std::string& key,
            const std::string& value);

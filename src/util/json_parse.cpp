@@ -1,80 +1,48 @@
-// Strict, hand-rolled JSON parser for tests only.
-//
-// Deliberately independent of util/json.h (the writer under test): the
-// round-trip tests would be meaningless if reader and writer shared code.
-// Strictness: exactly one top-level value, RFC 8259 number grammar, no
-// trailing input, duplicate object keys rejected. Any violation throws
-// std::runtime_error with a byte offset.
-#pragma once
+#include "util/json_parse.h"
 
-#include <cmath>
-#include <cstdint>
 #include <cstdlib>
-#include <stdexcept>
-#include <string>
-#include <utility>
-#include <vector>
 
-namespace sqz::test {
+namespace sqz::util {
 
-struct JsonValue {
-  enum class Type { Null, Bool, Number, String, Array, Object };
-  Type type = Type::Null;
+const JsonValue& JsonValue::at(const std::string& key) const {
+  for (const auto& [k, v] : members)
+    if (k == key) return v;
+  throw std::runtime_error("json: missing key '" + key + "'");
+}
 
-  bool boolean = false;
-  double number = 0.0;
-  std::string raw_number;  ///< Original token, for exact integer checks.
-  std::string text;        ///< String value (decoded).
-  std::vector<JsonValue> items;                            ///< Array.
-  std::vector<std::pair<std::string, JsonValue>> members;  ///< Object, ordered.
+const JsonValue& JsonValue::at(std::size_t i) const {
+  if (i >= items.size()) throw std::runtime_error("json: index out of range");
+  return items[i];
+}
 
-  bool is_object() const { return type == Type::Object; }
-  bool is_array() const { return type == Type::Array; }
+double JsonValue::as_double() const {
+  if (type != Type::Number) throw std::runtime_error("json: not a number");
+  return number;
+}
 
-  bool has(const std::string& key) const {
-    for (const auto& [k, v] : members)
-      if (k == key) return true;
-    return false;
-  }
+std::int64_t JsonValue::as_int() const {
+  const double d = as_double();
+  const auto i = static_cast<std::int64_t>(d);
+  if (static_cast<double>(i) != d)
+    throw std::runtime_error("json: number is not integral: " + raw_number);
+  return i;
+}
 
-  const JsonValue& at(const std::string& key) const {
-    for (const auto& [k, v] : members)
-      if (k == key) return v;
-    throw std::runtime_error("mini_json: missing key '" + key + "'");
-  }
+const std::string& JsonValue::as_string() const {
+  if (type != Type::String) throw std::runtime_error("json: not a string");
+  return text;
+}
 
-  const JsonValue& at(std::size_t i) const {
-    if (i >= items.size()) throw std::runtime_error("mini_json: index out of range");
-    return items[i];
-  }
+bool JsonValue::as_bool() const {
+  if (type != Type::Bool) throw std::runtime_error("json: not a bool");
+  return boolean;
+}
 
-  double as_double() const {
-    if (type != Type::Number) throw std::runtime_error("mini_json: not a number");
-    return number;
-  }
+namespace {
 
-  std::int64_t as_int() const {
-    const double d = as_double();
-    const auto i = static_cast<std::int64_t>(d);
-    if (static_cast<double>(i) != d)
-      throw std::runtime_error("mini_json: number is not integral: " + raw_number);
-    return i;
-  }
-
-  const std::string& as_string() const {
-    if (type != Type::String) throw std::runtime_error("mini_json: not a string");
-    return text;
-  }
-
-  bool as_bool() const {
-    if (type != Type::Bool) throw std::runtime_error("mini_json: not a bool");
-    return boolean;
-  }
-};
-
-class MiniJsonParser {
+class Parser {
  public:
-  explicit MiniJsonParser(const std::string& text) : text_(text) {}
+  explicit Parser(const std::string& text) : text_(text) {}
 
   JsonValue parse() {
     skip_ws();
@@ -86,12 +54,12 @@ class MiniJsonParser {
 
  private:
   [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("mini_json: " + why + " at byte " +
+    throw std::runtime_error("json: " + why + " at byte " +
                              std::to_string(pos_));
   }
 
   char peek() const {
-    if (pos_ >= text_.size()) throw std::runtime_error("mini_json: unexpected end");
+    if (pos_ >= text_.size()) throw std::runtime_error("json: unexpected end");
     return text_[pos_];
   }
 
@@ -272,8 +240,8 @@ class MiniJsonParser {
   std::size_t pos_ = 0;
 };
 
-inline JsonValue parse_json(const std::string& text) {
-  return MiniJsonParser(text).parse();
-}
+}  // namespace
 
-}  // namespace sqz::test
+JsonValue parse_json(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace sqz::util

@@ -1,0 +1,60 @@
+// Strict, dependency-free JSON parser (RFC 8259).
+//
+// The read-side counterpart of util/json.h, promoted out of the test tree
+// (tests/support/mini_json.h) so the serving layer (src/serve) can parse
+// request bodies with the same strict grammar the tests validate against.
+// Reader and writer deliberately share no code: the JSON round-trip tests
+// would be meaningless if parse errors and formatting bugs could cancel out.
+//
+// Strictness: exactly one top-level value, RFC 8259 number grammar, no
+// trailing input, duplicate object keys rejected. Any violation throws
+// std::runtime_error with a byte offset.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sqz::util {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw_number;  ///< Original token, for exact integer checks.
+  std::string text;        ///< String value (decoded).
+  std::vector<JsonValue> items;                            ///< Array.
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Object, ordered.
+
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_string() const { return type == Type::String; }
+  bool is_number() const { return type == Type::Number; }
+
+  bool has(const std::string& key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return true;
+    return false;
+  }
+
+  /// Object member lookup; throws std::runtime_error when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// Array element lookup; throws std::runtime_error when out of range.
+  const JsonValue& at(std::size_t i) const;
+
+  double as_double() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  bool as_bool() const;
+};
+
+/// Parse one complete JSON document. Throws std::runtime_error on any
+/// grammar violation, naming the byte offset.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace sqz::util

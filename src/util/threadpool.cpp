@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 namespace sqz::util {
@@ -117,6 +118,18 @@ void ThreadPool::parallel_for_index(std::size_t n,
   if (batch->error) std::rethrow_exception(batch->error);
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {  // one-job pool: degenerate to a direct call
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
 namespace {
 
 std::mutex g_global_mu;
@@ -125,11 +138,30 @@ int g_global_override = 0;                  // guarded by g_global_mu; 0 = auto
 
 }  // namespace
 
-int ThreadPool::default_jobs() {
-  if (const char* env = std::getenv("SQZ_JOBS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+int ThreadPool::parse_jobs(const std::string& text, const std::string& what) {
+  const auto bad = [&](const std::string& why) {
+    throw std::invalid_argument(what + " must be a positive integer, got '" +
+                                text + "' (" + why + ")");
+  };
+  if (text.empty()) bad("empty");
+  std::size_t i = 0;
+  if (text[0] == '+' || text[0] == '-') i = 1;
+  if (i == text.size()) bad("no digits");
+  long long v = 0;
+  for (; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') bad("not a number");
+    v = v * 10 + (c - '0');
+    if (v > 1 << 20) bad("out of range");
   }
+  if (text[0] == '-') bad("negative");
+  if (v == 0) bad("zero");
+  return static_cast<int>(v);
+}
+
+int ThreadPool::default_jobs() {
+  if (const char* env = std::getenv("SQZ_JOBS"))
+    return parse_jobs(env, "SQZ_JOBS");
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }

@@ -49,6 +49,14 @@ class ThreadPool {
   void parallel_for_index(std::size_t n,
                           const std::function<void(std::size_t)>& fn);
 
+  /// Enqueue one fire-and-forget task onto the pool's workers — the request
+  /// dispatch primitive of the serving layer (serve/server.h). With a
+  /// one-job pool there are no workers, so the task runs inline on the
+  /// caller before submit() returns. Tasks must not block waiting on other
+  /// submitted tasks (they may share the lone worker); nested
+  /// parallel_for_index from inside a task is fine (it runs inline).
+  void submit(std::function<void()> task);
+
   /// Process-wide pool used by the sweep layers. Created on first use with
   /// set_global_jobs()'s value if one was set, else default_jobs().
   static ThreadPool& global();
@@ -61,9 +69,18 @@ class ThreadPool {
   /// Job count the global pool has (or would be created with).
   static int global_jobs();
 
-  /// SQZ_JOBS environment override if set to a positive integer, else
-  /// std::thread::hardware_concurrency() (at least 1).
+  /// SQZ_JOBS environment override if set, else
+  /// std::thread::hardware_concurrency() (at least 1). A set-but-invalid
+  /// SQZ_JOBS (zero, negative, or non-numeric) throws std::invalid_argument
+  /// instead of silently falling back, so a typo'd environment never runs
+  /// at an unintended width.
   static int default_jobs();
+
+  /// Strict job-count parser shared by `--jobs` and SQZ_JOBS: the entire
+  /// string must be a positive decimal integer. Throws std::invalid_argument
+  /// (mentioning `what`) on empty input, garbage, trailing characters, zero,
+  /// negatives, or overflow.
+  static int parse_jobs(const std::string& text, const std::string& what);
 
  private:
   struct Batch;

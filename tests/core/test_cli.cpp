@@ -12,7 +12,7 @@
 #include "nn/serialize.h"
 #include "nn/zoo/zoo.h"
 #include "sched/network_sim.h"
-#include "support/mini_json.h"
+#include "util/json_parse.h"
 
 namespace sqz::core {
 namespace {
@@ -161,7 +161,7 @@ TEST(Cli, JsonReportMatchesSimulation) {
   ASSERT_EQ(r.code, 0);
   EXPECT_NE(r.out.find("total:"), std::string::npos);  // table still prints
 
-  const test::JsonValue report = test::parse_json(slurp(path));
+  const util::JsonValue report = util::parse_json(slurp(path));
   const sim::NetworkResult expect = sched::simulate_network(
       nn::zoo::squeezenext(), sim::AcceleratorConfig::squeezelerator());
   EXPECT_EQ(report.at("schema_version").as_int(), kReportSchemaVersion);
@@ -177,10 +177,10 @@ TEST(Cli, JsonReportHonoursKnobs) {
   const CliRun r = run({"--model", "squeezenet11", "--array", "16", "--support",
                         "os", "--json", path});
   ASSERT_EQ(r.code, 0);
-  const test::JsonValue report = test::parse_json(slurp(path));
+  const util::JsonValue report = util::parse_json(slurp(path));
   EXPECT_EQ(report.at("config").at("array_n").as_int(), 16);
   EXPECT_EQ(report.at("config").at("support").as_string(), "os");
-  for (const test::JsonValue& l : report.at("layers").items)
+  for (const util::JsonValue& l : report.at("layers").items)
     if (l.at("engine").as_string() == "pe-array" &&
         l.at("kind").as_string() == "conv")
       EXPECT_EQ(l.at("dataflow").as_string(), "OS");
@@ -191,13 +191,13 @@ TEST(Cli, TraceFileIsValidAndSpansTheRun) {
   const CliRun r = run({"--model", "sqnxt23", "--trace", path});
   ASSERT_EQ(r.code, 0);
 
-  const test::JsonValue trace = test::parse_json(slurp(path));
+  const util::JsonValue trace = util::parse_json(slurp(path));
   const sim::NetworkResult expect = sched::simulate_network(
       nn::zoo::squeezenext(), sim::AcceleratorConfig::squeezelerator());
   EXPECT_EQ(trace.at("otherData").at("total_cycles").as_int(),
             expect.total_cycles());
   std::int64_t max_end = 0;
-  for (const test::JsonValue& e : trace.at("traceEvents").items)
+  for (const util::JsonValue& e : trace.at("traceEvents").items)
     if (e.at("ph").as_string() == "X")
       max_end = std::max(max_end, e.at("ts").as_int() + e.at("dur").as_int());
   EXPECT_EQ(max_end, expect.total_cycles());
@@ -209,13 +209,13 @@ TEST(Cli, JsonAndTraceWithTimelineMode) {
   const CliRun r = run({"--model", "squeezenet11", "--timeline", "--json", rpath,
                         "--trace", tpath});
   ASSERT_EQ(r.code, 0);
-  const test::JsonValue report = test::parse_json(slurp(rpath));
-  const test::JsonValue trace = test::parse_json(slurp(tpath));
+  const util::JsonValue report = util::parse_json(slurp(rpath));
+  const util::JsonValue trace = util::parse_json(slurp(tpath));
   // Report and trace agree with each other on the retimed totals.
   EXPECT_EQ(report.at("totals").at("cycles").as_int(),
             trace.at("otherData").at("total_cycles").as_int());
   bool has_tile_events = false;
-  for (const test::JsonValue& e : trace.at("traceEvents").items)
+  for (const util::JsonValue& e : trace.at("traceEvents").items)
     has_tile_events |=
         e.at("ph").as_string() == "X" && e.at("cat").as_string() == "tile";
   EXPECT_TRUE(has_tile_events);
@@ -235,11 +235,34 @@ TEST(Cli, JobsFlagRejectsNonPositive) {
   EXPECT_NE(r.err.find("--jobs"), std::string::npos);
 }
 
+TEST(Cli, JobsFlagRejectsGarbageWithClearMessage) {
+  const struct {
+    const char* value;
+    const char* why;
+  } cases[] = {
+      {"banana", "not a number"},
+      {"4x", "not a number"},
+      {"-3", "negative"},
+      {"0", "zero"},
+      {"", "empty"},
+      {"+", "no digits"},
+      {"99999999999", "out of range"},
+  };
+  for (const auto& c : cases) {
+    const CliRun r = run({"--jobs", c.value});
+    EXPECT_EQ(r.code, 1) << c.value;
+    EXPECT_NE(r.err.find("--jobs must be a positive integer"),
+              std::string::npos)
+        << r.err;
+    EXPECT_NE(r.err.find(c.why), std::string::npos) << r.err;
+  }
+}
+
 TEST(Cli, JsonReportRecordsJobsProvenance) {
   const std::string path = ::testing::TempDir() + "/cli_report_jobs.json";
   const CliRun r = run({"--model", "squeezenet11", "--jobs", "3", "--json", path});
   ASSERT_EQ(r.code, 0);
-  const test::JsonValue report = test::parse_json(slurp(path));
+  const util::JsonValue report = util::parse_json(slurp(path));
   EXPECT_EQ(report.at("provenance").at("jobs").as_int(), 3);
   EXPECT_GE(report.at("provenance").at("hardware_concurrency").as_int(), 0);
 }
@@ -247,7 +270,7 @@ TEST(Cli, JsonReportRecordsJobsProvenance) {
 TEST(Cli, DumpRfSweepEmitsSweepJson) {
   const CliRun r = run({"--model", "sqnxt23", "--dump-rf-sweep"});
   ASSERT_EQ(r.code, 0);
-  const test::JsonValue doc = test::parse_json(r.out);
+  const util::JsonValue doc = util::parse_json(r.out);
   EXPECT_EQ(doc.at("sweep").as_string(), "rf_entries on sqnxt23");
   ASSERT_EQ(doc.at("points").items.size(), 2u);
   EXPECT_EQ(doc.at("points").at(std::size_t{0}).at("config").at("rf_entries").as_int(), 8);

@@ -23,6 +23,82 @@ TEST(ConfigIo, RoundTrip) {
   EXPECT_TRUE(back.ws_psums_in_gb);
 }
 
+// Field-level round-trip over the full parameter set: the serving cache key
+// canonicalizes configs through config_to_ini (serve/api.h), so any field
+// that config_to_ini drops or config_from_ini misreads would silently merge
+// distinct design points into one cache entry.
+TEST(ConfigIo, RoundTripPreservesEveryField) {
+  sim::AcceleratorConfig c = sim::AcceleratorConfig::squeezelerator();
+  c.array_n = 16;
+  c.rf_entries = 8;
+  c.gb_kib = 256;
+  c.preload_width = 16;
+  c.drain_width = 8;
+  c.weight_reserve_words = 4096;
+  c.psum_accum_words = 8192;
+  c.simd_lanes = 8;
+  c.dram_latency_cycles = 120;
+  c.dram_bytes_per_cycle = 8.5;
+  c.batch = 4;
+  c.data_bytes = 1;
+  c.weight_sparsity = 0.125;
+  c.os_zero_skip = false;
+  c.ws_psums_in_gb = true;
+  c.support = sim::DataflowSupport::WsOnly;
+  c.validate();
+
+  const sim::AcceleratorConfig back =
+      config_from_ini(util::IniFile::parse(config_to_ini(c)));
+  EXPECT_EQ(back.array_n, c.array_n);
+  EXPECT_EQ(back.rf_entries, c.rf_entries);
+  EXPECT_EQ(back.gb_kib, c.gb_kib);
+  EXPECT_EQ(back.preload_width, c.preload_width);
+  EXPECT_EQ(back.drain_width, c.drain_width);
+  EXPECT_EQ(back.weight_reserve_words, c.weight_reserve_words);
+  EXPECT_EQ(back.psum_accum_words, c.psum_accum_words);
+  EXPECT_EQ(back.simd_lanes, c.simd_lanes);
+  EXPECT_EQ(back.dram_latency_cycles, c.dram_latency_cycles);
+  EXPECT_DOUBLE_EQ(back.dram_bytes_per_cycle, c.dram_bytes_per_cycle);
+  EXPECT_EQ(back.batch, c.batch);
+  EXPECT_EQ(back.data_bytes, c.data_bytes);
+  EXPECT_DOUBLE_EQ(back.weight_sparsity, c.weight_sparsity);
+  EXPECT_EQ(back.os_zero_skip, c.os_zero_skip);
+  EXPECT_EQ(back.ws_psums_in_gb, c.ws_psums_in_gb);
+  EXPECT_EQ(back.support, c.support);
+}
+
+TEST(ConfigIo, EveryPresetRoundTripsToItsOwnIni) {
+  const sim::AcceleratorConfig presets[] = {
+      sim::AcceleratorConfig::squeezelerator(),
+      sim::AcceleratorConfig::squeezelerator_rf8(),
+      sim::AcceleratorConfig::reference_ws(),
+      sim::AcceleratorConfig::reference_os(),
+  };
+  for (const sim::AcceleratorConfig& c : presets) {
+    const std::string ini = config_to_ini(c);
+    const sim::AcceleratorConfig back =
+        config_from_ini(util::IniFile::parse(ini));
+    // Textual fixed point: re-rendering the parsed config reproduces the
+    // INI exactly, which is what makes it usable as a canonical form.
+    EXPECT_EQ(config_to_ini(back), ini);
+  }
+}
+
+TEST(ConfigIo, RejectsUnknownKeys) {
+  EXPECT_THROW(config_from_ini(util::IniFile::parse("warp_factor = 9\n")),
+               std::invalid_argument);
+  EXPECT_THROW(config_from_ini(util::IniFile::parse(
+                   "[accelerator]\narray_n = 16\nwarp_factor = 9\n")),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, BatchRoundTrips) {
+  const auto ini = util::IniFile::parse("[accelerator]\nbatch = 8\n");
+  const sim::AcceleratorConfig c = config_from_ini(ini);
+  EXPECT_EQ(c.batch, 8);
+  EXPECT_NE(config_to_ini(c).find("batch = 8"), std::string::npos);
+}
+
 TEST(ConfigIo, PartialOverridesKeepBase) {
   const auto ini = util::IniFile::parse("[accelerator]\nrf_entries = 4\n");
   const sim::AcceleratorConfig c = config_from_ini(ini);

@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "nn/zoo/zoo.h"
-#include "support/mini_json.h"
+#include "util/json_parse.h"
 
 namespace sqz::core {
 namespace {
@@ -48,10 +48,10 @@ TEST(Dse, JsonDumpCarriesEveryPointWithParetoMembership) {
 
   std::ostringstream os;
   write_design_points_json("test sweep", pts, os);
-  const test::JsonValue doc = test::parse_json(os.str());
+  const util::JsonValue doc = util::parse_json(os.str());
 
   EXPECT_EQ(doc.at("sweep").as_string(), "test sweep");
-  const test::JsonValue& out = doc.at("points");
+  const util::JsonValue& out = doc.at("points");
   ASSERT_EQ(out.items.size(), pts.size());
   for (std::size_t i = 0; i < pts.size(); ++i) {
     EXPECT_EQ(out.at(i).at("label").as_string(), pts[i].label);
@@ -70,11 +70,11 @@ TEST(Dse, JsonDumpOfARealSweepParses) {
       m, sweep_rf_entries(sim::AcceleratorConfig::squeezelerator(), {8, 16}));
   std::ostringstream os;
   write_design_points_json("rf_entries on squeezenet11", points, os);
-  const test::JsonValue doc = test::parse_json(os.str());
+  const util::JsonValue doc = util::parse_json(os.str());
   ASSERT_EQ(doc.at("points").items.size(), 2u);
   // At least one point of any non-empty sweep is on the front.
   bool any_pareto = false;
-  for (const test::JsonValue& p : doc.at("points").items)
+  for (const util::JsonValue& p : doc.at("points").items)
     any_pareto |= p.at("pareto").as_bool();
   EXPECT_TRUE(any_pareto);
   EXPECT_EQ(doc.at("points").at(std::size_t{0}).at("config").at("rf_entries").as_int(), 8);

@@ -17,12 +17,12 @@
 #include <string>
 
 #include "nn/zoo/zoo.h"
-#include "support/mini_json.h"
+#include "util/json_parse.h"
 
 namespace sqz::core {
 namespace {
 
-using test::JsonValue;
+using util::JsonValue;
 
 std::string type_name(JsonValue::Type t) {
   switch (t) {
@@ -92,8 +92,8 @@ TEST(DseGolden, RfSweepDumpMatchesCommittedGolden) {
   std::ostringstream text;
   text << in.rdbuf();
 
-  const JsonValue want = test::parse_json(text.str());
-  const JsonValue got = test::parse_json(fresh_rf_sweep_dump());
+  const JsonValue want = util::parse_json(text.str());
+  const JsonValue got = util::parse_json(fresh_rf_sweep_dump());
   expect_same_json(want, got, "$");
 }
 
@@ -104,7 +104,7 @@ TEST(DseGolden, GoldenFileItselfIsWellFormed) {
   ASSERT_TRUE(in.good()) << "missing golden file: " << golden_path;
   std::ostringstream text;
   text << in.rdbuf();
-  const JsonValue doc = test::parse_json(text.str());
+  const JsonValue doc = util::parse_json(text.str());
   EXPECT_EQ(doc.at("sweep").as_string(), "rf_entries on sqnxt23");
   ASSERT_EQ(doc.at("points").items.size(), 2u);
   EXPECT_EQ(doc.at("points").at(std::size_t{0}).at("label").as_string(), "RF=8");

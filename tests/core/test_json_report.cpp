@@ -8,13 +8,13 @@
 
 #include "nn/zoo/zoo.h"
 #include "sched/network_sim.h"
-#include "support/mini_json.h"
+#include "util/json_parse.h"
 
 namespace sqz::core {
 namespace {
 
-using test::JsonValue;
-using test::parse_json;
+using util::JsonValue;
+using util::parse_json;
 
 JsonValue report_for(const nn::Model& model, const sched::SimulationOptions& opt,
                      const sim::NetworkResult& result) {

@@ -12,13 +12,13 @@
 
 #include "nn/zoo/zoo.h"
 #include "sched/network_sim.h"
-#include "support/mini_json.h"
+#include "util/json_parse.h"
 
 namespace sqz::core {
 namespace {
 
-using test::JsonValue;
-using test::parse_json;
+using util::JsonValue;
+using util::parse_json;
 
 struct Span {
   std::int64_t start = 0;

@@ -1,0 +1,206 @@
+#include "serve/api.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/cli.h"
+#include "core/config_io.h"
+#include "core/report.h"
+#include "nn/serialize.h"
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+
+namespace sqz::serve {
+namespace {
+
+// Assert that parsing `body` as a simulate request raises ApiError(400)
+// whose message mentions `needle`.
+void expect_bad_simulate(const std::string& body, const std::string& needle) {
+  try {
+    parse_simulate_request(body);
+    FAIL() << "expected ApiError for: " << body;
+  } catch (const ApiError& e) {
+    EXPECT_EQ(e.status(), 400) << body;
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+void expect_bad_sweep(const std::string& body, const std::string& needle) {
+  try {
+    parse_sweep_request(body);
+    FAIL() << "expected ApiError for: " << body;
+  } catch (const ApiError& e) {
+    EXPECT_EQ(e.status(), 400) << body;
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(Api, ParsesMinimalSimulateRequest) {
+  const SimulateRequest req = parse_simulate_request(R"({"model":"sqnxt23"})");
+  EXPECT_EQ(req.model_label, "sqnxt23");
+  EXPECT_EQ(req.model.name(), nn::zoo::squeezenext().name());
+  // Config and options take their defaults.
+  EXPECT_EQ(req.config.rf_entries,
+            sim::AcceleratorConfig::squeezelerator().rf_entries);
+  EXPECT_EQ(req.options.objective, sched::Objective::Cycles);
+  EXPECT_FALSE(req.options.tile_timeline);
+  EXPECT_TRUE(req.options.double_buffered);
+}
+
+TEST(Api, ConfigKnobsAndOptionsApply) {
+  const SimulateRequest req = parse_simulate_request(
+      R"({"model":"squeezenet11",
+          "config":{"rf_entries":8,"weight_sparsity":0.4,"support":"ws"},
+          "options":{"objective":"energy","tile_search":true}})");
+  EXPECT_EQ(req.config.rf_entries, 8);
+  EXPECT_DOUBLE_EQ(req.config.weight_sparsity, 0.4);
+  EXPECT_EQ(req.config.support, sim::DataflowSupport::WsOnly);
+  EXPECT_EQ(req.options.objective, sched::Objective::Energy);
+  EXPECT_TRUE(req.options.tile_search);
+  EXPECT_TRUE(req.options.tile_timeline);  // implied, as with the CLI flag
+}
+
+TEST(Api, RejectsInvalidRequests) {
+  expect_bad_simulate("not json", "not valid JSON");
+  expect_bad_simulate("[1,2]", "must be a JSON object");
+  expect_bad_simulate(R"({"model":"sqnxt23","bogus":1})", "unknown field");
+  expect_bad_simulate("{}", "'model'");
+  expect_bad_simulate(R"({"model":"sqnxt23","model_text":"x"})", "not both");
+  expect_bad_simulate(R"({"model":"vgg16"})", "unknown model");
+  expect_bad_simulate(R"({"model":"sqnxt23","config":{"bogus":1}})",
+                      "unknown key 'bogus'");
+  expect_bad_simulate(
+      R"({"model":"sqnxt23","config":{},"config_ini":""})", "not both");
+  expect_bad_simulate(
+      R"({"model":"sqnxt23","options":{"objective":"latency"}})",
+      "cycles|energy");
+  expect_bad_simulate(R"({"model":"sqnxt23","options":{"bogus":true}})",
+                      "unknown field");
+  expect_bad_simulate(R"({"model":"sqnxt23","config":{"rf_entries":0}})", "");
+}
+
+TEST(Api, RejectsInvalidSweepRequests) {
+  expect_bad_sweep(R"({"model":"sqnxt23"})", "'sweep'");
+  expect_bad_sweep(
+      R"({"model":"sqnxt23","sweep":{"knob":"pe_voltage","values":[1]}})",
+      "sweep.knob");
+  expect_bad_sweep(R"({"model":"sqnxt23","sweep":{"knob":"rf_entries"}})",
+                   "'knob' and 'values'");
+  expect_bad_sweep(
+      R"({"model":"sqnxt23","sweep":{"knob":"rf_entries","values":[]}})",
+      "non-empty");
+  expect_bad_sweep(
+      R"({"model":"sqnxt23","sweep":{"knob":"rf_entries","values":["8"]}})",
+      "numbers");
+}
+
+TEST(Api, CanonicalKeyCollapsesModelSpellings) {
+  // Zoo aliases and the inline serialized text all mean the same network,
+  // so they must share one cache entry.
+  const auto by_name = parse_simulate_request(R"({"model":"sqnxt23"})");
+  const auto by_alias = parse_simulate_request(R"({"model":"sqnxt"})");
+  EXPECT_EQ(canonical_key(by_name), canonical_key(by_alias));
+
+  std::string text = nn::serialize_model(nn::zoo::squeezenext());
+  std::string escaped;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    if (c == '\n') { escaped += "\\n"; continue; }
+    escaped += c;
+  }
+  const auto by_text =
+      parse_simulate_request("{\"model_text\":\"" + escaped + "\"}");
+  EXPECT_EQ(canonical_key(by_name), canonical_key(by_text));
+}
+
+TEST(Api, CanonicalKeyCollapsesConfigSpellings) {
+  sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  cfg.rf_entries = 8;
+  std::string ini = core::config_to_ini(cfg);
+  std::string escaped;
+  for (const char c : ini) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    if (c == '\n') { escaped += "\\n"; continue; }
+    escaped += c;
+  }
+  const auto knob = parse_simulate_request(
+      R"({"model":"sqnxt23","config":{"rf_entries":8}})");
+  const auto full = parse_simulate_request(
+      "{\"model\":\"sqnxt23\",\"config_ini\":\"" + escaped + "\"}");
+  EXPECT_EQ(canonical_key(knob), canonical_key(full));
+
+  // Field order inside the request must not matter either.
+  const auto reordered = parse_simulate_request(
+      R"({"config":{"rf_entries":8},"model":"sqnxt23"})");
+  EXPECT_EQ(canonical_key(knob), canonical_key(reordered));
+}
+
+TEST(Api, CanonicalKeySeparatesDistinctRequests) {
+  const auto base = parse_simulate_request(R"({"model":"sqnxt23"})");
+  const auto timeline = parse_simulate_request(
+      R"({"model":"sqnxt23","options":{"timeline":true}})");
+  const auto rf8 = parse_simulate_request(
+      R"({"model":"sqnxt23","config":{"rf_entries":8}})");
+  EXPECT_NE(canonical_key(base), canonical_key(timeline));
+  EXPECT_NE(canonical_key(base), canonical_key(rf8));
+
+  // Explicitly spelling a default is the same request.
+  const auto explicit_default = parse_simulate_request(
+      R"({"model":"sqnxt23","options":{"objective":"cycles"}})");
+  EXPECT_EQ(canonical_key(base), canonical_key(explicit_default));
+}
+
+TEST(Api, SweepKeyCarriesTheResponseLabel) {
+  // The sweep response embeds the verbatim model label in its "sweep" name,
+  // so two spellings of the same network must not share response bytes.
+  const auto a = parse_sweep_request(
+      R"({"model":"sqnxt23","sweep":{"knob":"rf_entries","values":[8,16]}})");
+  const auto b = parse_sweep_request(
+      R"({"model":"sqnxt","sweep":{"knob":"rf_entries","values":[8,16]}})");
+  EXPECT_NE(canonical_key(a), canonical_key(b));
+  EXPECT_EQ(canonical_key(a), canonical_key(a));
+}
+
+TEST(Api, RunSimulateMatchesTheCoreReport) {
+  const SimulateRequest req = parse_simulate_request(R"({"model":"squeezenet11"})");
+  const sim::NetworkResult result =
+      sched::simulate_network(req.model, req.config, req.options);
+  EXPECT_EQ(run_simulate(req),
+            core::json_report_string(req.model, result, req.options.units));
+}
+
+TEST(Api, SimServiceServesRepeatsFromCache) {
+  SimCache cache(8);
+  SimService service(&cache);
+  const std::string body = R"({"model":"squeezenet11"})";
+
+  const SimService::Result first = service.simulate(body);
+  EXPECT_FALSE(first.cache_hit);
+  const SimService::Result second = service.simulate(body);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.body, second.body);
+
+  // An equivalent spelling of the same request also hits.
+  const SimService::Result third =
+      service.simulate(R"({"options":{},"model":"squeezenet11"})");
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_EQ(third.body, first.body);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(Api, SimServiceWorksWithoutACache) {
+  SimService service(nullptr);
+  const SimService::Result r =
+      service.simulate(R"({"model":"squeezenet11"})");
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_FALSE(r.body.empty());
+}
+
+}  // namespace
+}  // namespace sqz::serve

@@ -1,0 +1,146 @@
+#include "serve/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sqz::serve {
+namespace {
+
+TEST(Http, ParsesSimpleRequest) {
+  const std::string wire =
+      "POST /v1/simulate HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 2\r\n"
+      "\r\n"
+      "{}";
+  HttpRequest req;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(parse_http_request(wire, req, consumed, &error), ParseStatus::Ok)
+      << error;
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.target, "/v1/simulate");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_EQ(req.body, "{}");
+  ASSERT_NE(req.header("content-type"), nullptr);  // case-insensitive
+  EXPECT_EQ(*req.header("content-type"), "application/json");
+  EXPECT_EQ(req.header("X-Missing"), nullptr);
+}
+
+TEST(Http, RequestWithoutBodyNeedsNoContentLength) {
+  const std::string wire = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  HttpRequest req;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_http_request(wire, req, consumed, nullptr), ParseStatus::Ok);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_TRUE(req.body.empty());
+}
+
+TEST(Http, IncrementalParseReportsNeedMore) {
+  const std::string wire =
+      "POST /v1/simulate HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+  HttpRequest req;
+  std::size_t consumed = 0;
+  // Every proper prefix is incomplete; the full message parses.
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_EQ(parse_http_request(wire.substr(0, n), req, consumed, nullptr),
+              ParseStatus::NeedMore)
+        << "prefix length " << n;
+  }
+  ASSERT_EQ(parse_http_request(wire, req, consumed, nullptr), ParseStatus::Ok);
+  EXPECT_EQ(req.body, "abcd");
+}
+
+TEST(Http, PipelinedMessagesConsumeOneAtATime) {
+  const std::string one = "GET /healthz HTTP/1.1\r\n\r\n";
+  const std::string wire = one + one;
+  HttpRequest req;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_http_request(wire, req, consumed, nullptr), ParseStatus::Ok);
+  EXPECT_EQ(consumed, one.size());
+}
+
+TEST(Http, RejectsMalformedRequests) {
+  const char* bad[] = {
+      "NOT A REQUEST\r\n\r\n",                           // no version
+      "GET /x HTTP/2.0\r\n\r\n",                         // unsupported version
+      "GET /x HTTP/1.1\r\nBad header\r\n\r\n",           // no colon
+      "GET /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n",   // negative length
+      "GET /x HTTP/1.1\r\nContent-Length: pig\r\n\r\n",  // non-numeric
+      "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",  // no chunked
+  };
+  for (const char* wire : bad) {
+    HttpRequest req;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(parse_http_request(wire, req, consumed, &error),
+              ParseStatus::Error)
+        << wire;
+    EXPECT_FALSE(error.empty()) << wire;
+  }
+}
+
+TEST(Http, RequestSerializeRoundTrips) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/sweep";
+  req.headers.emplace_back("Content-Type", "application/json");
+  req.body = "{\"model\":\"sqnxt23\"}";
+  const std::string wire = req.serialize();
+
+  HttpRequest back;
+  std::size_t consumed = 0;
+  ASSERT_EQ(parse_http_request(wire, back, consumed, nullptr), ParseStatus::Ok);
+  EXPECT_EQ(back.method, req.method);
+  EXPECT_EQ(back.target, req.target);
+  EXPECT_EQ(back.body, req.body);
+  ASSERT_NE(back.header("Content-Length"), nullptr);
+  EXPECT_EQ(*back.header("Content-Length"), "19");
+}
+
+TEST(Http, ResponseSerializeRoundTrips) {
+  const HttpResponse resp = make_response(200, "application/json", "{\"a\":1}");
+  const std::string wire = resp.serialize();
+
+  HttpResponse back;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(parse_http_response(wire, back, consumed, &error), ParseStatus::Ok)
+      << error;
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(back.status, 200);
+  EXPECT_EQ(back.reason, "OK");
+  EXPECT_EQ(back.body, "{\"a\":1}");
+  ASSERT_NE(back.header("content-type"), nullptr);
+  EXPECT_EQ(*back.header("content-type"), "application/json");
+}
+
+TEST(Http, MakeResponseKnowsStandardReasons) {
+  EXPECT_EQ(make_response(400, "text/plain", "").reason, "Bad Request");
+  EXPECT_EQ(make_response(404, "text/plain", "").reason, "Not Found");
+  EXPECT_EQ(make_response(405, "text/plain", "").reason, "Method Not Allowed");
+  EXPECT_EQ(make_response(500, "text/plain", "").reason,
+            "Internal Server Error");
+}
+
+TEST(Http, EmptyBodyResponseStillFramesWithContentLength) {
+  const HttpResponse resp = make_response(404, "text/plain", "");
+  EXPECT_NE(resp.serialize().find("Content-Length: 0\r\n"), std::string::npos);
+}
+
+TEST(Http, WantsCloseSemantics) {
+  HttpRequest req;  // HTTP/1.1 defaults to keep-alive
+  EXPECT_FALSE(req.wants_close());
+  req.headers.emplace_back("Connection", "close");
+  EXPECT_TRUE(req.wants_close());
+
+  HttpRequest old;
+  old.version = "HTTP/1.0";
+  EXPECT_TRUE(old.wants_close());
+}
+
+}  // namespace
+}  // namespace sqz::serve

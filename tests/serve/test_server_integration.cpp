@@ -1,0 +1,265 @@
+// Loopback integration: an in-process sqzserved Server must answer with the
+// exact bytes the local CLI produces (`sqzsim --json` for /v1/simulate,
+// `sqzsim --dump-rf-sweep` for /v1/sweep), and repeated requests must come
+// out of the content-addressed cache. Running the server in-process keeps
+// the report provenance (jobs, host concurrency) identical on both sides,
+// which is what makes byte-for-byte comparison meaningful.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/cli.h"
+#include "serve/http.h"
+#include "serve/server.h"
+
+namespace sqz::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = core::run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+HttpResponse post(int port, const std::string& target,
+                  const std::string& body) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = target;
+  req.headers.emplace_back("Content-Type", "application/json");
+  req.body = body;
+  return http_fetch("127.0.0.1", port, std::move(req));
+}
+
+HttpResponse get(int port, const std::string& target) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = target;
+  return http_fetch("127.0.0.1", port, std::move(req));
+}
+
+// One ephemeral-port server shared by the suite (startup is cheap, but the
+// simulations behind the identity checks are not worth repeating per test).
+class ServerIntegration : public ::testing::Test {
+ protected:
+  static Server* server_;
+
+  static void SetUpTestSuite() {
+    ServerOptions opt;
+    opt.port = 0;  // ephemeral
+    opt.cache_entries = 64;
+    server_ = new Server(opt);
+    server_->start();
+  }
+
+  static void TearDownTestSuite() {
+    delete server_;  // ~Server drains and joins
+    server_ = nullptr;
+  }
+
+  int port() const { return server_->port(); }
+};
+
+Server* ServerIntegration::server_ = nullptr;
+
+TEST_F(ServerIntegration, HealthzAnswersOk) {
+  const HttpResponse r = get(port(), "/healthz");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "ok\n");
+}
+
+TEST_F(ServerIntegration, SimulateMatchesLocalJsonByteForByte) {
+  const fs::path json = fs::temp_directory_path() / "sqz_serve_local.json";
+  const CliRun local = cli({"--model", "squeezenet11", "--json", json.string()});
+  ASSERT_EQ(local.code, 0) << local.err;
+  const std::string expected = read_file(json);
+  fs::remove(json);
+  ASSERT_FALSE(expected.empty());
+
+  const HttpResponse r =
+      post(port(), "/v1/simulate", R"({"model":"squeezenet11"})");
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_EQ(r.body, expected);  // byte-identical to `sqzsim --json`
+}
+
+TEST_F(ServerIntegration, RepeatRequestsAreServedFromCache) {
+  const std::string body =
+      R"({"model":"squeezenet11","config":{"rf_entries":8}})";
+  const std::uint64_t hits_before = server_->cache().stats().hits;
+
+  const HttpResponse first = post(port(), "/v1/simulate", body);
+  ASSERT_EQ(first.status, 200) << first.body;
+  ASSERT_NE(first.header("X-Sqz-Cache"), nullptr);
+  EXPECT_EQ(*first.header("X-Sqz-Cache"), "miss");
+
+  const HttpResponse second = post(port(), "/v1/simulate", body);
+  ASSERT_EQ(second.status, 200);
+  ASSERT_NE(second.header("X-Sqz-Cache"), nullptr);
+  EXPECT_EQ(*second.header("X-Sqz-Cache"), "hit");
+  EXPECT_EQ(second.body, first.body);
+  EXPECT_EQ(server_->cache().stats().hits, hits_before + 1);
+
+  // /metrics reflects the counter.
+  const HttpResponse metrics = get(port(), "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("sqzserved_cache_hits_total " +
+                              std::to_string(hits_before + 1)),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("sqzserved_requests_total"), std::string::npos);
+}
+
+TEST_F(ServerIntegration, ConnectModeMatchesLocalJsonByteForByte) {
+  const fs::path json = fs::temp_directory_path() / "sqz_serve_connect.json";
+  const CliRun local = cli({"--model", "tinydarknet", "--json", json.string()});
+  ASSERT_EQ(local.code, 0) << local.err;
+  const std::string expected = read_file(json);
+  fs::remove(json);
+
+  const std::string endpoint = "127.0.0.1:" + std::to_string(port());
+  const CliRun remote = cli({"--connect", endpoint, "--model", "tinydarknet"});
+  ASSERT_EQ(remote.code, 0) << remote.err;
+  EXPECT_EQ(remote.out, expected);
+
+  // --json writes the response to a file, same as a local run.
+  const fs::path remote_json =
+      fs::temp_directory_path() / "sqz_serve_connect2.json";
+  const CliRun to_file = cli({"--connect", endpoint, "--model", "tinydarknet",
+                              "--json", remote_json.string()});
+  ASSERT_EQ(to_file.code, 0) << to_file.err;
+  EXPECT_TRUE(to_file.out.empty());
+  EXPECT_EQ(read_file(remote_json), expected);
+  fs::remove(remote_json);
+}
+
+TEST_F(ServerIntegration, SweepMatchesLocalDumpByteForByte) {
+  const CliRun local = cli({"--model", "sqnxt23", "--dump-rf-sweep"});
+  ASSERT_EQ(local.code, 0) << local.err;
+
+  const HttpResponse direct = post(
+      port(), "/v1/sweep",
+      R"({"model":"sqnxt23","sweep":{"knob":"rf_entries","values":[8,16]}})");
+  ASSERT_EQ(direct.status, 200) << direct.body;
+  EXPECT_EQ(direct.body, local.out);
+
+  const std::string endpoint = "127.0.0.1:" + std::to_string(port());
+  const CliRun remote =
+      cli({"--connect", endpoint, "--model", "sqnxt23", "--dump-rf-sweep"});
+  ASSERT_EQ(remote.code, 0) << remote.err;
+  EXPECT_EQ(remote.out, local.out);
+}
+
+TEST_F(ServerIntegration, ErrorPathsMapToHttpStatuses) {
+  EXPECT_EQ(get(port(), "/nope").status, 404);
+  EXPECT_EQ(get(port(), "/v1/simulate").status, 405);
+
+  const HttpResponse bad = post(port(), "/v1/simulate", "{not json");
+  EXPECT_EQ(bad.status, 400);
+  EXPECT_NE(bad.body.find("\"error\""), std::string::npos);
+
+  const HttpResponse unknown =
+      post(port(), "/v1/simulate", R"({"model":"resnet50"})");
+  EXPECT_EQ(unknown.status, 400);
+  EXPECT_NE(unknown.body.find("unknown model"), std::string::npos);
+}
+
+TEST_F(ServerIntegration, CliConnectRejectsLocalOnlyFlagsAndBadEndpoints) {
+  const std::string endpoint = "127.0.0.1:" + std::to_string(port());
+  const CliRun csv =
+      cli({"--connect", endpoint, "--model", "sqnxt23", "--csv"});
+  EXPECT_EQ(csv.code, 1);
+  EXPECT_NE(csv.err.find("local-only"), std::string::npos);
+
+  EXPECT_EQ(cli({"--connect", "nocolon"}).code, 1);
+  EXPECT_EQ(cli({"--connect", "127.0.0.1:notaport"}).code, 1);
+  // Nothing listens on port 1: connect refused maps to a clean failure.
+  const CliRun refused = cli({"--connect", "127.0.0.1:1"});
+  EXPECT_EQ(refused.code, 1);
+  EXPECT_FALSE(refused.err.empty());
+}
+
+TEST_F(ServerIntegration, ConcurrentMixedRequestsAllSucceed) {
+  std::vector<std::thread> threads;
+  std::vector<int> statuses(6, 0);
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([this, t, &statuses] {
+      const std::string body =
+          t % 2 == 0
+              ? R"({"model":"squeezenet11"})"
+              : R"({"model":"squeezenet11","config":{"rf_entries":8}})";
+      statuses[t] = post(port(), "/v1/simulate", body).status;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const int s : statuses) EXPECT_EQ(s, 200);
+}
+
+TEST(ServeShutdown, StopDrainsAndIsIdempotent) {
+  ServerOptions opt;
+  opt.port = 0;
+  Server server(opt);
+  server.start();
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  EXPECT_EQ(get(server.port(), "/healthz").status, 200);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_THROW(get(server.port(), "/healthz"), std::runtime_error);
+  server.stop();  // idempotent
+}
+
+TEST(ServeShutdown, DiskCacheWarmsTheNextServer) {
+  const fs::path dir = fs::temp_directory_path() / "sqz_serve_disk_cache";
+  fs::remove_all(dir);
+  const std::string body = R"({"model":"tinydarknet"})";
+
+  std::string first_body;
+  {
+    ServerOptions opt;
+    opt.port = 0;
+    opt.cache_dir = dir.string();
+    Server server(opt);
+    server.start();
+    const HttpResponse r = post(server.port(), "/v1/simulate", body);
+    ASSERT_EQ(r.status, 200) << r.body;
+    first_body = r.body;
+  }
+  {
+    ServerOptions opt;
+    opt.port = 0;
+    opt.cache_dir = dir.string();
+    Server server(opt);
+    server.start();
+    const HttpResponse r = post(server.port(), "/v1/simulate", body);
+    ASSERT_EQ(r.status, 200);
+    ASSERT_NE(r.header("X-Sqz-Cache"), nullptr);
+    EXPECT_EQ(*r.header("X-Sqz-Cache"), "hit");  // warmed from disk
+    EXPECT_EQ(r.body, first_body);
+    EXPECT_EQ(server.cache().stats().disk_hits, 1u);
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sqz::serve

@@ -1,0 +1,144 @@
+#include "serve/simcache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sqz::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Unique per-test scratch directory under the build tree.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("sqz_simcache_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(SimCache, Fnv1aMatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(SimCache::fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(SimCache::fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(SimCache::fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(SimCache, MissThenHit) {
+  SimCache cache(4);
+  EXPECT_FALSE(cache.get("k1").has_value());
+  cache.put("k1", "v1");
+  const auto v = cache.get("k1");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "v1");
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.disk_hits, 0u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(SimCache, LruEvictsOldestEntry) {
+  SimCache cache(2);
+  cache.put("a", "1");
+  cache.put("b", "2");
+  ASSERT_TRUE(cache.get("a").has_value());  // "a" now most recent
+  cache.put("c", "3");                      // evicts "b"
+
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_TRUE(cache.get("c").has_value());
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(SimCache, ReinsertRefreshesInsteadOfDuplicating) {
+  SimCache cache(2);
+  cache.put("a", "1");
+  cache.put("a", "1");
+  EXPECT_EQ(cache.stats().entries, 1u);
+  cache.put("b", "2");
+  cache.put("c", "3");  // capacity 2: one eviction, not two
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(SimCache, CapacityClampsToAtLeastOne) {
+  SimCache cache(0);
+  cache.put("a", "1");
+  EXPECT_TRUE(cache.get("a").has_value());
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(SimCache, DiskTierSurvivesNewInstance) {
+  const fs::path dir = scratch_dir("persist");
+  {
+    SimCache cache(4, dir.string());
+    cache.put("design-point", "report bytes");
+  }
+  SimCache fresh(4, dir.string());
+  const auto v = fresh.get("design-point");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "report bytes");
+
+  const auto s = fresh.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.disk_hits, 1u);
+  // Promoted to memory: the second lookup does not touch disk again.
+  ASSERT_TRUE(fresh.get("design-point").has_value());
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(SimCache, DiskTierOutlivesMemoryEviction) {
+  const fs::path dir = scratch_dir("evict");
+  SimCache cache(1, dir.string());
+  cache.put("a", "1");
+  cache.put("b", "2");  // evicts "a" from memory; disk still has it
+  const auto v = cache.get("a");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "1");
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(SimCache, ValuesWithBinaryContentRoundTrip) {
+  const fs::path dir = scratch_dir("binary");
+  const std::string value("a\0b\r\nc", 6);
+  {
+    SimCache cache(4, dir.string());
+    cache.put("k", value);
+  }
+  SimCache fresh(4, dir.string());
+  const auto v = fresh.get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, value);
+  fs::remove_all(dir);
+}
+
+TEST(SimCache, ConcurrentPutGetIsSafe) {
+  SimCache cache(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 200; ++i) {
+        const std::string key = "k" + std::to_string((t * 31 + i) % 50);
+        cache.put(key, "v" + key);
+        const auto v = cache.get(key);
+        if (v) EXPECT_EQ(*v, "v" + key);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = cache.stats();
+  EXPECT_EQ(s.entries, 50u);
+  EXPECT_GT(s.hits, 0u);
+}
+
+}  // namespace
+}  // namespace sqz::serve

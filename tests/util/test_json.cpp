@@ -7,13 +7,11 @@
 #include <limits>
 #include <sstream>
 
-#include "support/mini_json.h"
+#include "util/json_parse.h"
 
 namespace sqz::util {
 namespace {
 
-using test::JsonValue;
-using test::parse_json;
 
 std::string compact(const std::function<void(JsonWriter&)>& build) {
   std::ostringstream os;

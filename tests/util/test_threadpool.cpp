@@ -119,10 +119,72 @@ TEST(ThreadPool, JobsClampedToAtLeastOne) {
 TEST(ThreadPool, DefaultJobsHonoursSqzJobsEnv) {
   ASSERT_EQ(setenv("SQZ_JOBS", "3", /*overwrite=*/1), 0);
   EXPECT_EQ(ThreadPool::default_jobs(), 3);
+  // Garbage is rejected loudly, not silently ignored: a typo'd SQZ_JOBS
+  // would otherwise change parallelism without the user noticing.
   ASSERT_EQ(setenv("SQZ_JOBS", "not-a-number", 1), 0);
-  EXPECT_GE(ThreadPool::default_jobs(), 1);  // falls back to hardware
+  EXPECT_THROW(ThreadPool::default_jobs(), std::invalid_argument);
+  ASSERT_EQ(setenv("SQZ_JOBS", "0", 1), 0);
+  EXPECT_THROW(ThreadPool::default_jobs(), std::invalid_argument);
+  ASSERT_EQ(setenv("SQZ_JOBS", "-2", 1), 0);
+  EXPECT_THROW(ThreadPool::default_jobs(), std::invalid_argument);
   ASSERT_EQ(unsetenv("SQZ_JOBS"), 0);
   EXPECT_GE(ThreadPool::default_jobs(), 1);
+}
+
+TEST(ThreadPool, ParseJobsAcceptsPositiveDecimals) {
+  EXPECT_EQ(ThreadPool::parse_jobs("1", "--jobs"), 1);
+  EXPECT_EQ(ThreadPool::parse_jobs("64", "--jobs"), 64);
+  EXPECT_EQ(ThreadPool::parse_jobs("+8", "--jobs"), 8);
+}
+
+TEST(ThreadPool, ParseJobsRejectsGarbageNamingTheSource) {
+  const char* bad[] = {"", "0", "-1", "banana", "4x", "1.5", "+", " 2",
+                       "99999999999"};
+  for (const char* text : bad) {
+    try {
+      ThreadPool::parse_jobs(text, "SQZ_JOBS");
+      FAIL() << "expected rejection of '" << text << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("SQZ_JOBS"), std::string::npos) << what;
+      EXPECT_NE(what.find("positive integer"), std::string::npos) << what;
+    }
+  }
+}
+
+TEST(ThreadPool, SubmitRunsEveryTask) {
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 1; i <= 100; ++i)
+      pool.submit([&sum, i] { sum.fetch_add(i); });
+  }  // destructor drains the queue
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, SubmitOnOneJobPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, SubmittedTaskCanRunNestedParallelFor) {
+  // The serving path: a connection handler submitted onto the pool runs
+  // simulations that themselves call parallel_for_index. The nested call
+  // must execute inline on the worker rather than deadlock on the queue.
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  std::atomic<bool> done{false};
+  pool.submit([&] {
+    pool.parallel_for_index(64, [&](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    done.store(true);
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_EQ(sum.load(), 2016);
 }
 
 TEST(ThreadPool, GlobalPoolResizesOnSetGlobalJobs) {

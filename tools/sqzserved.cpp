@@ -1,0 +1,111 @@
+// sqzserved — the Squeezelerator simulation service daemon.
+//
+// Serves POST /v1/simulate and /v1/sweep (request schema in serve/api.h),
+// GET /healthz and /metrics, with a content-addressed result cache so
+// repeated design points never re-simulate. SIGINT/SIGTERM shut down
+// gracefully: the listener closes first and in-flight requests drain.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+#include "util/threadpool.h"
+
+namespace {
+
+// Async-signal-safe shutdown latch; the main thread polls it.
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+const char* kUsage =
+    "usage: sqzserved [options]\n"
+    "  --host ADDR        bind address, numeric IPv4 (default 127.0.0.1)\n"
+    "  --port N           listen port; 0 picks an ephemeral port and prints\n"
+    "                     it (default 8080)\n"
+    "  --jobs N           worker threads serving requests (default SQZ_JOBS\n"
+    "                     or hardware concurrency); simulation results are\n"
+    "                     bit-identical at any job count\n"
+    "  --cache-entries N  in-memory result-cache capacity (default 1024)\n"
+    "  --cache-dir PATH   also persist results on disk; survives restarts\n"
+    "                     and may be pre-warmed (see EXPERIMENTS.md)\n"
+    "  --help             this text\n";
+
+struct Options {
+  sqz::serve::ServerOptions server;
+  int jobs = 0;
+  bool help = false;
+};
+
+Options parse_args(const std::vector<std::string>& args) {
+  Options opt;
+  const auto value_of = [&](std::size_t& i) -> const std::string& {
+    if (i + 1 >= args.size())
+      throw std::invalid_argument("missing value for " + args[i]);
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--help" || a == "-h") opt.help = true;
+    else if (a == "--host") opt.server.host = value_of(i);
+    else if (a == "--port") {
+      const std::string v = value_of(i);
+      opt.server.port = v == "0" ? 0 : sqz::util::ThreadPool::parse_jobs(v, "--port");
+      if (opt.server.port > 65535)
+        throw std::invalid_argument("--port must be in [0, 65535]");
+    }
+    else if (a == "--jobs")
+      opt.jobs = sqz::util::ThreadPool::parse_jobs(value_of(i), "--jobs");
+    else if (a == "--cache-entries")
+      opt.server.cache_entries = static_cast<std::size_t>(
+          sqz::util::ThreadPool::parse_jobs(value_of(i), "--cache-entries"));
+    else if (a == "--cache-dir") opt.server.cache_dir = value_of(i);
+    else throw std::invalid_argument("unknown argument: " + a);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    const Options opt = parse_args(args);
+    if (opt.help) {
+      std::cout << kUsage;
+      return 0;
+    }
+    sqz::util::ThreadPool::set_global_jobs(opt.jobs);
+
+    sqz::serve::Server server(opt.server);
+    server.start();
+    std::printf("sqzserved listening on %s:%d (jobs %d, cache %zu entries%s%s)\n",
+                opt.server.host.c_str(), server.port(),
+                sqz::util::ThreadPool::global_jobs(), opt.server.cache_entries,
+                opt.server.cache_dir.empty() ? "" : ", disk tier ",
+                opt.server.cache_dir.c_str());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (!g_stop) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    std::printf("sqzserved: draining in-flight requests...\n");
+    server.stop();
+    const auto m = server.metrics().snapshot();
+    const auto c = server.cache().stats();
+    std::printf(
+        "sqzserved: served %llu requests (cache %llu hits / %llu misses); bye\n",
+        static_cast<unsigned long long>(m.requests_total),
+        static_cast<unsigned long long>(c.hits),
+        static_cast<unsigned long long>(c.misses));
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sqzserved: " << e.what() << "\n" << kUsage;
+    return 1;
+  }
+}
