@@ -46,6 +46,9 @@ struct CliOptions {
   bool dump_rf_sweep = false;  ///< --dump-rf-sweep: sweep JSON to stdout.
   int jobs = 0;            ///< --jobs: 0 = SQZ_JOBS / hardware concurrency.
   std::string connect;     ///< --connect host:port: run on a sqzserved daemon.
+  int retries = 3;         ///< --retries: extra attempts after a retryable
+                           ///  failure (refused / timeout / 503); 0 = none.
+  int retry_base_ms = 100; ///< --retry-base-ms: backoff floor per retry.
   std::string json_path;   ///< --json: machine-readable run report.
   std::string trace_path;  ///< --trace: Chrome trace-event schedule.
 };
@@ -91,6 +94,16 @@ CliOptions parse_args(const std::vector<std::string>& args) {
     else if (a == "--jobs")
       opt.jobs = util::ThreadPool::parse_jobs(value_of(i), "--jobs");
     else if (a == "--connect") opt.connect = value_of(i);
+    else if (a == "--retries") {
+      const std::string& v = value_of(i);
+      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+        throw std::invalid_argument(
+            "--retries expects a non-negative integer, got '" + v + "'");
+      opt.retries = std::stoi(v);
+    }
+    else if (a == "--retry-base-ms")
+      opt.retry_base_ms =
+          util::ThreadPool::parse_jobs(value_of(i), "--retry-base-ms");
     else if (a == "--json") opt.json_path = value_of(i);
     else if (a == "--trace") opt.trace_path = value_of(i);
     else if (a == "--dump-rf-sweep") opt.dump_rf_sweep = true;
@@ -197,7 +210,16 @@ int run_remote(const CliOptions& opt, std::ostream& out, std::ostream& err) {
   req.target = opt.dump_rf_sweep ? "/v1/sweep" : "/v1/simulate";
   req.headers.emplace_back("Content-Type", "application/json");
   req.body = body.str();
-  const serve::HttpResponse resp = serve::http_fetch(host, port, std::move(req));
+
+  // Bounded retries with decorrelated jitter on refused connections,
+  // timeouts, and 503 sheds (serve/http.h). The service is idempotent —
+  // the daemon's content-addressed cache makes a replayed request free —
+  // so retrying is always safe; 4xx responses are never retried.
+  serve::RetryPolicy policy;
+  policy.max_attempts = opt.retries + 1;
+  policy.base_ms = opt.retry_base_ms;
+  const serve::HttpResponse resp =
+      serve::http_fetch_retry(host, port, req, /*timeout_ms=*/60000, policy);
   if (resp.status != 200) {
     err << "sqzsim: daemon returned " << resp.status << " " << resp.reason
         << ": " << resp.body;
@@ -289,7 +311,12 @@ std::string cli_usage() {
       "                      prints the daemon's JSON report (or sweep JSON\n"
       "                      with --dump-rf-sweep), byte-identical to a local\n"
       "                      --json run. Table flags (--per-layer, --compare,\n"
-      "                      --csv, --program, --trace) are local-only\n";
+      "                      --csv, --program, --trace) are local-only\n"
+      "  --retries N         with --connect: retry a refused connection,\n"
+      "                      timeout, or 503 shed up to N times with\n"
+      "                      exponential backoff + jitter (default 3; 0\n"
+      "                      disables). 4xx errors are never retried\n"
+      "  --retry-base-ms MS  backoff floor for --retries (default 100)\n";
 }
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,

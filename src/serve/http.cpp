@@ -7,19 +7,20 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
-#include <stdexcept>
+#include <thread>
+
+#include "util/rng.h"
 
 namespace sqz::serve {
 
 namespace {
-
-constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
-constexpr std::size_t kMaxBodyBytes = 64 * 1024 * 1024;
 
 bool iequals(const std::string& a, const std::string& b) {
   if (a.size() != b.size()) return false;
@@ -50,16 +51,18 @@ std::string trim(const std::string& s) {
 ParseStatus parse_headers(
     const std::string& buffer, std::size_t& pos,
     std::vector<std::pair<std::string, std::string>>& headers,
-    std::string* error) {
+    std::string* error, const ParseLimits& limits) {
+  const std::size_t block_start = pos;
   for (;;) {
+    // The cap covers the whole block, terminated lines included, so a slow
+    // drip of small headers cannot grow the buffer unboundedly either.
     const std::size_t eol = buffer.find("\r\n", pos);
-    if (eol == std::string::npos) {
-      if (buffer.size() - pos > kMaxHeaderBytes) {
-        if (error) *error = "header block too large";
-        return ParseStatus::Error;
-      }
-      return ParseStatus::NeedMore;
+    const std::size_t block_end = eol == std::string::npos ? buffer.size() : eol;
+    if (block_end - block_start > limits.max_header_bytes) {
+      if (error) *error = "header block too large";
+      return ParseStatus::TooLarge;
     }
+    if (eol == std::string::npos) return ParseStatus::NeedMore;
     if (eol == pos) {  // blank line: end of headers
       pos = eol + 2;
       return ParseStatus::Ok;
@@ -70,8 +73,18 @@ ParseStatus parse_headers(
       if (error) *error = "malformed header line: " + line;
       return ParseStatus::Error;
     }
-    headers.emplace_back(trim(line.substr(0, colon)),
-                         trim(line.substr(colon + 1)));
+    const std::string name = trim(line.substr(0, colon));
+    // A name with embedded whitespace or control bytes is a smuggling
+    // attempt (request splitting), not a sloppy client. Reject it.
+    for (const char c : name) {
+      if (c == ' ' || c == '\t' ||
+          static_cast<unsigned char>(c) < 0x21 ||
+          static_cast<unsigned char>(c) == 0x7f) {
+        if (error) *error = "malformed header name: " + name;
+        return ParseStatus::Error;
+      }
+    }
+    headers.emplace_back(name, trim(line.substr(colon + 1)));
     pos = eol + 2;
   }
 }
@@ -81,14 +94,24 @@ ParseStatus parse_headers(
 ParseStatus parse_body(
     const std::string& buffer, std::size_t body_start,
     const std::vector<std::pair<std::string, std::string>>& headers,
-    std::string& body, std::size_t& consumed, std::string* error) {
+    std::string& body, std::size_t& consumed, std::string* error,
+    const ParseLimits& limits) {
   std::size_t length = 0;
   if (const std::string* cl = find_header(headers, "Content-Length")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(cl->c_str(), &end, 10);
-    if (end == cl->c_str() || *end != '\0' || v > kMaxBodyBytes) {
+    // Strictly digits: no sign, no whitespace, no second opinion a proxy
+    // might frame differently (CL smuggling).
+    if (cl->empty() ||
+        cl->find_first_not_of("0123456789") != std::string::npos) {
       if (error) *error = "bad Content-Length: " + *cl;
       return ParseStatus::Error;
+    }
+    errno = 0;
+    const unsigned long long v = std::strtoull(cl->c_str(), nullptr, 10);
+    if (errno == ERANGE || v > limits.max_body_bytes) {
+      if (error)
+        *error = "body of " + *cl + " bytes exceeds the " +
+                 std::to_string(limits.max_body_bytes) + "-byte limit";
+      return ParseStatus::TooLarge;
     }
     length = static_cast<std::size_t>(v);
   }
@@ -108,6 +131,8 @@ const char* reason_for(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Error";
@@ -176,12 +201,13 @@ HttpResponse make_response(int status, const std::string& content_type,
 }
 
 ParseStatus parse_http_request(const std::string& buffer, HttpRequest& out,
-                               std::size_t& consumed, std::string* error) {
+                               std::size_t& consumed, std::string* error,
+                               const ParseLimits& limits) {
   const std::size_t eol = buffer.find("\r\n");
   if (eol == std::string::npos) {
-    if (buffer.size() > kMaxHeaderBytes) {
+    if (buffer.size() > limits.max_header_bytes) {
       if (error) *error = "request line too long";
-      return ParseStatus::Error;
+      return ParseStatus::TooLarge;
     }
     return ParseStatus::NeedMore;
   }
@@ -201,23 +227,29 @@ ParseStatus parse_http_request(const std::string& buffer, HttpRequest& out,
     if (error) *error = "unsupported protocol: " + req.version;
     return ParseStatus::Error;
   }
+  // A bare CR anywhere in the start line is a response-splitting probe.
+  if (line.find('\r') != std::string::npos) {
+    if (error) *error = "stray CR in request line";
+    return ParseStatus::Error;
+  }
   std::size_t pos = eol + 2;
-  const ParseStatus hs = parse_headers(buffer, pos, req.headers, error);
+  const ParseStatus hs = parse_headers(buffer, pos, req.headers, error, limits);
   if (hs != ParseStatus::Ok) return hs;
   const ParseStatus bs =
-      parse_body(buffer, pos, req.headers, req.body, consumed, error);
+      parse_body(buffer, pos, req.headers, req.body, consumed, error, limits);
   if (bs != ParseStatus::Ok) return bs;
   out = std::move(req);
   return ParseStatus::Ok;
 }
 
 ParseStatus parse_http_response(const std::string& buffer, HttpResponse& out,
-                                std::size_t& consumed, std::string* error) {
+                                std::size_t& consumed, std::string* error,
+                                const ParseLimits& limits) {
   const std::size_t eol = buffer.find("\r\n");
   if (eol == std::string::npos) {
-    if (buffer.size() > kMaxHeaderBytes) {
+    if (buffer.size() > limits.max_header_bytes) {
       if (error) *error = "status line too long";
-      return ParseStatus::Error;
+      return ParseStatus::TooLarge;
     }
     return ParseStatus::NeedMore;
   }
@@ -243,10 +275,10 @@ ParseStatus parse_http_response(const std::string& buffer, HttpResponse& out,
   const std::size_t sp2 = line.find(' ', sp1 + 1);
   resp.reason = sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
   std::size_t pos = eol + 2;
-  const ParseStatus hs = parse_headers(buffer, pos, resp.headers, error);
+  const ParseStatus hs = parse_headers(buffer, pos, resp.headers, error, limits);
   if (hs != ParseStatus::Ok) return hs;
   const ParseStatus bs =
-      parse_body(buffer, pos, resp.headers, resp.body, consumed, error);
+      parse_body(buffer, pos, resp.headers, resp.body, consumed, error, limits);
   if (bs != ParseStatus::Ok) return bs;
   out = std::move(resp);
   return ParseStatus::Ok;
@@ -261,8 +293,8 @@ struct Fd {
   }
 };
 
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+[[noreturn]] void throw_fetch(FetchError::Kind kind, const std::string& what) {
+  throw FetchError(kind, what + ": " + std::strerror(errno));
 }
 
 }  // namespace
@@ -270,21 +302,24 @@ struct Fd {
 HttpResponse http_fetch(const std::string& host, int port, HttpRequest req,
                         int timeout_ms) {
   if (port <= 0 || port > 65535)
-    throw std::runtime_error("http_fetch: bad port " + std::to_string(port));
+    throw FetchError(FetchError::Kind::Connect,
+                     "http_fetch: bad port " + std::to_string(port));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   const std::string ip = host == "localhost" ? "127.0.0.1" : host;
   if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1)
-    throw std::runtime_error("http_fetch: cannot resolve '" + host +
-                             "' (use a numeric IPv4 address or localhost)");
+    throw FetchError(FetchError::Kind::Connect,
+                     "http_fetch: cannot resolve '" + host +
+                         "' (use a numeric IPv4 address or localhost)");
 
   Fd sock;
   sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (sock.fd < 0) throw_errno("http_fetch: socket");
+  if (sock.fd < 0) throw_fetch(FetchError::Kind::Connect, "http_fetch: socket");
   if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
-    throw_errno("http_fetch: connect to " + host + ":" + std::to_string(port));
+    throw_fetch(FetchError::Kind::Connect,
+                "http_fetch: connect to " + host + ":" + std::to_string(port));
 
   if (!req.header("Host"))
     req.headers.emplace_back("Host", host + ":" + std::to_string(port));
@@ -295,7 +330,10 @@ HttpResponse http_fetch(const std::string& host, int port, HttpRequest req,
   while (sent < wire.size()) {
     const ssize_t n = ::send(sock.fd, wire.data() + sent, wire.size() - sent,
                              MSG_NOSIGNAL);
-    if (n < 0) throw_errno("http_fetch: send");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_fetch(FetchError::Kind::Io, "http_fetch: send");
+    }
     sent += static_cast<std::size_t>(n);
   }
 
@@ -304,11 +342,16 @@ HttpResponse http_fetch(const std::string& host, int port, HttpRequest req,
   for (;;) {
     pollfd p{sock.fd, POLLIN, 0};
     const int pr = ::poll(&p, 1, timeout_ms);
-    if (pr < 0) throw_errno("http_fetch: poll");
-    if (pr == 0) throw std::runtime_error("http_fetch: response timeout");
+    if (pr < 0) throw_fetch(FetchError::Kind::Io, "http_fetch: poll");
+    if (pr == 0)
+      throw FetchError(FetchError::Kind::Timeout,
+                       "http_fetch: no response within " +
+                           std::to_string(timeout_ms) + " ms");
     const ssize_t n = ::recv(sock.fd, chunk, sizeof(chunk), 0);
-    if (n < 0) throw_errno("http_fetch: recv");
-    if (n == 0) throw std::runtime_error("http_fetch: connection closed early");
+    if (n < 0) throw_fetch(FetchError::Kind::Io, "http_fetch: recv");
+    if (n == 0)
+      throw FetchError(FetchError::Kind::Io,
+                       "http_fetch: connection closed early");
     buffer.append(chunk, static_cast<std::size_t>(n));
 
     HttpResponse resp;
@@ -318,8 +361,55 @@ HttpResponse http_fetch(const std::string& host, int port, HttpRequest req,
       case ParseStatus::Ok: return resp;
       case ParseStatus::NeedMore: break;
       case ParseStatus::Error:
-        throw std::runtime_error("http_fetch: bad response: " + err);
+      case ParseStatus::TooLarge:
+        throw FetchError(FetchError::Kind::Parse,
+                         "http_fetch: bad response: " + err);
     }
+  }
+}
+
+HttpResponse http_fetch_retry(const std::string& host, int port,
+                              const HttpRequest& req, int timeout_ms,
+                              const RetryPolicy& policy, int* attempts_out) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  const int base_ms = std::max(1, policy.base_ms);
+  const int cap_ms = std::max(base_ms, policy.cap_ms);
+  util::Rng rng(policy.seed);
+  int prev_sleep_ms = base_ms;
+
+  // Decorrelated jitter (Brooker): each sleep is uniform over
+  // [base, 3 * previous sleep], clamped to [base, cap]. Spreads retry storms
+  // without the lockstep thundering herd of plain exponential backoff.
+  const auto next_sleep = [&](int at_least_ms) {
+    const std::int64_t hi =
+        std::min<std::int64_t>(cap_ms, 3 * std::int64_t{prev_sleep_ms});
+    int sleep_ms = static_cast<int>(rng.next_in(base_ms, hi));
+    sleep_ms = std::max(sleep_ms, std::min(at_least_ms, cap_ms));
+    prev_sleep_ms = sleep_ms;
+    return sleep_ms;
+  };
+
+  for (int attempt = 1;; ++attempt) {
+    if (attempts_out) *attempts_out = attempt;
+    int retry_after_ms = 0;
+    try {
+      HttpResponse resp = http_fetch(host, port, req, timeout_ms);
+      if (resp.status != 503 || attempt >= max_attempts) return resp;
+      // Shed by a saturated server: honor Retry-After (seconds) as a floor,
+      // still capped so tests and tight deadlines stay fast.
+      if (const std::string* ra = resp.header("Retry-After")) {
+        errno = 0;
+        char* end = nullptr;
+        const long sec = std::strtol(ra->c_str(), &end, 10);
+        if (end != ra->c_str() && *end == '\0' && errno == 0 && sec > 0)
+          retry_after_ms = static_cast<int>(
+              std::min<long>(sec * 1000L, cap_ms));
+      }
+    } catch (const FetchError& e) {
+      if (!e.retryable() || attempt >= max_attempts) throw;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(next_sleep(retry_after_ms)));
   }
 }
 

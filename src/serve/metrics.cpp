@@ -29,6 +29,31 @@ void Metrics::record_request(double seconds, int status) {
   else if (status >= 200 && status < 300) ++s_.responses_2xx;
 }
 
+void Metrics::record_shed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.shed_total;
+}
+
+void Metrics::record_timeout() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.timeouts_total;
+}
+
+void Metrics::record_oversize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.oversize_total;
+}
+
+void Metrics::record_idle_closed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.idle_closed_total;
+}
+
+void Metrics::record_accept_backoff() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.accept_backoff_total;
+}
+
 Metrics::Snapshot Metrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return s_;
@@ -61,6 +86,21 @@ std::string Metrics::render(const SimCache::Stats& cache) const {
           "Mean request handle time.", s.latency_mean_s);
   counter("sqzserved_request_latency_seconds_max",
           "Slowest request so far.", s.latency_max_s);
+  counter("sqzserved_shed_total",
+          "Connections shed with 503 at the --max-connections cap.",
+          static_cast<double>(s.shed_total));
+  counter("sqzserved_timeouts_total",
+          "Requests that hit the --request-timeout-ms deadline.",
+          static_cast<double>(s.timeouts_total));
+  counter("sqzserved_oversize_total",
+          "Requests rejected with 413 (body or headers over cap).",
+          static_cast<double>(s.oversize_total));
+  counter("sqzserved_idle_closed_total",
+          "Keep-alive connections closed at the idle deadline.",
+          static_cast<double>(s.idle_closed_total));
+  counter("sqzserved_accept_backoff_total",
+          "Accept failures (EMFILE/ENFILE/ENOMEM) absorbed by backoff.",
+          static_cast<double>(s.accept_backoff_total));
   counter("sqzserved_cache_hits_total", "Simulation results served from cache.",
           static_cast<double>(cache.hits));
   counter("sqzserved_cache_disk_hits_total",
@@ -72,6 +112,15 @@ std::string Metrics::render(const SimCache::Stats& cache) const {
           static_cast<double>(cache.evictions));
   counter("sqzserved_cache_entries", "Memory-tier resident entries.",
           static_cast<double>(cache.entries));
+  counter("sqzserved_cache_quarantined_total",
+          "Corrupt disk-cache entries quarantined (*.bad).",
+          static_cast<double>(cache.disk_quarantined));
+  counter("sqzserved_cache_disk_errors_total",
+          "Disk-tier read/write failures absorbed.",
+          static_cast<double>(cache.disk_errors));
+  counter("sqzserved_cache_disk_demoted",
+          "1 when persistent disk failures demoted the cache to memory-only.",
+          cache.disk_demoted ? 1.0 : 0.0);
   return out.str();
 }
 

@@ -21,6 +21,12 @@ class Metrics {
     double latency_min_s = 0.0;         ///< 0 until the first request.
     double latency_mean_s = 0.0;
     double latency_max_s = 0.0;
+    // Fault-tolerance counters (ARCHITECTURE.md "Fault tolerance").
+    std::uint64_t shed_total = 0;        ///< 503s from the connection cap.
+    std::uint64_t timeouts_total = 0;    ///< Request deadlines that expired.
+    std::uint64_t oversize_total = 0;    ///< 413s (body or headers over cap).
+    std::uint64_t idle_closed_total = 0; ///< Keep-alive conns reaped idle.
+    std::uint64_t accept_backoff_total = 0;  ///< EMFILE/ENFILE accept stalls.
   };
 
   void request_started();
@@ -28,6 +34,12 @@ class Metrics {
 
   /// Record one served request: wall-clock handle time and response status.
   void record_request(double seconds, int status);
+
+  void record_shed();
+  void record_timeout();
+  void record_oversize();
+  void record_idle_closed();
+  void record_accept_backoff();
 
   Snapshot snapshot() const;
 

@@ -1,18 +1,22 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
+#include "util/faultinject.h"
 #include "util/json.h"
 #include "util/threadpool.h"
 
@@ -20,21 +24,70 @@ namespace sqz::serve {
 
 namespace {
 
-constexpr int kPollTickMs = 100;
-constexpr int kIdleTimeoutTicks = 300;  // 30 s without bytes closes the conn
+using Clock = std::chrono::steady_clock;
 
-bool send_all(int fd, const std::string& bytes) {
+constexpr int kPollTickMs = 100;
+constexpr int kAcceptBackoffStartMs = 50;
+constexpr int kAcceptBackoffCapMs = 800;
+
+int ms_until(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Send with a drain deadline. Connection fds are non-blocking, so a peer
+// that stops reading parks us in poll(POLLOUT) until the deadline, never
+// forever. `timed_out` (if non-null) tells a failed send apart from a dead
+// peer. Routed through the "serve.send" fault point: Errno aborts the send,
+// ShortIo delivers a partial write and then aborts (a crashed-writer wire).
+bool send_all(int fd, const std::string& bytes, int timeout_ms,
+              bool* timed_out = nullptr) {
+  if (timed_out) *timed_out = false;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
   std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n =
-        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;  // peer went away; nothing useful to do
+  std::size_t cap = bytes.size();
+  bool abort_after_cap = false;
+  if (util::fault::enabled()) {
+    const util::fault::Action a = util::fault::at("serve.send");
+    if (a.kind == util::fault::Kind::Errno) return false;
+    if (a.kind == util::fault::Kind::ShortIo) {
+      cap = std::min(cap, a.bytes);
+      abort_after_cap = true;
     }
-    sent += static_cast<std::size_t>(n);
   }
-  return true;
+  while (sent < cap) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, cap - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      const int pr = ::poll(&p, 1, std::min(kPollTickMs, ms_until(deadline)));
+      if (pr < 0 && errno != EINTR) return false;
+      if (ms_until(deadline) == 0) {
+        if (timed_out) *timed_out = true;
+        return false;
+      }
+      continue;
+    }
+    return false;  // peer went away; nothing useful to do
+  }
+  return !abort_after_cap && sent == bytes.size();
+}
+
+HttpResponse json_error_response(int status, const std::string& message) {
+  return make_response(status, "application/json",
+                       "{\"error\": \"" + util::json_escape(message) + "\"}\n");
 }
 
 }  // namespace
@@ -81,6 +134,17 @@ void Server::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
+  // Dispatch pool for connection handlers. ThreadPool(j) keeps j - 1
+  // workers (its parallel_for_index caller is the remaining job); the
+  // accept thread never participates, so size +1 to get the wanted width.
+  const int width =
+      options_.dispatch_jobs > 0
+          ? options_.dispatch_jobs
+          : options_.max_connections > 0
+                ? std::min(std::max(options_.max_connections, 2), 8)
+                : 8;
+  dispatch_pool_ = std::make_unique<util::ThreadPool>(width + 1);
+
   stopping_.store(false);
   accepting_.store(true);
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -95,23 +159,74 @@ void Server::stop() {
     listen_fd_ = -1;
   }
   // Drain: every dispatched connection holds a slot until its loop exits.
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return active_connections_ == 0; });
+  }
+  dispatch_pool_.reset();  // joins the (now idle) handler threads
   accepting_.store(false);
 }
 
+// Answer an over-cap connection with 503 + Retry-After and close it. Runs
+// on the accept thread, so the send deadline is short: a peer that will not
+// read two hundred bytes promptly forfeits its goodbye note.
+void Server::shed_connection(int fd) {
+  metrics_.record_shed();
+  set_nonblocking(fd);
+  HttpResponse resp = json_error_response(
+      503, "server at --max-connections; retry with backoff");
+  resp.headers.emplace_back("Retry-After", "1");
+  resp.headers.emplace_back("Connection", "close");
+  send_all(fd, resp.serialize(), /*timeout_ms=*/1000);
+  ::close(fd);
+}
+
 void Server::accept_loop() {
+  int backoff_ms = kAcceptBackoffStartMs;
   while (!stopping_.load()) {
     pollfd p{listen_fd_, POLLIN, 0};
     const int pr = ::poll(&p, 1, kPollTickMs);
     if (pr <= 0) continue;  // timeout tick or EINTR: re-check stopping_
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+
+    int fd;
+    const util::fault::Action a = util::fault::at("serve.accept");
+    if (a.kind == util::fault::Kind::Errno) {
+      errno = a.err;
+      fd = -1;
+    } else {
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    }
+    if (fd < 0) {
+      // Out of descriptors (or memory): the listener stays healthy, but
+      // accepting again immediately would spin at 100% CPU re-failing.
+      // Back off — pending connections wait in the backlog meanwhile.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOMEM) {
+        metrics_.record_accept_backoff();
+        const auto wake = Clock::now() + std::chrono::milliseconds(backoff_ms);
+        while (!stopping_.load() && ms_until(wake) > 0)
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::min(kPollTickMs, ms_until(wake))));
+        backoff_ms = std::min(backoff_ms * 2, kAcceptBackoffCapMs);
+      }
+      continue;
+    }
+    backoff_ms = kAcceptBackoffStartMs;
+
+    int active;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      active = active_connections_;
+    }
+    if (options_.max_connections > 0 && active >= options_.max_connections) {
+      shed_connection(fd);
+      continue;
+    }
+
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++active_connections_;
     }
-    util::ThreadPool::global().submit([this, fd] {
+    dispatch_pool_->submit([this, fd] {
       handle_connection(fd);
       ::close(fd);
       {
@@ -125,9 +240,20 @@ void Server::accept_loop() {
 }
 
 void Server::handle_connection(int fd) {
+  set_nonblocking(fd);
   std::string buffer;
   char chunk[16384];
-  int idle_ticks = 0;
+  const ParseLimits limits{64 * 1024, options_.max_body_bytes};
+  const auto request_budget =
+      std::chrono::milliseconds(options_.request_timeout_ms);
+  const auto idle_budget = std::chrono::milliseconds(options_.idle_timeout_ms);
+
+  // Two clocks: `idle_deadline` runs while the buffer is empty (keep-alive
+  // lull), `request_deadline` runs from the first byte of a request until
+  // it parses completely. Responses get their own drain deadline inside
+  // send_all.
+  auto idle_deadline = Clock::now() + idle_budget;
+  auto request_deadline = Clock::now() + request_budget;
 
   for (;;) {
     // Try to serve every complete request already buffered.
@@ -136,75 +262,105 @@ void Server::handle_connection(int fd) {
       std::size_t consumed = 0;
       std::string parse_error;
       const ParseStatus ps =
-          parse_http_request(buffer, request, consumed, &parse_error);
-      if (ps == ParseStatus::Error) {
-        HttpResponse resp = make_response(
-            400, "application/json",
-            "{\"error\": \"" + util::json_escape(parse_error) + "\"}\n");
+          parse_http_request(buffer, request, consumed, &parse_error, limits);
+      if (ps == ParseStatus::Error || ps == ParseStatus::TooLarge) {
+        const int status = ps == ParseStatus::TooLarge ? 413 : 400;
+        if (ps == ParseStatus::TooLarge) metrics_.record_oversize();
+        HttpResponse resp = json_error_response(status, parse_error);
         resp.headers.emplace_back("Connection", "close");
-        send_all(fd, resp.serialize());
+        send_all(fd, resp.serialize(), options_.request_timeout_ms);
         return;
       }
       if (ps == ParseStatus::NeedMore) break;
       buffer.erase(0, consumed);
+      // Pipelined bytes already buffered start the next request's clock.
+      request_deadline = Clock::now() + request_budget;
 
       metrics_.request_started();
-      const auto t0 = std::chrono::steady_clock::now();
+      const auto t0 = Clock::now();
       HttpResponse resp = route(request);
       const double seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-              .count();
+          std::chrono::duration<double>(Clock::now() - t0).count();
       metrics_.record_request(seconds, resp.status);
       metrics_.request_finished();
 
       const bool close_after = request.wants_close() || stopping_.load();
       resp.headers.emplace_back("Connection",
                                 close_after ? "close" : "keep-alive");
-      if (!send_all(fd, resp.serialize()) || close_after) return;
-      idle_ticks = 0;
+      bool send_timed_out = false;
+      if (!send_all(fd, resp.serialize(), options_.request_timeout_ms,
+                    &send_timed_out)) {
+        if (send_timed_out) metrics_.record_timeout();
+        return;
+      }
+      if (close_after) return;
+      idle_deadline = Clock::now() + idle_budget;
     }
 
-    // Wait for more bytes; shut idle connections on stop or timeout.
+    // Wait for more bytes, bounded by whichever deadline applies.
+    const bool mid_request = !buffer.empty();
+    const auto deadline = mid_request ? request_deadline : idle_deadline;
+    if (ms_until(deadline) == 0) {
+      if (mid_request) {
+        // The peer started a request but never finished it in time.
+        metrics_.record_timeout();
+        HttpResponse resp = json_error_response(
+            408, "request not completed within " +
+                     std::to_string(options_.request_timeout_ms) + " ms");
+        resp.headers.emplace_back("Connection", "close");
+        send_all(fd, resp.serialize(), /*timeout_ms=*/1000);
+      } else if (!stopping_.load()) {
+        metrics_.record_idle_closed();
+      }
+      return;
+    }
+
     pollfd p{fd, POLLIN, 0};
-    const int pr = ::poll(&p, 1, kPollTickMs);
+    const int pr =
+        ::poll(&p, 1, std::min(kPollTickMs, ms_until(deadline)));
     if (pr < 0 && errno != EINTR) return;
     if (pr == 0) {
       if (stopping_.load() && buffer.empty()) return;  // idle at shutdown
-      if (++idle_ticks > kIdleTimeoutTicks) return;
       continue;
     }
     if (pr > 0) {
-      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) return;  // peer closed or error
+      std::size_t cap = sizeof(chunk);
+      if (util::fault::enabled()) {
+        const util::fault::Action a = util::fault::at("serve.recv");
+        if (a.kind == util::fault::Kind::Errno) return;  // injected I/O error
+        if (a.kind == util::fault::Kind::ShortIo)
+          cap = std::min(cap, std::max<std::size_t>(1, a.bytes));
+      }
+      const ssize_t n = ::recv(fd, chunk, cap, 0);
+      if (n == 0) return;  // peer closed
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+          continue;
+        return;
+      }
+      if (buffer.empty())  // first byte of a new request starts its clock
+        request_deadline = Clock::now() + request_budget;
       buffer.append(chunk, static_cast<std::size_t>(n));
-      idle_ticks = 0;
     }
   }
 }
 
 HttpResponse Server::route(const HttpRequest& request) {
-  const auto json_error = [](int status, const std::string& message) {
-    HttpResponse r = make_response(
-        status, "application/json",
-        "{\"error\": \"" + util::json_escape(message) + "\"}\n");
-    return r;
-  };
-
   try {
     if (request.target == "/healthz") {
       if (request.method != "GET" && request.method != "HEAD")
-        return json_error(405, "use GET " + request.target);
+        return json_error_response(405, "use GET " + request.target);
       return make_response(200, "text/plain", "ok\n");
     }
     if (request.target == "/metrics") {
       if (request.method != "GET")
-        return json_error(405, "use GET /metrics");
+        return json_error_response(405, "use GET /metrics");
       return make_response(200, "text/plain; version=0.0.4",
                            metrics_.render(cache_.stats()));
     }
     if (request.target == "/v1/simulate" || request.target == "/v1/sweep") {
       if (request.method != "POST")
-        return json_error(405, "use POST " + request.target);
+        return json_error_response(405, "use POST " + request.target);
       const SimService::Result result = request.target == "/v1/simulate"
                                             ? service_.simulate(request.body)
                                             : service_.sweep(request.body);
@@ -214,11 +370,11 @@ HttpResponse Server::route(const HttpRequest& request) {
                                 result.cache_hit ? "hit" : "miss");
       return resp;
     }
-    return json_error(404, "no such endpoint: " + request.target);
+    return json_error_response(404, "no such endpoint: " + request.target);
   } catch (const ApiError& e) {
-    return json_error(e.status(), e.what());
+    return json_error_response(e.status(), e.what());
   } catch (const std::exception& e) {
-    return json_error(500, e.what());
+    return json_error_response(500, e.what());
   }
 }
 

@@ -8,11 +8,30 @@
 //   GET  /healthz      liveness probe, "ok\n"
 //   GET  /metrics      Prometheus text (serve/metrics.h)
 //
-// One accept thread; each connection is dispatched onto the process-wide
-// util::ThreadPool (`--jobs` sizing applies), where the full
-// request/response loop runs. Keep-alive is honored, so a client can issue
-// a design-space iteration over one connection. Results flow through the
-// content-addressed SimCache; repeated design points never re-simulate.
+// One accept thread; each connection is dispatched onto a server-owned
+// dispatch pool (see ServerOptions::dispatch_jobs), where the full
+// request/response loop runs. The dispatch pool is deliberately separate
+// from the process-wide simulation pool: connection handlers are I/O-bound
+// (a keep-alive connection parks in poll between requests), so their thread
+// count must track max_connections, not core count — on a one-core host the
+// global pool has no workers at all and would run handlers inline on the
+// accept thread, making keep-alive starve the listener. Simulations
+// themselves still fan out on util::ThreadPool::global() (`--jobs`), so
+// report provenance — and therefore byte-identity with the local CLI — is
+// unchanged. Keep-alive is honored, so a client can issue a design-space
+// iteration over one connection. Results flow through the content-addressed
+// SimCache; repeated design points never re-simulate.
+//
+// Fault tolerance (ARCHITECTURE.md "Fault tolerance"): every connection
+// carries poll-based deadlines — an idle keep-alive connection is reaped
+// after idle_timeout_ms, a request that fails to arrive (or a response that
+// fails to drain) within request_timeout_ms is aborted with 408 — bodies
+// over max_body_bytes get 413, and connections beyond max_connections are
+// shed with 503 + Retry-After instead of queueing. The accept loop backs
+// off on EMFILE/ENFILE instead of busy-looping. All of it is counted on
+// /metrics and exercised through util/faultinject sites "serve.accept",
+// "serve.recv", and "serve.send".
+//
 // stop() is a graceful drain: the listener closes first, in-flight
 // connections finish (idle keep-alive connections are closed at the next
 // poll tick), then stop() returns.
@@ -21,6 +40,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -29,6 +49,7 @@
 #include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/simcache.h"
+#include "util/threadpool.h"
 
 namespace sqz::serve {
 
@@ -37,6 +58,27 @@ struct ServerOptions {
   int port = 8080;                 ///< 0 = ephemeral (see Server::port()).
   std::size_t cache_entries = 1024;
   std::string cache_dir;           ///< Empty = memory tier only.
+
+  /// Deadline for reading one complete request (from its first byte) and,
+  /// separately, for draining one response to the peer. Expiry answers 408
+  /// (when still possible) and closes the connection.
+  int request_timeout_ms = 30000;
+
+  /// Keep-alive connections with no buffered bytes are closed after this
+  /// long and counted in sqzserved_idle_closed_total.
+  int idle_timeout_ms = 30000;
+
+  /// Request bodies over this cap are refused with 413.
+  std::size_t max_body_bytes = 64 * 1024 * 1024;
+
+  /// Concurrent-connection cap; excess connections are shed with
+  /// 503 + Retry-After instead of queueing. 0 disables shedding.
+  int max_connections = 256;
+
+  /// Connection-handler threads. 0 sizes automatically: max_connections
+  /// clamped to [2, 8] (8 when shedding is disabled). Connections beyond
+  /// the pool width queue until a handler frees up or the shed cap fires.
+  int dispatch_jobs = 0;
 };
 
 class Server {
@@ -65,6 +107,7 @@ class Server {
 
  private:
   void accept_loop();
+  void shed_connection(int fd);
   void handle_connection(int fd);
   HttpResponse route(const HttpRequest& request);
 
@@ -76,6 +119,7 @@ class Server {
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
+  std::unique_ptr<util::ThreadPool> dispatch_pool_;  ///< Lives start()..stop().
   std::atomic<bool> accepting_{false};
   std::atomic<bool> stopping_{false};
 

@@ -16,8 +16,19 @@
 //     survives daemon restarts. Entries are immutable — the same canonical
 //     request always produces the same bytes — so files are never updated
 //     in place, and concurrent daemons may safely share a directory.
+//
+// The disk tier trusts nothing it reads back (ARCHITECTURE.md "Fault
+// tolerance"): every entry carries an FNV-1a checksum in its header,
+// verified on read. A corrupt or truncated entry is quarantined (renamed
+// `*.bad`) and treated as a miss, never served. Construction sweeps the
+// directory for crashed-writer leftovers (`*.tmp` removed, zero-length
+// entries quarantined). Persistent I/O failures demote the cache to
+// memory-only with a logged warning instead of failing requests; the
+// "simcache.read" / "simcache.write" fault points (util/faultinject.h) let
+// tests drive every one of those paths deterministically.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -37,7 +48,14 @@ class SimCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;   ///< Memory-tier LRU evictions.
     std::size_t entries = 0;       ///< Current memory-tier size.
+    std::uint64_t disk_quarantined = 0;  ///< Corrupt entries renamed *.bad.
+    std::uint64_t disk_errors = 0;       ///< Read/write failures absorbed.
+    bool disk_demoted = false;  ///< True once demoted to memory-only.
   };
+
+  /// Consecutive disk failures tolerated before the disk tier is demoted
+  /// to memory-only for the rest of the process.
+  static constexpr int kDiskFailureLimit = 4;
 
   /// `max_entries` bounds the memory tier (>= 1). `disk_dir` enables the
   /// on-disk tier; the directory is created if missing (throws
@@ -73,14 +91,23 @@ class SimCache {
   void insert_locked(std::uint64_t hash, const std::string& key,
                      const std::string& value);
   std::string disk_path(std::uint64_t hash) const;
+  void scan_disk_tier();
+  void quarantine(const std::string& path, const std::string& why);
+  void note_disk_error(const std::string& what);
+  void note_disk_ok();
+  bool disk_enabled() const {
+    return !disk_dir_.empty() && !disk_demoted_.load(std::memory_order_relaxed);
+  }
 
   const std::size_t max_entries_;
   const std::string disk_dir_;
+  std::atomic<bool> disk_demoted_{false};
 
   mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< Front = most recently used.
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
   Stats stats_;
+  int disk_failure_streak_ = 0;  ///< Consecutive failures; reset on success.
 };
 
 }  // namespace sqz::serve

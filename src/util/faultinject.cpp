@@ -1,0 +1,193 @@
+#include "util/faultinject.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace sqz::util::fault {
+
+namespace detail {
+std::atomic<int> g_armed_sites{0};
+}
+
+namespace {
+
+struct Site {
+  Action action;
+  int remaining = 0;
+  std::uint64_t hits = 0;
+};
+
+// Registry state. A plain mutex is fine: the fast path never takes it
+// (enabled() short-circuits), and armed runs are tests or chaos drills.
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, Site>& registry() {
+  static std::map<std::string, Site> sites;
+  return sites;
+}
+
+void recount_locked() {
+  int armed = 0;
+  for (const auto& [name, site] : registry())
+    if (site.remaining > 0) ++armed;
+  detail::g_armed_sites.store(armed, std::memory_order_relaxed);
+}
+
+bool parse_errno_name(const std::string& text, int& err) {
+  if (text == "ENOSPC") err = ENOSPC;
+  else if (text == "EMFILE") err = EMFILE;
+  else if (text == "ENFILE") err = ENFILE;
+  else if (text == "EIO") err = EIO;
+  else if (text == "ECONNRESET") err = ECONNRESET;
+  else {
+    char* end = nullptr;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || v <= 0) return false;
+    err = static_cast<int>(v);
+  }
+  return true;
+}
+
+// One "site=kind[:arg][*times]" clause.
+bool parse_clause(const std::string& clause, std::string& site, Action& action,
+                  int& times, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = "SQZ_FAULT: " + why + " in '" + clause + "'";
+    return false;
+  };
+  const std::size_t eq = clause.find('=');
+  if (eq == std::string::npos || eq == 0) return fail("missing 'site='");
+  site = clause.substr(0, eq);
+  std::string rest = clause.substr(eq + 1);
+
+  times = 1;
+  const std::size_t star = rest.find('*');
+  if (star != std::string::npos) {
+    char* end = nullptr;
+    const long v = std::strtol(rest.c_str() + star + 1, &end, 10);
+    if (*end != '\0' || v <= 0) return fail("bad shot count");
+    times = static_cast<int>(v);
+    rest = rest.substr(0, star);
+  }
+
+  const std::size_t colon = rest.find(':');
+  const std::string kind = rest.substr(0, colon);
+  const std::string arg =
+      colon == std::string::npos ? "" : rest.substr(colon + 1);
+  if (kind == "errno") {
+    int err = 0;
+    if (!parse_errno_name(arg, err)) return fail("bad errno '" + arg + "'");
+    action = make_errno(err);
+  } else if (kind == "short") {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(arg.c_str(), &end, 10);
+    if (arg.empty() || *end != '\0') return fail("bad byte count");
+    action = make_short(static_cast<std::size_t>(v));
+  } else if (kind == "stall") {
+    char* end = nullptr;
+    const long v = std::strtol(arg.c_str(), &end, 10);
+    if (arg.empty() || *end != '\0' || v < 0) return fail("bad stall millis");
+    action = make_stall(static_cast<int>(v));
+  } else {
+    return fail("unknown kind '" + kind + "' (errno|short|stall)");
+  }
+  return true;
+}
+
+// Apply SQZ_FAULT once, before main() touches any fault point.
+struct EnvInit {
+  EnvInit() {
+    const char* spec = std::getenv("SQZ_FAULT");
+    if (!spec || !*spec) return;
+    std::string error;
+    if (!arm_from_spec(spec, &error))
+      SQZ_LOG(Warn) << "ignoring malformed fault spec: " << error;
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+Action consume(const char* site) noexcept {
+  Action armed;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto it = registry().find(site);
+    if (it == registry().end() || it->second.remaining <= 0) return Action{};
+    --it->second.remaining;
+    ++it->second.hits;
+    armed = it->second.action;
+    recount_locked();
+  }
+  if (armed.kind == Kind::Stall && armed.millis > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(armed.millis));
+  }
+  return armed;
+}
+
+void arm(const std::string& site, Action action, int times) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[site] = Site{action, times < 0 ? 0 : times, 0};
+  recount_locked();
+}
+
+void disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  if (it != registry().end()) it->second.remaining = 0;
+  recount_locked();
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().clear();
+  recount_locked();
+}
+
+std::uint64_t hits(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.hits;
+}
+
+int remaining(const std::string& site) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  const auto it = registry().find(site);
+  return it == registry().end() ? 0 : it->second.remaining;
+}
+
+bool arm_from_spec(const std::string& spec, std::string* error) {
+  // Validate every clause before arming any, so a bad spec is a no-op.
+  struct Parsed {
+    std::string site;
+    Action action;
+    int times;
+  };
+  std::vector<Parsed> clauses;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string clause = spec.substr(begin, end - begin);
+    if (!clause.empty()) {
+      Parsed p;
+      if (!parse_clause(clause, p.site, p.action, p.times, error)) return false;
+      clauses.push_back(std::move(p));
+    }
+    begin = end + 1;
+  }
+  for (const Parsed& p : clauses) arm(p.site, p.action, p.times);
+  return true;
+}
+
+}  // namespace sqz::util::fault

@@ -1,5 +1,7 @@
 #include "util/json_parse.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace sqz::util {
@@ -42,9 +44,15 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  Parser(const std::string& text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   JsonValue parse() {
+    if (text_.size() > limits_.max_bytes)
+      throw std::runtime_error(
+          "json: input of " + std::to_string(text_.size()) +
+          " bytes exceeds the " + std::to_string(limits_.max_bytes) +
+          "-byte limit");
     skip_ws();
     JsonValue v = parse_value();
     skip_ws();
@@ -189,11 +197,29 @@ class Parser {
     JsonValue v;
     v.type = JsonValue::Type::Number;
     v.raw_number = text_.substr(start, pos_ - start);
+    errno = 0;
     v.number = std::strtod(v.raw_number.c_str(), nullptr);
+    // Overflow to +/-inf is a lie we refuse to tell the caller. Underflow
+    // to zero (1e-9999) is representable-enough and allowed by RFC 8259.
+    if (errno == ERANGE && std::isinf(v.number))
+      fail("number out of range: " + v.raw_number);
     return v;
   }
 
+  // Containers share one depth budget; a guard object keeps it exact across
+  // the recursive descent.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > parser.limits_.max_depth)
+        parser.fail("nesting deeper than " +
+                    std::to_string(parser.limits_.max_depth) + " levels");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   JsonValue parse_array() {
+    DepthGuard depth(*this);
     expect('[');
     JsonValue v;
     v.type = JsonValue::Type::Array;
@@ -213,6 +239,7 @@ class Parser {
   }
 
   JsonValue parse_object() {
+    DepthGuard depth(*this);
     expect('{');
     JsonValue v;
     v.type = JsonValue::Type::Object;
@@ -237,11 +264,15 @@ class Parser {
   }
 
   const std::string& text_;
+  const JsonLimits limits_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
-JsonValue parse_json(const std::string& text) { return Parser(text).parse(); }
+JsonValue parse_json(const std::string& text, const JsonLimits& limits) {
+  return Parser(text, limits).parse();
+}
 
 }  // namespace sqz::util

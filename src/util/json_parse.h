@@ -9,6 +9,13 @@
 // Strictness: exactly one top-level value, RFC 8259 number grammar, no
 // trailing input, duplicate object keys rejected. Any violation throws
 // std::runtime_error with a byte offset.
+//
+// The parser is fed untrusted bytes by the serving layer, so adversarial
+// shapes are bounded too (JsonLimits): input size is capped before the
+// first byte is examined, container nesting is capped (a few hundred bytes
+// of "[[[[..." would otherwise recurse the stack into the ground), and
+// numbers whose magnitude overflows double are rejected rather than
+// silently becoming infinity.
 #pragma once
 
 #include <cstdint>
@@ -53,8 +60,16 @@ struct JsonValue {
   bool as_bool() const;
 };
 
+/// Guards against adversarial inputs; defaults accept anything the server
+/// itself would accept (its body cap is 64 MiB) with room to spare.
+struct JsonLimits {
+  std::size_t max_bytes = 64 * 1024 * 1024;  ///< Whole-document size cap.
+  std::size_t max_depth = 128;  ///< Array/object nesting cap.
+};
+
 /// Parse one complete JSON document. Throws std::runtime_error on any
-/// grammar violation, naming the byte offset.
-JsonValue parse_json(const std::string& text);
+/// grammar violation, naming the byte offset, and on any JsonLimits
+/// violation, naming the exceeded limit.
+JsonValue parse_json(const std::string& text, const JsonLimits& limits = {});
 
 }  // namespace sqz::util

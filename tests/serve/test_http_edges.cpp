@@ -1,0 +1,207 @@
+// Adversarial wire input for the serve/http parser: oversized headers,
+// Content-Length lies, pipelining, and CRLF-splitting probes. Table-driven
+// so each hostile shape documents the verdict it must produce — the server
+// maps Error to 400 and TooLarge to 413, so these verdicts are the contract
+// that keeps garbage off the simulation layer.
+#include "serve/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sqz::serve {
+namespace {
+
+struct RequestCase {
+  const char* name;
+  std::string wire;
+  ParseStatus want;
+  const char* error_substr;  // must appear in the parse error (Error/TooLarge)
+};
+
+// Limits small enough to exercise the caps with hand-written wire text.
+ParseLimits tight_limits() {
+  ParseLimits limits;
+  limits.max_header_bytes = 256;
+  limits.max_body_bytes = 64;
+  return limits;
+}
+
+TEST(HttpRequestEdges, TableOfHostileWires) {
+  const std::string big_header =
+      "X-Padding: " + std::string(300, 'a') + "\r\n";
+  const std::vector<RequestCase> cases = {
+      {"well-formed POST baseline",
+       "POST /v1/simulate HTTP/1.1\r\nContent-Length: 2\r\n\r\nok",
+       ParseStatus::Ok, nullptr},
+      {"incomplete request line",
+       "POST /v1/sim", ParseStatus::NeedMore, nullptr},
+      {"headers not yet terminated",
+       "GET / HTTP/1.1\r\nHost: x\r\n", ParseStatus::NeedMore, nullptr},
+      {"body still in flight",
+       "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc",
+       ParseStatus::NeedMore, nullptr},
+      {"request line longer than the header cap",
+       "GET /" + std::string(300, 'a'), ParseStatus::TooLarge,
+       "request line too long"},
+      {"oversized header block",
+       "GET / HTTP/1.1\r\n" + big_header + "\r\n", ParseStatus::TooLarge,
+       "header block too large"},
+      {"oversized header block dripped without terminator",
+       "GET / HTTP/1.1\r\nX-Drip: " + std::string(300, 'b'),
+       ParseStatus::TooLarge, "header block too large"},
+      {"Content-Length over the body cap",
+       "POST / HTTP/1.1\r\nContent-Length: 65\r\n\r\n", ParseStatus::TooLarge,
+       "exceeds the 64-byte limit"},
+      {"Content-Length overflowing unsigned long long",
+       "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n",
+       ParseStatus::TooLarge, "exceeds the 64-byte limit"},
+      {"negative Content-Length",
+       "POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n", ParseStatus::Error,
+       "bad Content-Length"},
+      {"non-numeric Content-Length",
+       "POST / HTTP/1.1\r\nContent-Length: pig\r\n\r\n", ParseStatus::Error,
+       "bad Content-Length"},
+      {"empty Content-Length",
+       "POST / HTTP/1.1\r\nContent-Length:\r\n\r\n", ParseStatus::Error,
+       "bad Content-Length"},
+      {"signed Content-Length",
+       "POST / HTTP/1.1\r\nContent-Length: +2\r\n\r\nok", ParseStatus::Error,
+       "bad Content-Length"},
+      {"Content-Length with trailing digit garbage",
+       "POST / HTTP/1.1\r\nContent-Length: 2 2\r\n\r\nok", ParseStatus::Error,
+       "bad Content-Length"},
+      {"chunked transfer is out of scope, loudly",
+       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       ParseStatus::Error, "Transfer-Encoding not supported"},
+      {"header line without a colon",
+       "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n", ParseStatus::Error,
+       "malformed header line"},
+      {"header name with embedded space (splitting probe)",
+       "GET / HTTP/1.1\r\nX Injected: v\r\n\r\n", ParseStatus::Error,
+       "malformed header name"},
+      {"header name with control byte",
+       "GET / HTTP/1.1\r\nX-\x01" "Bad: v\r\n\r\n", ParseStatus::Error,
+       "malformed header name"},
+      {"empty header name",
+       "GET / HTTP/1.1\r\n: naked value\r\n\r\n", ParseStatus::Error,
+       "malformed header line"},
+      {"bare CR inside the request line",
+       "GET /x\ry HTTP/1.1\r\n\r\n", ParseStatus::Error,
+       "stray CR in request line"},
+      {"CRLF smuggled into the target via extra spaces",
+       "GET /x\rHost: evil HTTP/1.1\r\n\r\n", ParseStatus::Error,
+       "malformed request line"},
+      {"three-token rule rejects spaced garbage",
+       "GET / HTTP/1.1 extra\r\n\r\n", ParseStatus::Error,
+       "malformed request line"},
+      {"unsupported protocol version",
+       "GET / HTTP/2.0\r\n\r\n", ParseStatus::Error, "unsupported protocol"},
+      {"not HTTP at all",
+       "SSH-2.0-OpenSSH_9.6\r\n\r\n", ParseStatus::Error, nullptr},
+  };
+
+  for (const RequestCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    HttpRequest req;
+    std::size_t consumed = 0;
+    std::string error;
+    const ParseStatus got =
+        parse_http_request(c.wire, req, consumed, &error, tight_limits());
+    EXPECT_EQ(static_cast<int>(got), static_cast<int>(c.want)) << error;
+    if (c.error_substr) {
+      EXPECT_NE(error.find(c.error_substr), std::string::npos) << error;
+    }
+  }
+}
+
+TEST(HttpRequestEdges, MissingContentLengthMeansEmptyBody) {
+  HttpRequest req;
+  std::size_t consumed = 0;
+  std::string error;
+  const std::string wire = "POST /v1/simulate HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(static_cast<int>(
+                parse_http_request(wire, req, consumed, &error)),
+            static_cast<int>(ParseStatus::Ok))
+      << error;
+  EXPECT_TRUE(req.body.empty());
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(HttpRequestEdges, PipelinedRequestsParseOneAtATime) {
+  const std::string first =
+      "POST /v1/simulate HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  const std::string second = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  std::string buffer = first + second;
+
+  HttpRequest req;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(static_cast<int>(
+                parse_http_request(buffer, req, consumed, &error)),
+            static_cast<int>(ParseStatus::Ok))
+      << error;
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.body, "hello");
+  ASSERT_EQ(consumed, first.size())
+      << "must not eat into the pipelined follow-up";
+
+  buffer.erase(0, consumed);
+  ASSERT_EQ(static_cast<int>(
+                parse_http_request(buffer, req, consumed, &error)),
+            static_cast<int>(ParseStatus::Ok))
+      << error;
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.target, "/metrics");
+  EXPECT_EQ(consumed, second.size());
+}
+
+TEST(HttpRequestEdges, BodyBytesAreOpaque) {
+  // A body that *looks* like a pipelined request must stay body bytes:
+  // framing is Content-Length alone, never content sniffing.
+  const std::string inner = "GET /admin HTTP/1.1\r\n\r\n";
+  const std::string wire = "POST /v1/simulate HTTP/1.1\r\nContent-Length: " +
+                           std::to_string(inner.size()) + "\r\n\r\n" + inner;
+  HttpRequest req;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(static_cast<int>(
+                parse_http_request(wire, req, consumed, &error)),
+            static_cast<int>(ParseStatus::Ok))
+      << error;
+  EXPECT_EQ(req.target, "/v1/simulate");
+  EXPECT_EQ(req.body, inner);
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(HttpResponseEdges, HostileStatusLines) {
+  struct Case {
+    const char* name;
+    std::string wire;
+    ParseStatus want;
+  };
+  const std::vector<Case> cases = {
+      {"valid minimal response",
+       "HTTP/1.1 200 OK\r\nContent-Length: 0\r\n\r\n", ParseStatus::Ok},
+      {"not a status line", "garbage\r\n\r\n", ParseStatus::Error},
+      {"status code with letters", "HTTP/1.1 2x0 OK\r\n\r\n",
+       ParseStatus::Error},
+      {"status line cut short", "HTTP/1.1 2", ParseStatus::NeedMore},
+      {"response body over the client cap",
+       "HTTP/1.1 200 OK\r\nContent-Length: 65\r\n\r\n", ParseStatus::TooLarge},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    HttpResponse resp;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(static_cast<int>(parse_http_response(c.wire, resp, consumed,
+                                                   &error, tight_limits())),
+              static_cast<int>(c.want))
+        << error;
+  }
+}
+
+}  // namespace
+}  // namespace sqz::serve

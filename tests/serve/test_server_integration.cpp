@@ -194,9 +194,11 @@ TEST_F(ServerIntegration, CliConnectRejectsLocalOnlyFlagsAndBadEndpoints) {
   EXPECT_EQ(cli({"--connect", "nocolon"}).code, 1);
   EXPECT_EQ(cli({"--connect", "127.0.0.1:notaport"}).code, 1);
   // Nothing listens on port 1: connect refused maps to a clean failure.
-  const CliRun refused = cli({"--connect", "127.0.0.1:1"});
+  // --retries 0 keeps the test fast (the default client policy retries).
+  const CliRun refused = cli({"--connect", "127.0.0.1:1", "--retries", "0"});
   EXPECT_EQ(refused.code, 1);
   EXPECT_FALSE(refused.err.empty());
+  EXPECT_EQ(cli({"--connect", "127.0.0.1:1", "--retries", "pig"}).code, 1);
 }
 
 TEST_F(ServerIntegration, ConcurrentMixedRequestsAllSucceed) {

@@ -1,0 +1,104 @@
+#include "util/faultinject.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace sqz::util::fault {
+namespace {
+
+// Every test leaves the registry clean so suites sharing the process (the
+// chaos suite in particular) start from a disarmed world.
+class FaultInject : public ::testing::Test {
+ protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+};
+
+TEST_F(FaultInject, DisarmedWorldIsFreeOfFaults) {
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(at("anything").kind, Kind::None);
+  EXPECT_EQ(hits("anything"), 0u);
+}
+
+TEST_F(FaultInject, ArmedSiteFiresExactlyItsShotCount) {
+  arm("io.write", make_errno(ENOSPC), 2);
+  EXPECT_TRUE(enabled());
+  EXPECT_EQ(remaining("io.write"), 2);
+
+  const Action first = at("io.write");
+  EXPECT_EQ(first.kind, Kind::Errno);
+  EXPECT_EQ(first.err, ENOSPC);
+  EXPECT_TRUE(static_cast<bool>(first));
+
+  EXPECT_EQ(at("io.write").kind, Kind::Errno);
+  EXPECT_EQ(at("io.write").kind, Kind::None);  // shots exhausted
+  EXPECT_EQ(hits("io.write"), 2u);
+  EXPECT_FALSE(enabled());  // nothing left armed anywhere
+}
+
+TEST_F(FaultInject, SitesAreIndependent) {
+  arm("a", make_short(3), 1);
+  arm("b", make_errno(EIO), 1);
+  EXPECT_EQ(at("c").kind, Kind::None);
+  const Action a = at("a");  // the one armed shot; consumed exactly here
+  EXPECT_EQ(a.kind, Kind::ShortIo);
+  EXPECT_EQ(a.bytes, 3u);
+  EXPECT_TRUE(enabled());  // "b" still armed
+  EXPECT_EQ(at("b").err, EIO);
+  EXPECT_FALSE(enabled());
+}
+
+TEST_F(FaultInject, DisarmCancelsRemainingShots) {
+  arm("x", make_errno(EMFILE), 100);
+  disarm("x");
+  EXPECT_FALSE(enabled());
+  EXPECT_EQ(at("x").kind, Kind::None);
+}
+
+TEST_F(FaultInject, StallSleepsInsideConsume) {
+  arm("slow", make_stall(30), 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const Action a = at("slow");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_EQ(a.kind, Kind::Stall);
+  EXPECT_GE(elapsed.count(), 25);
+}
+
+TEST_F(FaultInject, SpecArmsMultipleSites) {
+  std::string error;
+  ASSERT_TRUE(arm_from_spec(
+      "serve.recv=errno:ECONNRESET;simcache.write=short:5*3;x=stall:0", &error))
+      << error;
+  EXPECT_EQ(at("serve.recv").err, ECONNRESET);
+  EXPECT_EQ(remaining("simcache.write"), 3);
+  EXPECT_EQ(at("simcache.write").bytes, 5u);
+  EXPECT_EQ(at("x").kind, Kind::Stall);
+}
+
+TEST_F(FaultInject, SpecAcceptsNumericErrno) {
+  ASSERT_TRUE(arm_from_spec("s=errno:28"));
+  EXPECT_EQ(at("s").err, 28);
+}
+
+TEST_F(FaultInject, MalformedSpecArmsNothingAndExplains) {
+  const char* bad[] = {
+      "noequals",        "=errno:EIO",     "s=errno:EWHAT",
+      "s=short:pigs",    "s=stall:-4",     "s=explode",
+      "s=errno:EIO*0",   "s=errno:EIO*x",
+  };
+  for (const char* spec : bad) {
+    std::string error;
+    EXPECT_FALSE(arm_from_spec(spec, &error)) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+    EXPECT_FALSE(enabled()) << spec;
+  }
+  // One bad clause poisons the whole spec: the good clause must not arm.
+  EXPECT_FALSE(arm_from_spec("good=errno:EIO;bad=explode"));
+  EXPECT_EQ(at("good").kind, Kind::None);
+}
+
+}  // namespace
+}  // namespace sqz::util::fault

@@ -1,0 +1,90 @@
+// Adversarial-input hardening for util/json_parse: the server feeds this
+// parser untrusted request bodies, so hostile shapes must fail fast with a
+// clear error instead of exhausting the stack or lying about values.
+#include "util/json_parse.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sqz::util {
+namespace {
+
+std::string nested_arrays(std::size_t depth) {
+  std::string s(depth, '[');
+  s.append(depth, ']');
+  return s;
+}
+
+std::string error_of(const std::string& text, const JsonLimits& limits = {}) {
+  try {
+    parse_json(text, limits);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(JsonParseLimits, DeepButLegalNestingParses) {
+  const JsonValue v = parse_json(nested_arrays(128));
+  EXPECT_TRUE(v.is_array());
+  // Mixed object/array nesting shares the same budget.
+  EXPECT_NO_THROW(parse_json(R"({"a":[{"b":[{"c":[]}]}]})"));
+}
+
+TEST(JsonParseLimits, NestingBeyondTheCapIsRejectedNotCrashed) {
+  // Well past any sane request, far below stack exhaustion.
+  const std::string err = error_of(nested_arrays(100000));
+  EXPECT_NE(err.find("nesting deeper than 128"), std::string::npos) << err;
+
+  JsonLimits tight;
+  tight.max_depth = 3;
+  EXPECT_NO_THROW(parse_json(nested_arrays(3), tight));
+  EXPECT_NE(error_of(nested_arrays(4), tight).find("nesting deeper than 3"),
+            std::string::npos);
+  EXPECT_NE(error_of(R"({"a":{"b":{"c":{"d":1}}}})", tight)
+                .find("nesting deeper than 3"),
+            std::string::npos);
+}
+
+TEST(JsonParseLimits, InputSizeGuardRejectsBeforeParsing) {
+  JsonLimits tiny;
+  tiny.max_bytes = 16;
+  EXPECT_NO_THROW(parse_json(R"({"a":1})", tiny));
+  const std::string err =
+      error_of(R"({"key":"0123456789abcdef"})", tiny);
+  EXPECT_NE(err.find("exceeds the 16-byte limit"), std::string::npos) << err;
+}
+
+TEST(JsonParseLimits, TruncatedInputsFailCleanly) {
+  const char* truncated[] = {
+      "{",       "[",        "{\"a\"",   "{\"a\":",  "[1,",
+      "\"abc",   "12.",      "1e",       "tru",      "{\"a\":1",
+  };
+  for (const char* text : truncated) {
+    EXPECT_FALSE(error_of(text).empty()) << "'" << text << "' parsed";
+  }
+}
+
+TEST(JsonParseLimits, HugeScalarsAreRejectedNotInfinity) {
+  EXPECT_NE(error_of("1e999").find("out of range"), std::string::npos);
+  EXPECT_NE(error_of("-1e999").find("out of range"), std::string::npos);
+  // A million-digit integer literal overflows double too.
+  std::string monster(1000000, '9');
+  JsonLimits roomy;
+  roomy.max_bytes = 2 * monster.size();
+  EXPECT_NE(error_of(monster, roomy).find("out of range"), std::string::npos);
+
+  // The edges of representable stay accepted.
+  EXPECT_DOUBLE_EQ(parse_json("1e308").as_double(), 1e308);
+  // Underflow to zero is representable-enough (RFC 8259 leaves it open).
+  EXPECT_DOUBLE_EQ(parse_json("1e-999").as_double(), 0.0);
+}
+
+TEST(JsonParseLimits, ErrorsStillNameTheByteOffset) {
+  const std::string err = error_of("[1, }");
+  EXPECT_NE(err.find("at byte"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace sqz::util

@@ -32,8 +32,21 @@ const char* kUsage =
     "                     bit-identical at any job count\n"
     "  --cache-entries N  in-memory result-cache capacity (default 1024)\n"
     "  --cache-dir PATH   also persist results on disk; survives restarts\n"
-    "                     and may be pre-warmed (see EXPERIMENTS.md)\n"
-    "  --help             this text\n";
+    "                     and may be pre-warmed (see EXPERIMENTS.md).\n"
+    "                     Entries are checksummed; corrupt files are\n"
+    "                     quarantined as *.bad and re-simulated\n"
+    "  --request-timeout-ms N  deadline to read one request / drain one\n"
+    "                     response; expiry answers 408 (default 30000)\n"
+    "  --idle-timeout-ms N  close keep-alive connections idle this long\n"
+    "                     (default 30000)\n"
+    "  --max-body-bytes N request bodies over this get 413 (default 64 MiB)\n"
+    "  --max-connections N  concurrent-connection cap; excess connections\n"
+    "                     are shed with 503 + Retry-After instead of\n"
+    "                     queueing (default 256; 0 disables shedding)\n"
+    "  --help             this text\n"
+    "\n"
+    "SQZ_FAULT=site=kind[:arg][*times][;...] injects deterministic faults\n"
+    "at the registered fault points (util/faultinject.h) for chaos drills.\n";
 
 struct Options {
   sqz::serve::ServerOptions server;
@@ -64,6 +77,26 @@ Options parse_args(const std::vector<std::string>& args) {
       opt.server.cache_entries = static_cast<std::size_t>(
           sqz::util::ThreadPool::parse_jobs(value_of(i), "--cache-entries"));
     else if (a == "--cache-dir") opt.server.cache_dir = value_of(i);
+    else if (a == "--request-timeout-ms")
+      opt.server.request_timeout_ms =
+          sqz::util::ThreadPool::parse_jobs(value_of(i), "--request-timeout-ms");
+    else if (a == "--idle-timeout-ms")
+      opt.server.idle_timeout_ms =
+          sqz::util::ThreadPool::parse_jobs(value_of(i), "--idle-timeout-ms");
+    else if (a == "--max-body-bytes") {
+      const std::string v = value_of(i);
+      if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+        throw std::invalid_argument(
+            "--max-body-bytes expects a byte count, got '" + v + "'");
+      opt.server.max_body_bytes =
+          static_cast<std::size_t>(std::stoull(v));
+    }
+    else if (a == "--max-connections") {
+      const std::string v = value_of(i);
+      opt.server.max_connections =
+          v == "0" ? 0
+                   : sqz::util::ThreadPool::parse_jobs(v, "--max-connections");
+    }
     else throw std::invalid_argument("unknown argument: " + a);
   }
   return opt;
