@@ -1,12 +1,17 @@
 #include "core/cli.h"
 
+#include <chrono>
+#include <filesystem>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/config_io.h"
 #include "core/dse.h"
+#include "core/sweepjournal.h"
 #include "core/report.h"
 #include "core/trace.h"
 #include "sched/compile.h"
@@ -51,6 +56,10 @@ struct CliOptions {
   int retry_base_ms = 100; ///< --retry-base-ms: backoff floor per retry.
   std::string json_path;   ///< --json: machine-readable run report.
   std::string trace_path;  ///< --trace: Chrome trace-event schedule.
+  std::string sweep_spec;  ///< --sweep KNOB=V1,V2,...: generic DSE sweep.
+  std::string journal_dir; ///< --journal DIR: crash-safe sweep journal.
+  bool resume = false;     ///< --resume: skip points the journal holds.
+  bool progress = false;   ///< --progress: stderr heartbeat during sweeps.
 };
 
 nn::Model load_model(const CliOptions& opt) {
@@ -107,6 +116,10 @@ CliOptions parse_args(const std::vector<std::string>& args) {
     else if (a == "--json") opt.json_path = value_of(i);
     else if (a == "--trace") opt.trace_path = value_of(i);
     else if (a == "--dump-rf-sweep") opt.dump_rf_sweep = true;
+    else if (a == "--sweep") opt.sweep_spec = value_of(i);
+    else if (a == "--journal") opt.journal_dir = value_of(i);
+    else if (a == "--resume") opt.resume = true;
+    else if (a == "--progress") opt.progress = true;
     else throw std::invalid_argument("unknown argument: " + a);
   }
   return opt;
@@ -150,6 +163,10 @@ int run_remote(const CliOptions& opt, std::ostream& out, std::ostream& err) {
   else if (opt.csv) local_only = "--csv";
   else if (opt.program) local_only = "--program";
   else if (!opt.trace_path.empty()) local_only = "--trace";
+  else if (!opt.sweep_spec.empty()) local_only = "--sweep";
+  else if (!opt.journal_dir.empty()) local_only = "--journal";
+  else if (opt.resume) local_only = "--resume";
+  else if (opt.progress) local_only = "--progress";
   if (local_only)
     throw std::invalid_argument(
         std::string(local_only) +
@@ -236,6 +253,114 @@ int run_remote(const CliOptions& opt, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+// --sweep KNOB=V1,V2,... -> labeled configurations, mirroring the serve
+// API's knob set (serve/api.h) so the CLI and /v1/sweep accept the same
+// sweeps.
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_from_spec(
+    const std::string& spec, const sim::AcceleratorConfig& base,
+    std::string& knob_out) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size())
+    throw std::invalid_argument("--sweep expects KNOB=V1,V2,..., got '" +
+                                spec + "'");
+  const std::string knob = spec.substr(0, eq);
+  std::vector<double> values;
+  for (const std::string& tok : util::split(spec.substr(eq + 1), ',')) {
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(tok, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != tok.size() || tok.empty())
+      throw std::invalid_argument("--sweep " + knob + ": bad value '" + tok +
+                                  "'");
+    values.push_back(v);
+  }
+  knob_out = knob;
+
+  const auto integral = [&]() {
+    std::vector<int> out;
+    for (const double v : values) {
+      const int i = static_cast<int>(v);
+      if (static_cast<double>(i) != v)
+        throw std::invalid_argument("--sweep " + knob +
+                                    " expects integer values");
+      out.push_back(i);
+    }
+    return out;
+  };
+  if (knob == "rf_entries") return sweep_rf_entries(base, integral());
+  if (knob == "array_n") return sweep_array_n(base, integral());
+  if (knob == "sparsity") return sweep_sparsity(base, values);
+  if (knob == "dram_bytes_per_cycle") return sweep_dram_bandwidth(base, values);
+  throw std::invalid_argument(
+      "--sweep knob must be one of rf_entries|array_n|sparsity|"
+      "dram_bytes_per_cycle, got '" + knob + "'");
+}
+
+// The --sweep / --dump-rf-sweep execution path: checked evaluation with
+// optional journaling, resume, and a stderr heartbeat. Exit code 0 as long
+// as at least one point succeeded (failures are recorded in the dump's
+// "errors" array); 1 when every point failed.
+int run_sweep_cli(const CliOptions& opt, const nn::Model& model,
+                  const sim::AcceleratorConfig& cfg, std::ostream& out,
+                  std::ostream& err) {
+  std::string knob = "rf_entries";
+  const auto configs = opt.sweep_spec.empty()
+                           ? sweep_rf_entries(cfg, {8, 16})
+                           : sweep_from_spec(opt.sweep_spec, cfg, knob);
+
+  SweepOptions sopt;
+  if (opt.objective == "cycles") sopt.objective = sched::Objective::Cycles;
+  else if (opt.objective == "energy") sopt.objective = sched::Objective::Energy;
+  else throw std::invalid_argument("--objective must be cycles|energy");
+
+  if (opt.resume && opt.journal_dir.empty())
+    throw std::invalid_argument("--resume requires --journal DIR");
+  std::unique_ptr<SweepJournal> journal;
+  if (!opt.journal_dir.empty()) {
+    if (!opt.resume) {
+      // A fresh (non-resumed) run must not inherit a previous run's
+      // entries: stale metrics for a matching key would silently replace
+      // re-evaluation.
+      std::error_code ec;
+      std::filesystem::remove(SweepJournal::journal_path(opt.journal_dir), ec);
+    }
+    journal = std::make_unique<SweepJournal>(opt.journal_dir);
+    sopt.journal = journal.get();
+  }
+
+  std::mutex progress_mu;
+  const auto start = std::chrono::steady_clock::now();
+  std::int64_t last_print_ms = -1000000;
+  if (opt.progress) {
+    sopt.progress = [&](std::size_t done, std::size_t total,
+                        std::size_t errors) {
+      const std::int64_t ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start).count();
+      std::lock_guard<std::mutex> lock(progress_mu);
+      if (done < total && ms - last_print_ms < 500) return;
+      last_print_ms = ms;
+      err << util::format("sqzsim: sweep %zu/%zu done, %zu errors, %.1fs elapsed\n",
+                          done, total, errors, static_cast<double>(ms) / 1000.0);
+    };
+  }
+
+  const SweepOutcome outcome = evaluate_designs_checked(model, configs, sopt);
+  if (opt.resume)
+    err << "sqzsim: resumed " << outcome.resumed << " completed points\n";
+  if (!outcome.errors.empty())
+    err << "sqzsim: " << outcome.errors.size() << " of " << configs.size()
+        << " design points failed (see the dump's \"errors\" array)\n";
+
+  const std::string name =
+      opt.model_file.empty() ? opt.model : model.name();
+  write_sweep_outcome_json(knob + " on " + name, outcome, out);
+  return outcome.points.empty() && !configs.empty() ? 1 : 0;
+}
+
 void emit_csv(const nn::Model& model, const sim::NetworkResult& r,
               std::ostream& out) {
   util::CsvWriter csv(out);
@@ -307,6 +432,22 @@ std::string cli_usage() {
       "                      model and print the DSE sweep JSON to stdout\n"
       "                      (regenerates tests/data/rf_sweep_golden.json\n"
       "                      with --model sqnxt23)\n"
+      "  --sweep KNOB=V1,V2,...\n"
+      "                      evaluate a design-space sweep and print the DSE\n"
+      "                      sweep JSON; knobs: rf_entries array_n sparsity\n"
+      "                      dram_bytes_per_cycle. Each point is validated\n"
+      "                      pre-flight and fault-isolated: a failing point\n"
+      "                      lands in the dump's \"errors\" array instead of\n"
+      "                      aborting the sweep\n"
+      "  --journal DIR       write-ahead journal for sweeps: append each\n"
+      "                      completed point to DIR/sweep.sqzj so a killed\n"
+      "                      sweep can be resumed. Without --resume any\n"
+      "                      existing journal is discarded first\n"
+      "  --resume            with --journal: skip points the journal already\n"
+      "                      holds; the final dump is byte-identical to an\n"
+      "                      uninterrupted run\n"
+      "  --progress          stderr heartbeat during sweeps (done/total,\n"
+      "                      errors, elapsed seconds)\n"
       "  --connect HOST:PORT run on a sqzserved daemon instead of locally;\n"
       "                      prints the daemon's JSON report (or sweep JSON\n"
       "                      with --dump-rf-sweep), byte-identical to a local\n"
@@ -334,12 +475,8 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     const nn::Model model = load_model(opt);
     const sim::AcceleratorConfig cfg = build_config(opt);
 
-    if (opt.dump_rf_sweep) {
-      const auto points =
-          evaluate_designs(model, sweep_rf_entries(cfg, {8, 16}));
-      write_design_points_json("rf_entries on " + opt.model, points, out);
-      return 0;
-    }
+    if (opt.dump_rf_sweep || !opt.sweep_spec.empty())
+      return run_sweep_cli(opt, model, cfg, out, err);
 
     sched::SimulationOptions sim_opt;
     if (opt.objective == "cycles") sim_opt.objective = sched::Objective::Cycles;

@@ -6,6 +6,7 @@
 //          [--config accel.ini] [--model-file net.txt]
 //          [--per-layer] [--compare] [--timeline] [--csv]
 //          [--json report.json] [--trace trace.json]
+//          [--sweep KNOB=V1,V2,...] [--journal DIR] [--resume] [--progress]
 #pragma once
 
 #include <iosfwd>

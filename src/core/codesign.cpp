@@ -1,8 +1,13 @@
 #include "core/codesign.h"
 
 #include <algorithm>
+#include <exception>
 #include <limits>
+#include <stdexcept>
 
+#include "core/validate.h"
+#include "util/hash.h"
+#include "util/strings.h"
 #include "util/threadpool.h"
 
 namespace sqz::core {
@@ -28,14 +33,46 @@ TuningResult tune_accelerator(const nn::Model& model, const TuningSpace& space,
     }
   }
 
-  util::ThreadPool::global().parallel_for_index(
-      result.candidates.size(), [&](std::size_t i) {
+  // Per-candidate fault isolation: a candidate that fails pre-flight or
+  // throws mid-simulation must not cost the whole tuning run — the sweep
+  // continues and the winner is picked among the survivors.
+  std::vector<std::exception_ptr> errors;
+  const std::size_t failed = util::ThreadPool::global().parallel_for_index_capture(
+      result.candidates.size(),
+      [&](std::size_t i) {
         TuningCandidate& cand = result.candidates[i];
+        const ValidationReport report = validate_design(model, cand.config);
+        if (!report.ok()) throw ValidationError(report.summary());
         const sim::NetworkResult net =
             sched::simulate_network(model, cand.config, objective, units);
         cand.cycles = net.total_cycles();
         cand.energy = energy::network_energy(net, units).total();
-      });
+      },
+      errors);
+
+  if (failed > 0) {
+    std::vector<TuningCandidate> survivors;
+    for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+      const sim::AcceleratorConfig& cfg = result.candidates[i].config;
+      const std::string label =
+          util::format("N=%d RF=%d", cfg.array_n, cfg.rf_entries);
+      if (errors[i]) {
+        result.errors.push_back(classify_point_error(
+            label,
+            util::format("%016llx",
+                         static_cast<unsigned long long>(util::fnv1a64(
+                             design_point_key(model, label, cfg, objective)))),
+            errors[i]));
+        continue;
+      }
+      survivors.push_back(result.candidates[i]);
+    }
+    result.candidates = std::move(survivors);
+    if (result.candidates.empty())
+      throw std::runtime_error(
+          "tune_accelerator: every candidate failed; first: " +
+          result.errors.front().label + ": " + result.errors.front().what);
+  }
 
   double best_primary = std::numeric_limits<double>::infinity();
   double best_secondary = std::numeric_limits<double>::infinity();

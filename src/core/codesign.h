@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/dse.h"
 #include "energy/model.h"
 #include "nn/model.h"
 #include "sched/network_sim.h"
@@ -41,12 +42,17 @@ struct TuningCandidate {
 };
 
 struct TuningResult {
-  std::vector<TuningCandidate> candidates;  ///< All evaluated points.
+  std::vector<TuningCandidate> candidates;  ///< Successfully evaluated points.
   sim::AcceleratorConfig best;              ///< Winner by the tuning objective.
+  std::vector<PointError> errors;  ///< Candidates that failed, sweep order.
 };
 
 /// Sweep the tuning space and pick the configuration that minimizes the
 /// objective for `model`. Ties break toward lower energy, then smaller RF.
+/// A candidate that fails pre-flight validation or throws mid-simulation is
+/// recorded in `errors` instead of aborting the sweep; the winner is chosen
+/// among the survivors. Throws std::runtime_error only when every candidate
+/// fails (there is no winner to return).
 TuningResult tune_accelerator(const nn::Model& model, const TuningSpace& space,
                               const sim::AcceleratorConfig& base =
                                   sim::AcceleratorConfig::squeezelerator(),

@@ -1,10 +1,19 @@
 #include "core/dse.h"
 
+#include <atomic>
+#include <cstdio>
 #include <ostream>
+#include <sstream>
 
 #include "core/config_io.h"
 #include "core/report.h"
+#include "core/sweepjournal.h"
+#include "core/validate.h"
+#include "nn/serialize.h"
+#include "util/faultinject.h"
+#include "util/hash.h"
 #include "util/json.h"
+#include "util/json_parse.h"
 #include "util/strings.h"
 #include "util/threadpool.h"
 
@@ -19,6 +28,59 @@ bool dominated_by_any(const DesignPoint& p, const std::vector<DesignPoint>& poin
     if (q_no_worse && q_better) return true;
   }
   return false;
+}
+
+// The canonical key with the model already serialized — a sweep serializes
+// the model once, not once per point.
+std::string key_from_parts(const std::string& model_text,
+                           const std::string& label,
+                           const sim::AcceleratorConfig& config,
+                           sched::Objective objective) {
+  std::ostringstream os;
+  util::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.member("op", "design_point");
+  w.member("model", model_text);
+  w.member("label", label);
+  w.member("config", config_to_ini(config));
+  w.member("objective",
+           objective == sched::Objective::Energy ? "energy" : "cycles");
+  w.end_object();
+  return os.str();
+}
+
+std::string short_key(const std::string& canonical) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(util::fnv1a64(canonical)));
+  return hex;
+}
+
+// Journal value: the point's metrics as compact JSON. util::json_number
+// emits the shortest decimal that round-trips bit-exactly through strtod,
+// so a value parsed back from the journal re-renders to identical bytes —
+// the property the resume byte-identity guarantee stands on.
+std::string point_value_json(const DesignPoint& p) {
+  std::ostringstream os;
+  util::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.member("cycles", p.cycles);
+  w.member("energy", p.energy);
+  w.member("utilization", p.utilization);
+  w.end_object();
+  return os.str();
+}
+
+bool parse_point_value(const std::string& json, DesignPoint& p) {
+  try {
+    const util::JsonValue v = util::parse_json(json);
+    p.cycles = v.at("cycles").as_int();
+    p.energy = v.at("energy").as_double();
+    p.utilization = v.at("utilization").as_double();
+    return true;
+  } catch (const std::exception&) {
+    return false;  // foreign/garbled journal value: re-simulate the point
+  }
 }
 
 }  // namespace
@@ -46,6 +108,118 @@ std::vector<DesignPoint> evaluate_designs(
   return points;
 }
 
+std::string design_point_key(const nn::Model& model, const std::string& label,
+                             const sim::AcceleratorConfig& config,
+                             sched::Objective objective) {
+  return key_from_parts(nn::serialize_model(model), label, config, objective);
+}
+
+PointError classify_point_error(std::string label, std::string key,
+                                const std::exception_ptr& error) {
+  PointError pe;
+  pe.label = std::move(label);
+  pe.key = std::move(key);
+  try {
+    std::rethrow_exception(error);
+  } catch (const ValidationError& e) {
+    pe.phase = "validate";
+    pe.what = e.what();
+  } catch (const SweepJournalError& e) {
+    pe.phase = "journal";
+    pe.what = e.what();
+  } catch (const std::exception& e) {
+    pe.phase = "simulate";
+    pe.what = e.what();
+  } catch (...) {
+    pe.phase = "simulate";
+    pe.what = "unknown exception";
+  }
+  return pe;
+}
+
+SweepOutcome evaluate_designs_checked(
+    const nn::Model& model,
+    const std::vector<std::pair<std::string, sim::AcceleratorConfig>>& configs,
+    const SweepOptions& opt) {
+  const std::size_t n = configs.size();
+  const std::string model_text = nn::serialize_model(model);
+
+  std::vector<std::string> keys(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys[i] =
+        key_from_parts(model_text, configs[i].first, configs[i].second,
+                       opt.objective);
+
+  SweepOutcome out;
+  std::vector<DesignPoint> slots(n);
+  std::vector<char> restored(n, 0);
+  if (opt.journal) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = opt.journal->entries().find(keys[i]);
+      if (it == opt.journal->entries().end()) continue;
+      if (!parse_point_value(it->second, slots[i])) continue;
+      slots[i].label = configs[i].first;
+      slots[i].config = configs[i].second;
+      restored[i] = 1;
+      ++out.resumed;
+    }
+  }
+
+  std::atomic<std::size_t> done{out.resumed};
+  std::atomic<std::size_t> failed{0};
+  if (opt.progress) opt.progress(done.load(), n, 0);
+
+  std::vector<std::exception_ptr> errors;
+  util::ThreadPool::global().parallel_for_index_capture(
+      n,
+      [&](std::size_t i) {
+        if (restored[i]) return;
+        try {
+          // "dse.point" fault site: Errno poisons the point (the structured
+          // PointError path must absorb it), Stall slows it down (the
+          // SIGKILL-mid-sweep chaos test widens the crash window with it).
+          if (util::fault::enabled()) {
+            const util::fault::Action a = util::fault::at("dse.point");
+            if (a.kind == util::fault::Kind::Errno)
+              throw std::runtime_error(
+                  "injected dse.point fault (" + configs[i].first + ")");
+          }
+          if (opt.preflight) {
+            const ValidationReport report =
+                validate_design(model, configs[i].second);
+            if (!report.ok()) throw ValidationError(report.summary());
+          }
+          const sim::NetworkResult net = sched::simulate_network(
+              model, configs[i].second, opt.objective, opt.units);
+          DesignPoint& p = slots[i];
+          p.label = configs[i].first;
+          p.config = configs[i].second;
+          p.cycles = net.total_cycles();
+          p.energy = energy::network_energy(net, opt.units).total();
+          p.utilization = net.utilization();
+          if (opt.journal) opt.journal->append(keys[i], point_value_json(p));
+        } catch (...) {
+          failed.fetch_add(1, std::memory_order_relaxed);
+          done.fetch_add(1, std::memory_order_relaxed);
+          if (opt.progress) opt.progress(done.load(), n, failed.load());
+          throw;  // captured into errors[i] by the pool
+        }
+        done.fetch_add(1, std::memory_order_relaxed);
+        if (opt.progress) opt.progress(done.load(), n, failed.load());
+      },
+      errors);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) {
+      out.errors.push_back(classify_point_error(configs[i].first,
+                                                short_key(keys[i]), errors[i]));
+      continue;
+    }
+    out.points.push_back(std::move(slots[i]));
+  }
+  return out;
+}
+
 std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
   std::vector<DesignPoint> front;
   for (const DesignPoint& p : points)
@@ -53,9 +227,16 @@ std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points) {
   return front;
 }
 
-void write_design_points_json(const std::string& sweep_name,
-                              const std::vector<DesignPoint>& points,
-                              std::ostream& out) {
+namespace {
+
+// Shared by the clean and checked dump paths. The "errors" array is emitted
+// only when non-empty so a zero-error checked sweep stays byte-identical to
+// write_design_points_json — the golden dumps and the serve byte-identity
+// suite compare against that exact form.
+void write_points_doc(const std::string& sweep_name,
+                      const std::vector<DesignPoint>& points,
+                      const std::vector<PointError>& errors,
+                      std::ostream& out) {
   util::JsonWriter w(out);
   w.begin_object();
   w.member("schema_version", kReportSchemaVersion);
@@ -77,8 +258,34 @@ void write_design_points_json(const std::string& sweep_name,
     w.end_object();
   }
   w.end_array();
+  if (!errors.empty()) {
+    w.key("errors");
+    w.begin_array();
+    for (const PointError& e : errors) {
+      w.begin_object();
+      w.member("label", e.label);
+      w.member("key", e.key);
+      w.member("phase", e.phase);
+      w.member("what", e.what);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   out << "\n";
+}
+
+}  // namespace
+
+void write_design_points_json(const std::string& sweep_name,
+                              const std::vector<DesignPoint>& points,
+                              std::ostream& out) {
+  write_points_doc(sweep_name, points, {}, out);
+}
+
+void write_sweep_outcome_json(const std::string& sweep_name,
+                              const SweepOutcome& outcome, std::ostream& out) {
+  write_points_doc(sweep_name, outcome.points, outcome.errors, out);
 }
 
 std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_rf_entries(

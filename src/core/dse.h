@@ -5,6 +5,7 @@
 // paper's co-design narrative implies.
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <iosfwd>
 #include <string>
@@ -32,6 +33,71 @@ std::vector<DesignPoint> evaluate_designs(
     sched::Objective objective = sched::Objective::Cycles,
     const energy::UnitEnergies& units = {});
 
+// --- checked sweeps: fault isolation, pre-flight, crash safety ------------
+
+class SweepJournal;
+
+/// One design point that failed, as recorded in sweep dumps and /v1/sweep
+/// responses. A poisoned point must not tear down the other n-1 evaluations,
+/// so the sweep engine turns its exception into this structured record.
+struct PointError {
+  std::string label;  ///< The point's sweep label (e.g. "RF=16").
+  std::string key;    ///< 16-hex FNV-1a of the canonical design-point key.
+  std::string phase;  ///< "validate" | "simulate" | "journal".
+  std::string what;   ///< Diagnostic: validation summary or exception text.
+};
+
+struct SweepOptions {
+  sched::Objective objective = sched::Objective::Cycles;
+  energy::UnitEnergies units;
+
+  /// Cross-check each model x config pair (core/validate.h) before paying
+  /// for its simulation; an infeasible point fails with phase "validate"
+  /// and every violation listed, instead of whatever a mapper throws first.
+  bool preflight = true;
+
+  /// Non-null: append each completed point to this write-ahead journal and
+  /// skip points whose key the journal already holds (crash-safe resume;
+  /// restored metrics re-render byte-identically, see util/json.h).
+  SweepJournal* journal = nullptr;
+
+  /// Called after every point completes (and once up front with the resumed
+  /// count) as progress(done, total, errors). Invoked from worker threads
+  /// concurrently — the callback must be thread-safe.
+  std::function<void(std::size_t, std::size_t, std::size_t)> progress;
+};
+
+struct SweepOutcome {
+  std::vector<DesignPoint> points;  ///< Successful points, input order.
+  std::vector<PointError> errors;   ///< Failed points, input order.
+  std::size_t resumed = 0;          ///< Points restored from the journal.
+};
+
+/// The canonical identity of one design point: compact JSON carrying the
+/// serialized model text, the sweep label, the config_to_ini rendering, and
+/// the objective — the same canonicalization discipline as the serving
+/// cache (serve/api.h), so a point's journal entry survives process
+/// restarts and config-struct reordering alike.
+std::string design_point_key(const nn::Model& model, const std::string& label,
+                             const sim::AcceleratorConfig& config,
+                             sched::Objective objective);
+
+/// Fault-isolating evaluate_designs: every configuration is evaluated even
+/// when some throw. Failed points become PointErrors (input order); the
+/// "dse.point" fault site (util/faultinject.h) can poison or stall points
+/// for chaos tests. With a journal, completed points are appended as they
+/// finish and already-journaled points are restored without re-simulating.
+SweepOutcome evaluate_designs_checked(
+    const nn::Model& model,
+    const std::vector<std::pair<std::string, sim::AcceleratorConfig>>& configs,
+    const SweepOptions& options = {});
+
+/// Classify one captured per-index exception (ValidationError -> "validate",
+/// SweepJournalError -> "journal", anything else -> "simulate") into a
+/// PointError. `error` must be non-null.
+PointError classify_point_error(std::string label, std::string key,
+                                const std::exception_ptr& error);
+
 /// Points not dominated in (cycles, energy); input order is preserved.
 std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points);
 
@@ -42,6 +108,13 @@ std::vector<DesignPoint> pareto_front(const std::vector<DesignPoint>& points);
 void write_design_points_json(const std::string& sweep_name,
                               const std::vector<DesignPoint>& points,
                               std::ostream& out);
+
+/// The same document for a checked sweep. With zero errors the output is
+/// byte-identical to write_design_points_json (the golden dumps and the
+/// serve byte-identity suite depend on that); failed points add an
+/// "errors" array of {label, key, phase, what} after "points".
+void write_sweep_outcome_json(const std::string& sweep_name,
+                              const SweepOutcome& outcome, std::ostream& out);
 
 // --- sweep builders -------------------------------------------------------
 

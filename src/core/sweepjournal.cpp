@@ -1,0 +1,135 @@
+#include "core/sweepjournal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/faultinject.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace sqz::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[] = "sqzw1";
+constexpr std::size_t kMaxHeader = 96;
+
+std::string render_record(const std::string& key, const std::string& value) {
+  char header[kMaxHeader];
+  std::snprintf(header, sizeof(header), "%s %zu %zu %016llx\n", kMagic,
+                key.size(), value.size(),
+                static_cast<unsigned long long>(
+                    util::fnv1a64(key + value)));
+  std::string record = header;
+  record += key;
+  record += value;
+  return record;
+}
+
+// Parse one record at `offset`. Returns the offset one past the record on
+// success; 0 on any framing violation (the caller stops trusting the file
+// from `offset` on).
+std::size_t parse_record(const std::string& raw, std::size_t offset,
+                         std::string& key, std::string& value) {
+  const std::size_t nl = raw.find('\n', offset);
+  if (nl == std::string::npos || nl - offset > kMaxHeader) return 0;
+  unsigned long long key_len = 0, value_len = 0, stored_sum = 0;
+  char magic[8] = {0};
+  if (std::sscanf(raw.c_str() + offset, "%7s %llu %llu %16llx", magic,
+                  &key_len, &value_len, &stored_sum) != 4 ||
+      std::string(magic) != kMagic)
+    return 0;
+  const std::size_t payload_at = nl + 1;
+  // Length guards before the sum: hostile lengths must not wrap the check.
+  if (key_len > raw.size() || value_len > raw.size()) return 0;
+  if (key_len + value_len > raw.size() - payload_at) return 0;  // torn tail
+  const std::string_view payload(raw.data() + payload_at, key_len + value_len);
+  if (util::fnv1a64(payload) != stored_sum) return 0;
+  key.assign(payload.substr(0, key_len));
+  value.assign(payload.substr(key_len, value_len));
+  return payload_at + key_len + value_len;
+}
+
+}  // namespace
+
+std::string SweepJournal::journal_path(const std::string& dir) {
+  return dir + "/sweep.sqzj";
+}
+
+SweepJournal::SweepJournal(const std::string& dir)
+    : path_(journal_path(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec || !fs::is_directory(dir))
+    throw SweepJournalError("sweepjournal: cannot create journal dir '" +
+                             dir + "'");
+
+  // Recovery: replay the valid record prefix, truncate everything after it.
+  std::string raw;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      std::ostringstream bytes;
+      bytes << in.rdbuf();
+      if (in.bad())
+        throw SweepJournalError("sweepjournal: cannot read " + path_);
+      raw = bytes.str();
+    }
+  }
+  std::size_t trusted = 0;
+  while (trusted < raw.size()) {
+    std::string key, value;
+    const std::size_t next = parse_record(raw, trusted, key, value);
+    if (next == 0) break;
+    entries_[std::move(key)] = std::move(value);
+    ++recovery_.records;
+    trusted = next;
+  }
+  if (trusted < raw.size()) {
+    recovery_.torn = true;
+    recovery_.dropped_bytes = raw.size() - trusted;
+    fs::resize_file(path_, trusted, ec);
+    if (ec)
+      throw SweepJournalError("sweepjournal: cannot truncate torn tail of " +
+                               path_ + ": " + ec.message());
+    SQZ_LOG(Warn) << "sweepjournal: dropped torn tail ("
+                  << recovery_.dropped_bytes << " bytes) of " << path_
+                  << "; " << recovery_.records << " records recovered";
+  }
+
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_)
+    throw SweepJournalError("sweepjournal: cannot open " + path_ +
+                             " for append");
+}
+
+void SweepJournal::append(const std::string& key, const std::string& value) {
+  std::string record = render_record(key, value);
+
+  // "sweepjournal.append" fault point: ShortIo publishes a torn record (the
+  // crash-mid-write wire — recovery must drop it on the next open), Errno
+  // models a full disk (the append fails loudly; crash safety that silently
+  // stopped journaling would be a lie).
+  if (util::fault::enabled()) {
+    const util::fault::Action a = util::fault::at("sweepjournal.append");
+    if (a.kind == util::fault::Kind::Errno)
+      throw SweepJournalError("sweepjournal: append to " + path_ +
+                               " failed (injected)");
+    if (a.kind == util::fault::Kind::ShortIo)
+      record.resize(std::min(record.size(), a.bytes));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out_.flush();
+  if (!out_.good())
+    throw SweepJournalError("sweepjournal: append to " + path_ + " failed");
+  entries_[key] = value;
+}
+
+}  // namespace sqz::core

@@ -1,0 +1,86 @@
+// Write-ahead journal for design-space sweeps: crash safety for the batch
+// path (ARCHITECTURE.md "Crash safety & resumable sweeps").
+//
+// A sweep evaluates hundreds of independent design points over hours; a
+// SIGKILL (OOM killer, preempted batch node, ctrl-C) must not lose the
+// points already computed. The journal is a single append-only file
+// (`<dir>/sweep.sqzj`) of framed records, one per completed point:
+//
+//   "sqzw1 <key-bytes> <value-bytes> <fnv1a-of-payload, 16 hex>\n<key><value>"
+//
+// The key is the canonical design-point string (core/dse.h
+// design_point_key — the same canonicalization discipline as the serving
+// cache, serve/simcache.h), the value is the point's metrics as compact
+// JSON whose numbers round-trip bit-exactly (util/json.h), so a resumed
+// sweep reproduces the uninterrupted dump byte for byte.
+//
+// Atomicity comes from the framing, not from rename tricks: appends are
+// flushed record-at-a-time, and a crash can only tear the *tail* record.
+// Opening the journal replays the valid prefix, then truncates any torn
+// tail so subsequent appends start on a clean frame — the classic WAL
+// recovery. A record whose checksum fails mid-file (bit rot, concurrent
+// writers — unsupported) also ends the trusted prefix: nothing after a bad
+// frame is believed. The "sweepjournal.append" fault point
+// (util/faultinject.h) lets chaos tests tear a record deterministically.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace sqz::core {
+
+/// Journal failure (unwritable dir, torn-tail truncation failure, failed
+/// append). Typed so the sweep engine can classify it as a PointError with
+/// phase "journal" instead of mistaking it for a simulation failure.
+class SweepJournalError : public std::runtime_error {
+ public:
+  explicit SweepJournalError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class SweepJournal {
+ public:
+  struct Recovery {
+    std::size_t records = 0;        ///< Valid records replayed.
+    std::size_t dropped_bytes = 0;  ///< Torn/untrusted tail truncated away.
+    bool torn = false;              ///< True when a tail was dropped.
+  };
+
+  /// Open (creating `dir` if needed) and recover: replay valid records into
+  /// entries(), truncate any torn tail, and position for appends. Throws
+  /// SweepJournalError when the directory or file cannot be opened.
+  explicit SweepJournal(const std::string& dir);
+
+  SweepJournal(const SweepJournal&) = delete;
+  SweepJournal& operator=(const SweepJournal&) = delete;
+
+  /// Completed points recovered at open (key -> metrics JSON). Later
+  /// duplicate records win, matching append order.
+  const std::unordered_map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+  const Recovery& recovery() const { return recovery_; }
+
+  /// Append one completed point and flush. Thread-safe (the sweep engine
+  /// journals from worker threads as points finish). Throws
+  /// SweepJournalError when the write fails — a sweep that was promised
+  /// crash safety must not silently lose it.
+  void append(const std::string& key, const std::string& value);
+
+  /// The journal file inside `dir`.
+  static std::string journal_path(const std::string& dir);
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::ofstream out_;  ///< Append-positioned after recovery; guarded by mu_.
+  std::unordered_map<std::string, std::string> entries_;
+  Recovery recovery_;
+};
+
+}  // namespace sqz::core

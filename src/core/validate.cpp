@@ -1,0 +1,162 @@
+#include "core/validate.h"
+
+#include <cstdint>
+
+#include "util/strings.h"
+
+namespace sqz::core {
+
+namespace {
+
+void issue(ValidationReport& report, std::string where, std::string what) {
+  report.issues.push_back({std::move(where), std::move(what)});
+}
+
+void check_config(const sim::AcceleratorConfig& c, ValidationReport& report) {
+  const auto config = [&](std::string what) {
+    issue(report, "config", std::move(what));
+  };
+  if (c.array_n < 1 || c.array_n > 1024)
+    config(util::format("array_n=%d out of range [1, 1024]", c.array_n));
+  if (c.rf_entries < 1)
+    config(util::format("rf_entries=%d must be >= 1", c.rf_entries));
+  if (c.gb_kib < 1) config(util::format("gb_kib=%d must be >= 1", c.gb_kib));
+  if (c.preload_width < 1 || c.drain_width < 1 || c.simd_lanes < 1)
+    config(util::format(
+        "bus widths must be >= 1 (preload=%d drain=%d simd=%d)",
+        c.preload_width, c.drain_width, c.simd_lanes));
+  if (c.dram_latency_cycles < 0)
+    config(util::format("dram_latency_cycles=%d must be >= 0",
+                        c.dram_latency_cycles));
+  if (c.dram_bytes_per_cycle <= 0.0)
+    config(util::format("dram_bytes_per_cycle=%.3f must be positive",
+                        c.dram_bytes_per_cycle));
+  if (c.batch < 1) config(util::format("batch=%d must be >= 1", c.batch));
+  if (c.data_bytes != 1 && c.data_bytes != 2 && c.data_bytes != 4)
+    config(util::format("data_bytes=%d must be 1, 2 or 4", c.data_bytes));
+  if (c.weight_sparsity < 0.0 || c.weight_sparsity >= 1.0)
+    config(util::format("weight_sparsity=%.3f must be in [0, 1)",
+                        c.weight_sparsity));
+
+  // Derived checks only make sense once the primitives are sane.
+  if (c.array_n < 1 || c.gb_kib < 1 || c.data_bytes < 1) return;
+
+  if (c.psum_accum_words < c.array_n)
+    config(util::format(
+        "psum_accum_words=%d cannot hold one WS column of %d partial sums; "
+        "raise psum_accum_words or shrink array_n",
+        c.psum_accum_words, c.array_n));
+  if (c.weight_reserve_words < 0 ||
+      c.weight_reserve_words >= c.gb_capacity_words())
+    config(util::format(
+        "weight_reserve_words=%d must fit inside the %d KiB global buffer "
+        "(%lld words)",
+        c.weight_reserve_words, c.gb_kib,
+        static_cast<long long>(c.gb_capacity_words())));
+
+  // RF / dataflow working set: WS streams weights through the reserve
+  // region double-buffered, one N x N block at a time. A reserve smaller
+  // than two blocks deadlocks the stream before the first drain.
+  if (c.support != sim::DataflowSupport::OsOnly) {
+    const std::int64_t block =
+        2 * static_cast<std::int64_t>(c.array_n) * c.array_n;
+    if (c.weight_reserve_words >= 0 && c.weight_reserve_words < block)
+      config(util::format(
+          "weight_reserve_words=%d cannot double-buffer one %dx%d WS weight "
+          "block (%lld words); raise weight_reserve_words or shrink array_n",
+          c.weight_reserve_words, c.array_n, c.array_n,
+          static_cast<long long>(block)));
+  }
+}
+
+void check_layers(const nn::Model& model, const sim::AcceleratorConfig& c,
+                  ValidationReport& report) {
+  // Activation region: what the tiler can actually use for input/output
+  // bands once the streaming-weight reserve is carved out.
+  const std::int64_t activation_words =
+      c.gb_capacity_words() - std::max(c.weight_reserve_words, 0);
+
+  for (int i = 0; i < model.layer_count(); ++i) {
+    const nn::Layer& l = model.layer(i);
+    const std::string where = "layer " + l.name;
+
+    if (l.out_shape.c <= 0 || l.out_shape.h <= 0 || l.out_shape.w <= 0) {
+      issue(report, where,
+            util::format("non-positive output shape %dx%dx%d (stride or "
+                         "kernel larger than the input?)",
+                         l.out_shape.c, l.out_shape.h, l.out_shape.w));
+      continue;  // derived checks below would divide by these dims
+    }
+
+    if (l.is_conv()) {
+      const int padded_h = l.in_shape.h + 2 * l.conv.pad_h;
+      const int padded_w = l.in_shape.w + 2 * l.conv.pad_w;
+      if (l.conv.kh > padded_h || l.conv.kw > padded_w)
+        issue(report, where,
+              util::format("kernel %dx%d exceeds the padded input %dx%d; "
+                           "shrink the kernel or add padding",
+                           l.conv.kh, l.conv.kw, padded_h, padded_w));
+      if (l.conv.stride < 1)
+        issue(report, where,
+              util::format("stride=%d must be >= 1", l.conv.stride));
+    }
+    if (l.kind == nn::LayerKind::MaxPool || l.kind == nn::LayerKind::AvgPool) {
+      const int padded = l.in_shape.h + 2 * l.pool.pad;
+      if (l.pool.kh > padded || l.pool.kw > l.in_shape.w + 2 * l.pool.pad)
+        issue(report, where,
+              util::format("pool window %dx%d exceeds the padded input",
+                           l.pool.kh, l.pool.kw));
+    }
+
+    // Minimal tile: the tiler splits the output-row loop only, so at least
+    // one output row — and the kh input rows feeding it — must fit the
+    // activation region together.
+    if (activation_words > 0 && l.is_macs_layer()) {
+      std::int64_t min_words = 0;
+      if (l.is_conv()) {
+        const std::int64_t in_rows = std::min<std::int64_t>(
+            std::max(l.conv.kh, 1), l.in_shape.h);
+        min_words =
+            in_rows * l.in_shape.w * l.in_shape.c +
+            static_cast<std::int64_t>(l.out_shape.w) * l.out_shape.c;
+      } else {  // FC: the full input vector plus the output vector
+        min_words = l.in_shape.elems() + l.out_shape.elems();
+      }
+      if (min_words > activation_words)
+        issue(report, where,
+              util::format(
+                  "minimal tile (%lld words) exceeds the global buffer's "
+                  "activation region (%lld of %lld words after the weight "
+                  "reserve); raise gb_kib or lower weight_reserve_words",
+                  static_cast<long long>(min_words),
+                  static_cast<long long>(activation_words),
+                  static_cast<long long>(c.gb_capacity_words())));
+    }
+  }
+}
+
+}  // namespace
+
+std::string ValidationReport::summary() const {
+  std::string out;
+  for (const ValidationIssue& i : issues) {
+    if (!out.empty()) out += "; ";
+    out += i.where + ": " + i.what;
+  }
+  return out;
+}
+
+ValidationReport validate_config(const sim::AcceleratorConfig& config) {
+  ValidationReport report;
+  check_config(config, report);
+  return report;
+}
+
+ValidationReport validate_design(const nn::Model& model,
+                                 const sim::AcceleratorConfig& config) {
+  ValidationReport report = validate_config(config);
+  check_layers(model, config, report);
+  return report;
+}
+
+}  // namespace sqz::core

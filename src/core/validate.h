@@ -1,0 +1,62 @@
+// Pre-flight feasibility validation for model x config design points.
+//
+// A design-space sweep feeds thousands of generated configurations into the
+// simulator; an infeasible one used to surface as a std::invalid_argument
+// thrown from deep inside a mapper, aborting the whole sweep with a message
+// naming no design point. This pass cross-checks the pair *before* any
+// simulation and returns every violation it finds (not just the first) as
+// an actionable diagnostic, so the sweep engine can record a structured
+// PointError{phase: "validate"} and move on (core/dse.h).
+//
+// Checks, mirroring what the simulator would otherwise trip over mid-run:
+//   - every AcceleratorConfig::validate() constraint, collected instead of
+//     thrown one at a time;
+//   - WS weight streaming: the double-buffered weight reserve must hold one
+//     N x N weight block;
+//   - per-layer kernel vs padded input (a 7x7 kernel cannot slide over a
+//     5x5 padded map) and non-positive derived dimensions;
+//   - tile footprint: the minimal one-output-row tile of each layer must
+//     fit the global buffer's activation region (capacity minus the weight
+//     reserve) — the row loop is the only loop the tiler can split.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "sim/config.h"
+
+namespace sqz::core {
+
+/// Thrown by the sweep engines when the pre-flight pass rejects a design
+/// point; typed so the error collector can record phase "validate" (the
+/// point never reached the simulator) instead of "simulate".
+class ValidationError : public std::runtime_error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct ValidationIssue {
+  std::string where;  ///< "config" or "layer <name>".
+  std::string what;   ///< Actionable diagnostic (what to change and why).
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const noexcept { return issues.empty(); }
+
+  /// Every issue as "where: what", "; "-joined — the PointError message.
+  std::string summary() const;
+};
+
+/// Configuration-only feasibility (no model required).
+ValidationReport validate_config(const sim::AcceleratorConfig& config);
+
+/// Full model x config cross-check. `model` must be finalized.
+ValidationReport validate_design(const nn::Model& model,
+                                 const sim::AcceleratorConfig& config);
+
+}  // namespace sqz::core

@@ -1,5 +1,7 @@
 #include "nn/analysis.h"
 
+#include "util/checked.h"
+
 namespace sqz::nn {
 
 const char* layer_category_name(LayerCategory cat) noexcept {
@@ -33,14 +35,16 @@ OpBreakdown analyze_ops(const Model& model) {
   OpBreakdown b;
   for (int i = 0; i < model.layer_count(); ++i) {
     const std::int64_t macs = model.layer(i).macs();
-    b.macs[static_cast<int>(categorize(model, i))] += macs;
-    b.total += macs;
+    std::int64_t& bucket = b.macs[static_cast<int>(categorize(model, i))];
+    bucket = util::checked_add(bucket, macs, "analyze_ops: category MACs");
+    b.total = util::checked_add(b.total, macs, "analyze_ops: total MACs");
   }
   return b;
 }
 
 std::int64_t model_weight_bytes(const Model& model, int bytes_per_word) {
-  return model.total_params() * bytes_per_word;
+  return util::checked_mul(model.total_params(), bytes_per_word,
+                           "model_weight_bytes");
 }
 
 double arithmetic_intensity(const Layer& layer, int bytes_per_word) {

@@ -273,29 +273,39 @@ std::string run_simulate(const SimulateRequest& req) {
   }
 }
 
-std::string run_sweep(const SweepRequest& req) {
+std::string run_sweep(const SweepRequest& req, core::SweepJournal* journal,
+                      SweepRunStats* stats) {
+  core::SweepOutcome outcome;
   try {
-    const auto points = core::evaluate_designs(
-        req.base.model, build_sweep(req), req.base.options.objective,
-        req.base.options.units);
-    std::ostringstream os;
-    core::write_design_points_json(req.knob + " on " + req.base.model_label,
-                                   points, os);
-    return os.str();
+    core::SweepOptions sweep_opt;
+    sweep_opt.objective = req.base.options.objective;
+    sweep_opt.units = req.base.options.units;
+    sweep_opt.journal = journal;
+    outcome = core::evaluate_designs_checked(req.base.model, build_sweep(req),
+                                             sweep_opt);
   } catch (const ApiError&) {
     throw;
   } catch (const std::exception& e) {
     bad_request(e.what());
   }
+  if (stats) {
+    stats->points = outcome.points.size();
+    stats->point_errors = outcome.errors.size();
+    stats->resumed = outcome.resumed;
+  }
+  std::ostringstream os;
+  core::write_sweep_outcome_json(req.knob + " on " + req.base.model_label,
+                                 outcome, os);
+  return os.str();
 }
 
 namespace {
 
 SimService::Result serve_cached(SimCache* cache, const std::string& key,
                                 const std::function<std::string()>& execute) {
-  if (!cache) return {execute(), false};
-  if (auto hit = cache->get(key)) return {*hit, true};
-  SimService::Result r{execute(), false};
+  if (!cache) return {execute(), false, {}};
+  if (auto hit = cache->get(key)) return {*hit, true, {}};
+  SimService::Result r{execute(), false, {}};
   cache->put(key, r.body);
   return r;
 }
@@ -310,8 +320,17 @@ SimService::Result SimService::simulate(const std::string& request_body) {
 
 SimService::Result SimService::sweep(const std::string& request_body) {
   const SweepRequest req = parse_sweep_request(request_body);
-  return serve_cached(cache_, canonical_key(req),
-                      [&] { return run_sweep(req); });
+  const std::string key = canonical_key(req);
+  if (cache_) {
+    if (auto hit = cache_->get(key)) return {*hit, true, {}};
+  }
+  Result r;
+  r.body = run_sweep(req, journal_, &r.sweep);
+  // A partial response is never cached: its failures may be transient
+  // (fault injection, resource pressure), and a cached body would pin them
+  // until eviction. The journal still holds every point that did succeed.
+  if (cache_ && !r.sweep.partial()) cache_->put(key, r.body);
+  return r;
 }
 
 }  // namespace sqz::serve

@@ -37,6 +37,10 @@
 #include "serve/simcache.h"
 #include "sim/config.h"
 
+namespace sqz::core {
+class SweepJournal;
+}
+
 namespace sqz::serve {
 
 /// Request-handling failure with the HTTP status it should map to.
@@ -75,9 +79,26 @@ SweepRequest parse_sweep_request(const std::string& body);
 std::string canonical_key(const SimulateRequest& req);
 std::string canonical_key(const SweepRequest& req);
 
+/// Outcome counters for one executed sweep (journal/error visibility on
+/// /metrics). All zero for cache hits and non-sweep requests.
+struct SweepRunStats {
+  std::size_t points = 0;        ///< Successful points in the response.
+  std::size_t point_errors = 0;  ///< Structured PointErrors in the response.
+  std::size_t resumed = 0;       ///< Points restored from the sweep journal.
+
+  bool partial() const noexcept { return point_errors > 0; }
+};
+
 /// Stateless executors: run the simulation and render the response body.
+/// run_sweep fault-isolates each design point (core/dse.h
+/// evaluate_designs_checked): a throwing point becomes a structured entry
+/// in the response's "errors" array instead of failing the request. With a
+/// `journal`, completed points are appended and already-journaled points
+/// are served without re-simulating.
 std::string run_simulate(const SimulateRequest& req);
-std::string run_sweep(const SweepRequest& req);
+std::string run_sweep(const SweepRequest& req,
+                      core::SweepJournal* journal = nullptr,
+                      SweepRunStats* stats = nullptr);
 
 /// The cached service: parse -> canonicalize -> cache lookup -> execute.
 class SimService {
@@ -85,16 +106,20 @@ class SimService {
   struct Result {
     std::string body;
     bool cache_hit = false;
+    SweepRunStats sweep;  ///< Filled for executed (non-cache-hit) sweeps.
   };
 
-  /// `cache` may be null to serve uncached.
-  explicit SimService(SimCache* cache) : cache_(cache) {}
+  /// `cache` may be null to serve uncached; `journal` may be null to run
+  /// sweeps without crash-safe journaling.
+  explicit SimService(SimCache* cache, core::SweepJournal* journal = nullptr)
+      : cache_(cache), journal_(journal) {}
 
   Result simulate(const std::string& request_body);
   Result sweep(const std::string& request_body);
 
  private:
   SimCache* cache_;
+  core::SweepJournal* journal_;
 };
 
 }  // namespace sqz::serve

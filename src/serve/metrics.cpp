@@ -29,6 +29,15 @@ void Metrics::record_request(double seconds, int status) {
   else if (status >= 200 && status < 300) ++s_.responses_2xx;
 }
 
+void Metrics::record_sweep(std::uint64_t points, std::uint64_t point_errors,
+                           std::uint64_t resumed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.sweep_points_total += points;
+  s_.sweep_point_errors_total += point_errors;
+  if (point_errors > 0) ++s_.sweeps_partial_total;
+  s_.sweep_resumed_total += resumed;
+}
+
 void Metrics::record_shed() {
   std::lock_guard<std::mutex> lock(mu_);
   ++s_.shed_total;
@@ -101,6 +110,18 @@ std::string Metrics::render(const SimCache::Stats& cache) const {
   counter("sqzserved_accept_backoff_total",
           "Accept failures (EMFILE/ENFILE/ENOMEM) absorbed by backoff.",
           static_cast<double>(s.accept_backoff_total));
+  counter("sqzserved_sweep_points_total",
+          "Design points evaluated successfully across sweeps.",
+          static_cast<double>(s.sweep_points_total));
+  counter("sqzserved_sweep_point_errors_total",
+          "Design points that failed and were reported as structured errors.",
+          static_cast<double>(s.sweep_point_errors_total));
+  counter("sqzserved_sweeps_partial_total",
+          "Sweep responses that carried at least one point error.",
+          static_cast<double>(s.sweeps_partial_total));
+  counter("sqzserved_sweep_resumed_total",
+          "Design points restored from the sweep journal without re-simulating.",
+          static_cast<double>(s.sweep_resumed_total));
   counter("sqzserved_cache_hits_total", "Simulation results served from cache.",
           static_cast<double>(cache.hits));
   counter("sqzserved_cache_disk_hits_total",

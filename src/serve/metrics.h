@@ -27,6 +27,11 @@ class Metrics {
     std::uint64_t oversize_total = 0;    ///< 413s (body or headers over cap).
     std::uint64_t idle_closed_total = 0; ///< Keep-alive conns reaped idle.
     std::uint64_t accept_backoff_total = 0;  ///< EMFILE/ENFILE accept stalls.
+    // Sweep counters (ARCHITECTURE.md "Crash safety & resumable sweeps").
+    std::uint64_t sweep_points_total = 0;        ///< Points evaluated OK.
+    std::uint64_t sweep_point_errors_total = 0;  ///< Structured PointErrors.
+    std::uint64_t sweeps_partial_total = 0;  ///< Responses with >=1 error.
+    std::uint64_t sweep_resumed_total = 0;   ///< Points served from journal.
   };
 
   void request_started();
@@ -34,6 +39,10 @@ class Metrics {
 
   /// Record one served request: wall-clock handle time and response status.
   void record_request(double seconds, int status);
+
+  /// Record one executed sweep's point/error/resume counts.
+  void record_sweep(std::uint64_t points, std::uint64_t point_errors,
+                    std::uint64_t resumed);
 
   void record_shed();
   void record_timeout();

@@ -95,7 +95,11 @@ HttpResponse json_error_response(int status, const std::string& message) {
 Server::Server(const ServerOptions& options)
     : options_(options),
       cache_(options.cache_entries, options.cache_dir),
-      service_(&cache_) {}
+      sweep_journal_(options.sweep_journal_dir.empty()
+                         ? nullptr
+                         : std::make_unique<core::SweepJournal>(
+                               options.sweep_journal_dir)),
+      service_(&cache_, sweep_journal_.get()) {}
 
 Server::~Server() { stop(); }
 
@@ -364,6 +368,9 @@ HttpResponse Server::route(const HttpRequest& request) {
       const SimService::Result result = request.target == "/v1/simulate"
                                             ? service_.simulate(request.body)
                                             : service_.sweep(request.body);
+      if (request.target == "/v1/sweep" && !result.cache_hit)
+        metrics_.record_sweep(result.sweep.points, result.sweep.point_errors,
+                              result.sweep.resumed);
       HttpResponse resp =
           make_response(200, "application/json", result.body);
       resp.headers.emplace_back("X-Sqz-Cache",

@@ -45,6 +45,7 @@
 #include <string>
 #include <thread>
 
+#include "core/sweepjournal.h"
 #include "serve/api.h"
 #include "serve/http.h"
 #include "serve/metrics.h"
@@ -58,6 +59,11 @@ struct ServerOptions {
   int port = 8080;                 ///< 0 = ephemeral (see Server::port()).
   std::size_t cache_entries = 1024;
   std::string cache_dir;           ///< Empty = memory tier only.
+
+  /// Non-empty: journal every /v1/sweep design point to
+  /// DIR/sweep.sqzj (core/sweepjournal.h) and serve already-journaled
+  /// points without re-simulating — crash safety for server-side sweeps.
+  std::string sweep_journal_dir;
 
   /// Deadline for reading one complete request (from its first byte) and,
   /// separately, for draining one response to the peer. Expiry answers 408
@@ -114,6 +120,7 @@ class Server {
   ServerOptions options_;
   SimCache cache_;
   Metrics metrics_;
+  std::unique_ptr<core::SweepJournal> sweep_journal_;  ///< May be null.
   SimService service_;
 
   int listen_fd_ = -1;

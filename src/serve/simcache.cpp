@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "util/faultinject.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace sqz::serve {
@@ -37,12 +38,7 @@ std::string render_header(std::size_t key_len, std::size_t value_len,
 }  // namespace
 
 std::uint64_t SimCache::fnv1a(std::string_view bytes) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV offset basis
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;  // FNV prime
-  }
-  return h;
+  return util::fnv1a64(bytes);
 }
 
 SimCache::SimCache(std::size_t max_entries, const std::string& disk_dir)

@@ -29,8 +29,11 @@ struct AccessCounts {
   std::int64_t gb_writes = 0;
   std::int64_t dram_words = 0;    ///< Words moved between DRAM and GB.
 
-  AccessCounts& operator+=(const AccessCounts& o) noexcept;
-  friend AccessCounts operator+(AccessCounts a, const AccessCounts& b) noexcept {
+  /// Overflow-checked accumulation (util/checked.h): wrapping any counter
+  /// throws std::overflow_error rather than silently corrupting totals on
+  /// absurd configurations.
+  AccessCounts& operator+=(const AccessCounts& o);
+  friend AccessCounts operator+(AccessCounts a, const AccessCounts& b) {
     a += b;
     return a;
   }
@@ -85,13 +88,15 @@ struct NetworkResult {
   AcceleratorConfig config;
   std::vector<LayerResult> layers;
 
-  std::int64_t total_cycles() const noexcept;
-  std::int64_t total_useful_macs() const noexcept;
-  AccessCounts total_counts() const noexcept;
+  /// Totals are overflow-checked: they throw std::overflow_error instead of
+  /// wrapping when per-layer results sum past INT64_MAX.
+  std::int64_t total_cycles() const;
+  std::int64_t total_useful_macs() const;
+  AccessCounts total_counts() const;
   /// Whole-network utilization (useful MACs / (cycles * PEs)).
-  double utilization() const noexcept;
+  double utilization() const;
   /// Milliseconds at the given clock (default: the paper's 1 GHz).
-  double latency_ms(double clock_ghz = 1.0) const noexcept;
+  double latency_ms(double clock_ghz = 1.0) const;
 };
 
 }  // namespace sqz::sim

@@ -1,0 +1,41 @@
+// Overflow-checked 64-bit arithmetic for workload accounting.
+//
+// MAC, parameter, and cycle totals are products of five-or-more tensor
+// dimensions; a hostile or typo'd model description can push them past
+// INT64_MAX, and plain arithmetic would wrap silently — a sweep would then
+// rank a nonsense design "fastest". These helpers wrap the compiler
+// overflow intrinsics and throw std::overflow_error with the offending
+// operands instead, so huge configurations fail loudly at the accumulation
+// site (nn/analysis, sim/counters) rather than corrupting results.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace sqz::util {
+
+[[noreturn]] inline void throw_overflow(const char* op, std::int64_t a,
+                                        std::int64_t b, const char* what) {
+  throw std::overflow_error(std::string(what ? what : "checked arithmetic") +
+                            ": " + std::to_string(a) + " " + op + " " +
+                            std::to_string(b) + " overflows int64");
+}
+
+/// a + b, throwing std::overflow_error (naming `what`) on wraparound.
+inline std::int64_t checked_add(std::int64_t a, std::int64_t b,
+                                const char* what = nullptr) {
+  std::int64_t r;
+  if (__builtin_add_overflow(a, b, &r)) throw_overflow("+", a, b, what);
+  return r;
+}
+
+/// a * b, throwing std::overflow_error (naming `what`) on wraparound.
+inline std::int64_t checked_mul(std::int64_t a, std::int64_t b,
+                                const char* what = nullptr) {
+  std::int64_t r;
+  if (__builtin_mul_overflow(a, b, &r)) throw_overflow("*", a, b, what);
+  return r;
+}
+
+}  // namespace sqz::util

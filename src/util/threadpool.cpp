@@ -26,6 +26,12 @@ struct ThreadPool::Batch {
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
 
+  /// Per-index capture mode (parallel_for_index_capture): exceptions land in
+  /// their own slot and the batch keeps running instead of aborting. Each
+  /// slot is written by exactly one runner (the one that claimed the index),
+  /// so no lock is needed beyond the batch join.
+  std::vector<std::exception_ptr>* captured = nullptr;
+
   std::mutex mu;
   std::condition_variable done_cv;
   int pending = 0;  ///< Enqueued runner tasks not yet finished.
@@ -38,6 +44,10 @@ struct ThreadPool::Batch {
       try {
         (*fn)(i);
       } catch (...) {
+        if (captured) {
+          (*captured)[i] = std::current_exception();
+          continue;  // isolate: the rest of the batch still runs
+        }
         failed.store(true, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(mu);
         if (!error) error = std::current_exception();
@@ -77,24 +87,13 @@ void ThreadPool::worker_main() {
   }
 }
 
-void ThreadPool::parallel_for_index(std::size_t n,
-                                    const std::function<void(std::size_t)>& fn) {
-  // Inline paths: trivial batches, a one-job pool, or a nested call from a
-  // worker thread. Exceptions propagate naturally.
-  if (n == 0) return;
-  if (jobs_ == 1 || n == 1 || tl_pool_worker) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-
-  auto batch = std::make_shared<Batch>();
-  batch->n = n;
-  batch->fn = &fn;
-
+// Fan a prepared batch out to the workers, participate from the caller
+// thread, and block until every runner has finished.
+void ThreadPool::run_batch(const std::shared_ptr<Batch>& batch) {
   // One runner per worker that could usefully participate; the caller is
   // runner number `runners + 1`.
   const std::size_t runners =
-      std::min(workers_.size(), n > 1 ? n - 1 : std::size_t{0});
+      std::min(workers_.size(), batch->n > 1 ? batch->n - 1 : std::size_t{0});
   batch->pending = static_cast<int>(runners);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -115,7 +114,49 @@ void ThreadPool::parallel_for_index(std::size_t n,
 
   std::unique_lock<std::mutex> lock(batch->mu);
   batch->done_cv.wait(lock, [&] { return batch->pending == 0; });
+}
+
+void ThreadPool::parallel_for_index(std::size_t n,
+                                    const std::function<void(std::size_t)>& fn) {
+  // Inline paths: trivial batches, a one-job pool, or a nested call from a
+  // worker thread. Exceptions propagate naturally.
+  if (n == 0) return;
+  if (jobs_ == 1 || n == 1 || tl_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  run_batch(batch);
   if (batch->error) std::rethrow_exception(batch->error);
+}
+
+std::size_t ThreadPool::parallel_for_index_capture(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    std::vector<std::exception_ptr>& errors) {
+  errors.assign(n, nullptr);
+  if (n == 0) return 0;
+  if (jobs_ == 1 || n == 1 || tl_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  } else {
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->fn = &fn;
+    batch->captured = &errors;
+    run_batch(batch);
+  }
+  std::size_t failures = 0;
+  for (const std::exception_ptr& e : errors)
+    if (e) ++failures;
+  return failures;
 }
 
 void ThreadPool::submit(std::function<void()> task) {

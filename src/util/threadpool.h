@@ -20,7 +20,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -48,6 +50,16 @@ class ThreadPool {
   /// abandoned. Nested calls from inside a worker run inline.
   void parallel_for_index(std::size_t n,
                           const std::function<void(std::size_t)>& fn);
+
+  /// Fault-isolating variant: a throwing iteration never aborts the batch.
+  /// Every index in [0, n) runs to completion; an exception thrown by fn(i)
+  /// is captured into errors[i] (errors is resized to n, entries for clean
+  /// indices are null). Returns the number of indices that threw. This is
+  /// the sweep-engine primitive: one poisoned design point must not tear
+  /// down the other n-1 evaluations (core/dse.h).
+  std::size_t parallel_for_index_capture(
+      std::size_t n, const std::function<void(std::size_t)>& fn,
+      std::vector<std::exception_ptr>& errors);
 
   /// Enqueue one fire-and-forget task onto the pool's workers — the request
   /// dispatch primitive of the serving layer (serve/server.h). With a
@@ -86,6 +98,7 @@ class ThreadPool {
   struct Batch;
 
   void worker_main();
+  void run_batch(const std::shared_ptr<Batch>& batch);
 
   const int jobs_;
   std::vector<std::thread> workers_;

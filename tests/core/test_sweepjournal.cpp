@@ -1,0 +1,181 @@
+#include "core/sweepjournal.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "util/faultinject.h"
+
+namespace sqz::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("sqz_journal_" + tag)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(SweepJournal, RoundTripsAppendedRecords) {
+  const std::string dir = fresh_dir("roundtrip");
+  {
+    SweepJournal j(dir);
+    EXPECT_TRUE(j.entries().empty());
+    j.append("point-a", "{\"cycles\":1}");
+    j.append("point-b", "{\"cycles\":2}");
+  }
+  SweepJournal j(dir);
+  EXPECT_FALSE(j.recovery().torn);
+  EXPECT_EQ(j.recovery().records, 2u);
+  ASSERT_EQ(j.entries().size(), 2u);
+  EXPECT_EQ(j.entries().at("point-a"), "{\"cycles\":1}");
+  EXPECT_EQ(j.entries().at("point-b"), "{\"cycles\":2}");
+}
+
+TEST(SweepJournal, LaterDuplicateKeyWins) {
+  const std::string dir = fresh_dir("dup");
+  {
+    SweepJournal j(dir);
+    j.append("point", "old");
+    j.append("point", "new");
+  }
+  SweepJournal j(dir);
+  ASSERT_EQ(j.entries().size(), 1u);
+  EXPECT_EQ(j.entries().at("point"), "new");
+}
+
+TEST(SweepJournal, BinaryKeysAndValuesSurvive) {
+  const std::string dir = fresh_dir("binary");
+  const std::string key("k\0\n ey", 6);
+  const std::string value("v\xff\x00\nalue", 8);
+  {
+    SweepJournal j(dir);
+    j.append(key, value);
+  }
+  SweepJournal j(dir);
+  ASSERT_EQ(j.entries().count(key), 1u);
+  EXPECT_EQ(j.entries().at(key), value);
+}
+
+TEST(SweepJournal, TornTailIsDroppedAndTruncated) {
+  const std::string dir = fresh_dir("torn");
+  {
+    SweepJournal j(dir);
+    j.append("a", "1");
+    j.append("b", "2");
+  }
+  // Crash mid-append: tear the last record's bytes.
+  const std::string path = SweepJournal::journal_path(dir);
+  const std::string full = read_file(path);
+  fs::resize_file(path, full.size() - 3);
+
+  SweepJournal j(dir);
+  EXPECT_TRUE(j.recovery().torn);
+  EXPECT_EQ(j.recovery().records, 1u);
+  EXPECT_GT(j.recovery().dropped_bytes, 0u);
+  EXPECT_EQ(j.entries().count("a"), 1u);
+  EXPECT_EQ(j.entries().count("b"), 0u);
+
+  // The torn bytes were truncated away, so the next append starts on a
+  // clean frame and a third open sees both records.
+  j.append("c", "3");
+  SweepJournal j2(dir);
+  EXPECT_FALSE(j2.recovery().torn);
+  EXPECT_EQ(j2.recovery().records, 2u);
+  EXPECT_EQ(j2.entries().count("c"), 1u);
+}
+
+TEST(SweepJournal, CorruptChecksumEndsTheTrustedPrefix) {
+  const std::string dir = fresh_dir("bitrot");
+  {
+    SweepJournal j(dir);
+    j.append("first", "1");
+    j.append("second", "2");
+    j.append("third", "3");
+  }
+  const std::string path = SweepJournal::journal_path(dir);
+  std::string raw = read_file(path);
+  // Flip one payload byte of the middle record.
+  const std::size_t at = raw.find("second");
+  ASSERT_NE(at, std::string::npos);
+  raw[at] ^= 0x01;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << raw;
+
+  // Nothing after a bad frame is believed: only the first record survives.
+  SweepJournal j(dir);
+  EXPECT_TRUE(j.recovery().torn);
+  EXPECT_EQ(j.recovery().records, 1u);
+  EXPECT_EQ(j.entries().count("first"), 1u);
+  EXPECT_EQ(j.entries().count("third"), 0u);
+}
+
+TEST(SweepJournal, GarbageFileRecoversToEmpty) {
+  const std::string dir = fresh_dir("garbage");
+  fs::create_directories(dir);
+  std::ofstream(SweepJournal::journal_path(dir), std::ios::binary)
+      << "this is not a journal\nsqzw1 lies 0 0\n";
+  SweepJournal j(dir);
+  EXPECT_TRUE(j.recovery().torn);
+  EXPECT_EQ(j.recovery().records, 0u);
+  EXPECT_TRUE(j.entries().empty());
+  j.append("fresh", "start");
+  SweepJournal j2(dir);
+  EXPECT_EQ(j2.recovery().records, 1u);
+}
+
+TEST(SweepJournal, HostileLengthHeaderIsRejectedNotOverflowed) {
+  const std::string dir = fresh_dir("hostile");
+  fs::create_directories(dir);
+  // Lengths near SIZE_MAX must not wrap the bounds check into acceptance.
+  std::ofstream(SweepJournal::journal_path(dir), std::ios::binary)
+      << "sqzw1 18446744073709551615 7 0123456789abcdef\npayload";
+  SweepJournal j(dir);
+  EXPECT_EQ(j.recovery().records, 0u);
+  EXPECT_TRUE(j.entries().empty());
+}
+
+TEST(SweepJournal, InjectedShortWritePublishesRecoverableTornRecord) {
+  const std::string dir = fresh_dir("shortio");
+  {
+    SweepJournal j(dir);
+    j.append("good", "1");
+    util::fault::arm("sweepjournal.append", util::fault::make_short(10), 1);
+    j.append("torn", "2");  // only 10 bytes of the record reach the file
+    util::fault::reset();
+  }
+  SweepJournal j(dir);
+  EXPECT_TRUE(j.recovery().torn);
+  EXPECT_EQ(j.recovery().records, 1u);
+  EXPECT_EQ(j.entries().count("good"), 1u);
+  EXPECT_EQ(j.entries().count("torn"), 0u);
+}
+
+TEST(SweepJournal, InjectedAppendFailureThrowsLoudly) {
+  const std::string dir = fresh_dir("enospc");
+  SweepJournal j(dir);
+  util::fault::arm("sweepjournal.append", util::fault::make_errno(ENOSPC), 1);
+  EXPECT_THROW(j.append("k", "v"), SweepJournalError);
+  util::fault::reset();
+  // The journal object remains usable once the disk "recovers".
+  j.append("k", "v");
+  EXPECT_EQ(j.entries().count("k"), 1u);
+}
+
+TEST(SweepJournal, UnwritableDirectoryThrows) {
+  EXPECT_THROW(SweepJournal("/proc/definitely/not/writable"),
+               SweepJournalError);
+}
+
+}  // namespace
+}  // namespace sqz::core

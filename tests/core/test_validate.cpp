@@ -1,0 +1,188 @@
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "nn/model.h"
+#include "nn/zoo/zoo.h"
+#include "sim/config.h"
+
+namespace sqz::core {
+namespace {
+
+bool mentions(const ValidationReport& report, const std::string& needle) {
+  for (const ValidationIssue& i : report.issues)
+    if (i.what.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+TEST(ValidateConfig, PaperPresetsAreFeasible) {
+  EXPECT_TRUE(validate_config(sim::AcceleratorConfig::squeezelerator()).ok());
+  EXPECT_TRUE(
+      validate_config(sim::AcceleratorConfig::squeezelerator_rf8()).ok());
+  EXPECT_TRUE(validate_config(sim::AcceleratorConfig{}).ok());
+}
+
+TEST(ValidateConfig, FlagsEachBrokenPrimitive) {
+  sim::AcceleratorConfig c;
+  c.array_n = 2000;
+  EXPECT_TRUE(mentions(validate_config(c), "array_n=2000"));
+
+  c = {};
+  c.rf_entries = 0;
+  EXPECT_TRUE(mentions(validate_config(c), "rf_entries=0"));
+
+  c = {};
+  c.gb_kib = 0;
+  EXPECT_TRUE(mentions(validate_config(c), "gb_kib=0"));
+
+  c = {};
+  c.drain_width = 0;
+  EXPECT_TRUE(mentions(validate_config(c), "bus widths"));
+
+  c = {};
+  c.dram_latency_cycles = -1;
+  EXPECT_TRUE(mentions(validate_config(c), "dram_latency_cycles"));
+
+  c = {};
+  c.dram_bytes_per_cycle = 0.0;
+  EXPECT_TRUE(mentions(validate_config(c), "dram_bytes_per_cycle"));
+
+  c = {};
+  c.batch = 0;
+  EXPECT_TRUE(mentions(validate_config(c), "batch=0"));
+
+  c = {};
+  c.data_bytes = 3;
+  EXPECT_TRUE(mentions(validate_config(c), "data_bytes=3"));
+
+  c = {};
+  c.weight_sparsity = 1.0;
+  EXPECT_TRUE(mentions(validate_config(c), "weight_sparsity"));
+}
+
+TEST(ValidateConfig, PsumAccumulatorMustHoldOneColumn) {
+  sim::AcceleratorConfig c;
+  c.array_n = 32;
+  c.psum_accum_words = 31;
+  const ValidationReport report = validate_config(c);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "psum_accum_words"));
+  // The diagnostic says what to change, not just what is wrong.
+  EXPECT_TRUE(mentions(report, "raise psum_accum_words or shrink array_n"));
+}
+
+TEST(ValidateConfig, WeightReserveMustFitInsideTheGlobalBuffer) {
+  sim::AcceleratorConfig c;
+  c.gb_kib = 1;  // 512 words at data_bytes=2
+  c.weight_reserve_words = 512;
+  EXPECT_TRUE(mentions(validate_config(c), "weight_reserve_words"));
+}
+
+TEST(ValidateConfig, WsReserveMustDoubleBufferOneWeightBlock) {
+  sim::AcceleratorConfig c;
+  c.array_n = 32;
+  c.weight_reserve_words = 2047;  // 2*32*32 = 2048 needed
+  const ValidationReport report = validate_config(c);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(mentions(report, "double-buffer"));
+
+  // An OS-only design never streams WS weight blocks, so the same reserve
+  // is fine there.
+  c.support = sim::DataflowSupport::OsOnly;
+  EXPECT_TRUE(validate_config(c).ok());
+}
+
+TEST(ValidateConfig, CollectsEveryIssueNotJustTheFirst) {
+  sim::AcceleratorConfig c;
+  c.array_n = 0;
+  c.rf_entries = 0;
+  c.batch = 0;
+  c.weight_sparsity = -0.5;
+  const ValidationReport report = validate_config(c);
+  EXPECT_GE(report.issues.size(), 4u);
+  for (const ValidationIssue& i : report.issues) EXPECT_EQ(i.where, "config");
+}
+
+TEST(ValidateDesign, PaperModelsOnPaperConfigsPass) {
+  const nn::Model m = nn::zoo::squeezenet_v11();
+  EXPECT_TRUE(
+      validate_design(m, sim::AcceleratorConfig::squeezelerator()).ok());
+}
+
+TEST(ValidateDesign, ConvTileMustFitTheActivationRegion) {
+  nn::Model m("big", nn::TensorShape{64, 64, 64});
+  m.add_conv("c1", 64, 3, 1, 1);
+  m.finalize();
+
+  sim::AcceleratorConfig c;
+  c.gb_kib = 1;  // 512 words
+  c.weight_reserve_words = 0;
+  c.support = sim::DataflowSupport::OsOnly;  // reserve 0 is legal OS-only
+  ASSERT_TRUE(validate_config(c).ok());
+
+  const ValidationReport report = validate_design(m, c);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].where, "layer c1");
+  EXPECT_TRUE(mentions(report, "minimal tile"));
+  EXPECT_TRUE(mentions(report, "raise gb_kib"));
+}
+
+TEST(ValidateDesign, FcTileCountsBothVectors) {
+  nn::Model m("fc", nn::TensorShape{4096, 1, 1});
+  m.add_fc("classifier", 4096);
+  m.finalize();
+
+  sim::AcceleratorConfig c;
+  c.gb_kib = 8;  // 4096 words < 4096 + 4096
+  c.weight_reserve_words = 0;
+  c.support = sim::DataflowSupport::OsOnly;
+
+  const ValidationReport report = validate_design(m, c);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues[0].where, "layer classifier");
+  EXPECT_TRUE(mentions(report, "minimal tile"));
+}
+
+TEST(ValidateDesign, ConfigAndLayerIssuesAreCollectedTogether) {
+  nn::Model m("big", nn::TensorShape{64, 64, 64});
+  m.add_conv("c1", 64, 3, 1, 1);
+  m.finalize();
+
+  sim::AcceleratorConfig c;
+  c.gb_kib = 1;
+  c.weight_reserve_words = 0;
+  c.support = sim::DataflowSupport::OsOnly;
+  c.batch = 0;  // config issue on top of the tile issue
+
+  const ValidationReport report = validate_design(m, c);
+  EXPECT_GE(report.issues.size(), 2u);
+  EXPECT_EQ(report.issues[0].where, "config");
+  EXPECT_EQ(report.issues.back().where, "layer c1");
+}
+
+TEST(ValidateDesign, SummaryJoinsIssuesForThePointError) {
+  sim::AcceleratorConfig c;
+  c.batch = 0;
+  c.rf_entries = 0;
+  const std::string s = validate_design(
+      nn::zoo::squeezenet_v11(), c).summary();
+  EXPECT_NE(s.find("config: "), std::string::npos);
+  EXPECT_NE(s.find("; "), std::string::npos);
+  EXPECT_NE(s.find("batch=0"), std::string::npos);
+  EXPECT_NE(s.find("rf_entries=0"), std::string::npos);
+}
+
+TEST(ValidateDesign, ValidationErrorIsARuntimeError) {
+  // The sweep engine throws this type so classify_point_error can stamp the
+  // phase; it must stay catchable as std::runtime_error for generic callers.
+  try {
+    throw ValidationError("config: batch=0 must be >= 1");
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "config: batch=0 must be >= 1");
+  }
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -1,0 +1,209 @@
+// Property and fuzz tests for the model text format (nn/serialize.h).
+//
+// Property: for randomly generated builder models, parse(serialize(m))
+// reproduces m exactly — same text, same shapes, same MAC/param counts.
+// The generator is seeded, so every run exercises the same 64 models.
+//
+// Fuzz: a hostile corpus (truncated headers, absurd dimensions, garbage
+// attributes, bad graph references) must always *throw* std::exception —
+// never crash, hang, or return a half-built model.
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+#include "nn/zoo/zoo.h"
+
+namespace sqz::nn {
+namespace {
+
+// Build a random but always-valid model. Shapes are tracked so kernels
+// never exceed their (padded) inputs — those are rejected at build time by
+// shape inference, and the property under test is the round-trip, not the
+// builder's validation.
+Model random_model(std::mt19937& rng, int index) {
+  const auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+
+  Model m("Fuzz" + std::to_string(index),
+          TensorShape{pick(1, 8), pick(8, 32), pick(8, 32)});
+  int last = 0;  // layer index whose output feeds the next layer
+  int n = 0;     // monotonically numbered layer names
+
+  const auto shape_of = [&](int idx) { return m.layer(idx).out_shape; };
+  const auto name = [&](const char* kind) {
+    return std::string(kind) + std::to_string(n++);
+  };
+
+  const int steps = pick(3, 10);
+  for (int s = 0; s < steps; ++s) {
+    const TensorShape cur = shape_of(last);
+    switch (pick(0, 6)) {
+      case 0: {  // conv, odd square kernel, "same" padding
+        const int k = 1 + 2 * pick(0, 2);
+        const int stride = pick(1, 2);
+        last = m.add_conv(name("conv"), pick(1, 32), k, stride, k / 2, last);
+        break;
+      }
+      case 1: {  // rectangular kernel via full ConvParams
+        ConvParams p;
+        p.out_channels = pick(1, 16);
+        p.kh = pick(1, 3);
+        p.kw = pick(1, 3);
+        p.stride = 1;
+        p.pad_h = p.kh / 2;
+        p.pad_w = p.kw / 2;
+        p.relu = pick(0, 1) != 0;
+        last = m.add_conv(name("rect"), p, last);
+        break;
+      }
+      case 2:
+        last = m.add_depthwise(name("dw"), 3, 1, 1, last);
+        break;
+      case 3:
+        if (cur.h >= 4 && cur.w >= 4)
+          last = pick(0, 1) ? m.add_maxpool(name("mp"), 2, 2, last)
+                            : m.add_avgpool(name("ap"), 2, 2, last);
+        break;
+      case 4:
+        last = m.add_relu(name("relu"), last);
+        break;
+      case 5: {  // fire-style two-branch concat
+        const int b1 = m.add_conv(name("b"), pick(1, 8), 1, 1, 0, last);
+        const int b2 = m.add_conv(name("b"), pick(1, 8), 3, 1, 1, last);
+        last = m.add_concat(name("cat"), {b1, b2});
+        break;
+      }
+      case 6: {  // residual add around a shape-preserving conv
+        const int c = m.add_conv(name("res"), cur.c, 3, 1, 1, last);
+        last = m.add_add(name("sum"), c, last);
+        break;
+      }
+    }
+  }
+  if (pick(0, 1)) {
+    m.add_global_avgpool(name("gap"), last);
+    m.add_fc(name("fc"), pick(2, 100), pick(0, 1) != 0);
+  }
+  m.finalize();
+  return m;
+}
+
+TEST(SerializeProperty, RandomModelsRoundTripExactly) {
+  std::mt19937 rng(20260805);  // fixed seed: the corpus is part of the test
+  for (int i = 0; i < 64; ++i) {
+    const Model m = random_model(rng, i);
+    const std::string text = serialize_model(m);
+    const Model back = parse_model(text);
+
+    // Text fixed point: serializing the parsed model reproduces the bytes.
+    EXPECT_EQ(serialize_model(back), text) << "model " << i;
+
+    // Structural equality, not just textual: shapes and counted work match.
+    ASSERT_EQ(back.layer_count(), m.layer_count()) << "model " << i;
+    for (int l = 0; l < m.layer_count(); ++l) {
+      EXPECT_EQ(back.layer(l).name, m.layer(l).name);
+      EXPECT_EQ(back.layer(l).kind, m.layer(l).kind);
+      EXPECT_EQ(back.layer(l).out_shape, m.layer(l).out_shape);
+      EXPECT_EQ(back.layer(l).inputs, m.layer(l).inputs);
+    }
+    EXPECT_EQ(back.total_macs(), m.total_macs()) << "model " << i;
+    EXPECT_EQ(back.total_params(), m.total_params()) << "model " << i;
+  }
+}
+
+TEST(SerializeProperty, ZooModelsRoundTripExactly) {
+  for (const Model& m :
+       {zoo::squeezenet_v10(), zoo::squeezenet_v11(), zoo::squeezenext(),
+        zoo::tiny_darknet(), zoo::mobilenet(), zoo::alexnet()}) {
+    const std::string text = serialize_model(m);
+    EXPECT_EQ(serialize_model(parse_model(text)), text) << m.name();
+  }
+}
+
+TEST(SerializeFuzz, HostileInputsThrowInsteadOfCrashing) {
+  const std::vector<std::string> corpus = {
+      // Truncated / malformed headers.
+      "",
+      "model",
+      "model Tiny",
+      "model Tiny input",
+      "model Tiny input 3x32",
+      "model Tiny input 3x32x32x7",
+      "model Tiny input axbxc",
+      "model  input 3x32x32",
+      "model Tiny input 3x32x32",
+      "conv name=c out=8 kernel=3x3",  // layer line before any header
+      // Absurd or non-positive dimensions.
+      "model T input 0x32x32",
+      "model T input -3x32x32",
+      "model T input 99999999999999999999x2x2",
+      "model T input 3x32x32\nconv name=c out=0 kernel=3x3",
+      "model T input 3x32x32\nconv name=c out=99999999999999999999 kernel=3",
+      "model T input 3x32x32\nconv name=c out=8 kernel=64x64",
+      "model T input 3x32x32\nconv name=c out=8 kernel=3x3 stride=0",
+      "model T input 3x32x32\nfc name=f out=-4",
+      // Garbage attributes and kinds.
+      "model T input 3x32x32\nfrobnicate name=x",
+      "model T input 3x32x32\nconv name",
+      "model T input 3x32x32\nconv name=c out=banana kernel=3x3",
+      "model T input 3x32x32\nconv name=c out=8 kernel=3xbanana",
+      "model T input 3x32x32\nmaxpool name=p kernel=",
+      // Bad graph references.
+      "model T input 3x32x32\nconv name=c out=8 kernel=1x1 from=7",
+      "model T input 3x32x32\nconv name=c out=8 kernel=1x1 from=-2",
+      "model T input 3x32x32\nconcat name=cat from=0",
+      "model T input 3x32x32\nconcat name=cat from=0,9",
+      "model T input 3x32x32\nadd name=a from=1,1",
+      "model T input 3x32x32\nadd name=a from=0",
+      "model T input 3x32x32\nadd name=a from=,",
+      // Structurally empty: a header alone never finalizes.
+      "model T input 3x32x32",
+      "model T input 3x32x32\n# only a comment\n\n",
+  };
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    try {
+      (void)parse_model(corpus[i]);
+      FAIL() << "corpus[" << i << "] parsed: " << corpus[i];
+    } catch (const std::exception&) {
+      // Throw-not-crash is the property; the type and message are free to
+      // vary across corpus entries.
+    }
+  }
+}
+
+TEST(SerializeFuzz, DocumentedErrorsAreActionable) {
+  // The common mistakes must carry line numbers and name the problem.
+  try {
+    parse_model("model T input 3x32x32\nconv name=c out=eight kernel=3x3");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+  try {
+    parse_model("model T input 3x32x32\nwibble name=x");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown layer kind"), std::string::npos) << what;
+    EXPECT_NE(what.find("wibble"), std::string::npos) << what;
+  }
+}
+
+TEST(SerializeFuzz, CommentsAndBlankLinesAreIgnored) {
+  const Model m = parse_model(
+      "# leading comment\n\nmodel T input 3x8x8\n\n"
+      "# conv below\nconv name=c out=4 kernel=3x3 pad=1x1\n\n");
+  EXPECT_EQ(m.layer_count(), 2);
+  EXPECT_EQ(m.layer(1).name, "c");
+}
+
+}  // namespace
+}  // namespace sqz::nn

@@ -2,14 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <string>
 
 #include "core/cli.h"
 #include "core/config_io.h"
 #include "core/report.h"
+#include "core/sweepjournal.h"
 #include "nn/serialize.h"
 #include "nn/zoo/zoo.h"
 #include "sched/network_sim.h"
+#include "util/json_parse.h"
 
 namespace sqz::serve {
 namespace {
@@ -200,6 +203,80 @@ TEST(Api, SimServiceWorksWithoutACache) {
       service.simulate(R"({"model":"squeezenet11"})");
   EXPECT_FALSE(r.cache_hit);
   EXPECT_FALSE(r.body.empty());
+}
+
+TEST(Api, CleanSweepFillsStatsAndCaches) {
+  SimCache cache(8);
+  SimService service(&cache);
+  const std::string body =
+      R"({"model":"squeezenet11","sweep":{"knob":"rf_entries","values":[8,16]}})";
+
+  const SimService::Result first = service.sweep(body);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.sweep.points, 2u);
+  EXPECT_EQ(first.sweep.point_errors, 0u);
+  EXPECT_EQ(first.sweep.resumed, 0u);
+  EXPECT_FALSE(first.sweep.partial());
+
+  const SimService::Result second = service.sweep(body);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.body, first.body);
+}
+
+TEST(Api, PartialSweepReportsErrorsAndIsNeverCached) {
+  SimCache cache(8);
+  SimService service(&cache);
+  // array_n=2000 fails pre-flight validation; array_n=16 simulates fine.
+  const std::string body =
+      R"({"model":"squeezenet11","sweep":{"knob":"array_n","values":[16,2000]}})";
+
+  const SimService::Result r = service.sweep(body);
+  EXPECT_FALSE(r.cache_hit);
+  EXPECT_EQ(r.sweep.points, 1u);
+  EXPECT_EQ(r.sweep.point_errors, 1u);
+  EXPECT_TRUE(r.sweep.partial());
+
+  const util::JsonValue doc = util::parse_json(r.body);
+  ASSERT_EQ(doc.at("points").items.size(), 1u);
+  ASSERT_EQ(doc.at("errors").items.size(), 1u);
+  const util::JsonValue& e = doc.at("errors").at(std::size_t{0});
+  EXPECT_EQ(e.at("phase").as_string(), "validate");
+  EXPECT_NE(e.at("what").as_string().find("array_n=2000"), std::string::npos);
+
+  // A partial response must not be cached: the failure may be transient,
+  // and a cached body would pin it. The repeat is a miss that re-runs.
+  const SimService::Result again = service.sweep(body);
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_EQ(again.body, r.body);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(Api, SweepJournalRestoresAcrossServiceInstances) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sqz_api_journal").string();
+  std::filesystem::remove_all(dir);
+  const std::string body =
+      R"({"model":"squeezenet11","sweep":{"knob":"rf_entries","values":[8,16]}})";
+
+  std::string first_body;
+  {
+    core::SweepJournal journal(dir);
+    SimService service(nullptr, &journal);
+    const SimService::Result r = service.sweep(body);
+    EXPECT_EQ(r.sweep.resumed, 0u);
+    EXPECT_EQ(journal.entries().size(), 2u);
+    first_body = r.body;
+  }
+  {
+    // A "restarted daemon": fresh journal object over the same directory.
+    core::SweepJournal journal(dir);
+    EXPECT_EQ(journal.recovery().records, 2u);
+    SimService service(nullptr, &journal);
+    const SimService::Result r = service.sweep(body);
+    EXPECT_EQ(r.sweep.resumed, 2u);  // nothing re-simulated
+    EXPECT_EQ(r.body, first_body);   // and the bytes match exactly
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

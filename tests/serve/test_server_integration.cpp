@@ -263,5 +263,81 @@ TEST(ServeShutdown, DiskCacheWarmsTheNextServer) {
   fs::remove_all(dir);
 }
 
+TEST(ServeSweepJournal, DaemonRestartResumesJournaledSweeps) {
+  const fs::path dir = fs::temp_directory_path() / "sqz_served_journal";
+  fs::remove_all(dir);
+  const std::string body =
+      R"({"model":"squeezenet11","sweep":{"knob":"rf_entries","values":[8,16]}})";
+
+  std::string first_body;
+  {
+    ServerOptions opt;
+    opt.port = 0;
+    opt.sweep_journal_dir = dir.string();
+    Server server(opt);
+    server.start();
+    const HttpResponse r = post(server.port(), "/v1/sweep", body);
+    ASSERT_EQ(r.status, 200) << r.body;
+    first_body = r.body;
+    const auto m = server.metrics().snapshot();
+    EXPECT_EQ(m.sweep_points_total, 2u);
+    EXPECT_EQ(m.sweep_point_errors_total, 0u);
+    EXPECT_EQ(m.sweep_resumed_total, 0u);
+  }
+  {
+    // Restarted daemon, same journal dir, empty in-memory cache: the sweep
+    // restores from the journal instead of re-simulating, byte-identically.
+    ServerOptions opt;
+    opt.port = 0;
+    opt.sweep_journal_dir = dir.string();
+    Server server(opt);
+    server.start();
+    const HttpResponse r = post(server.port(), "/v1/sweep", body);
+    ASSERT_EQ(r.status, 200) << r.body;
+    EXPECT_EQ(r.body, first_body);
+    EXPECT_EQ(server.metrics().snapshot().sweep_resumed_total, 2u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(ServeSweepJournal, PartialSweepCountsOnMetricsAndIsNotCached) {
+  ServerOptions opt;
+  opt.port = 0;
+  Server server(opt);
+  server.start();
+  const std::string body =
+      R"({"model":"squeezenet11","sweep":{"knob":"array_n","values":[16,2000]}})";
+
+  const HttpResponse first = post(server.port(), "/v1/sweep", body);
+  ASSERT_EQ(first.status, 200) << first.body;  // partial, not a 4xx/5xx
+  EXPECT_NE(first.body.find("\"errors\""), std::string::npos);
+  EXPECT_NE(first.body.find("\"phase\": \"validate\""), std::string::npos);
+
+  // The repeat is a miss (partial bodies are never cached) with identical
+  // bytes, and the counters account for both runs.
+  const HttpResponse second = post(server.port(), "/v1/sweep", body);
+  ASSERT_EQ(second.status, 200);
+  ASSERT_NE(second.header("X-Sqz-Cache"), nullptr);
+  EXPECT_EQ(*second.header("X-Sqz-Cache"), "miss");
+  EXPECT_EQ(second.body, first.body);
+
+  const auto m = server.metrics().snapshot();
+  EXPECT_EQ(m.sweep_points_total, 2u);        // one good point per run
+  EXPECT_EQ(m.sweep_point_errors_total, 2u);  // one failure per run
+  EXPECT_EQ(m.sweeps_partial_total, 2u);
+
+  const HttpResponse metrics = get(server.port(), "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("sqzserved_sweep_points_total 2"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("sqzserved_sweep_point_errors_total 2"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("sqzserved_sweeps_partial_total 2"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("sqzserved_sweep_resumed_total 0"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace sqz::serve

@@ -1,0 +1,56 @@
+#include "util/checked.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+namespace sqz::util {
+namespace {
+
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+TEST(Checked, AddPassesThroughInRange) {
+  EXPECT_EQ(checked_add(2, 3, "test"), 5);
+  EXPECT_EQ(checked_add(-7, 7, "test"), 0);
+  EXPECT_EQ(checked_add(kMax - 1, 1, "test"), kMax);
+  EXPECT_EQ(checked_add(kMin + 1, -1, "test"), kMin);
+}
+
+TEST(Checked, MulPassesThroughInRange) {
+  EXPECT_EQ(checked_mul(6, 7, "test"), 42);
+  EXPECT_EQ(checked_mul(kMax, 1, "test"), kMax);
+  EXPECT_EQ(checked_mul(kMax / 2, 2, "test"), kMax - 1);
+  EXPECT_EQ(checked_mul(0, kMax, "test"), 0);
+}
+
+TEST(Checked, AddOverflowThrowsInsteadOfWrapping) {
+  EXPECT_THROW(checked_add(kMax, 1, "cycles"), std::overflow_error);
+  EXPECT_THROW(checked_add(kMin, -1, "cycles"), std::overflow_error);
+  EXPECT_THROW(checked_add(kMax / 2 + 1, kMax / 2 + 1, "cycles"),
+               std::overflow_error);
+}
+
+TEST(Checked, MulOverflowThrowsInsteadOfWrapping) {
+  EXPECT_THROW(checked_mul(kMax, 2, "macs"), std::overflow_error);
+  EXPECT_THROW(checked_mul(kMax / 2 + 1, 2, "macs"), std::overflow_error);
+  EXPECT_THROW(checked_mul(kMin, -1, "macs"), std::overflow_error);
+}
+
+TEST(Checked, OverflowMessageNamesTheQuantity) {
+  // The message is the actionable part: a sweep over absurd dimensions must
+  // say *which* accumulator wrapped, not just "overflow".
+  try {
+    checked_mul(kMax, 3, "model_weight_bytes");
+    FAIL() << "expected std::overflow_error";
+  } catch (const std::overflow_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("model_weight_bytes"), std::string::npos) << what;
+    EXPECT_NE(what.find("overflow"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace sqz::util

@@ -187,6 +187,96 @@ TEST(ThreadPool, SubmittedTaskCanRunNestedParallelFor) {
   EXPECT_EQ(sum.load(), 2016);
 }
 
+TEST(ThreadPoolCapture, CapturesExceptionsWithoutAbortingTheBatch) {
+  // The sweep-engine contract: one poisoned index must not cost the other
+  // n-1 evaluations (core/dse.h evaluate_designs_checked).
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  std::vector<std::exception_ptr> errors;
+  const std::size_t failed = pool.parallel_for_index_capture(
+      kN,
+      [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        if (i % 7 == 3) throw std::runtime_error("poisoned");
+      },
+      errors);
+  EXPECT_EQ(failed, 29u);  // |{i < 200 : i % 7 == 3}|
+  ASSERT_EQ(errors.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;  // every index ran exactly once
+    EXPECT_EQ(static_cast<bool>(errors[i]), i % 7 == 3) << i;
+  }
+}
+
+TEST(ThreadPoolCapture, CapturedExceptionKeepsItsMessage) {
+  ThreadPool pool(2);
+  std::vector<std::exception_ptr> errors;
+  const std::size_t failed = pool.parallel_for_index_capture(
+      8,
+      [&](std::size_t i) {
+        if (i == 5) throw std::runtime_error("bad point 5");
+      },
+      errors);
+  EXPECT_EQ(failed, 1u);
+  ASSERT_TRUE(errors[5]);
+  try {
+    std::rethrow_exception(errors[5]);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "bad point 5");
+  }
+}
+
+TEST(ThreadPoolCapture, CleanBatchReturnsZeroAndNullEntries) {
+  ThreadPool pool(4);
+  std::vector<std::exception_ptr> errors{std::make_exception_ptr(
+      std::runtime_error("stale"))};  // must be overwritten
+  const std::size_t failed = pool.parallel_for_index_capture(
+      16, [](std::size_t) {}, errors);
+  EXPECT_EQ(failed, 0u);
+  ASSERT_EQ(errors.size(), 16u);
+  for (const auto& e : errors) EXPECT_FALSE(e);
+}
+
+TEST(ThreadPoolCapture, InlinePathCapturesToo) {
+  // jobs=1 runs every index inline on the caller; isolation must hold there
+  // just the same.
+  ThreadPool pool(1);
+  std::vector<std::exception_ptr> errors;
+  const std::size_t failed = pool.parallel_for_index_capture(
+      5,
+      [](std::size_t i) {
+        if (i == 0 || i == 4) throw std::invalid_argument("edge");
+      },
+      errors);
+  EXPECT_EQ(failed, 2u);
+  EXPECT_TRUE(errors[0]);
+  EXPECT_FALSE(errors[2]);
+  EXPECT_TRUE(errors[4]);
+}
+
+TEST(ThreadPoolCapture, AllIndicesFailingStillCompletes) {
+  ThreadPool pool(4);
+  std::vector<std::exception_ptr> errors;
+  const std::size_t failed = pool.parallel_for_index_capture(
+      64, [](std::size_t) { throw std::runtime_error("all down"); }, errors);
+  EXPECT_EQ(failed, 64u);
+  for (const auto& e : errors) EXPECT_TRUE(e);
+}
+
+TEST(ThreadPoolCapture, PoolStaysUsableAfterCapturedFailures) {
+  ThreadPool pool(4);
+  std::vector<std::exception_ptr> errors;
+  pool.parallel_for_index_capture(
+      16, [](std::size_t) { throw std::runtime_error("x"); }, errors);
+  std::atomic<int> sum{0};
+  pool.parallel_for_index(16, [&](std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 120);
+}
+
 TEST(ThreadPool, GlobalPoolResizesOnSetGlobalJobs) {
   ThreadPool::set_global_jobs(2);
   EXPECT_EQ(ThreadPool::global_jobs(), 2);

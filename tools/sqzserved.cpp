@@ -35,6 +35,10 @@ const char* kUsage =
     "                     and may be pre-warmed (see EXPERIMENTS.md).\n"
     "                     Entries are checksummed; corrupt files are\n"
     "                     quarantined as *.bad and re-simulated\n"
+    "  --sweep-journal DIR  crash-safe sweep journal: append each completed\n"
+    "                     /v1/sweep design point to DIR/sweep.sqzj and serve\n"
+    "                     already-journaled points without re-simulating.\n"
+    "                     A killed daemon resumes its sweeps on restart\n"
     "  --request-timeout-ms N  deadline to read one request / drain one\n"
     "                     response; expiry answers 408 (default 30000)\n"
     "  --idle-timeout-ms N  close keep-alive connections idle this long\n"
@@ -77,6 +81,7 @@ Options parse_args(const std::vector<std::string>& args) {
       opt.server.cache_entries = static_cast<std::size_t>(
           sqz::util::ThreadPool::parse_jobs(value_of(i), "--cache-entries"));
     else if (a == "--cache-dir") opt.server.cache_dir = value_of(i);
+    else if (a == "--sweep-journal") opt.server.sweep_journal_dir = value_of(i);
     else if (a == "--request-timeout-ms")
       opt.server.request_timeout_ms =
           sqz::util::ThreadPool::parse_jobs(value_of(i), "--request-timeout-ms");
