@@ -60,6 +60,8 @@ struct CliOptions {
   std::string journal_dir; ///< --journal DIR: crash-safe sweep journal.
   bool resume = false;     ///< --resume: skip points the journal holds.
   bool progress = false;   ///< --progress: stderr heartbeat during sweeps.
+  bool screen = false;     ///< --screen: two-phase analytically-screened sweep.
+  double screen_keep = -1.0;  ///< --screen-keep FRAC: phase-2 band fraction.
 };
 
 nn::Model load_model(const CliOptions& opt) {
@@ -120,8 +122,19 @@ CliOptions parse_args(const std::vector<std::string>& args) {
     else if (a == "--journal") opt.journal_dir = value_of(i);
     else if (a == "--resume") opt.resume = true;
     else if (a == "--progress") opt.progress = true;
+    else if (a == "--screen") opt.screen = true;
+    else if (a == "--screen-keep") {
+      opt.screen_keep = std::stod(value_of(i));
+      if (!(opt.screen_keep > 0.0) || opt.screen_keep > 1.0)
+        throw std::invalid_argument("--screen-keep expects a fraction in (0, 1]");
+    }
     else throw std::invalid_argument("unknown argument: " + a);
   }
+  if (opt.screen_keep >= 0.0 && !opt.screen)
+    throw std::invalid_argument("--screen-keep requires --screen");
+  if (opt.screen && opt.sweep_spec.empty() && !opt.dump_rf_sweep)
+    throw std::invalid_argument(
+        "--screen requires a sweep (--sweep or --dump-rf-sweep)");
   return opt;
 }
 
@@ -202,6 +215,8 @@ int run_remote(const CliOptions& opt, std::ostream& out, std::ostream& err) {
   w.member("config_ini", config_to_ini(cfg));
   if (opt.dump_rf_sweep) {
     // Mirrors the local path: the RF {8,16} sweep at the default objective.
+    // Screen members are appended only when screening is requested, so an
+    // unscreened request body — and therefore its cache key — is unchanged.
     w.key("sweep");
     w.begin_object();
     w.member("knob", "rf_entries");
@@ -210,6 +225,10 @@ int run_remote(const CliOptions& opt, std::ostream& out, std::ostream& err) {
     w.value(8);
     w.value(16);
     w.end_array();
+    if (opt.screen) {
+      w.member("screen", true);
+      if (opt.screen_keep >= 0.0) w.member("screen_keep", opt.screen_keep);
+    }
     w.end_object();
   } else {
     w.key("options");
@@ -316,6 +335,11 @@ int run_sweep_cli(const CliOptions& opt, const nn::Model& model,
   if (opt.objective == "cycles") sopt.objective = sched::Objective::Cycles;
   else if (opt.objective == "energy") sopt.objective = sched::Objective::Energy;
   else throw std::invalid_argument("--objective must be cycles|energy");
+  sopt.tile_timeline = opt.timeline || opt.tile_search;
+  sopt.tile_search = opt.tile_search;
+  sopt.fuse_pool_drain = opt.fuse;
+  sopt.screen = opt.screen;
+  if (opt.screen_keep >= 0.0) sopt.screen_keep = opt.screen_keep;
 
   if (opt.resume && opt.journal_dir.empty())
     throw std::invalid_argument("--resume requires --journal DIR");
@@ -351,6 +375,12 @@ int run_sweep_cli(const CliOptions& opt, const nn::Model& model,
   const SweepOutcome outcome = evaluate_designs_checked(model, configs, sopt);
   if (opt.resume)
     err << "sqzsim: resumed " << outcome.resumed << " completed points\n";
+  if (outcome.screened)
+    err << util::format(
+        "sqzsim: screened %zu points, re-simulated %zu cycle-exactly "
+        "(max estimator error %.2f%%)\n",
+        outcome.screen_points, outcome.screen_kept,
+        outcome.screen_error_max_pct);
   if (!outcome.errors.empty())
     err << "sqzsim: " << outcome.errors.size() << " of " << configs.size()
         << " design points failed (see the dump's \"errors\" array)\n";
@@ -438,7 +468,8 @@ std::string cli_usage() {
       "                      dram_bytes_per_cycle. Each point is validated\n"
       "                      pre-flight and fault-isolated: a failing point\n"
       "                      lands in the dump's \"errors\" array instead of\n"
-      "                      aborting the sweep\n"
+      "                      aborting the sweep. Honors --timeline,\n"
+      "                      --tile-search, and --fuse for every point\n"
       "  --journal DIR       write-ahead journal for sweeps: append each\n"
       "                      completed point to DIR/sweep.sqzj so a killed\n"
       "                      sweep can be resumed. Without --resume any\n"
@@ -448,6 +479,14 @@ std::string cli_usage() {
       "                      uninterrupted run\n"
       "  --progress          stderr heartbeat during sweeps (done/total,\n"
       "                      errors, elapsed seconds)\n"
+      "  --screen            two-phase sweep: score every point with the\n"
+      "                      analytical estimator (docs/ESTIMATOR.md), then\n"
+      "                      re-simulate only the retained Pareto band\n"
+      "                      cycle-exactly. The dump gains a \"screening\"\n"
+      "                      summary and per-point \"phase\" markers\n"
+      "  --screen-keep FRAC  fraction of screened points retained for the\n"
+      "                      cycle-exact phase, in (0, 1] (default 0.25);\n"
+      "                      whole Pareto fronts are kept, never split\n"
       "  --connect HOST:PORT run on a sqzserved daemon instead of locally;\n"
       "                      prints the daemon's JSON report (or sweep JSON\n"
       "                      with --dump-rf-sweep), byte-identical to a local\n"

@@ -181,7 +181,8 @@ SweepRequest parse_sweep_request(const std::string& body) {
   const JsonValue* sweep = member(doc, "sweep");
   if (!sweep || !sweep->is_object())
     bad_request("sweep request needs a 'sweep' object");
-  reject_unknown_members(*sweep, {"knob", "values"}, "sweep");
+  reject_unknown_members(*sweep, {"knob", "values", "screen", "screen_keep"},
+                         "sweep");
   const JsonValue* knob = member(*sweep, "knob");
   const JsonValue* values = member(*sweep, "values");
   if (!knob || !values) bad_request("'sweep' needs 'knob' and 'values'");
@@ -201,6 +202,17 @@ SweepRequest parse_sweep_request(const std::string& body) {
   for (const JsonValue& v : values->items) {
     if (!v.is_number()) bad_request("sweep.values must be numbers");
     req.values.push_back(v.number);
+  }
+  try {
+    if (const JsonValue* v = member(*sweep, "screen")) req.screen = v->as_bool();
+  } catch (const std::exception&) {
+    bad_request("sweep.screen must be a bool");
+  }
+  if (const JsonValue* v = member(*sweep, "screen_keep")) {
+    if (!req.screen) bad_request("sweep.screen_keep requires sweep.screen");
+    if (!v->is_number() || !(v->number > 0.0) || v->number > 1.0)
+      bad_request("sweep.screen_keep must be a number in (0, 1]");
+    req.screen_keep = v->number;
   }
   return req;
 }
@@ -259,6 +271,12 @@ std::string canonical_key(const SweepRequest& req) {
   w.begin_array();
   for (const double v : req.values) w.value(v);
   w.end_array();
+  // Appended only when screening: an unscreened request's key (and any
+  // cached body stored under it) is byte-identical to the pre-screening era.
+  if (req.screen) {
+    w.member("screen", true);
+    w.member("screen_keep", req.screen_keep);
+  }
   w.end_object();
   return os.str();
 }
@@ -280,6 +298,12 @@ std::string run_sweep(const SweepRequest& req, core::SweepJournal* journal,
     core::SweepOptions sweep_opt;
     sweep_opt.objective = req.base.options.objective;
     sweep_opt.units = req.base.options.units;
+    sweep_opt.tile_timeline = req.base.options.tile_timeline;
+    sweep_opt.double_buffered = req.base.options.double_buffered;
+    sweep_opt.tile_search = req.base.options.tile_search;
+    sweep_opt.fuse_pool_drain = req.base.options.fuse_pool_drain;
+    sweep_opt.screen = req.screen;
+    sweep_opt.screen_keep = req.screen_keep;
     sweep_opt.journal = journal;
     outcome = core::evaluate_designs_checked(req.base.model, build_sweep(req),
                                              sweep_opt);
@@ -292,6 +316,9 @@ std::string run_sweep(const SweepRequest& req, core::SweepJournal* journal,
     stats->points = outcome.points.size();
     stats->point_errors = outcome.errors.size();
     stats->resumed = outcome.resumed;
+    stats->screen_points = outcome.screen_points;
+    stats->screen_kept = outcome.screen_kept;
+    stats->screen_error_max_pct = outcome.screen_error_max_pct;
   }
   std::ostringstream os;
   core::write_sweep_outcome_json(req.knob + " on " + req.base.model_label,

@@ -67,6 +67,22 @@ Dataflow effective_dataflow(const nn::Layer& layer, const AcceleratorConfig& con
   return requested;
 }
 
+LayerResult simd_layer_pre_dram(const nn::Model& model, int layer_idx,
+                                const AcceleratorConfig& config) {
+  const nn::Layer& l = model.layer(layer_idx);
+  const int batch = config.batch;
+  LayerResult r;
+  r.layer_idx = layer_idx;
+  r.layer_name = l.name;
+  r.useful_macs = l.macs() * batch;
+  r.on_pe_array = false;
+  r.compute_cycles = ceil_div(simd_ops(l) * batch, config.simd_lanes);
+  r.counts.gb_reads = simd_input_reads(l) * batch;
+  r.counts.gb_writes =
+      l.kind == nn::LayerKind::Concat ? 0 : l.out_shape.elems() * batch;
+  return r;
+}
+
 LayerResult simulate_layer(const nn::Model& model, int layer_idx,
                            const AcceleratorConfig& config, Dataflow dataflow,
                            const SparsityInfo& sparsity, TensorPlacement placement) {
@@ -76,12 +92,10 @@ LayerResult simulate_layer(const nn::Model& model, int layer_idx,
 
   const int batch = config.batch;
   LayerResult r;
-  r.layer_idx = layer_idx;
-  r.layer_name = l.name;
-  r.useful_macs = l.macs() * batch;
-
-  std::int64_t weight_words = 0;
   if (l.is_macs_layer()) {
+    r.layer_idx = layer_idx;
+    r.layer_name = l.name;
+    r.useful_macs = l.macs() * batch;
     r.on_pe_array = true;
     r.dataflow = effective_dataflow(l, config, dataflow);
     if (r.dataflow == Dataflow::WeightStationary) {
@@ -104,14 +118,18 @@ LayerResult simulate_layer(const nn::Model& model, int layer_idx,
       r.counts.gb_reads *= batch;
       r.counts.gb_writes *= batch;
     }
-    weight_words = l.params();
   } else {
-    r.on_pe_array = false;
-    r.compute_cycles = ceil_div(simd_ops(l) * batch, config.simd_lanes);
-    r.counts.gb_reads = simd_input_reads(l) * batch;
-    r.counts.gb_writes =
-        l.kind == nn::LayerKind::Concat ? 0 : l.out_shape.elems() * batch;
+    r = simd_layer_pre_dram(model, layer_idx, config);
   }
+  return finish_layer_result(model, layer_idx, config, std::move(r), placement);
+}
+
+LayerResult finish_layer_result(const nn::Model& model, int layer_idx,
+                                const AcceleratorConfig& config, LayerResult r,
+                                TensorPlacement placement) {
+  const nn::Layer& l = model.layer(layer_idx);
+  const int batch = config.batch;
+  const std::int64_t weight_words = l.is_macs_layer() ? l.params() : 0;
 
   // The stored output may be smaller than the computed tensor (drain-side
   // pooling fusion: only the pooled result reaches the GB / DRAM).

@@ -11,22 +11,19 @@ namespace {
 
 std::int64_t ceil_div(std::int64_t a, std::int64_t b) { return (a + b - 1) / b; }
 
-/// Per-layer DMA/geometry facts shared by the planners.
-struct LayerDma {
-  std::int64_t dma_in_total = 0;
-  std::int64_t dma_out_total = 0;
-  std::int64_t streamed_act_words = 0;
-  std::int64_t rows = 1;           ///< Output rows (or channels for 1x1-spatial).
-  std::int64_t halo_rows = 0;
-  std::int64_t in_row_words = 0;
-  bool input_streams = false;
-  std::int64_t capacity_min_bands = 1;
-};
+}  // namespace
 
-LayerDma analyze_dma(const nn::Model& model, int layer_idx,
-                     const AcceleratorConfig& config, TensorPlacement placement) {
+int LayerDmaFacts::clamp_bands(int requested) const noexcept {
+  const std::int64_t lo = std::max<std::int64_t>(1, capacity_min_bands);
+  return static_cast<int>(
+      std::min<std::int64_t>(rows, std::max<std::int64_t>(lo, requested)));
+}
+
+LayerDmaFacts analyze_layer_dma(const nn::Model& model, int layer_idx,
+                                const AcceleratorConfig& config,
+                                TensorPlacement placement) {
   const nn::Layer& l = model.layer(layer_idx);
-  LayerDma d;
+  LayerDmaFacts d;
 
   const std::int64_t weight_words = l.params();
   std::int64_t in_words = 0;
@@ -57,7 +54,10 @@ LayerDma analyze_dma(const nn::Model& model, int layer_idx,
   return d;
 }
 
-TilePlan build_plan(const LayerDma& d, std::int64_t compute_cycles, int bands) {
+namespace {
+
+TilePlan build_plan(const LayerDmaFacts& d, std::int64_t compute_cycles,
+                    int bands) {
   TilePlan plan;
   if (bands <= 1) {
     plan.tiles.push_back(
@@ -65,10 +65,7 @@ TilePlan build_plan(const LayerDma& d, std::int64_t compute_cycles, int bands) {
     return plan;
   }
   // Halo re-reads only when a spatial row split streams its input.
-  plan.halo_reread_words = d.input_streams
-                               ? static_cast<std::int64_t>(bands - 1) *
-                                     d.halo_rows * d.in_row_words
-                               : 0;
+  plan.halo_reread_words = d.halo_words(bands);
   const std::int64_t dma_in_with_halo = d.dma_in_total + plan.halo_reread_words;
   for (int b = 0; b < bands; ++b) {
     const auto share = [&](std::int64_t total) {
@@ -78,12 +75,6 @@ TilePlan build_plan(const LayerDma& d, std::int64_t compute_cycles, int bands) {
                                  share(d.dma_out_total)});
   }
   return plan;
-}
-
-int clamp_bands(const LayerDma& d, int requested) {
-  const std::int64_t lo = std::max<std::int64_t>(1, d.capacity_min_bands);
-  return static_cast<int>(
-      std::min<std::int64_t>(d.rows, std::max<std::int64_t>(lo, requested)));
 }
 
 }  // namespace
@@ -107,8 +98,8 @@ TilePlan plan_layer_tiles_with_bands(const nn::Model& model, int layer_idx,
   const nn::Layer& l = model.layer(layer_idx);
   if (l.kind == nn::LayerKind::Input)
     throw std::invalid_argument("plan_layer_tiles: input layer has no execution");
-  const LayerDma d = analyze_dma(model, layer_idx, config, placement);
-  return build_plan(d, compute_cycles, clamp_bands(d, bands));
+  const LayerDmaFacts d = analyze_layer_dma(model, layer_idx, config, placement);
+  return build_plan(d, compute_cycles, d.clamp_bands(bands));
 }
 
 TilePlan plan_layer_tiles(const nn::Model& model, int layer_idx,
@@ -129,12 +120,12 @@ TileSearchResult search_layer_tiles(const nn::Model& model, int layer_idx,
   const nn::Layer& l = model.layer(layer_idx);
   if (l.kind == nn::LayerKind::Input)
     throw std::invalid_argument("search_layer_tiles: input layer has no execution");
-  const LayerDma d = analyze_dma(model, layer_idx, config, placement);
+  const LayerDmaFacts d = analyze_layer_dma(model, layer_idx, config, placement);
 
   TileSearchResult best;
   bool first = true;
   for (int candidate : {1, 2, 4, 8, 16, 32, 64}) {
-    const int bands = clamp_bands(d, candidate);
+    const int bands = d.clamp_bands(candidate);
     TilePlan plan = build_plan(d, compute_cycles, bands);
     const TimelineResult tl =
         run_timeline(plan.tiles, config, BufferingMode::Double);

@@ -1,0 +1,171 @@
+// The estimator's accuracy contract (docs/ESTIMATOR.md), enforced:
+//
+//  * Flat model (the mode screening uses): the closed-form estimate is
+//    EXACTLY the simulator's result — cycles and every access counter — for
+//    every layer of every zoo network under both dataflows, across a grid of
+//    micro-architectural configurations.
+//  * Tile-timeline mode: the closed-form pipeline bound is within
+//    kTimelineBoundPct of the event-driven makespan per network.
+#include "est/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "sim/layer_sim.h"
+
+namespace sqz::est {
+namespace {
+
+// The documented tile-timeline bound (docs/ESTIMATOR.md "Accuracy
+// contract"). Flat-mode agreement is exact, so screening inherits this bound
+// only when the exact phase re-runs with the timeline enabled.
+constexpr double kTimelineBoundPct = 5.0;
+
+std::vector<sim::AcceleratorConfig> config_grid() {
+  std::vector<sim::AcceleratorConfig> grid;
+  grid.push_back(sim::AcceleratorConfig::squeezelerator());
+  grid.push_back(sim::AcceleratorConfig::squeezelerator_rf8());
+  grid.push_back(sim::AcceleratorConfig::reference_ws());
+  grid.push_back(sim::AcceleratorConfig::reference_os());
+  {
+    sim::AcceleratorConfig c = sim::AcceleratorConfig::squeezelerator();
+    c.array_n = 16;
+    c.preload_width = 16;
+    c.drain_width = 16;
+    grid.push_back(c);
+  }
+  {
+    sim::AcceleratorConfig c = sim::AcceleratorConfig::squeezelerator();
+    c.array_n = 8;
+    c.rf_entries = 8;
+    c.os_zero_skip = false;
+    grid.push_back(c);
+  }
+  {
+    sim::AcceleratorConfig c = sim::AcceleratorConfig::squeezelerator();
+    c.ws_psums_in_gb = true;
+    c.weight_sparsity = 0.25;
+    grid.push_back(c);
+  }
+  {
+    sim::AcceleratorConfig c = sim::AcceleratorConfig::squeezelerator();
+    c.batch = 4;
+    grid.push_back(c);
+  }
+  return grid;
+}
+
+void expect_layer_equal(const sim::LayerResult& est, const sim::LayerResult& ref,
+                        const std::string& where) {
+  EXPECT_EQ(est.compute_cycles, ref.compute_cycles) << where;
+  EXPECT_EQ(est.total_cycles, ref.total_cycles) << where;
+  EXPECT_EQ(est.dram_cycles, ref.dram_cycles) << where;
+  EXPECT_EQ(est.useful_macs, ref.useful_macs) << where;
+  EXPECT_EQ(est.dataflow, ref.dataflow) << where;
+  EXPECT_EQ(est.counts, ref.counts) << where;
+}
+
+double rel_err_pct(std::int64_t est, std::int64_t ref) {
+  if (ref == 0) return est == 0 ? 0.0 : 1e9;
+  return 100.0 * std::abs(static_cast<double>(est - ref)) /
+         static_cast<double>(ref);
+}
+
+TEST(EstimatorAccuracy, FlatLayerExactAcrossZooAndConfigGrid) {
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    for (const sim::AcceleratorConfig& cfg : config_grid()) {
+      for (int i = 1; i < m.layer_count(); ++i) {
+        for (const sim::Dataflow df : {sim::Dataflow::WeightStationary,
+                                       sim::Dataflow::OutputStationary}) {
+          const std::string where =
+              m.name() + " layer " + m.layer(i).name + " n=" +
+              std::to_string(cfg.array_n) +
+              (df == sim::Dataflow::WeightStationary ? " WS" : " OS");
+          const sim::LayerResult ref = sim::simulate_layer(m, i, cfg, df);
+          const sim::LayerResult est = estimate_layer(m, i, cfg, df);
+          expect_layer_equal(est, ref, where);
+        }
+      }
+    }
+  }
+}
+
+TEST(EstimatorAccuracy, FlatNetworkExactAcrossZoo) {
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    for (const sim::AcceleratorConfig& cfg : config_grid()) {
+      const sim::NetworkResult ref = sched::simulate_network(m, cfg);
+      const sim::NetworkResult est = estimate_network(m, cfg);
+      ASSERT_EQ(est.layers.size(), ref.layers.size()) << m.name();
+      EXPECT_EQ(est.total_cycles(), ref.total_cycles()) << m.name();
+      EXPECT_EQ(est.total_counts(), ref.total_counts()) << m.name();
+    }
+  }
+}
+
+TEST(EstimatorAccuracy, FlatNetworkExactWithFusionAndEnergyObjective) {
+  sched::SimulationOptions opt;
+  opt.fuse_pool_drain = true;
+  opt.objective = sched::Objective::Energy;
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+    const sim::NetworkResult ref = sched::simulate_network(m, cfg, opt);
+    const sim::NetworkResult est = estimate_network(m, cfg, opt);
+    EXPECT_EQ(est.total_cycles(), ref.total_cycles()) << m.name();
+    EXPECT_EQ(est.total_counts(), ref.total_counts()) << m.name();
+  }
+}
+
+TEST(EstimatorAccuracy, TimelineNetworkWithinDocumentedBound) {
+  for (const bool search : {false, true}) {
+    sched::SimulationOptions opt;
+    opt.tile_timeline = true;
+    opt.tile_search = search;
+    for (const nn::Model& m : nn::zoo::all_table1_models()) {
+      for (const sim::AcceleratorConfig& cfg :
+           {sim::AcceleratorConfig::squeezelerator(),
+            sim::AcceleratorConfig::reference_ws(),
+            sim::AcceleratorConfig::reference_os()}) {
+        const sim::NetworkResult ref = sched::simulate_network(m, cfg, opt);
+        const sim::NetworkResult est = estimate_network(m, cfg, opt);
+        const double err = rel_err_pct(est.total_cycles(), ref.total_cycles());
+        EXPECT_LE(err, kTimelineBoundPct)
+            << m.name() << " search=" << search
+            << " est=" << est.total_cycles() << " ref=" << ref.total_cycles();
+        if (!search) {
+          // The fixed 8-band heuristic picks identical bands, so the halo
+          // re-read traffic — and every other counter — agrees exactly.
+          EXPECT_EQ(est.total_counts(), ref.total_counts()) << m.name();
+        } else {
+          // The closed-form band search may pick a different knee than the
+          // event-driven one; only the halo traffic (a sliver of dram_words)
+          // can differ, and it stays within the documented bound.
+          EXPECT_LE(rel_err_pct(est.total_counts().dram_words,
+                                ref.total_counts().dram_words),
+                    kTimelineBoundPct)
+              << m.name();
+        }
+      }
+    }
+  }
+}
+
+TEST(EstimatorAccuracy, SingleBufferTimelineIsExact) {
+  // A single staging buffer fully serializes load/compute/store, so the
+  // closed form is not a bound but the exact sum.
+  sched::SimulationOptions opt;
+  opt.tile_timeline = true;
+  opt.double_buffered = false;
+  const sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  for (const nn::Model& m : nn::zoo::all_table1_models()) {
+    const sim::NetworkResult ref = sched::simulate_network(m, cfg, opt);
+    const sim::NetworkResult est = estimate_network(m, cfg, opt);
+    EXPECT_EQ(est.total_cycles(), ref.total_cycles()) << m.name();
+  }
+}
+
+}  // namespace
+}  // namespace sqz::est

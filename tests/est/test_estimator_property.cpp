@@ -1,0 +1,115 @@
+// Seeded property tests over random model x config pairs:
+//  * the estimator stays within the documented bound of the simulator
+//    (exact in flat mode, <= kTimelineBoundPct with the tile timeline);
+//  * the estimate is monotone in PE count — scaling the array up (with its
+//    feed/drain ports scaled alongside) never estimates a slower network.
+#include "est/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "nn/zoo/zoo.h"
+#include "sched/network_sim.h"
+#include "util/rng.h"
+
+namespace sqz::est {
+namespace {
+
+constexpr double kTimelineBoundPct = 5.0;  // docs/ESTIMATOR.md
+constexpr std::uint64_t kSeed = 0x5eed0e57;
+
+nn::Model random_model(util::Rng& rng, int tag) {
+  const int cin = static_cast<int>(rng.next_in(1, 64));
+  const int hw = static_cast<int>(rng.next_in(7, 64));
+  nn::Model m("rand-" + std::to_string(tag), nn::TensorShape{cin, hw, hw});
+  const int layers = static_cast<int>(rng.next_in(1, 5));
+  for (int i = 0; i < layers; ++i) {
+    const int kind = static_cast<int>(rng.next_below(4));
+    const nn::TensorShape cur = m.layer(m.layer_count() - 1).out_shape;
+    if (kind == 0 && cur.h >= 3) {
+      m.add_maxpool("mp" + std::to_string(i), 2, 2);
+    } else if (kind == 1 && cur.h >= 3) {
+      const int k = rng.next_bernoulli(0.5) ? 3 : 1;
+      m.add_conv("c" + std::to_string(i),
+                 static_cast<int>(rng.next_in(1, 96)), k,
+                 rng.next_bernoulli(0.3) ? 2 : 1, k / 2);
+    } else if (kind == 2 && cur.h >= 3) {
+      m.add_depthwise("dw" + std::to_string(i), 3, 1, 1);
+    } else {
+      m.add_relu("r" + std::to_string(i));
+    }
+  }
+  m.finalize();
+  return m;
+}
+
+sim::AcceleratorConfig random_config(util::Rng& rng) {
+  sim::AcceleratorConfig c = sim::AcceleratorConfig::squeezelerator();
+  c.array_n = 1 << rng.next_in(2, 5);  // 4..32
+  c.rf_entries = 1 << rng.next_in(1, 4);
+  c.preload_width = 1 << rng.next_in(2, 5);
+  c.drain_width = 1 << rng.next_in(2, 5);
+  c.gb_kib = static_cast<int>(rng.next_in(32, 256));
+  c.weight_sparsity = 0.1 * static_cast<double>(rng.next_in(0, 6));
+  c.os_zero_skip = rng.next_bernoulli(0.8);
+  c.ws_psums_in_gb = rng.next_bernoulli(0.2);
+  c.batch = rng.next_bernoulli(0.2) ? 2 : 1;
+  return c;
+}
+
+TEST(EstimatorProperty, FlatExactOnRandomPairs) {
+  util::Rng rng(kSeed);
+  for (int trial = 0; trial < 60; ++trial) {
+    const nn::Model m = random_model(rng, trial);
+    const sim::AcceleratorConfig cfg = random_config(rng);
+    const sim::NetworkResult ref = sched::simulate_network(m, cfg);
+    const sim::NetworkResult est = estimate_network(m, cfg);
+    EXPECT_EQ(est.total_cycles(), ref.total_cycles()) << m.name();
+    EXPECT_EQ(est.total_counts(), ref.total_counts()) << m.name();
+  }
+}
+
+TEST(EstimatorProperty, TimelineWithinBoundOnRandomPairs) {
+  util::Rng rng(kSeed ^ 0x71e11e);
+  sched::SimulationOptions opt;
+  opt.tile_timeline = true;
+  for (int trial = 0; trial < 40; ++trial) {
+    const nn::Model m = random_model(rng, trial);
+    const sim::AcceleratorConfig cfg = random_config(rng);
+    opt.tile_search = rng.next_bernoulli(0.5);
+    const sim::NetworkResult ref = sched::simulate_network(m, cfg, opt);
+    const sim::NetworkResult est = estimate_network(m, cfg, opt);
+    const double ref_cycles = static_cast<double>(ref.total_cycles());
+    const double err =
+        100.0 * std::abs(static_cast<double>(est.total_cycles()) - ref_cycles) /
+        ref_cycles;
+    EXPECT_LE(err, kTimelineBoundPct)
+        << m.name() << " est=" << est.total_cycles()
+        << " ref=" << ref.total_cycles();
+  }
+}
+
+TEST(EstimatorProperty, MonotoneInPeCount) {
+  // Doubling the array edge (with the feed/drain ports scaled with it, as
+  // any real scale-up would) must never estimate a slower network.
+  util::Rng rng(kSeed ^ 0xab5);
+  for (int trial = 0; trial < 40; ++trial) {
+    const nn::Model m = random_model(rng, trial);
+    sim::AcceleratorConfig small = random_config(rng);
+    small.array_n = 1 << rng.next_in(2, 4);  // 4..16, leaves room to double
+    sim::AcceleratorConfig big = small;
+    big.array_n = small.array_n * 2;
+    big.preload_width = small.preload_width * 2;
+    big.drain_width = small.drain_width * 2;
+    big.psum_accum_words = small.psum_accum_words * 2;
+    const std::int64_t cycles_small = estimate_network(m, small).total_cycles();
+    const std::int64_t cycles_big = estimate_network(m, big).total_cycles();
+    EXPECT_LE(cycles_big, cycles_small)
+        << m.name() << " n=" << small.array_n << " -> " << big.array_n;
+  }
+}
+
+}  // namespace
+}  // namespace sqz::est

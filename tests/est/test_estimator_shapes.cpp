@@ -1,0 +1,139 @@
+// Edge shapes where loop-nest closed forms typically diverge from the real
+// walk: 1x1 convs (loads overlap compute in OS), depthwise-style thin
+// channels (WS tap packing, OS groups), pool/concat layers (SIMD unit), and
+// batch > 1. The estimator must stay exact on all of them.
+#include "est/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/model.h"
+#include "sim/layer_sim.h"
+
+namespace sqz::est {
+namespace {
+
+const sim::AcceleratorConfig kCfg = sim::AcceleratorConfig::squeezelerator();
+
+void expect_all_layers_exact(const nn::Model& m,
+                             const sim::AcceleratorConfig& cfg) {
+  for (int i = 1; i < m.layer_count(); ++i) {
+    for (const sim::Dataflow df : {sim::Dataflow::WeightStationary,
+                                   sim::Dataflow::OutputStationary}) {
+      const sim::LayerResult ref = sim::simulate_layer(m, i, cfg, df);
+      const sim::LayerResult est = estimate_layer(m, i, cfg, df);
+      const std::string where = m.name() + "/" + m.layer(i).name;
+      EXPECT_EQ(est.compute_cycles, ref.compute_cycles) << where;
+      EXPECT_EQ(est.total_cycles, ref.total_cycles) << where;
+      EXPECT_EQ(est.counts, ref.counts) << where;
+    }
+  }
+}
+
+TEST(EstimatorShapes, OneByOneConv) {
+  nn::Model m("1x1", nn::TensorShape{64, 28, 28});
+  m.add_conv("squeeze", 16, 1, 1, 0);
+  m.add_conv("expand", 128, 1, 1, 0);
+  m.finalize();
+  expect_all_layers_exact(m, kCfg);
+}
+
+TEST(EstimatorShapes, DepthwiseThinChannels) {
+  nn::Model m("dw", nn::TensorShape{32, 56, 56});
+  m.add_depthwise("dw3", 3, 1, 1);
+  m.add_conv("pw", 64, 1, 1, 0);
+  m.add_depthwise("dw_s2", 3, 2, 1);
+  m.finalize();
+  expect_all_layers_exact(m, kCfg);
+}
+
+TEST(EstimatorShapes, FirstLayerThreeChannelsTapPacked) {
+  // cin=3 triggers the WS tap-packing path (cin_pg <= n/2, kw > 1).
+  nn::Model m("first", nn::TensorShape{3, 227, 227});
+  m.add_conv("conv1", 96, 7, 2, 0);
+  m.finalize();
+  expect_all_layers_exact(m, kCfg);
+}
+
+TEST(EstimatorShapes, PoolConcatAddRelu) {
+  nn::Model m("simd", nn::TensorShape{16, 32, 32});
+  const int a = m.add_conv("a", 16, 3, 1, 1);
+  const int b = m.add_conv("b", 16, 3, 1, 1, /*from=*/a);
+  m.add_concat("cat", {a, b});
+  m.add_maxpool("mp", 3, 2);
+  m.add_avgpool("ap", 2, 2);
+  m.add_global_avgpool("gap");
+  m.finalize();
+  expect_all_layers_exact(m, kCfg);
+}
+
+TEST(EstimatorShapes, ResidualAdd) {
+  nn::Model m("res", nn::TensorShape{32, 14, 14});
+  const int c1 = m.add_conv("c1", 32, 3, 1, 1);
+  const int c2 = m.add_conv("c2", 32, 3, 1, 1);
+  m.add_add("sum", c1, c2);
+  m.add_relu("relu");
+  m.finalize();
+  expect_all_layers_exact(m, kCfg);
+}
+
+TEST(EstimatorShapes, FullyConnectedAlwaysWs) {
+  nn::Model m("fc", nn::TensorShape{256, 6, 6});
+  m.add_fc("fc1", 4096);
+  m.add_fc("fc2", 1000);
+  m.finalize();
+  expect_all_layers_exact(m, kCfg);
+  // Requesting OS on an FC layer falls back to WS in both paths.
+  const sim::LayerResult est =
+      estimate_layer(m, 1, kCfg, sim::Dataflow::OutputStationary);
+  EXPECT_EQ(est.dataflow, sim::Dataflow::WeightStationary);
+}
+
+TEST(EstimatorShapes, BatchGreaterThanOne) {
+  for (const int batch : {2, 4, 7}) {
+    sim::AcceleratorConfig cfg = kCfg;
+    cfg.batch = batch;
+    nn::Model m("batched", nn::TensorShape{16, 28, 28});
+    m.add_conv("c", 32, 3, 1, 1);
+    m.add_maxpool("mp", 2, 2);
+    m.add_fc("fc", 100);
+    m.finalize();
+    expect_all_layers_exact(m, cfg);
+  }
+}
+
+TEST(EstimatorShapes, StridedAndPaddedConvRemainders) {
+  // Output extents that leave remainder tiles/blocks on every axis.
+  nn::Model m("odd", nn::TensorShape{33, 37, 37});
+  m.add_conv("c5", 65, 5, 2, 2);
+  m.add_conv("c3", 17, 3, 3, 1);
+  m.finalize();
+  expect_all_layers_exact(m, kCfg);
+}
+
+TEST(EstimatorShapes, GroupedConv) {
+  nn::Model m("grouped", nn::TensorShape{96, 27, 27});
+  nn::ConvParams p;
+  p.out_channels = 256;
+  p.kh = p.kw = 5;
+  p.stride = 1;
+  p.pad_h = p.pad_w = 2;
+  p.groups = 2;
+  m.add_conv("g2", p);
+  m.finalize();
+  expect_all_layers_exact(m, kCfg);
+}
+
+TEST(EstimatorShapes, ExactOnTinyArrays) {
+  sim::AcceleratorConfig cfg = kCfg;
+  cfg.array_n = 4;
+  cfg.rf_entries = 2;
+  cfg.preload_width = 4;
+  cfg.drain_width = 4;
+  nn::Model m("tiny-array", nn::TensorShape{5, 9, 9});
+  m.add_conv("c", 7, 3, 1, 1);
+  m.finalize();
+  expect_all_layers_exact(m, cfg);
+}
+
+}  // namespace
+}  // namespace sqz::est

@@ -1,0 +1,197 @@
+// Two-phase screened sweeps (core/dse.h SweepOptions::screen): phase 1
+// scores every point analytically, phase 2 re-simulates only the retained
+// Pareto band cycle-exactly. These tests pin the semantics the estimator's
+// accuracy contract buys (docs/ESTIMATOR.md "When screening is safe"):
+// phase tagging, band retention, journal phase separation, resume
+// byte-identity, and the unscreened path staying byte-identical.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/dse.h"
+#include "core/sweepjournal.h"
+#include "nn/zoo/zoo.h"
+
+namespace sqz::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& tag) {
+  const std::string dir =
+      (fs::temp_directory_path() / ("sqz_screen_" + tag)).string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> rf_space() {
+  return sweep_rf_entries(sim::AcceleratorConfig::squeezelerator(),
+                          {1, 2, 4, 8, 16, 32});
+}
+
+std::string dump(const SweepOutcome& outcome) {
+  std::ostringstream os;
+  write_sweep_outcome_json("rf_entries on sqnxt23", outcome, os);
+  return os.str();
+}
+
+TEST(Screening, PhaseTagsAndBandRetention) {
+  const nn::Model m = nn::zoo::squeezenext();
+  SweepOptions opt;
+  opt.screen = true;
+  opt.screen_keep = 0.34;  // ceil(0.34 * 6) = 3 of 6 points
+  const SweepOutcome out = evaluate_designs_checked(m, rf_space(), opt);
+
+  EXPECT_TRUE(out.screened);
+  EXPECT_TRUE(out.errors.empty());
+  EXPECT_EQ(out.points.size(), 6u);
+  EXPECT_EQ(out.screen_points, 6u);
+  EXPECT_GE(out.screen_kept, 3u);
+  EXPECT_LT(out.screen_kept, 6u);
+
+  std::size_t exact = 0;
+  for (const DesignPoint& p : out.points) {
+    if (p.phase == DesignPoint::Phase::Exact) {
+      ++exact;
+      // Flat fidelity: the estimate IS the simulator result, bit-exact.
+      EXPECT_EQ(p.est_cycles, p.cycles) << p.label;
+      EXPECT_EQ(p.est_energy, p.energy) << p.label;
+    } else {
+      EXPECT_EQ(p.est_cycles, p.cycles) << p.label;
+    }
+  }
+  EXPECT_EQ(exact, out.screen_kept);
+  EXPECT_EQ(out.screen_error_max_pct, 0.0);  // flat mode is exact
+}
+
+TEST(Screening, BandContainsTheEstimatedParetoFront) {
+  const nn::Model m = nn::zoo::squeezenext();
+  SweepOptions opt;
+  opt.screen = true;
+  const SweepOutcome out = evaluate_designs_checked(m, rf_space(), opt);
+  // Every point on the final (cycles, energy) front must have been
+  // re-simulated: screening may only discard dominated points.
+  for (const DesignPoint& p : pareto_front(out.points))
+    EXPECT_EQ(p.phase, DesignPoint::Phase::Exact) << p.label;
+}
+
+TEST(Screening, KeepFractionOneResimulatesEverything) {
+  const nn::Model m = nn::zoo::squeezenext();
+  SweepOptions opt;
+  opt.screen = true;
+  opt.screen_keep = 1.0;
+  const SweepOutcome out = evaluate_designs_checked(m, rf_space(), opt);
+  EXPECT_EQ(out.screen_kept, 6u);
+  for (const DesignPoint& p : out.points)
+    EXPECT_EQ(p.phase, DesignPoint::Phase::Exact) << p.label;
+
+  // With every point re-simulated, metrics match the unscreened sweep.
+  const SweepOutcome plain = evaluate_designs_checked(m, rf_space(), {});
+  ASSERT_EQ(out.points.size(), plain.points.size());
+  for (std::size_t i = 0; i < out.points.size(); ++i) {
+    EXPECT_EQ(out.points[i].cycles, plain.points[i].cycles);
+    EXPECT_EQ(out.points[i].energy, plain.points[i].energy);
+  }
+}
+
+TEST(Screening, UnscreenedDumpHasNoScreeningMembers) {
+  const nn::Model m = nn::zoo::squeezenext();
+  const std::string doc = dump(evaluate_designs_checked(m, rf_space(), {}));
+  EXPECT_EQ(doc.find("screening"), std::string::npos);
+  EXPECT_EQ(doc.find("phase"), std::string::npos);
+  EXPECT_EQ(doc.find("est_cycles"), std::string::npos);
+}
+
+TEST(Screening, ScreenedDumpCarriesSummaryAndPhases) {
+  const nn::Model m = nn::zoo::squeezenext();
+  SweepOptions opt;
+  opt.screen = true;
+  const std::string doc = dump(evaluate_designs_checked(m, rf_space(), opt));
+  EXPECT_NE(doc.find("\"screening\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"screen_points\": 6"), std::string::npos);
+  EXPECT_NE(doc.find("\"phase\": \"screen\""), std::string::npos);
+  EXPECT_NE(doc.find("\"phase\": \"exact\""), std::string::npos);
+  EXPECT_NE(doc.find("\"est_cycles\":"), std::string::npos);
+}
+
+TEST(Screening, JournalKeysAreTaggedByPhase) {
+  const nn::Model m = nn::zoo::squeezenext();
+  const std::string dir = fresh_dir("tags");
+  SweepJournal journal(dir);
+  SweepOptions opt;
+  opt.screen = true;
+  opt.journal = &journal;
+  const SweepOutcome out = evaluate_designs_checked(m, rf_space(), opt);
+
+  // One "phase":"screen" record per point plus one legacy-keyed record per
+  // re-simulated point; the two phases never collide on a key.
+  std::size_t screen_keys = 0, exact_keys = 0;
+  for (const auto& [key, value] : journal.entries()) {
+    if (key.find("\"phase\":\"screen\"") != std::string::npos) ++screen_keys;
+    else ++exact_keys;
+  }
+  EXPECT_EQ(screen_keys, out.screen_points);
+  EXPECT_EQ(exact_keys, out.screen_kept);
+}
+
+TEST(Screening, ResumeIsByteIdentical) {
+  const nn::Model m = nn::zoo::squeezenext();
+  const std::string dir = fresh_dir("resume");
+  SweepOptions opt;
+  opt.screen = true;
+
+  std::string first;
+  {
+    SweepJournal journal(dir);
+    opt.journal = &journal;
+    first = dump(evaluate_designs_checked(m, rf_space(), opt));
+  }
+  SweepJournal journal(dir);
+  opt.journal = &journal;
+  const SweepOutcome resumed = evaluate_designs_checked(m, rf_space(), opt);
+  // Every record restores: all screen-phase points plus the whole band.
+  EXPECT_EQ(resumed.resumed, resumed.screen_points + resumed.screen_kept);
+  EXPECT_EQ(dump(resumed), first);
+}
+
+TEST(Screening, UnscreenedJournalSeedsTheExactPhase) {
+  // A journal written by a plain sweep holds legacy-keyed cycle-exact
+  // records; a screened resume on top of it re-estimates phase 1 but serves
+  // the band from the journal.
+  const nn::Model m = nn::zoo::squeezenext();
+  const std::string dir = fresh_dir("seed");
+  std::string plain_dump;
+  {
+    SweepJournal journal(dir);
+    SweepOptions opt;
+    opt.journal = &journal;
+    plain_dump = dump(evaluate_designs_checked(m, rf_space(), opt));
+  }
+  SweepJournal journal(dir);
+  SweepOptions opt;
+  opt.screen = true;
+  opt.journal = &journal;
+  const SweepOutcome out = evaluate_designs_checked(m, rf_space(), opt);
+  EXPECT_EQ(out.resumed, out.screen_kept);  // band served without simulating
+  EXPECT_TRUE(out.errors.empty());
+}
+
+TEST(Screening, TimelineFidelityStaysWithinDocumentedBound) {
+  // Screening under the tile timeline: the re-simulated band's estimator
+  // error feeds screen_error_max_pct and must respect docs/ESTIMATOR.md's
+  // "Accuracy contract" bound of 5%.
+  const nn::Model m = nn::zoo::squeezenext();
+  SweepOptions opt;
+  opt.screen = true;
+  opt.tile_timeline = true;
+  opt.tile_search = true;
+  const SweepOutcome out = evaluate_designs_checked(m, rf_space(), opt);
+  EXPECT_EQ(out.screen_points, 6u);
+  EXPECT_LE(out.screen_error_max_pct, 5.0);
+}
+
+}  // namespace
+}  // namespace sqz::core

@@ -251,6 +251,39 @@ TEST(Api, PartialSweepReportsErrorsAndIsNeverCached) {
   EXPECT_EQ(cache.stats().hits, 0u);
 }
 
+TEST(Api, ScreenedSweepParsesKeysAndFillsStats) {
+  // sweep.screen/screen_keep parse, are rejected when malformed, and are
+  // appended to the canonical key only when screening — an unscreened
+  // request's key (and cached body) is unchanged by the feature.
+  const std::string plain =
+      R"({"model":"squeezenet11","sweep":{"knob":"rf_entries","values":[2,4,8,16]}})";
+  const std::string screened =
+      R"({"model":"squeezenet11","sweep":{"knob":"rf_entries","values":[2,4,8,16],"screen":true,"screen_keep":0.5}})";
+  EXPECT_EQ(canonical_key(parse_sweep_request(plain)),
+            canonical_key(parse_sweep_request(
+                R"({"model":"squeezenet11","sweep":{"knob":"rf_entries","values":[2,4,8,16],"screen":false}})")));
+  EXPECT_NE(canonical_key(parse_sweep_request(plain)),
+            canonical_key(parse_sweep_request(screened)));
+  expect_bad_sweep(
+      R"({"model":"squeezenet11","sweep":{"knob":"rf_entries","values":[8],"screen_keep":0.5}})",
+      "requires sweep.screen");
+  expect_bad_sweep(
+      R"({"model":"squeezenet11","sweep":{"knob":"rf_entries","values":[8],"screen":true,"screen_keep":1.5}})",
+      "(0, 1]");
+
+  SimService service(nullptr);
+  const SimService::Result r = service.sweep(screened);
+  EXPECT_EQ(r.sweep.points, 4u);
+  EXPECT_EQ(r.sweep.screen_points, 4u);
+  EXPECT_EQ(r.sweep.screen_kept, 2u);  // ceil(0.5 * 4)
+  EXPECT_EQ(r.sweep.screen_error_max_pct, 0.0);  // flat fidelity is exact
+  EXPECT_NE(r.body.find("\"screening\":"), std::string::npos);
+
+  const SimService::Result plain_r = service.sweep(plain);
+  EXPECT_EQ(plain_r.sweep.screen_points, 0u);
+  EXPECT_EQ(plain_r.body.find("\"screening\":"), std::string::npos);
+}
+
 TEST(Api, SweepJournalRestoresAcrossServiceInstances) {
   const std::string dir =
       (std::filesystem::temp_directory_path() / "sqz_api_journal").string();
