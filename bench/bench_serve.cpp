@@ -1,11 +1,16 @@
 // google-benchmark micro-benchmarks of the serving layer: request
 // canonicalization cost (what a cache hit pays), the content-addressed
-// cache itself, and the HTTP message grammar. These bound the daemon's
+// cache itself, the HTTP message grammar, and the compiled-plan path —
+// a fresh compile (simulate + dataflow search) against a plan replay
+// (pinned dataflows, no search), which is what a plan-cache hit buys
+// the daemon on a result-cache miss. These bound the daemon's
 // per-request overhead against the milliseconds a simulation costs.
 #include <benchmark/benchmark.h>
 
 #include <string>
 
+#include "nn/zoo/zoo.h"
+#include "sched/plan_io.h"
 #include "serve/api.h"
 #include "serve/http.h"
 #include "serve/simcache.h"
@@ -72,6 +77,46 @@ void BM_HttpParseRequest(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HttpParseRequest);
+
+// --- compiled-plan path: what a plan-cache hit skips -----------------------
+// The cold path on a hybrid config simulates every conv under both
+// dataflows and searches; the replay path pins the recorded choices and
+// simulates each layer exactly once. The ratio of these two is the
+// speedup a warm plan cache delivers on a result-cache miss.
+
+void BM_PlanColdCompileSqueezeNet(benchmark::State& state) {
+  const nn::Model model = nn::zoo::squeezenet_v11();
+  const sim::AcceleratorConfig config = sim::AcceleratorConfig::squeezelerator();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::compile_plan(model, config, {}).program.commands.size());
+  }
+}
+BENCHMARK(BM_PlanColdCompileSqueezeNet)->Unit(benchmark::kMillisecond);
+
+void BM_PlanReplaySqueezeNet(benchmark::State& state) {
+  const nn::Model model = nn::zoo::squeezenet_v11();
+  const sim::AcceleratorConfig config = sim::AcceleratorConfig::squeezelerator();
+  const sched::PlanArtifact plan = sched::compile_plan(model, config, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::simulate_with_plan(model, config, {}, plan.program)
+            .total_cycles());
+  }
+}
+BENCHMARK(BM_PlanReplaySqueezeNet)->Unit(benchmark::kMillisecond);
+
+void BM_PlanDeserializeSqueezeNet(benchmark::State& state) {
+  const std::string bytes = sched::serialize_plan(sched::compile_plan(
+      nn::zoo::squeezenet_v11(), sim::AcceleratorConfig::squeezelerator(), {}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::deserialize_plan(bytes).program.commands.size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_PlanDeserializeSqueezeNet);
 
 }  // namespace
 

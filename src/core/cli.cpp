@@ -15,6 +15,7 @@
 #include "core/report.h"
 #include "core/trace.h"
 #include "sched/compile.h"
+#include "sched/plan_io.h"
 #include "core/squeezelerator.h"
 #include "energy/model.h"
 #include "nn/serialize.h"
@@ -62,6 +63,8 @@ struct CliOptions {
   bool progress = false;   ///< --progress: stderr heartbeat during sweeps.
   bool screen = false;     ///< --screen: two-phase analytically-screened sweep.
   double screen_keep = -1.0;  ///< --screen-keep FRAC: phase-2 band fraction.
+  std::string save_plan_path;  ///< --save-plan: write the compiled plan.
+  std::string load_plan_path;  ///< --load-plan: replay a compiled plan.
 };
 
 nn::Model load_model(const CliOptions& opt) {
@@ -128,8 +131,14 @@ CliOptions parse_args(const std::vector<std::string>& args) {
       if (!(opt.screen_keep > 0.0) || opt.screen_keep > 1.0)
         throw std::invalid_argument("--screen-keep expects a fraction in (0, 1]");
     }
+    else if (a == "--save-plan") opt.save_plan_path = value_of(i);
+    else if (a == "--load-plan") opt.load_plan_path = value_of(i);
     else throw std::invalid_argument("unknown argument: " + a);
   }
+  if ((!opt.save_plan_path.empty() || !opt.load_plan_path.empty()) &&
+      (opt.dump_rf_sweep || !opt.sweep_spec.empty()))
+    throw std::invalid_argument(
+        "--save-plan/--load-plan apply to single runs, not sweeps");
   if (opt.screen_keep >= 0.0 && !opt.screen)
     throw std::invalid_argument("--screen-keep requires --screen");
   if (opt.screen && opt.sweep_spec.empty() && !opt.dump_rf_sweep)
@@ -180,6 +189,8 @@ int run_remote(const CliOptions& opt, std::ostream& out, std::ostream& err) {
   else if (!opt.journal_dir.empty()) local_only = "--journal";
   else if (opt.resume) local_only = "--resume";
   else if (opt.progress) local_only = "--progress";
+  else if (!opt.save_plan_path.empty()) local_only = "--save-plan";
+  else if (!opt.load_plan_path.empty()) local_only = "--load-plan";
   if (local_only)
     throw std::invalid_argument(
         std::string(local_only) +
@@ -487,6 +498,15 @@ std::string cli_usage() {
       "  --screen-keep FRAC  fraction of screened points retained for the\n"
       "                      cycle-exact phase, in (0, 1] (default 0.25);\n"
       "                      whole Pareto fronts are kept, never split\n"
+      "  --save-plan FILE    write the compiled plan (schedule + config +\n"
+      "                      model identity + fidelity flags) as a versioned,\n"
+      "                      checksummed binary artifact (docs/PLANS.md).\n"
+      "                      Stdout is unchanged; a confirmation goes to\n"
+      "                      stderr\n"
+      "  --load-plan FILE    replay a saved plan instead of re-running the\n"
+      "                      compile search. The artifact must match the\n"
+      "                      requested model, config, and fidelity flags;\n"
+      "                      output is byte-identical to a fresh run\n"
       "  --connect HOST:PORT run on a sqzserved daemon instead of locally;\n"
       "                      prints the daemon's JSON report (or sweep JSON\n"
       "                      with --dump-rf-sweep), byte-identical to a local\n"
@@ -526,7 +546,27 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     sim_opt.tile_search = opt.tile_search;
     sim_opt.fuse_pool_drain = opt.fuse;
 
-    const sim::NetworkResult result = sched::simulate_network(model, cfg, sim_opt);
+    // --load-plan replays the artifact's recorded dataflow decisions; every
+    // report below is byte-identical to a fresh compile by determinism
+    // (tests/sched/test_plan_io.cpp), the compile search just never runs.
+    const sim::NetworkResult result = [&] {
+      if (!opt.load_plan_path.empty()) {
+        const sched::PlanArtifact artifact =
+            sched::load_plan(opt.load_plan_path);
+        sched::check_plan_serves(artifact, model, cfg, sim_opt);
+        return sched::simulate_with_plan(model, cfg, sim_opt,
+                                         artifact.program);
+      }
+      return sched::simulate_network(model, cfg, sim_opt);
+    }();
+
+    if (!opt.save_plan_path.empty()) {
+      sched::save_plan(opt.save_plan_path,
+                       sched::plan_from_result(model, cfg, sim_opt, result));
+      // Confirmation goes to the error stream: stdout must stay
+      // byte-identical with and without --save-plan.
+      err << "sqzsim: wrote compiled plan to " << opt.save_plan_path << "\n";
+    }
 
     if (!opt.json_path.empty()) {
       std::ofstream f(opt.json_path);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <stdexcept>
 
 #include "sched/fusion.h"
 #include "sched/residency.h"
@@ -52,12 +53,47 @@ std::string Program::listing() const {
   return out.str();
 }
 
+void Program::validate(int expected_layer_count) const {
+  const auto fail = [](const std::string& why) {
+    throw std::invalid_argument("program: " + why);
+  };
+  if (model_name.empty()) fail("empty model name");
+  config.validate();  // throws its own invalid_argument on bad parameters
+  if (expected_layer_count >= 0 &&
+      commands.size() != static_cast<std::size_t>(expected_layer_count) - 1)
+    fail("command count " + std::to_string(commands.size()) +
+         " does not match model layer count " +
+         std::to_string(expected_layer_count) + " (want layers - 1)");
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    const LayerCommand& c = commands[i];
+    const std::string at = "command " + std::to_string(i) + " (" +
+                           c.layer_name + "): ";
+    if (c.layer_idx != static_cast<int>(i) + 1)
+      fail(at + "layer index " + std::to_string(c.layer_idx) +
+           " out of sequence (want " + std::to_string(i + 1) + ")");
+    if (c.layer_name.empty()) fail(at + "empty layer name");
+    if (c.tile_count < 1)
+      fail(at + "tile count " + std::to_string(c.tile_count) + " < 1");
+    if (c.weight_words < 0) fail(at + "negative weight words");
+    if (c.dma_in_words < 0 || c.dma_out_words < 0)
+      fail(at + "negative DMA words");
+    if (c.expected_cycles < 0) fail(at + "negative expected cycles");
+  }
+}
+
 Program compile(const nn::Model& model, const sim::AcceleratorConfig& config,
                 const SimulationOptions& options) {
   // The simulator is the single source of truth for the schedule: compile
   // runs it and reads the decisions back out, attaching the DMA/tiling
   // detail a sequencer needs.
-  const sim::NetworkResult result = simulate_network(model, config, options);
+  return compile_from_result(model, config, options,
+                             simulate_network(model, config, options));
+}
+
+Program compile_from_result(const nn::Model& model,
+                            const sim::AcceleratorConfig& config,
+                            const SimulationOptions& options,
+                            const sim::NetworkResult& result) {
   const ResidencyPlan plan = plan_residency(model, config);
 
   std::vector<int> fused_pools;
@@ -110,6 +146,22 @@ Program compile(const nn::Model& model, const sim::AcceleratorConfig& config,
     prog.commands.push_back(std::move(cmd));
   }
   return prog;
+}
+
+sim::NetworkResult simulate_with_plan(const nn::Model& model,
+                                      const sim::AcceleratorConfig& config,
+                                      const SimulationOptions& options,
+                                      const Program& program) {
+  program.validate(model.layer_count());
+  // Pins default to WS; entries for non-PE layers are ignored by the
+  // selector, so only PE-array commands need to speak.
+  std::vector<sim::Dataflow> pins(
+      static_cast<std::size_t>(model.layer_count()),
+      sim::Dataflow::WeightStationary);
+  for (const LayerCommand& c : program.commands)
+    if (c.unit == LayerCommand::Unit::PeArray)
+      pins[static_cast<std::size_t>(c.layer_idx)] = c.dataflow;
+  return simulate_network_pinned(model, config, options, pins);
 }
 
 }  // namespace sqz::sched

@@ -43,6 +43,8 @@ struct LayerCommand {
   std::int64_t expected_cycles = 0;
 
   std::string to_string() const;
+
+  friend bool operator==(const LayerCommand&, const LayerCommand&) = default;
 };
 
 struct Program {
@@ -55,11 +57,43 @@ struct Program {
   std::int64_t total_dma_words() const noexcept;
   /// Human-readable listing, one command per line.
   std::string listing() const;
+
+  /// Structural invariants every well-formed program satisfies: a non-empty
+  /// model name, commands numbered 1..N in order (one per non-input layer),
+  /// tile counts >= 1, and non-negative word/cycle totals. With
+  /// `expected_layer_count` >= 0 the command count must additionally match
+  /// that model's layer count (count == layers - 1). Throws
+  /// std::invalid_argument naming the first violation. Called on every
+  /// plan deserialization (sched/plan_io.h), so a corrupt or hand-edited
+  /// artifact can never produce a half-valid schedule.
+  void validate(int expected_layer_count = -1) const;
+
+  friend bool operator==(const Program&, const Program&) = default;
 };
 
 /// Compile `model` for `config` under `options` (objective, fusion). The
 /// timeline flag is honoured for the per-command expected cycles.
 Program compile(const nn::Model& model, const sim::AcceleratorConfig& config,
                 const SimulationOptions& options = {});
+
+/// Derive the program from an already-computed simulation of the same
+/// model/config/options — what `compile` does after its internal
+/// simulate_network call. Lets callers that already hold the NetworkResult
+/// (the serving cold path) avoid simulating twice.
+Program compile_from_result(const nn::Model& model,
+                            const sim::AcceleratorConfig& config,
+                            const SimulationOptions& options,
+                            const sim::NetworkResult& result);
+
+/// Simulate `model` replaying `program`'s per-layer dataflow decisions
+/// instead of re-running the selector's dual-dataflow search — the serve
+/// hot path once a compiled plan is in hand. Because the selector is
+/// deterministic, the result is byte-identical to simulate_network with the
+/// same options (enforced by tests/sched/test_plan_io.cpp). Throws
+/// std::invalid_argument when the program does not fit the model.
+sim::NetworkResult simulate_with_plan(const nn::Model& model,
+                                      const sim::AcceleratorConfig& config,
+                                      const SimulationOptions& options,
+                                      const Program& program);
 
 }  // namespace sqz::sched

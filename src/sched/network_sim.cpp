@@ -18,16 +18,20 @@ sim::NetworkResult simulate_network(const nn::Model& model,
   return simulate_network(model, config, options);
 }
 
-sim::NetworkResult simulate_network(const nn::Model& model,
-                                    const sim::AcceleratorConfig& config,
-                                    const SimulationOptions& options) {
+namespace {
+
+sim::NetworkResult simulate_network_impl(
+    const nn::Model& model, const sim::AcceleratorConfig& config,
+    const SimulationOptions& options,
+    const std::vector<sim::Dataflow>* pinned) {
   if (!model.finalized())
     throw std::invalid_argument("simulate_network: model must be finalized");
   config.validate();
 
   const ResidencyPlan plan = plan_residency(model, config);
   std::vector<LayerChoice> choices =
-      select_dataflows(model, config, plan, options.objective, options.units);
+      select_dataflows(model, config, plan, options.objective, options.units,
+                       pinned);
 
   // Pool-drain fusion: re-simulate each fused conv with the pool's output as
   // its stored tensor, and zero out the pool (it runs inside the drain).
@@ -79,6 +83,21 @@ sim::NetworkResult simulate_network(const nn::Model& model,
     }
   }
   return result;
+}
+
+}  // namespace
+
+sim::NetworkResult simulate_network(const nn::Model& model,
+                                    const sim::AcceleratorConfig& config,
+                                    const SimulationOptions& options) {
+  return simulate_network_impl(model, config, options, nullptr);
+}
+
+sim::NetworkResult simulate_network_pinned(
+    const nn::Model& model, const sim::AcceleratorConfig& config,
+    const SimulationOptions& options,
+    const std::vector<sim::Dataflow>& dataflow_by_layer) {
+  return simulate_network_impl(model, config, options, &dataflow_by_layer);
 }
 
 }  // namespace sqz::sched

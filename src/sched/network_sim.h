@@ -3,6 +3,8 @@
 // benchmark table and figure is built from.
 #pragma once
 
+#include <vector>
+
 #include "energy/model.h"
 #include "nn/model.h"
 #include "sched/selector.h"
@@ -45,5 +47,16 @@ struct SimulationOptions {
 sim::NetworkResult simulate_network(const nn::Model& model,
                                     const sim::AcceleratorConfig& config,
                                     const SimulationOptions& options);
+
+/// simulate_network with the per-layer dataflow search replaced by a replay
+/// of `dataflow_by_layer` (one entry per model layer; entries for layers
+/// with no choice are ignored — see select_dataflows' `pinned`). This is
+/// the compiled-plan serve path: scheduling decisions come from the plan,
+/// each hybrid conv is simulated once instead of twice, and the result is
+/// byte-identical to the searching path that produced the pins.
+sim::NetworkResult simulate_network_pinned(
+    const nn::Model& model, const sim::AcceleratorConfig& config,
+    const SimulationOptions& options,
+    const std::vector<sim::Dataflow>& dataflow_by_layer);
 
 }  // namespace sqz::sched

@@ -1,5 +1,7 @@
 #include "sched/selector.h"
 
+#include <stdexcept>
+
 namespace sqz::sched {
 
 namespace {
@@ -17,7 +19,13 @@ std::vector<LayerChoice> select_dataflows(const nn::Model& model,
                                           const sim::AcceleratorConfig& config,
                                           const ResidencyPlan& plan,
                                           Objective objective,
-                                          const energy::UnitEnergies& units) {
+                                          const energy::UnitEnergies& units,
+                                          const std::vector<sim::Dataflow>* pinned) {
+  if (pinned &&
+      pinned->size() != static_cast<std::size_t>(model.layer_count()))
+    throw std::invalid_argument(
+        "select_dataflows: pinned dataflows must have one entry per layer");
+
   std::vector<LayerChoice> choices;
   choices.reserve(static_cast<std::size_t>(model.layer_count()));
 
@@ -29,7 +37,12 @@ std::vector<LayerChoice> select_dataflows(const nn::Model& model,
 
     const bool has_choice = l.is_conv() &&
                             config.support == sim::DataflowSupport::Hybrid;
-    if (has_choice) {
+    if (has_choice && pinned) {
+      // Replay: the search already happened when the plan was compiled.
+      const sim::Dataflow df = (*pinned)[static_cast<std::size_t>(i)];
+      choice.chosen = sim::simulate_layer(model, i, config, df, placement);
+      choice.dataflow = df;
+    } else if (has_choice) {
       const sim::LayerResult ws = sim::simulate_layer(
           model, i, config, sim::Dataflow::WeightStationary, placement);
       const sim::LayerResult os = sim::simulate_layer(

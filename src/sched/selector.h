@@ -29,9 +29,19 @@ struct LayerChoice {
 
 /// Select a dataflow per layer. `plan` must come from plan_residency() on
 /// the same model/config.
+///
+/// `pinned` (optional) replays a previous selection instead of searching:
+/// indexed by layer, it names the dataflow each hybrid conv layer must use,
+/// so the layer is simulated once instead of twice. Compiled-plan serving
+/// (sched/plan_io.h) rides this path; with pins taken from a prior
+/// select_dataflows run the choices are identical by construction. Must
+/// have model.layer_count() entries when given (throws
+/// std::invalid_argument otherwise); entries for forced/non-conv layers are
+/// ignored.
 std::vector<LayerChoice> select_dataflows(
     const nn::Model& model, const sim::AcceleratorConfig& config,
     const ResidencyPlan& plan, Objective objective = Objective::Cycles,
-    const energy::UnitEnergies& units = {});
+    const energy::UnitEnergies& units = {},
+    const std::vector<sim::Dataflow>* pinned = nullptr);
 
 }  // namespace sqz::sched

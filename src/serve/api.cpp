@@ -281,10 +281,25 @@ std::string canonical_key(const SweepRequest& req) {
   return os.str();
 }
 
-std::string run_simulate(const SimulateRequest& req) {
+std::string run_simulate(const SimulateRequest& req,
+                         sched::PlanArtifact* compiled_plan) {
   try {
     const sim::NetworkResult result =
         sched::simulate_network(req.model, req.config, req.options);
+    if (compiled_plan)
+      *compiled_plan =
+          sched::plan_from_result(req.model, req.config, req.options, result);
+    return core::json_report_string(req.model, result, req.options.units);
+  } catch (const std::exception& e) {
+    bad_request(e.what());
+  }
+}
+
+std::string run_simulate_with_plan(const SimulateRequest& req,
+                                   const sched::Program& program) {
+  try {
+    const sim::NetworkResult result =
+        sched::simulate_with_plan(req.model, req.config, req.options, program);
     return core::json_report_string(req.model, result, req.options.units);
   } catch (const std::exception& e) {
     bad_request(e.what());
@@ -330,9 +345,9 @@ namespace {
 
 SimService::Result serve_cached(SimCache* cache, const std::string& key,
                                 const std::function<std::string()>& execute) {
-  if (!cache) return {execute(), false, {}};
-  if (auto hit = cache->get(key)) return {*hit, true, {}};
-  SimService::Result r{execute(), false, {}};
+  if (!cache) return {execute(), false, false, {}};
+  if (auto hit = cache->get(key)) return {*hit, true, false, {}};
+  SimService::Result r{execute(), false, false, {}};
   cache->put(key, r.body);
   return r;
 }
@@ -341,15 +356,42 @@ SimService::Result serve_cached(SimCache* cache, const std::string& key,
 
 SimService::Result SimService::simulate(const std::string& request_body) {
   const SimulateRequest req = parse_simulate_request(request_body);
-  return serve_cached(cache_, canonical_key(req),
-                      [&] { return run_simulate(req); });
+  const std::string key = canonical_key(req);
+  if (!plans_)
+    return serve_cached(cache_, key, [&] { return run_simulate(req); });
+
+  // Plan-aware path: response cache, then plan cache, then a fresh compile
+  // (which seeds the plan cache for next time).
+  if (cache_) {
+    if (auto hit = cache_->get(key)) return {*hit, true, false, {}};
+  }
+  Result r;
+  const std::uint64_t model_hash = sched::model_identity_hash(req.model);
+  if (auto plan = plans_->get(key, model_hash, req.config, req.options)) {
+    try {
+      r.body = run_simulate_with_plan(req, plan->program);
+      r.plan_hit = true;
+    } catch (const std::exception&) {
+      // A plan may never fail a request: any replay defect (a stale or
+      // hand-edited artifact that slipped past the semantic match) falls
+      // back to the fresh-compile path below.
+      r.body.clear();
+    }
+  }
+  if (!r.plan_hit) {
+    sched::PlanArtifact compiled;
+    r.body = run_simulate(req, &compiled);
+    plans_->put(key, compiled);
+  }
+  if (cache_) cache_->put(key, r.body);
+  return r;
 }
 
 SimService::Result SimService::sweep(const std::string& request_body) {
   const SweepRequest req = parse_sweep_request(request_body);
   const std::string key = canonical_key(req);
   if (cache_) {
-    if (auto hit = cache_->get(key)) return {*hit, true, {}};
+    if (auto hit = cache_->get(key)) return {*hit, true, false, {}};
   }
   Result r;
   r.body = run_sweep(req, journal_, &r.sweep);

@@ -36,6 +36,8 @@
 
 #include "nn/model.h"
 #include "sched/network_sim.h"
+#include "sched/plan_io.h"
+#include "serve/plancache.h"
 #include "serve/simcache.h"
 #include "sim/config.h"
 
@@ -105,12 +107,22 @@ struct SweepRunStats {
 };
 
 /// Stateless executors: run the simulation and render the response body.
+/// run_simulate optionally hands back the compiled plan for the request
+/// (`compiled_plan` non-null) — derived from the same simulation that
+/// produced the response, so the serving cold path compiles without
+/// simulating twice. run_simulate_with_plan replays a plan's scheduling
+/// decisions instead of searching (sched::simulate_with_plan); by
+/// determinism its response is byte-identical to run_simulate for the
+/// request the plan was compiled from.
 /// run_sweep fault-isolates each design point (core/dse.h
 /// evaluate_designs_checked): a throwing point becomes a structured entry
 /// in the response's "errors" array instead of failing the request. With a
 /// `journal`, completed points are appended and already-journaled points
 /// are served without re-simulating.
-std::string run_simulate(const SimulateRequest& req);
+std::string run_simulate(const SimulateRequest& req,
+                         sched::PlanArtifact* compiled_plan = nullptr);
+std::string run_simulate_with_plan(const SimulateRequest& req,
+                                   const sched::Program& program);
 std::string run_sweep(const SweepRequest& req,
                       core::SweepJournal* journal = nullptr,
                       SweepRunStats* stats = nullptr);
@@ -121,13 +133,16 @@ class SimService {
   struct Result {
     std::string body;
     bool cache_hit = false;
+    bool plan_hit = false;  ///< Executed, but from a cached compiled plan.
     SweepRunStats sweep;  ///< Filled for executed (non-cache-hit) sweeps.
   };
 
   /// `cache` may be null to serve uncached; `journal` may be null to run
-  /// sweeps without crash-safe journaling.
-  explicit SimService(SimCache* cache, core::SweepJournal* journal = nullptr)
-      : cache_(cache), journal_(journal) {}
+  /// sweeps without crash-safe journaling; `plans` may be null to compile
+  /// every result-cache miss from scratch.
+  explicit SimService(SimCache* cache, core::SweepJournal* journal = nullptr,
+                      PlanCache* plans = nullptr)
+      : cache_(cache), journal_(journal), plans_(plans) {}
 
   Result simulate(const std::string& request_body);
   Result sweep(const std::string& request_body);
@@ -135,6 +150,7 @@ class SimService {
  private:
   SimCache* cache_;
   core::SweepJournal* journal_;
+  PlanCache* plans_;
 };
 
 }  // namespace sqz::serve

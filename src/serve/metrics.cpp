@@ -74,7 +74,8 @@ Metrics::Snapshot Metrics::snapshot() const {
   return s_;
 }
 
-std::string Metrics::render(const SimCache::Stats& cache) const {
+std::string Metrics::render(const SimCache::Stats& cache,
+                            const PlanCache::Stats& plans) const {
   const Snapshot s = snapshot();
   std::ostringstream out;
   const auto counter = [&](const char* name, const char* help, double v) {
@@ -158,6 +159,23 @@ std::string Metrics::render(const SimCache::Stats& cache) const {
   counter("sqzserved_cache_disk_demoted",
           "1 when persistent disk failures demoted the cache to memory-only.",
           cache.disk_demoted ? 1.0 : 0.0);
+  counter("sqzserved_plan_hits_total",
+          "Simulations served from a cached compiled plan (no compile search).",
+          static_cast<double>(plans.hits));
+  counter("sqzserved_plan_disk_hits_total",
+          "Plan-cache hits that came from the disk tier.",
+          static_cast<double>(plans.disk_hits));
+  counter("sqzserved_plan_misses_total",
+          "Simulations that compiled a fresh plan.",
+          static_cast<double>(plans.misses));
+  counter("sqzserved_plan_corrupt_total",
+          "Defective plan artifacts quarantined (*.bad).",
+          static_cast<double>(plans.corrupt));
+  counter("sqzserved_plan_entries", "Plan-cache memory-tier resident entries.",
+          static_cast<double>(plans.entries));
+  counter("sqzserved_plan_disk_errors_total",
+          "Plan-cache disk read/write failures absorbed.",
+          static_cast<double>(plans.disk_errors));
   return out.str();
 }
 

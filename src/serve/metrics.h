@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 
+#include "serve/plancache.h"
 #include "serve/simcache.h"
 
 namespace sqz::serve {
@@ -59,8 +60,11 @@ class Metrics {
 
   Snapshot snapshot() const;
 
-  /// The /metrics body: request/latency gauges plus the cache's counters.
-  std::string render(const SimCache::Stats& cache) const;
+  /// The /metrics body: request/latency gauges plus the result cache's and
+  /// plan cache's counters (`plans` defaults to all-zero when the plan
+  /// cache is disabled).
+  std::string render(const SimCache::Stats& cache,
+                     const PlanCache::Stats& plans = {}) const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,185 @@
+#include "serve/plancache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace sqz::serve {
+
+namespace fs = std::filesystem;
+
+PlanCache::PlanCache(std::size_t max_entries, const std::string& disk_dir)
+    : max_entries_(max_entries < 1 ? 1 : max_entries), disk_dir_(disk_dir) {
+  if (!disk_dir_.empty()) {
+    std::error_code ec;
+    fs::create_directories(disk_dir_, ec);
+    if (ec || !fs::is_directory(disk_dir_))
+      throw std::runtime_error("plancache: cannot create plan dir '" +
+                               disk_dir_ + "'");
+    scan_disk_tier();
+  }
+}
+
+// Startup sweep, mirroring SimCache: `*.tmp` leftovers of a killed writer
+// are deleted (never published, so no reader can see them), zero-length
+// published plans are quarantined. Everything else is left to load_plan's
+// full verification on first read.
+void PlanCache::scan_disk_tier() {
+  std::error_code ec;
+  fs::directory_iterator it(disk_dir_, ec), end;
+  if (ec) {
+    SQZ_LOG(Warn) << "plancache: cannot scan plan dir '" << disk_dir_
+                  << "': " << ec.message();
+    return;
+  }
+  for (; it != end; it.increment(ec)) {
+    if (ec) break;
+    const fs::path path = it->path();
+    std::error_code file_ec;
+    if (!fs::is_regular_file(path, file_ec) || file_ec) continue;
+    if (path.extension() == ".tmp") {
+      fs::remove(path, file_ec);
+      continue;
+    }
+    if (path.extension() != ".plan") continue;
+    const std::uintmax_t size = fs::file_size(path, file_ec);
+    if (file_ec) continue;
+    if (size == 0) quarantine(path.string(), "zero-length plan");
+  }
+}
+
+std::string PlanCache::disk_path(std::uint64_t hash) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.plan",
+                static_cast<unsigned long long>(hash));
+  return disk_dir_ + "/" + name;
+}
+
+void PlanCache::quarantine(const std::string& path, const std::string& why) {
+  const std::string bad = path + ".bad";
+  if (std::rename(path.c_str(), bad.c_str()) != 0) {
+    std::remove(path.c_str());  // rename failed: at least stop re-reading it
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.corrupt;
+  }
+  SQZ_LOG(Warn) << "plancache: quarantined corrupt plan " << path << " ("
+                << why << ")";
+}
+
+bool PlanCache::matches(const sched::PlanArtifact& artifact,
+                        std::uint64_t model_hash,
+                        const sim::AcceleratorConfig& config,
+                        const sched::SimulationOptions& options) const {
+  return artifact.model_hash == model_hash &&
+         artifact.program.config == config &&
+         sched::plan_options_equal(artifact.options, options);
+}
+
+std::optional<sched::PlanArtifact> PlanCache::get(
+    const std::string& canonical_key, std::uint64_t model_hash,
+    const sim::AcceleratorConfig& config,
+    const sched::SimulationOptions& options) {
+  const std::uint64_t hash = util::fnv1a64(canonical_key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(hash);
+    if (it != index_.end() && it->second->key == canonical_key &&
+        matches(it->second->artifact, model_hash, config, options)) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      ++stats_.hits;
+      return it->second->artifact;
+    }
+  }
+  if (!disk_dir_.empty()) {
+    if (auto artifact = disk_get(hash, model_hash, config, options)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hits;
+      ++stats_.disk_hits;
+      insert_locked(hash, canonical_key, *artifact);  // promote to memory
+      return artifact;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+std::optional<sched::PlanArtifact> PlanCache::disk_get(
+    std::uint64_t hash, std::uint64_t model_hash,
+    const sim::AcceleratorConfig& config,
+    const sched::SimulationOptions& options) {
+  const std::string path = disk_path(hash);
+  {
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec) return std::nullopt;  // ordinary miss
+  }
+  sched::PlanArtifact artifact;
+  try {
+    artifact = sched::load_plan(path);  // carries the "plan.read" fault point
+  } catch (const sched::PlanError& e) {
+    if (e.code() == sched::PlanErrorCode::Io) {
+      // The device failed, not the bytes: keep the file, count the error.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_errors;
+      SQZ_LOG(Warn) << "plancache: " << e.what();
+      return std::nullopt;
+    }
+    quarantine(path, e.what());
+    return std::nullopt;
+  }
+  if (!matches(artifact, model_hash, config, options))
+    return std::nullopt;  // collision or hand-placed file: miss, never wrong
+  return artifact;
+}
+
+void PlanCache::put(const std::string& canonical_key,
+                    const sched::PlanArtifact& artifact) {
+  const std::uint64_t hash = util::fnv1a64(canonical_key);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.insertions;
+    insert_locked(hash, canonical_key, artifact);
+  }
+  if (!disk_dir_.empty()) {
+    try {
+      sched::save_plan(disk_path(hash), artifact);  // "plan.write" site
+    } catch (const sched::PlanError& e) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_errors;
+      SQZ_LOG(Warn) << "plancache: " << e.what();
+    }
+  }
+}
+
+void PlanCache::insert_locked(std::uint64_t hash, const std::string& key,
+                              const sched::PlanArtifact& artifact) {
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    it->second->key = key;
+    it->second->artifact = artifact;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{hash, key, artifact});
+  index_[hash] = lru_.begin();
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().hash);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace sqz::serve

@@ -1,0 +1,106 @@
+// Content-addressed cache of compiled plans (sched/plan_io.h) for the
+// simulation service.
+//
+// Keyed exactly like the result cache (serve/simcache.h): the FNV-1a hash
+// of the canonicalized /v1/simulate request names the entry, so a plan
+// compiled for one spelling of a request serves every equivalent spelling.
+// Where the result cache stores response bytes, this cache stores the
+// *schedule* — so even when the exact response has been evicted (or the
+// daemon restarted with a fresh memory tier), a warm plan lets the service
+// skip the dual-dataflow compile search and replay the recorded decisions,
+// byte-identical by determinism (tests/serve/test_plan_serve.cpp).
+//
+// Two tiers, same discipline as SimCache:
+//   - in-memory LRU of decoded PlanArtifacts;
+//   - optional on-disk (`--plan-cache-dir`): one `<hash>.plan` file per key
+//     holding exactly the serialize_plan bytes — a file any `sqzsim
+//     --load-plan` can read. Written atomically (tmp + rename), swept for
+//     crashed-writer leftovers at startup.
+//
+// The disk tier trusts nothing: load_plan verifies magic, version,
+// checksum, grammar, and Program::validate before a plan is usable. Any
+// defect quarantines the file (`*.bad`) and counts as a miss — a corrupt
+// plan can never 500 a request, because the service falls back to a fresh
+// compile. A hash collision is caught semantically: the artifact's model
+// hash / config / options must match the request or the entry is a miss.
+// The "plan.read" / "plan.write" fault points (armed in
+// tests/serve/test_chaos.cpp) drive every failure path deterministically.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sched/plan_io.h"
+
+namespace sqz::serve {
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;       ///< Plans served from memory or disk.
+    std::uint64_t disk_hits = 0;  ///< Subset of hits that came from disk.
+    std::uint64_t misses = 0;
+    std::uint64_t corrupt = 0;    ///< Defective disk plans quarantined *.bad.
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;  ///< Memory-tier LRU evictions.
+    std::size_t entries = 0;      ///< Current memory-tier size.
+    std::uint64_t disk_errors = 0;  ///< I/O failures absorbed (not corruption).
+  };
+
+  /// `max_entries` bounds the memory tier (>= 1). `disk_dir` enables the
+  /// on-disk tier; the directory is created if missing (throws
+  /// std::runtime_error when that fails).
+  explicit PlanCache(std::size_t max_entries, const std::string& disk_dir = "");
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Look up the plan for a canonicalized request. `model_hash` /
+  /// `config` / `options` are the request's identity; a stored plan that
+  /// does not match them exactly (a 64-bit key collision, or a hand-placed
+  /// file) is a miss, never a wrong plan. Thread-safe.
+  std::optional<sched::PlanArtifact> get(
+      const std::string& canonical_key, std::uint64_t model_hash,
+      const sim::AcceleratorConfig& config,
+      const sched::SimulationOptions& options);
+
+  /// Insert a freshly compiled plan. Thread-safe.
+  void put(const std::string& canonical_key,
+           const sched::PlanArtifact& artifact);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::uint64_t hash;
+    std::string key;  ///< Full canonical key, collision guard.
+    sched::PlanArtifact artifact;
+  };
+
+  bool matches(const sched::PlanArtifact& artifact, std::uint64_t model_hash,
+               const sim::AcceleratorConfig& config,
+               const sched::SimulationOptions& options) const;
+  std::optional<sched::PlanArtifact> disk_get(
+      std::uint64_t hash, std::uint64_t model_hash,
+      const sim::AcceleratorConfig& config,
+      const sched::SimulationOptions& options);
+  void insert_locked(std::uint64_t hash, const std::string& key,
+                     const sched::PlanArtifact& artifact);
+  std::string disk_path(std::uint64_t hash) const;
+  void scan_disk_tier();
+  void quarantine(const std::string& path, const std::string& why);
+
+  const std::size_t max_entries_;
+  const std::string disk_dir_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Front = most recently used.
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace sqz::serve

@@ -95,11 +95,15 @@ HttpResponse json_error_response(int status, const std::string& message) {
 Server::Server(const ServerOptions& options)
     : options_(options),
       cache_(options.cache_entries, options.cache_dir),
+      plan_cache_(options.plan_cache_entries == 0
+                      ? nullptr
+                      : std::make_unique<PlanCache>(options.plan_cache_entries,
+                                                    options.plan_cache_dir)),
       sweep_journal_(options.sweep_journal_dir.empty()
                          ? nullptr
                          : std::make_unique<core::SweepJournal>(
                                options.sweep_journal_dir)),
-      service_(&cache_, sweep_journal_.get()) {}
+      service_(&cache_, sweep_journal_.get(), plan_cache_.get()) {}
 
 Server::~Server() { stop(); }
 
@@ -360,7 +364,9 @@ HttpResponse Server::route(const HttpRequest& request) {
       if (request.method != "GET")
         return json_error_response(405, "use GET /metrics");
       return make_response(200, "text/plain; version=0.0.4",
-                           metrics_.render(cache_.stats()));
+                           metrics_.render(cache_.stats(),
+                                           plan_cache_ ? plan_cache_->stats()
+                                                       : PlanCache::Stats{}));
     }
     if (request.target == "/v1/simulate" || request.target == "/v1/sweep") {
       if (request.method != "POST")
@@ -377,6 +383,12 @@ HttpResponse Server::route(const HttpRequest& request) {
           make_response(200, "application/json", result.body);
       resp.headers.emplace_back("X-Sqz-Cache",
                                 result.cache_hit ? "hit" : "miss");
+      // Only meaningful on executed requests with a plan cache in play: a
+      // result-cache hit never consults it, and a disabled cache has no
+      // hit/miss story to tell.
+      if (plan_cache_ && request.target == "/v1/simulate" && !result.cache_hit)
+        resp.headers.emplace_back("X-Sqz-Plan",
+                                  result.plan_hit ? "hit" : "miss");
       return resp;
     }
     return json_error_response(404, "no such endpoint: " + request.target);

@@ -49,6 +49,7 @@
 #include "serve/api.h"
 #include "serve/http.h"
 #include "serve/metrics.h"
+#include "serve/plancache.h"
 #include "serve/simcache.h"
 #include "util/threadpool.h"
 
@@ -59,6 +60,11 @@ struct ServerOptions {
   int port = 8080;                 ///< 0 = ephemeral (see Server::port()).
   std::size_t cache_entries = 1024;
   std::string cache_dir;           ///< Empty = memory tier only.
+
+  /// Compiled-plan cache (serve/plancache.h): result-cache misses replay a
+  /// cached plan instead of re-running the compile search. 0 disables it.
+  std::size_t plan_cache_entries = 256;
+  std::string plan_cache_dir;      ///< Empty = memory tier only.
 
   /// Non-empty: journal every /v1/sweep design point to
   /// DIR/sweep.sqzj (core/sweepjournal.h) and serve already-journaled
@@ -109,6 +115,8 @@ class Server {
   int port() const { return port_; }
 
   SimCache& cache() { return cache_; }
+  /// Null when ServerOptions::plan_cache_entries is 0.
+  PlanCache* plan_cache() { return plan_cache_.get(); }
   const Metrics& metrics() const { return metrics_; }
 
  private:
@@ -119,6 +127,7 @@ class Server {
 
   ServerOptions options_;
   SimCache cache_;
+  std::unique_ptr<PlanCache> plan_cache_;  ///< May be null (disabled).
   Metrics metrics_;
   std::unique_ptr<core::SweepJournal> sweep_journal_;  ///< May be null.
   SimService service_;

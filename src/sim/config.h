@@ -83,6 +83,12 @@ struct AcceleratorConfig {
 
   std::string to_string() const;
 
+  /// Field-wise equality — the identity check compiled-plan artifacts
+  /// (sched/plan_io.h) use to refuse serving a plan built for a different
+  /// accelerator instance.
+  friend bool operator==(const AcceleratorConfig&,
+                         const AcceleratorConfig&) = default;
+
   // --- presets -----------------------------------------------------------
   /// The paper's Squeezelerator (hybrid dataflow, 32x32, RF 16).
   static AcceleratorConfig squeezelerator();

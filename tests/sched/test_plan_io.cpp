@@ -1,0 +1,259 @@
+// Compiled-plan artifact round trips (sched/plan_io.h).
+//
+// Property: for seeded random (zoo model x config x options) triples,
+// serialize -> deserialize -> re-serialize is byte-identical and the
+// deserialized artifact is field-equal to the original. Contract:
+// simulate_with_plan over a compiled plan renders the same JSON report,
+// byte for byte, as the searching simulate_network path — the invariant
+// plan-cached serving rests on. A golden artifact under tests/data/ pins
+// the on-disk format itself (regenerate per EXPERIMENTS.md when — and only
+// when — kPlanFormatVersion is bumped, with a docs/PLANS.md history note).
+#include "sched/plan_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "nn/zoo/zoo.h"
+#include "sched/compile.h"
+
+namespace sqz::sched {
+namespace {
+
+sim::AcceleratorConfig random_config(std::mt19937& rng) {
+  const auto pick = [&](int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng);
+  };
+  sim::AcceleratorConfig cfg = sim::AcceleratorConfig::squeezelerator();
+  cfg.array_n = 8 << pick(0, 2);  // 8 / 16 / 32
+  cfg.preload_width = cfg.array_n;
+  cfg.drain_width = cfg.array_n;
+  cfg.rf_entries = 8 << pick(0, 2);
+  cfg.gb_kib = 64 << pick(0, 2);
+  cfg.weight_reserve_words = pick(0, 1) ? 8192 : 4096;
+  cfg.simd_lanes = 8 << pick(0, 1);
+  cfg.dram_latency_cycles = pick(0, 1) ? 100 : 250;
+  cfg.dram_bytes_per_cycle = pick(0, 1) ? 16.0 : 8.5;
+  cfg.batch = pick(1, 2);
+  cfg.weight_sparsity = pick(0, 1) ? 0.40 : 0.0;
+  cfg.os_zero_skip = pick(0, 1) != 0;
+  cfg.ws_psums_in_gb = pick(0, 1) != 0;
+  cfg.support = static_cast<sim::DataflowSupport>(pick(0, 2));
+  cfg.validate();
+  return cfg;
+}
+
+SimulationOptions random_options(std::mt19937& rng) {
+  const auto flip = [&] {
+    return std::uniform_int_distribution<int>(0, 1)(rng) != 0;
+  };
+  SimulationOptions opt;
+  opt.objective = flip() ? Objective::Cycles : Objective::Energy;
+  opt.tile_timeline = flip();
+  opt.double_buffered = flip();
+  opt.tile_search = opt.tile_timeline && flip();
+  opt.fuse_pool_drain = flip();
+  return opt;
+}
+
+TEST(PlanRoundTrip, SeededTriplesAreByteExactAndFieldEqual) {
+  std::mt19937 rng(20260809);  // fixed seed: the corpus is part of the test
+  const std::vector<nn::Model> models = {nn::zoo::tiny_darknet(),
+                                         nn::zoo::squeezenet_v11()};
+  for (int i = 0; i < 24; ++i) {
+    const nn::Model& model = models[static_cast<std::size_t>(i) % models.size()];
+    const sim::AcceleratorConfig cfg = random_config(rng);
+    const SimulationOptions opt = random_options(rng);
+
+    const PlanArtifact plan = compile_plan(model, cfg, opt);
+    const std::string bytes = serialize_plan(plan);
+    const PlanArtifact back = deserialize_plan(bytes);
+
+    // Byte fixed point: re-serializing the parsed artifact reproduces the
+    // file exactly (the golden-diff and plan-cache contracts need this).
+    EXPECT_EQ(serialize_plan(back), bytes) << "triple " << i;
+
+    // Field equality, not just bytes: the decoded program is the program.
+    EXPECT_EQ(back, plan) << "triple " << i;
+    EXPECT_EQ(back.model_hash, model_identity_hash(model));
+    EXPECT_TRUE(plan_options_equal(back.options, opt));
+  }
+}
+
+TEST(PlanRoundTrip, ReplayedPlanRendersByteIdenticalReports) {
+  // Hybrid configs are the interesting case: the fresh path simulates every
+  // conv twice and searches; the plan path replays the recorded choice.
+  std::mt19937 rng(20260810);
+  const nn::Model model = nn::zoo::squeezenet_v11();
+  for (int i = 0; i < 4; ++i) {
+    sim::AcceleratorConfig cfg = random_config(rng);
+    cfg.support = sim::DataflowSupport::Hybrid;
+    const SimulationOptions opt = random_options(rng);
+
+    const sim::NetworkResult fresh = simulate_network(model, cfg, opt);
+    const PlanArtifact plan = plan_from_result(model, cfg, opt, fresh);
+    const sim::NetworkResult replayed =
+        simulate_with_plan(model, cfg, opt, plan.program);
+
+    EXPECT_EQ(core::json_report_string(model, replayed, opt.units),
+              core::json_report_string(model, fresh, opt.units))
+        << "config " << i;
+  }
+}
+
+TEST(PlanRoundTrip, SaveAndLoadThroughDisk) {
+  const std::string path =
+      ::testing::TempDir() + "/plan_roundtrip_" +
+      std::to_string(::getpid()) + ".plan";
+  const PlanArtifact plan =
+      compile_plan(nn::zoo::tiny_darknet(),
+                   sim::AcceleratorConfig::squeezelerator(), {});
+  save_plan(path, plan);
+  EXPECT_EQ(load_plan(path), plan);
+  std::remove(path.c_str());
+}
+
+TEST(PlanRoundTrip, LoadOfMissingFileIsAnIoError) {
+  try {
+    (void)load_plan("/nonexistent/dir/nothing.plan");
+    FAIL() << "loaded a plan from nowhere";
+  } catch (const PlanError& e) {
+    EXPECT_EQ(e.code(), PlanErrorCode::Io);
+  }
+}
+
+// The golden artifact pins the byte-level format: if this test fails, the
+// container layout changed — bump kPlanFormatVersion, record the change in
+// docs/PLANS.md, and regenerate the golden per EXPERIMENTS.md.
+TEST(PlanGolden, TinyDarknetArtifactIsByteStable) {
+  std::ifstream in(SQZ_TEST_DATA_DIR "/tinydarknet.plan", std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden: tests/data/tinydarknet.plan";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+
+  const std::string bytes = serialize_plan(
+      compile_plan(nn::zoo::tiny_darknet(),
+                   sim::AcceleratorConfig::squeezelerator(), {}));
+  EXPECT_EQ(bytes, golden.str())
+      << "plan serialization drifted from the committed golden "
+         "(docs/PLANS.md explains the format-change protocol)";
+}
+
+// ---- check_plan_serves: every identity mismatch is refused by name ------
+
+class PlanServes : public ::testing::Test {
+ protected:
+  const nn::Model model_ = nn::zoo::tiny_darknet();
+  const sim::AcceleratorConfig cfg_ = sim::AcceleratorConfig::squeezelerator();
+  const SimulationOptions opt_{};
+  const PlanArtifact plan_ = compile_plan(model_, cfg_, opt_);
+};
+
+TEST_F(PlanServes, MatchingIdentityPasses) {
+  EXPECT_NO_THROW(check_plan_serves(plan_, model_, cfg_, opt_));
+}
+
+TEST_F(PlanServes, DifferentModelIsRefused) {
+  try {
+    check_plan_serves(plan_, nn::zoo::squeezenet_v11(), cfg_, opt_);
+    FAIL();
+  } catch (const PlanError& e) {
+    EXPECT_EQ(e.code(), PlanErrorCode::ModelMismatch);
+  }
+}
+
+TEST_F(PlanServes, DifferentConfigIsRefused) {
+  sim::AcceleratorConfig other = cfg_;
+  other.rf_entries = 8;
+  try {
+    check_plan_serves(plan_, model_, other, opt_);
+    FAIL();
+  } catch (const PlanError& e) {
+    EXPECT_EQ(e.code(), PlanErrorCode::ConfigMismatch);
+  }
+}
+
+TEST_F(PlanServes, DifferentOptionsAreRefused) {
+  SimulationOptions other = opt_;
+  other.fuse_pool_drain = true;
+  try {
+    check_plan_serves(plan_, model_, cfg_, other);
+    FAIL();
+  } catch (const PlanError& e) {
+    EXPECT_EQ(e.code(), PlanErrorCode::OptionsMismatch);
+  }
+}
+
+// ---- Program::validate: one rejection per structural invariant ----------
+
+class ProgramValidate : public ::testing::Test {
+ protected:
+  const nn::Model model_ = nn::zoo::tiny_darknet();
+  const Program good_ =
+      compile(model_, sim::AcceleratorConfig::squeezelerator(), {});
+};
+
+TEST_F(ProgramValidate, CompiledProgramsPass) {
+  EXPECT_NO_THROW(good_.validate());
+  EXPECT_NO_THROW(good_.validate(model_.layer_count()));
+}
+
+TEST_F(ProgramValidate, EmptyModelNameIsRejected) {
+  Program p = good_;
+  p.model_name.clear();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST_F(ProgramValidate, CommandCountMustMatchTheModel) {
+  Program p = good_;
+  p.commands.pop_back();
+  EXPECT_NO_THROW(p.validate());  // still self-consistent...
+  EXPECT_THROW(p.validate(model_.layer_count()),  // ...but not for this model
+               std::invalid_argument);
+}
+
+TEST_F(ProgramValidate, OutOfSequenceCommandsAreRejected) {
+  Program p = good_;
+  std::swap(p.commands[0], p.commands[1]);
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST_F(ProgramValidate, EmptyLayerNameIsRejected) {
+  Program p = good_;
+  p.commands[2].layer_name.clear();
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST_F(ProgramValidate, NonPositiveTileCountIsRejected) {
+  Program p = good_;
+  p.commands[1].tile_count = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST_F(ProgramValidate, NegativeWordAndCycleTotalsAreRejected) {
+  for (const auto mutate : std::vector<void (*)(LayerCommand&)>{
+           [](LayerCommand& c) { c.weight_words = -1; },
+           [](LayerCommand& c) { c.dma_in_words = -1; },
+           [](LayerCommand& c) { c.dma_out_words = -1; },
+           [](LayerCommand& c) { c.expected_cycles = -1; }}) {
+    Program p = good_;
+    mutate(p.commands[0]);
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+  }
+}
+
+TEST_F(ProgramValidate, BadConfigInsideTheProgramIsRejected) {
+  Program p = good_;
+  p.config.array_n = -4;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sqz::sched

@@ -1,5 +1,6 @@
 // Chaos drills for the serving stack: every registered fault point
-// (serve.accept / serve.recv / serve.send / simcache.read / simcache.write)
+// (serve.accept / serve.recv / serve.send / simcache.read / simcache.write /
+// plan.read / plan.write)
 // is fired against a live loopback server, and the retrying client must
 // come back with bytes identical to the fault-free run. Also covers the
 // operator-facing guarantees: load shedding with 503 + Retry-After, idle
@@ -480,6 +481,109 @@ TEST_F(Chaos, TornDiskReadIsCaughtAndResimulated) {
   EXPECT_EQ(r.body, expected);
   EXPECT_EQ(util::fault::hits("simcache.read"), 1u);
   EXPECT_EQ(server.cache().stats().disk_quarantined, 1u);
+  fs::remove_all(dir);
+}
+
+// --- plan-cache fault points: a plan may never fail a request --------------
+
+TEST_F(Chaos, PlanReadDeviceErrorFallsBackToCompileByteIdentically) {
+  const fs::path dir = fs::temp_directory_path() / "sqz_chaos_plan_eio";
+  fs::remove_all(dir);
+  std::string expected;
+  {
+    ServerOptions opt;
+    opt.port = 0;
+    opt.plan_cache_dir = dir.string();
+    Server server(opt);
+    server.start();
+    const HttpResponse r = post(server.port());
+    ASSERT_EQ(r.status, 200) << r.body;
+    expected = r.body;
+  }
+  ServerOptions opt;
+  opt.port = 0;
+  opt.plan_cache_dir = dir.string();
+  Server server(opt);
+  server.start();
+  // The plan artifact's device fails outright; the request must fall back
+  // to a fresh compile and answer with the exact fault-free bytes.
+  util::fault::arm("plan.read", util::fault::make_errno(EIO));
+  const HttpResponse r = post(server.port());
+  EXPECT_EQ(r.status, 200);
+  ASSERT_NE(r.header("X-Sqz-Plan"), nullptr);
+  EXPECT_EQ(*r.header("X-Sqz-Plan"), "miss");
+  EXPECT_EQ(r.body, expected);
+  EXPECT_EQ(util::fault::hits("plan.read"), 1u);
+  ASSERT_NE(server.plan_cache(), nullptr);
+  EXPECT_EQ(server.plan_cache()->stats().disk_errors, 1u);
+  // An I/O error is not corruption: the artifact is left in place, not
+  // quarantined — the device may come back.
+  EXPECT_EQ(server.plan_cache()->stats().corrupt, 0u);
+  for (const auto& e : fs::directory_iterator(dir))
+    EXPECT_NE(e.path().extension(), ".bad");
+  fs::remove_all(dir);
+}
+
+TEST_F(Chaos, TornPlanReadIsQuarantinedAndRecompiledIdentically) {
+  const fs::path dir = fs::temp_directory_path() / "sqz_chaos_plan_torn";
+  fs::remove_all(dir);
+  std::string expected;
+  {
+    ServerOptions opt;
+    opt.port = 0;
+    opt.plan_cache_dir = dir.string();
+    Server server(opt);
+    server.start();
+    const HttpResponse r = post(server.port());
+    ASSERT_EQ(r.status, 200) << r.body;
+    expected = r.body;
+  }
+  ServerOptions opt;
+  opt.port = 0;
+  opt.plan_cache_dir = dir.string();
+  Server server(opt);
+  server.start();
+  // The plan read returns only 20 bytes; the checksum wall rejects it, the
+  // torn artifact is quarantined, and the request compiles fresh.
+  util::fault::arm("plan.read", util::fault::make_short(20));
+  const HttpResponse r = post(server.port());
+  EXPECT_EQ(r.status, 200);
+  ASSERT_NE(r.header("X-Sqz-Plan"), nullptr);
+  EXPECT_EQ(*r.header("X-Sqz-Plan"), "miss");
+  EXPECT_EQ(r.body, expected);
+  EXPECT_EQ(util::fault::hits("plan.read"), 1u);
+  ASSERT_NE(server.plan_cache(), nullptr);
+  EXPECT_EQ(server.plan_cache()->stats().corrupt, 1u);
+  bool bad_seen = false;
+  for (const auto& e : fs::directory_iterator(dir))
+    bad_seen |= e.path().extension() == ".bad";
+  EXPECT_TRUE(bad_seen);
+  const HttpResponse metrics = get(server.port(), "/metrics");
+  EXPECT_NE(metrics.body.find("sqzserved_plan_corrupt_total 1"),
+            std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST_F(Chaos, PlanWriteEnospcNeverFailsTheRequest) {
+  const fs::path dir = fs::temp_directory_path() / "sqz_chaos_plan_enospc";
+  fs::remove_all(dir);
+  ServerOptions opt;
+  opt.port = 0;
+  opt.plan_cache_dir = dir.string();
+  Server server(opt);
+  server.start();
+
+  util::fault::arm("plan.write", util::fault::make_errno(ENOSPC));
+  const HttpResponse r = post(server.port());
+  EXPECT_EQ(r.status, 200) << "a full disk must not fail the simulation";
+  EXPECT_EQ(util::fault::hits("plan.write"), 1u);
+  ASSERT_NE(server.plan_cache(), nullptr);
+  EXPECT_EQ(server.plan_cache()->stats().disk_errors, 1u);
+  // Nothing was published to the disk tier...
+  for (const auto& e : fs::directory_iterator(dir))
+    EXPECT_NE(e.path().extension(), ".plan");
+  // ...but the memory tier kept the plan.
+  EXPECT_EQ(server.plan_cache()->stats().insertions, 1u);
   fs::remove_all(dir);
 }
 

@@ -1,0 +1,225 @@
+// Plan-cached serving end to end (serve/plancache.h): a /v1/simulate served
+// by replaying a cached compiled plan must be byte-identical to the fresh
+// compile-and-search response — across daemon restarts, with a shared disk
+// plan tier and a cold result cache — and a corrupt plan artifact must be
+// quarantined and recompiled transparently, never served and never a 500.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "serve/http.h"
+#include "serve/server.h"
+
+namespace sqz::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kRequest[] =
+    "{\"model\": \"tinydarknet\", \"config\": {\"rf_entries\": 16}}";
+
+HttpResponse post_simulate(int port, const std::string& body = kRequest) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/simulate";
+  req.headers.emplace_back("Content-Type", "application/json");
+  req.body = body;
+  return http_fetch("127.0.0.1", port, std::move(req));
+}
+
+HttpResponse get_metrics(int port) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/metrics";
+  return http_fetch("127.0.0.1", port, std::move(req));
+}
+
+double metric_value(const std::string& metrics, const std::string& name) {
+  std::istringstream in(metrics);
+  std::string line;
+  while (std::getline(in, line))
+    if (line.rfind(name + " ", 0) == 0)
+      return std::stod(line.substr(name.size() + 1));
+  return -1.0;
+}
+
+// Each test gets a private plan directory; servers are restarted against it
+// to prove the artifact (not the memory tier) carries the schedule.
+class PlanServe : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plan_dir_ = fs::path(::testing::TempDir()) /
+                ("plan_serve_" + std::to_string(::getpid()) + "_" +
+                 ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(plan_dir_);
+  }
+
+  void TearDown() override { fs::remove_all(plan_dir_); }
+
+  // A fresh server over the shared plan dir. The result cache is always
+  // memory-only and dies with the server, so every first request of a new
+  // server *executes* — the plan tier is the only state that survives.
+  std::unique_ptr<Server> fresh_server() {
+    ServerOptions opt;
+    opt.port = 0;  // ephemeral
+    opt.cache_entries = 64;
+    opt.plan_cache_entries = 64;
+    opt.plan_cache_dir = plan_dir_.string();
+    auto server = std::make_unique<Server>(opt);
+    server->start();
+    return server;
+  }
+
+  fs::path plan_dir_;
+};
+
+TEST_F(PlanServe, WarmPlanServesByteIdenticalAcrossRestart) {
+  std::string cold_body;
+  {
+    auto server = fresh_server();
+    const HttpResponse cold = post_simulate(server->port());
+    ASSERT_EQ(cold.status, 200);
+    ASSERT_NE(cold.header("X-Sqz-Plan"), nullptr);
+    EXPECT_EQ(*cold.header("X-Sqz-Plan"), "miss");  // compiled fresh
+    cold_body = cold.body;
+
+    const auto stats = server->plan_cache()->stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+  }
+  ASSERT_FALSE(cold_body.empty());
+
+  // One *.plan artifact must have been published.
+  std::size_t plans = 0;
+  for (const auto& entry : fs::directory_iterator(plan_dir_))
+    plans += entry.path().extension() == ".plan";
+  EXPECT_EQ(plans, 1u);
+
+  {
+    auto server = fresh_server();  // result cache cold, plan tier warm
+    const HttpResponse warm = post_simulate(server->port());
+    ASSERT_EQ(warm.status, 200);
+    ASSERT_NE(warm.header("X-Sqz-Cache"), nullptr);
+    EXPECT_EQ(*warm.header("X-Sqz-Cache"), "miss");  // really executed
+    ASSERT_NE(warm.header("X-Sqz-Plan"), nullptr);
+    EXPECT_EQ(*warm.header("X-Sqz-Plan"), "hit");
+
+    // The contract: a plan-served response is the fresh response, byte for
+    // byte.
+    EXPECT_EQ(warm.body, cold_body);
+
+    const std::string metrics = get_metrics(server->port()).body;
+    EXPECT_EQ(metric_value(metrics, "sqzserved_plan_hits_total"), 1.0);
+    EXPECT_EQ(metric_value(metrics, "sqzserved_plan_disk_hits_total"), 1.0);
+    EXPECT_EQ(metric_value(metrics, "sqzserved_plan_corrupt_total"), 0.0);
+  }
+}
+
+TEST_F(PlanServe, ResultCacheHitNeverConsultsThePlanCache) {
+  auto server = fresh_server();
+  ASSERT_EQ(post_simulate(server->port()).status, 200);
+  const HttpResponse second = post_simulate(server->port());
+  ASSERT_NE(second.header("X-Sqz-Cache"), nullptr);
+  EXPECT_EQ(*second.header("X-Sqz-Cache"), "hit");
+  EXPECT_EQ(second.header("X-Sqz-Plan"), nullptr);  // not even reported
+  const auto stats = server->plan_cache()->stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 1u);  // only the cold request looked
+}
+
+TEST_F(PlanServe, CorruptPlanIsQuarantinedAndRecompiledIdentically) {
+  std::string cold_body;
+  {
+    auto server = fresh_server();
+    const HttpResponse cold = post_simulate(server->port());
+    ASSERT_EQ(cold.status, 200);
+    cold_body = cold.body;
+  }
+
+  // Flip one payload byte in the published artifact.
+  fs::path artifact;
+  for (const auto& entry : fs::directory_iterator(plan_dir_))
+    if (entry.path().extension() == ".plan") artifact = entry.path();
+  ASSERT_FALSE(artifact.empty());
+  {
+    std::fstream f(artifact,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const auto size = static_cast<std::streamoff>(f.tellg());
+    ASSERT_GT(size, 40);
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+
+  {
+    auto server = fresh_server();
+    const HttpResponse resp = post_simulate(server->port());
+    ASSERT_EQ(resp.status, 200);  // corruption must never surface
+    ASSERT_NE(resp.header("X-Sqz-Plan"), nullptr);
+    EXPECT_EQ(*resp.header("X-Sqz-Plan"), "miss");  // fell back to compile
+    EXPECT_EQ(resp.body, cold_body);                // ...identically
+
+    const std::string metrics = get_metrics(server->port()).body;
+    EXPECT_EQ(metric_value(metrics, "sqzserved_plan_corrupt_total"), 1.0);
+
+    // The defective artifact is out of the read path, preserved as *.bad
+    // for the operator, and a fresh good artifact has been republished.
+    EXPECT_FALSE(fs::exists(artifact) &&
+                 fs::file_size(artifact) == 0);  // never left half-dead
+    bool bad_seen = false, plan_seen = false;
+    for (const auto& entry : fs::directory_iterator(plan_dir_)) {
+      bad_seen |= entry.path().extension() == ".bad";
+      plan_seen |= entry.path().extension() == ".plan";
+    }
+    EXPECT_TRUE(bad_seen);
+    EXPECT_TRUE(plan_seen);
+
+    // And the republished plan serves the third generation byte-identically.
+    auto third = fresh_server();
+    const HttpResponse warm = post_simulate(third->port());
+    ASSERT_NE(warm.header("X-Sqz-Plan"), nullptr);
+    EXPECT_EQ(*warm.header("X-Sqz-Plan"), "hit");
+    EXPECT_EQ(warm.body, cold_body);
+  }
+}
+
+TEST_F(PlanServe, DistinctRequestsGetDistinctPlans) {
+  auto server = fresh_server();
+  ASSERT_EQ(post_simulate(server->port()).status, 200);
+  ASSERT_EQ(post_simulate(server->port(),
+                          "{\"model\": \"tinydarknet\", "
+                          "\"config\": {\"rf_entries\": 8}}")
+                .status,
+            200);
+  std::size_t plans = 0;
+  for (const auto& entry : fs::directory_iterator(plan_dir_))
+    plans += entry.path().extension() == ".plan";
+  EXPECT_EQ(plans, 2u);
+  EXPECT_EQ(server->plan_cache()->stats().insertions, 2u);
+}
+
+TEST_F(PlanServe, PlanCacheDisabledStillServes) {
+  ServerOptions opt;
+  opt.port = 0;
+  opt.cache_entries = 4;
+  opt.plan_cache_entries = 0;  // disabled
+  Server server(opt);
+  server.start();
+  EXPECT_EQ(server.plan_cache(), nullptr);
+  const HttpResponse resp = post_simulate(server.port());
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.header("X-Sqz-Plan"), nullptr);
+}
+
+}  // namespace
+}  // namespace sqz::serve

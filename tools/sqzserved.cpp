@@ -35,6 +35,14 @@ const char* kUsage =
     "                     and may be pre-warmed (see EXPERIMENTS.md).\n"
     "                     Entries are checksummed; corrupt files are\n"
     "                     quarantined as *.bad and re-simulated\n"
+    "  --plan-cache-entries N  in-memory compiled-plan cache capacity;\n"
+    "                     result-cache misses replay a cached plan instead\n"
+    "                     of re-running the dual-dataflow compile search\n"
+    "                     (default 256; 0 disables the plan cache)\n"
+    "  --plan-cache-dir PATH  also persist compiled plans on disk (*.plan,\n"
+    "                     the sqzsim --save-plan format); survives restarts.\n"
+    "                     Defective plans are quarantined as *.bad and the\n"
+    "                     request recompiles transparently\n"
     "  --sweep-journal DIR  crash-safe sweep journal: append each completed\n"
     "                     /v1/sweep design point to DIR/sweep.sqzj and serve\n"
     "                     already-journaled points without re-simulating.\n"
@@ -81,6 +89,14 @@ Options parse_args(const std::vector<std::string>& args) {
       opt.server.cache_entries = static_cast<std::size_t>(
           sqz::util::ThreadPool::parse_jobs(value_of(i), "--cache-entries"));
     else if (a == "--cache-dir") opt.server.cache_dir = value_of(i);
+    else if (a == "--plan-cache-entries") {
+      const std::string v = value_of(i);
+      opt.server.plan_cache_entries = static_cast<std::size_t>(
+          v == "0" ? 0
+                   : sqz::util::ThreadPool::parse_jobs(v,
+                                                       "--plan-cache-entries"));
+    }
+    else if (a == "--plan-cache-dir") opt.server.plan_cache_dir = value_of(i);
     else if (a == "--sweep-journal") opt.server.sweep_journal_dir = value_of(i);
     else if (a == "--request-timeout-ms")
       opt.server.request_timeout_ms =
