@@ -1,0 +1,130 @@
+// google-benchmark micro-benchmarks of the distributed sweep fabric
+// (serve/coordinator.h): consistent-hash ring routing and health reporting
+// (paid per chunk under the dispatch lock), and the end-to-end loopback
+// coordination overhead — a coordinator plus one in-process worker whose
+// result cache is warm, so steady-state iterations measure sharding,
+// dispatch HTTP, dump parsing, and re-rendering rather than simulation.
+// These bound what coordinator mode costs on top of a single-node sweep.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/api.h"
+#include "serve/httpclient.h"
+#include "serve/server.h"
+#include "serve/workerpool.h"
+#include "util/hash.h"
+
+namespace {
+
+using namespace sqz;
+
+std::vector<serve::HostPort> fleet(int n) {
+  std::vector<serve::HostPort> out;
+  for (int i = 0; i < n; ++i) out.push_back({"127.0.0.1", 7000 + i});
+  return out;
+}
+
+void BM_RingRoute(benchmark::State& state) {
+  serve::WorkerPool pool(fleet(static_cast<int>(state.range(0))),
+                         serve::ProbePolicy{});
+  // Pre-hash so iterations measure the ring walk, not FNV-1a.
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 1024; ++i)
+    keys.push_back(util::fnv1a64("point-" + std::to_string(i)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.route(keys[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_RingRoute)->Arg(3)->Arg(8)->Arg(32);
+
+void BM_RingRouteExcluding(benchmark::State& state) {
+  serve::WorkerPool pool(fleet(8), serve::ProbePolicy{});
+  const std::vector<int> exclude = {0, 1};  // a requeue retreading the ring
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 1024; ++i)
+    keys.push_back(util::fnv1a64("point-" + std::to_string(i)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.route(keys[i++ & 1023], exclude));
+  }
+}
+BENCHMARK(BM_RingRouteExcluding);
+
+void BM_WorkerPoolReport(benchmark::State& state) {
+  serve::WorkerPool pool(fleet(8), serve::ProbePolicy{});
+  std::size_t w = 0;
+  for (auto _ : state) {
+    pool.report(w, true);  // the per-chunk health signal
+    w = (w + 1) % 8;
+  }
+}
+BENCHMARK(BM_WorkerPoolReport);
+
+// --- end-to-end coordination overhead ---------------------------------------
+// One stock worker and one coordinator, both in-process over loopback. The
+// coordinator's own response cache holds a single entry and the two bodies
+// alternate, so every iteration re-shards and re-dispatches; the worker's
+// cache answers each chunk without simulating after the first lap.
+
+const char* kBodyA =
+    R"({"model":"tinydarknet",)"
+    R"("sweep":{"knob":"rf_entries","values":[4,8,16,32]}})";
+const char* kBodyB =
+    R"({"model":"tinydarknet",)"
+    R"("sweep":{"knob":"rf_entries","values":[4,8,16,64]}})";
+
+serve::HttpResponse post_sweep(int port, const std::string& body) {
+  serve::HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/sweep";
+  req.headers.emplace_back("Content-Type", "application/json");
+  req.body = body;
+  return serve::http_fetch("127.0.0.1", port, std::move(req), 60000);
+}
+
+void BM_DistributedSweepWarmWorker(benchmark::State& state) {
+  serve::ServerOptions worker_opt;
+  worker_opt.port = 0;
+  serve::Server worker(worker_opt);
+  worker.start();
+
+  serve::ServerOptions coord_opt;
+  coord_opt.port = 0;
+  coord_opt.cache_entries = 1;  // the alternating bodies always miss
+  coord_opt.coordinator.workers.push_back("127.0.0.1:" +
+                                          std::to_string(worker.port()));
+  serve::Server coord(coord_opt);
+  coord.start();
+
+  post_sweep(coord.port(), kBodyA);  // warm the worker's chunk cache
+  post_sweep(coord.port(), kBodyB);
+  bool a = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        post_sweep(coord.port(), a ? kBodyA : kBodyB).body.size());
+    a = !a;
+  }
+  coord.stop();
+  worker.stop();
+}
+BENCHMARK(BM_DistributedSweepWarmWorker)->Unit(benchmark::kMillisecond);
+
+void BM_LocalSweepBaseline(benchmark::State& state) {
+  // The single-node cost of the same sweeps, simulation included — the
+  // denominator for judging the fabric's overhead.
+  bool a = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        serve::run_sweep(serve::parse_sweep_request(a ? kBodyA : kBodyB))
+            .size());
+    a = !a;
+  }
+}
+BENCHMARK(BM_LocalSweepBaseline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

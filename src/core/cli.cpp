@@ -21,7 +21,7 @@
 #include "nn/serialize.h"
 #include "nn/zoo/zoo.h"
 #include "sched/network_sim.h"
-#include "serve/http.h"
+#include "serve/httpclient.h"
 #include "util/csv.h"
 #include "util/json.h"
 #include "util/strings.h"
@@ -196,15 +196,8 @@ int run_remote(const CliOptions& opt, std::ostream& out, std::ostream& err) {
         std::string(local_only) +
         " is local-only; with --connect the daemon returns the JSON report");
 
-  const std::size_t colon = opt.connect.rfind(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 == opt.connect.size())
-    throw std::invalid_argument("--connect expects host:port, got '" +
-                                opt.connect + "'");
-  const std::string host = opt.connect.substr(0, colon);
-  const int port =
-      util::ThreadPool::parse_jobs(opt.connect.substr(colon + 1), "--connect port");
-  if (port > 65535)
-    throw std::invalid_argument("--connect port must be in [1, 65535]");
+  const serve::HostPort endpoint =
+      serve::parse_host_port(opt.connect, "--connect");
 
   if (opt.objective != "cycles" && opt.objective != "energy")
     throw std::invalid_argument("--objective must be cycles|energy");
@@ -265,8 +258,8 @@ int run_remote(const CliOptions& opt, std::ostream& out, std::ostream& err) {
   serve::RetryPolicy policy;
   policy.max_attempts = opt.retries + 1;
   policy.base_ms = opt.retry_base_ms;
-  const serve::HttpResponse resp =
-      serve::http_fetch_retry(host, port, req, /*timeout_ms=*/60000, policy);
+  const serve::HttpResponse resp = serve::http_fetch_retry(
+      endpoint.host, endpoint.port, req, /*timeout_ms=*/60000, policy);
   if (resp.status != 200) {
     err << "sqzsim: daemon returned " << resp.status << " " << resp.reason
         << ": " << resp.body;

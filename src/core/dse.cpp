@@ -240,6 +240,25 @@ std::string design_point_key(const nn::Model& model, const std::string& label,
   return key_from_parts(nn::serialize_model(model), label, config, objective);
 }
 
+std::string design_point_key(const std::string& model_text,
+                             const std::string& label,
+                             const sim::AcceleratorConfig& config,
+                             sched::Objective objective) {
+  return key_from_parts(model_text, label, config, objective);
+}
+
+std::string design_point_short_key(const std::string& key) {
+  return short_key(key);
+}
+
+std::string design_point_value_json(const DesignPoint& point) {
+  return point_value_json(point);
+}
+
+bool parse_design_point_value(const std::string& json, DesignPoint& point) {
+  return parse_point_value(json, point);
+}
+
 PointError classify_point_error(std::string label, std::string key,
                                 const std::exception_ptr& error) {
   PointError pe;

@@ -53,7 +53,10 @@ class SweepJournal;
 struct PointError {
   std::string label;  ///< The point's sweep label (e.g. "RF=16").
   std::string key;    ///< 16-hex FNV-1a of the canonical design-point key.
-  std::string phase;  ///< "validate" | "simulate" | "estimate" | "journal".
+  /// "validate" | "simulate" | "estimate" | "journal", plus "dispatch" for
+  /// points a coordinator could not place on any worker after requeues
+  /// (serve/coordinator.h).
+  std::string phase;
   std::string what;   ///< Diagnostic: validation summary or exception text.
 };
 
@@ -119,6 +122,27 @@ struct SweepOutcome {
 std::string design_point_key(const nn::Model& model, const std::string& label,
                              const sim::AcceleratorConfig& config,
                              sched::Objective objective);
+
+/// Same key with the model already serialized (nn/serialize.h): a sweep —
+/// or a coordinator sharding one — serializes the model once, not per point.
+std::string design_point_key(const std::string& model_text,
+                             const std::string& label,
+                             const sim::AcceleratorConfig& config,
+                             sched::Objective objective);
+
+/// The 16-hex FNV-1a digest of a canonical design-point key — the form
+/// recorded in PointError::key, exposed so the serve-layer coordinator
+/// reports dispatch failures under the same identity the sweep engine uses.
+std::string design_point_short_key(const std::string& key);
+
+/// The journal value for one completed point ({"cycles","energy",
+/// "utilization"} as compact JSON) and its parser. util::json_number emits
+/// the shortest decimal that round-trips bit-exactly through strtod, so a
+/// value parsed back re-renders to identical bytes — the property both the
+/// local resume path and the coordinator's completion record stand on.
+/// parse returns false on a foreign or garbled value (caller re-evaluates).
+std::string design_point_value_json(const DesignPoint& point);
+bool parse_design_point_value(const std::string& json, DesignPoint& point);
 
 /// Fault-isolating evaluate_designs: every configuration is evaluated even
 /// when some throw. Failed points become PointErrors (input order); the

@@ -6,6 +6,7 @@
 #include "core/cli.h"
 #include "core/config_io.h"
 #include "core/dse.h"
+#include "serve/coordinator.h"
 #include "core/report.h"
 #include "nn/serialize.h"
 #include "util/ini.h"
@@ -230,7 +231,9 @@ std::vector<int> integral_values(const SweepRequest& req) {
   return out;
 }
 
-std::vector<std::pair<std::string, sim::AcceleratorConfig>> build_sweep(
+}  // namespace
+
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_configs(
     const SweepRequest& req) {
   if (req.knob == "rf_entries")
     return core::sweep_rf_entries(req.base.config, integral_values(req));
@@ -240,8 +243,6 @@ std::vector<std::pair<std::string, sim::AcceleratorConfig>> build_sweep(
     return core::sweep_sparsity(req.base.config, req.values);
   return core::sweep_dram_bandwidth(req.base.config, req.values);
 }
-
-}  // namespace
 
 std::string canonical_key(const SimulateRequest& req) {
   std::ostringstream os;
@@ -320,8 +321,8 @@ std::string run_sweep(const SweepRequest& req, core::SweepJournal* journal,
     sweep_opt.screen = req.screen;
     sweep_opt.screen_keep = req.screen_keep;
     sweep_opt.journal = journal;
-    outcome = core::evaluate_designs_checked(req.base.model, build_sweep(req),
-                                             sweep_opt);
+    outcome = core::evaluate_designs_checked(req.base.model,
+                                             sweep_configs(req), sweep_opt);
   } catch (const ApiError&) {
     throw;
   } catch (const std::exception& e) {
@@ -394,7 +395,8 @@ SimService::Result SimService::sweep(const std::string& request_body) {
     if (auto hit = cache_->get(key)) return {*hit, true, false, {}};
   }
   Result r;
-  r.body = run_sweep(req, journal_, &r.sweep);
+  r.body = coordinator_ ? coordinator_->run_sweep(req, journal_, &r.sweep)
+                        : run_sweep(req, journal_, &r.sweep);
   // A partial response is never cached: its failures may be transient
   // (fault injection, resource pressure), and a cached body would pin them
   // until eviction. The journal still holds every point that did succeed.

@@ -89,6 +89,13 @@ SweepRequest parse_sweep_request(const std::string& body);
 std::string canonical_key(const SimulateRequest& req);
 std::string canonical_key(const SweepRequest& req);
 
+/// The labeled configurations a sweep request expands to — the same
+/// core/dse.h builders the local engine runs, exposed so the coordinator
+/// (serve/coordinator.h) shards exactly the point set a single node would
+/// evaluate. Throws ApiError(400) on non-integral values for integer knobs.
+std::vector<std::pair<std::string, sim::AcceleratorConfig>> sweep_configs(
+    const SweepRequest& req);
+
 /// Outcome counters for one executed sweep (journal/error visibility on
 /// /metrics). All zero for cache hits and non-sweep requests.
 struct SweepRunStats {
@@ -127,6 +134,8 @@ std::string run_sweep(const SweepRequest& req,
                       core::SweepJournal* journal = nullptr,
                       SweepRunStats* stats = nullptr);
 
+class Coordinator;
+
 /// The cached service: parse -> canonicalize -> cache lookup -> execute.
 class SimService {
  public:
@@ -139,10 +148,14 @@ class SimService {
 
   /// `cache` may be null to serve uncached; `journal` may be null to run
   /// sweeps without crash-safe journaling; `plans` may be null to compile
-  /// every result-cache miss from scratch.
+  /// every result-cache miss from scratch. A non-null `coordinator`
+  /// (serve/coordinator.h) shards executed sweeps across its worker fleet
+  /// instead of simulating locally; /v1/simulate always runs locally.
   explicit SimService(SimCache* cache, core::SweepJournal* journal = nullptr,
-                      PlanCache* plans = nullptr)
-      : cache_(cache), journal_(journal), plans_(plans) {}
+                      PlanCache* plans = nullptr,
+                      Coordinator* coordinator = nullptr)
+      : cache_(cache), journal_(journal), plans_(plans),
+        coordinator_(coordinator) {}
 
   Result simulate(const std::string& request_body);
   Result sweep(const std::string& request_body);
@@ -151,6 +164,7 @@ class SimService {
   SimCache* cache_;
   core::SweepJournal* journal_;
   PlanCache* plans_;
+  Coordinator* coordinator_;
 };
 
 }  // namespace sqz::serve

@@ -1,0 +1,609 @@
+#include "serve/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "core/config_io.h"
+#include "core/dse.h"
+#include "core/sweepjournal.h"
+#include "nn/serialize.h"
+#include "serve/metrics.h"
+#include "util/faultinject.h"
+#include "util/hash.h"
+#include "util/json.h"
+#include "util/json_parse.h"
+
+namespace sqz::serve {
+
+struct Coordinator::Flight {
+  /// One chunk position's outcome. A slot either carries the worker's
+  /// metrics or the structured error that replaced them.
+  struct Slot {
+    bool ok = false;
+    std::int64_t cycles = 0;
+    double energy = 0.0;
+    double utilization = 0.0;
+    core::PointError error;  ///< When !ok.
+  };
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;      ///< Guarded by m; set exactly once.
+  bool ok = false;        ///< done: slots are valid (else fail_what is).
+  std::string fail_what;  ///< done && !ok: the dispatch diagnostic.
+  std::vector<Slot> slots;
+};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using Slot = Coordinator::Flight::Slot;
+
+const util::JsonValue* member(const util::JsonValue& obj,
+                              const std::string& key) {
+  for (const auto& [k, v] : obj.members)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::vector<HostPort> parse_workers(const std::vector<std::string>& specs) {
+  std::vector<HostPort> out;
+  out.reserve(specs.size());
+  for (const std::string& spec : specs)
+    out.push_back(parse_host_port(spec, "--workers"));
+  return out;
+}
+
+/// The /v1/sweep body for one chunk: the base request re-rendered with the
+/// model as serialized text, the config as its INI rendering, every option
+/// explicit, and only the chunk's own knob values. Workers re-derive the
+/// same labels and design-point keys the coordinator holds, because both
+/// sides run the same sweep builders over the same canonical inputs.
+std::string chunk_request_body(const SweepRequest& req,
+                               const std::string& model_text,
+                               const std::string& config_ini,
+                               const std::vector<std::size_t>& idx) {
+  std::ostringstream os;
+  util::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.member("model_text", model_text);
+  w.member("config_ini", config_ini);
+  w.key("options");
+  w.begin_object();
+  w.member("objective", req.base.options.objective == sched::Objective::Energy
+                            ? "energy"
+                            : "cycles");
+  w.member("timeline", req.base.options.tile_timeline);
+  w.member("double_buffered", req.base.options.double_buffered);
+  w.member("tile_search", req.base.options.tile_search);
+  w.member("fuse", req.base.options.fuse_pool_drain);
+  w.end_object();
+  w.key("sweep");
+  w.begin_object();
+  w.member("knob", req.knob);
+  w.key("values");
+  w.begin_array();
+  for (const std::size_t i : idx) w.value(req.values[i]);
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+/// Map a worker's sweep dump back onto the chunk's positions. "points" and
+/// "errors" both preserve input order, so a single greedy pass with two
+/// cursors assigns every label; pareto/config members are ignored (the
+/// coordinator recomputes them over the full point set). Returns false on
+/// any shape surprise — the caller treats that as a failed dispatch.
+bool parse_chunk_response(const std::string& body,
+                          const std::vector<std::string>& labels,
+                          std::vector<Slot>& out) {
+  try {
+    const util::JsonValue doc = util::parse_json(body);
+    if (!doc.is_object()) return false;
+    const util::JsonValue* points = member(doc, "points");
+    const util::JsonValue* errors = member(doc, "errors");
+    if (!points || !points->is_array()) return false;
+    if (errors && !errors->is_array()) return false;
+    out.assign(labels.size(), Slot{});
+    std::size_t pi = 0;
+    std::size_t ei = 0;
+    for (std::size_t p = 0; p < labels.size(); ++p) {
+      Slot& slot = out[p];
+      if (pi < points->items.size() &&
+          points->items[pi].at("label").as_string() == labels[p]) {
+        const util::JsonValue& v = points->items[pi++];
+        slot.ok = true;
+        slot.cycles = v.at("cycles").as_int();
+        slot.energy = v.at("energy").as_double();
+        slot.utilization = v.at("utilization").as_double();
+      } else if (errors && ei < errors->items.size() &&
+                 errors->items[ei].at("label").as_string() == labels[p]) {
+        const util::JsonValue& v = errors->items[ei++];
+        slot.ok = false;
+        slot.error.label = labels[p];
+        slot.error.key = v.at("key").as_string();
+        slot.error.phase = v.at("phase").as_string();
+        slot.error.what = v.at("what").as_string();
+      } else {
+        return false;  // the worker answered for a different point set
+      }
+    }
+    return pi == points->items.size() &&
+           ei == (errors ? errors->items.size() : 0);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+enum class ChunkState { Queued, InFlight, Done, Failed };
+
+/// One dispatched chunk. idx/labels/body/hash/flight/owner are immutable
+/// after sharding; the dispatch state below them is guarded by Run::mu.
+struct Chunk {
+  std::vector<std::size_t> idx;     ///< Global point indices, input order.
+  std::vector<std::string> labels;  ///< Sweep labels, aligned with idx.
+  std::string body;                 ///< The worker /v1/sweep request.
+  std::uint64_t hash = 0;           ///< Ring position (first point's key).
+  std::shared_ptr<Coordinator::Flight> flight;
+  bool owner = false;  ///< This run dispatches; a waiter only observes.
+
+  ChunkState state = ChunkState::Queued;
+  std::vector<int> tried;    ///< Workers this chunk was already sent to.
+  Clock::time_point started{};  ///< Last primary dispatch, for straggling.
+  int requeues = 0;
+  bool steal_pending = false;  ///< A steal is queued or on the wire.
+};
+
+/// Per-run_sweep dispatch state shared between the dispatcher threads and
+/// the straggler monitor.
+struct Run {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Chunk> chunks;
+  std::deque<std::pair<std::size_t, bool>> queue;  ///< (chunk, is_steal).
+  bool quit = false;
+};
+
+}  // namespace
+
+Coordinator::Coordinator(const CoordinatorOptions& options, Metrics* metrics)
+    : options_(options),
+      metrics_(metrics),
+      pool_(parse_workers(options.workers), options.probe, metrics) {}
+
+Coordinator::~Coordinator() { stop(); }
+
+void Coordinator::start() { pool_.start(); }
+
+void Coordinator::stop() { pool_.stop(); }
+
+std::shared_ptr<Coordinator::Flight> Coordinator::attach_flight(
+    const std::string& chunk_body, std::size_t chunk_size, bool& owner) {
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  std::shared_ptr<Flight>& slot = flights_[chunk_body];
+  if (slot) {
+    owner = false;
+    if (metrics_) metrics_->record_coord_singleflight_hit();
+    return slot;
+  }
+  slot = std::make_shared<Flight>();
+  slot->slots.resize(chunk_size);
+  owner = true;
+  return slot;
+}
+
+void Coordinator::finish_flight(const std::string& chunk_body,
+                                const std::shared_ptr<Flight>& flight) {
+  std::lock_guard<std::mutex> lock(flights_mu_);
+  const auto it = flights_.find(chunk_body);
+  if (it != flights_.end() && it->second == flight) flights_.erase(it);
+}
+
+std::string Coordinator::run_sweep(const SweepRequest& req,
+                                   core::SweepJournal* journal,
+                                   SweepRunStats* stats) {
+  if (req.screen)
+    throw ApiError(400,
+                   "screened sweeps cannot be coordinated: the retained "
+                   "Pareto band is a property of the whole point set; post "
+                   "sweep.screen requests to a worker directly");
+
+  const std::vector<std::pair<std::string, sim::AcceleratorConfig>> configs =
+      sweep_configs(req);
+  const std::string model_text = nn::serialize_model(req.base.model);
+  const std::string config_ini = core::config_to_ini(req.base.config);
+  const std::size_t n = configs.size();
+
+  // Canonical identity per point: the journal key, and (hashed) the ring
+  // position — so a point shards to the same worker sweep after sweep.
+  std::vector<std::string> keys(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys[i] = core::design_point_key(model_text, configs[i].first,
+                                     configs[i].second,
+                                     req.base.options.objective);
+
+  core::SweepOutcome outcome;
+  std::vector<core::DesignPoint> points(n);
+  std::vector<core::PointError> errs(n);
+  std::vector<char> have(n, 0);
+  std::vector<char> failed(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    points[i].label = configs[i].first;
+    points[i].config = configs[i].second;
+  }
+
+  // Journal restore: completed points are never dispatched again, and their
+  // metrics re-render byte-identically (util/json.h round-trip numbers).
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (journal) {
+      const auto it = journal->entries().find(keys[i]);
+      if (it != journal->entries().end() &&
+          core::parse_design_point_value(it->second, points[i])) {
+        have[i] = 1;
+        ++outcome.resumed;
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
+  // Shard: route each pending point on the ring, group per worker (stable
+  // shards keep worker caches hot), slice each group into chunks. A point
+  // with no usable home right now groups under -1 and is placed at dispatch
+  // time like any other chunk.
+  Run run;
+  {
+    std::map<int, std::vector<std::size_t>> by_worker;
+    for (const std::size_t i : pending)
+      by_worker[pool_.route(util::fnv1a64(keys[i]))].push_back(i);
+    const std::size_t chunk_points =
+        static_cast<std::size_t>(std::max(1, options_.chunk_points));
+    for (const auto& [w, idxs] : by_worker) {
+      (void)w;
+      for (std::size_t at = 0; at < idxs.size(); at += chunk_points) {
+        Chunk c;
+        const std::size_t end = std::min(idxs.size(), at + chunk_points);
+        c.idx.assign(idxs.begin() + static_cast<std::ptrdiff_t>(at),
+                     idxs.begin() + static_cast<std::ptrdiff_t>(end));
+        for (const std::size_t i : c.idx) c.labels.push_back(configs[i].first);
+        c.body = chunk_request_body(req, model_text, config_ini, c.idx);
+        c.hash = util::fnv1a64(keys[c.idx.front()]);
+        c.flight = attach_flight(c.body, c.idx.size(), c.owner);
+        run.chunks.push_back(std::move(c));
+      }
+    }
+  }
+
+  // Completion: journal first (the on-disk record *is* the crash-safety
+  // contract, so a point only reports success once its append stuck), then
+  // publish the flight exactly once and drop it from the single-flight map.
+  const auto fail_flight = [&](Chunk& c, const std::string& what) {
+    {
+      std::lock_guard<std::mutex> lk(c.flight->m);
+      if (!c.flight->done) {
+        c.flight->ok = false;
+        c.flight->fail_what = what;
+        c.flight->done = true;
+      }
+    }
+    c.flight->cv.notify_all();
+    finish_flight(c.body, c.flight);
+  };
+  const auto complete_flight = [&](Chunk& c, std::vector<Slot> slots) {
+    if (journal) {
+      for (std::size_t p = 0; p < slots.size(); ++p) {
+        if (!slots[p].ok) continue;
+        core::DesignPoint dp;
+        dp.cycles = slots[p].cycles;
+        dp.energy = slots[p].energy;
+        dp.utilization = slots[p].utilization;
+        try {
+          journal->append(keys[c.idx[p]], core::design_point_value_json(dp));
+        } catch (const core::SweepJournalError& e) {
+          slots[p].ok = false;
+          slots[p].error = core::PointError{
+              c.labels[p], core::design_point_short_key(keys[c.idx[p]]),
+              "journal", e.what()};
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(c.flight->m);
+      if (!c.flight->done) {
+        c.flight->ok = true;
+        c.flight->slots = std::move(slots);
+        c.flight->done = true;
+      }
+    }
+    c.flight->cv.notify_all();
+    finish_flight(c.body, c.flight);
+  };
+
+  const auto dispatch_chunk = [&](std::size_t ci, bool is_steal) {
+    Chunk& c = run.chunks[ci];
+    int w = -1;
+    {
+      std::lock_guard<std::mutex> lk(run.mu);
+      if (c.state == ChunkState::Done || c.state == ChunkState::Failed) {
+        if (is_steal) c.steal_pending = false;
+        return;
+      }
+      w = pool_.route(c.hash, c.tried);
+      // Every usable worker was already tried: a requeue retreads the ring
+      // rather than wasting its remaining budget on an empty exclusion set.
+      if (w < 0 && !is_steal && !c.tried.empty()) w = pool_.route(c.hash);
+      if (w >= 0) {
+        c.tried.push_back(w);
+        if (!is_steal) {
+          c.state = ChunkState::InFlight;
+          c.started = Clock::now();
+        }
+      }
+    }
+
+    if (w < 0) {
+      if (is_steal) {
+        std::lock_guard<std::mutex> lk(run.mu);
+        c.steal_pending = false;
+        return;
+      }
+      // The whole fleet is ejected. Burn one requeue, give probation a beat
+      // to readmit somebody, and spin again; exhaustion fails the chunk.
+      bool exhausted = false;
+      {
+        std::lock_guard<std::mutex> lk(run.mu);
+        if (++c.requeues > options_.max_requeues) {
+          c.state = ChunkState::Failed;
+          exhausted = true;
+        } else {
+          c.state = ChunkState::Queued;
+        }
+      }
+      if (exhausted) {
+        fail_flight(c, "no usable worker (fleet of " +
+                           std::to_string(pool_.size()) + " all ejected)");
+        run.cv.notify_all();
+        return;
+      }
+      if (metrics_) metrics_->record_coord_requeue(c.idx.size());
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      {
+        std::lock_guard<std::mutex> lk(run.mu);
+        run.queue.emplace_back(ci, false);
+      }
+      run.cv.notify_all();
+      return;
+    }
+
+    // The chaos seams: "coord.steal" stalls a primary dispatch so the
+    // straggler monitor provably fires; "coord.dispatch" fails the send
+    // before a socket is ever touched.
+    if (!is_steal) util::fault::at("coord.steal");
+    const bool injected =
+        util::fault::at("coord.dispatch").kind == util::fault::Kind::Errno;
+
+    const HostPort& addr = pool_.address(static_cast<std::size_t>(w));
+    const std::string where = addr.host + ":" + std::to_string(addr.port);
+    if (metrics_) {
+      metrics_->record_coord_dispatch(c.idx.size());
+      metrics_->coord_chunk_started();
+    }
+    bool ok = false;
+    bool fatal = false;
+    std::string fail;
+    std::vector<Slot> slots;
+    if (injected) {
+      fail = "worker " + where + ": injected dispatch fault (coord.dispatch)";
+    } else {
+      try {
+        HttpRequest hr;
+        hr.method = "POST";
+        hr.target = "/v1/sweep";
+        hr.headers.emplace_back("Content-Type", "application/json");
+        hr.body = c.body;
+        RetryPolicy policy;
+        policy.max_attempts = std::max(1, options_.dispatch_attempts);
+        policy.base_ms = options_.dispatch_base_ms;
+        policy.seed = 0x5eedULL ^ c.hash;
+        int attempts = 1;
+        const HttpResponse resp =
+            http_fetch_retry(addr.host, addr.port, hr,
+                             options_.dispatch_timeout_ms, policy, &attempts);
+        if (metrics_ && attempts > 1)
+          metrics_->record_coord_retries(
+              static_cast<std::uint64_t>(attempts - 1));
+        if (resp.status == 200) {
+          if (parse_chunk_response(resp.body, c.labels, slots))
+            ok = true;
+          else
+            fail = "worker " + where + " returned an unparseable sweep body";
+        } else if (resp.status >= 400 && resp.status < 500) {
+          // The worker is alive and rejected the chunk deterministically:
+          // the same bytes cannot fare better elsewhere.
+          fatal = true;
+          fail = "worker " + where + " rejected the chunk: HTTP " +
+                 std::to_string(resp.status);
+        } else {
+          fail =
+              "worker " + where + " answered HTTP " + std::to_string(resp.status);
+        }
+      } catch (const FetchError& e) {
+        fail = "worker " + where + ": " + e.what();
+      }
+    }
+    if (metrics_) metrics_->coord_chunk_finished();
+    pool_.report(static_cast<std::size_t>(w), ok || fatal);
+
+    if (ok) {
+      // First valid result wins; a steal-race loser lands here with the
+      // chunk already Done and discards its copy.
+      bool winner = false;
+      {
+        std::lock_guard<std::mutex> lk(run.mu);
+        if (c.state != ChunkState::Done && c.state != ChunkState::Failed) {
+          c.state = ChunkState::Done;
+          winner = true;
+        }
+        if (is_steal) c.steal_pending = false;
+      }
+      if (winner) complete_flight(c, std::move(slots));
+      run.cv.notify_all();
+      return;
+    }
+    if (fatal) {
+      bool first = false;
+      {
+        std::lock_guard<std::mutex> lk(run.mu);
+        if (c.state != ChunkState::Done && c.state != ChunkState::Failed) {
+          c.state = ChunkState::Failed;
+          first = true;
+        }
+        if (is_steal) c.steal_pending = false;
+      }
+      if (first) fail_flight(c, fail);
+      run.cv.notify_all();
+      return;
+    }
+    // Retryable failure: the primary requeues (budget permitting); a failed
+    // steal just retires — its primary is still in flight.
+    bool requeued = false;
+    bool exhausted = false;
+    {
+      std::lock_guard<std::mutex> lk(run.mu);
+      if (is_steal) {
+        c.steal_pending = false;
+      } else if (c.state == ChunkState::InFlight) {
+        if (++c.requeues > options_.max_requeues) {
+          c.state = ChunkState::Failed;
+          exhausted = true;
+        } else {
+          c.state = ChunkState::Queued;
+          run.queue.emplace_back(ci, false);
+          requeued = true;
+        }
+      }
+    }
+    if (requeued && metrics_) metrics_->record_coord_requeue(c.idx.size());
+    if (exhausted)
+      fail_flight(c, fail + " (chunk failed after " +
+                         std::to_string(options_.max_requeues) + " requeues)");
+    run.cv.notify_all();
+  };
+
+  // Dispatcher pool: wide enough to keep every worker busy and to let a
+  // steal overtake a stalled primary, bounded so a huge fleet cannot fork
+  // a thread herd per request.
+  std::size_t owned = 0;
+  for (const Chunk& c : run.chunks) owned += c.owner ? 1 : 0;
+  std::vector<std::thread> dispatchers;
+  if (owned > 0) {
+    {
+      std::lock_guard<std::mutex> lk(run.mu);
+      for (std::size_t ci = 0; ci < run.chunks.size(); ++ci)
+        if (run.chunks[ci].owner) run.queue.emplace_back(ci, false);
+    }
+    const std::size_t width = std::min<std::size_t>(
+        std::max<std::size_t>(2, 2 * pool_.size()), 8);
+    for (std::size_t t = 0; t < std::min(width, owned + 1); ++t)
+      dispatchers.emplace_back([&] {
+        for (;;) {
+          std::pair<std::size_t, bool> job;
+          {
+            std::unique_lock<std::mutex> lk(run.mu);
+            run.cv.wait(lk, [&] { return run.quit || !run.queue.empty(); });
+            if (run.queue.empty()) return;  // quit, and nothing left to run
+            job = run.queue.front();
+            run.queue.pop_front();
+          }
+          dispatch_chunk(job.first, job.second);
+        }
+      });
+  }
+
+  // Monitor: poll for completion (waiter chunks finish under another run's
+  // dispatchers) and re-dispatch owned stragglers to a different worker.
+  const auto straggler =
+      std::chrono::milliseconds(std::max(1, options_.straggler_ms));
+  for (;;) {
+    bool all_done = true;
+    for (Chunk& c : run.chunks) {
+      std::lock_guard<std::mutex> lk(c.flight->m);
+      all_done = all_done && c.flight->done;
+    }
+    if (all_done) break;
+    {
+      std::lock_guard<std::mutex> lk(run.mu);
+      const Clock::time_point now = Clock::now();
+      for (std::size_t ci = 0; ci < run.chunks.size(); ++ci) {
+        Chunk& c = run.chunks[ci];
+        if (!c.owner || c.state != ChunkState::InFlight || c.steal_pending)
+          continue;
+        if (now - c.started < straggler) continue;
+        if (pool_.route(c.hash, c.tried) < 0) continue;  // nowhere to steal to
+        c.steal_pending = true;
+        run.queue.emplace_back(ci, true);
+        if (metrics_) metrics_->record_coord_steal();
+      }
+    }
+    run.cv.notify_all();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  {
+    std::lock_guard<std::mutex> lk(run.mu);
+    run.quit = true;
+  }
+  run.cv.notify_all();
+  for (std::thread& th : dispatchers) th.join();
+
+  // Merge: every chunk's flight is done; slots map back onto global point
+  // indices, and a failed flight turns into per-point "dispatch" errors
+  // under the same keys the sweep engine itself would have used.
+  for (Chunk& c : run.chunks) {
+    std::lock_guard<std::mutex> lk(c.flight->m);
+    const Flight& f = *c.flight;
+    for (std::size_t p = 0; p < c.idx.size(); ++p) {
+      const std::size_t i = c.idx[p];
+      if (f.ok && f.slots[p].ok) {
+        points[i].cycles = f.slots[p].cycles;
+        points[i].energy = f.slots[p].energy;
+        points[i].utilization = f.slots[p].utilization;
+        have[i] = 1;
+      } else if (f.ok) {
+        errs[i] = f.slots[p].error;
+        failed[i] = 1;
+      } else {
+        errs[i] = core::PointError{c.labels[p],
+                                   core::design_point_short_key(keys[i]),
+                                   "dispatch", f.fail_what};
+        failed[i] = 1;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (have[i])
+      outcome.points.push_back(std::move(points[i]));
+    else if (failed[i])
+      outcome.errors.push_back(std::move(errs[i]));
+  }
+  if (stats) {
+    stats->points = outcome.points.size();
+    stats->point_errors = outcome.errors.size();
+    stats->resumed = outcome.resumed;
+  }
+  std::ostringstream os;
+  core::write_sweep_outcome_json(req.knob + " on " + req.base.model_label,
+                                 outcome, os);
+  return os.str();
+}
+
+}  // namespace sqz::serve

@@ -1,22 +1,8 @@
 #include "serve/http.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <algorithm>
 #include <cctype>
 #include <cerrno>
-#include <chrono>
-#include <cstdint>
 #include <cstdlib>
-#include <cstring>
-#include <thread>
-
-#include "util/rng.h"
 
 namespace sqz::serve {
 
@@ -282,135 +268,6 @@ ParseStatus parse_http_response(const std::string& buffer, HttpResponse& out,
   if (bs != ParseStatus::Ok) return bs;
   out = std::move(resp);
   return ParseStatus::Ok;
-}
-
-namespace {
-
-struct Fd {
-  int fd = -1;
-  ~Fd() {
-    if (fd >= 0) ::close(fd);
-  }
-};
-
-[[noreturn]] void throw_fetch(FetchError::Kind kind, const std::string& what) {
-  throw FetchError(kind, what + ": " + std::strerror(errno));
-}
-
-}  // namespace
-
-HttpResponse http_fetch(const std::string& host, int port, HttpRequest req,
-                        int timeout_ms) {
-  if (port <= 0 || port > 65535)
-    throw FetchError(FetchError::Kind::Connect,
-                     "http_fetch: bad port " + std::to_string(port));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
-  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1)
-    throw FetchError(FetchError::Kind::Connect,
-                     "http_fetch: cannot resolve '" + host +
-                         "' (use a numeric IPv4 address or localhost)");
-
-  Fd sock;
-  sock.fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (sock.fd < 0) throw_fetch(FetchError::Kind::Connect, "http_fetch: socket");
-  if (::connect(sock.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
-    throw_fetch(FetchError::Kind::Connect,
-                "http_fetch: connect to " + host + ":" + std::to_string(port));
-
-  if (!req.header("Host"))
-    req.headers.emplace_back("Host", host + ":" + std::to_string(port));
-  if (!req.header("Connection")) req.headers.emplace_back("Connection", "close");
-
-  const std::string wire = req.serialize();
-  std::size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n = ::send(sock.fd, wire.data() + sent, wire.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_fetch(FetchError::Kind::Io, "http_fetch: send");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-
-  std::string buffer;
-  char chunk[16384];
-  for (;;) {
-    pollfd p{sock.fd, POLLIN, 0};
-    const int pr = ::poll(&p, 1, timeout_ms);
-    if (pr < 0) throw_fetch(FetchError::Kind::Io, "http_fetch: poll");
-    if (pr == 0)
-      throw FetchError(FetchError::Kind::Timeout,
-                       "http_fetch: no response within " +
-                           std::to_string(timeout_ms) + " ms");
-    const ssize_t n = ::recv(sock.fd, chunk, sizeof(chunk), 0);
-    if (n < 0) throw_fetch(FetchError::Kind::Io, "http_fetch: recv");
-    if (n == 0)
-      throw FetchError(FetchError::Kind::Io,
-                       "http_fetch: connection closed early");
-    buffer.append(chunk, static_cast<std::size_t>(n));
-
-    HttpResponse resp;
-    std::size_t consumed = 0;
-    std::string err;
-    switch (parse_http_response(buffer, resp, consumed, &err)) {
-      case ParseStatus::Ok: return resp;
-      case ParseStatus::NeedMore: break;
-      case ParseStatus::Error:
-      case ParseStatus::TooLarge:
-        throw FetchError(FetchError::Kind::Parse,
-                         "http_fetch: bad response: " + err);
-    }
-  }
-}
-
-HttpResponse http_fetch_retry(const std::string& host, int port,
-                              const HttpRequest& req, int timeout_ms,
-                              const RetryPolicy& policy, int* attempts_out) {
-  const int max_attempts = std::max(1, policy.max_attempts);
-  const int base_ms = std::max(1, policy.base_ms);
-  const int cap_ms = std::max(base_ms, policy.cap_ms);
-  util::Rng rng(policy.seed);
-  int prev_sleep_ms = base_ms;
-
-  // Decorrelated jitter (Brooker): each sleep is uniform over
-  // [base, 3 * previous sleep], clamped to [base, cap]. Spreads retry storms
-  // without the lockstep thundering herd of plain exponential backoff.
-  const auto next_sleep = [&](int at_least_ms) {
-    const std::int64_t hi =
-        std::min<std::int64_t>(cap_ms, 3 * std::int64_t{prev_sleep_ms});
-    int sleep_ms = static_cast<int>(rng.next_in(base_ms, hi));
-    sleep_ms = std::max(sleep_ms, std::min(at_least_ms, cap_ms));
-    prev_sleep_ms = sleep_ms;
-    return sleep_ms;
-  };
-
-  for (int attempt = 1;; ++attempt) {
-    if (attempts_out) *attempts_out = attempt;
-    int retry_after_ms = 0;
-    try {
-      HttpResponse resp = http_fetch(host, port, req, timeout_ms);
-      if (resp.status != 503 || attempt >= max_attempts) return resp;
-      // Shed by a saturated server: honor Retry-After (seconds) as a floor,
-      // still capped so tests and tight deadlines stay fast.
-      if (const std::string* ra = resp.header("Retry-After")) {
-        errno = 0;
-        char* end = nullptr;
-        const long sec = std::strtol(ra->c_str(), &end, 10);
-        if (end != ra->c_str() && *end == '\0' && errno == 0 && sec > 0)
-          retry_after_ms = static_cast<int>(
-              std::min<long>(sec * 1000L, cap_ms));
-      }
-    } catch (const FetchError& e) {
-      if (!e.retryable() || attempt >= max_attempts) throw;
-    }
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(next_sleep(retry_after_ms)));
-  }
 }
 
 }  // namespace sqz::serve

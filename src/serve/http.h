@@ -8,17 +8,12 @@
 // implemented: Content-Length framing (no chunked transfer), no multi-line
 // headers, one message at a time.
 //
-// The client side distinguishes failure classes (FetchError::Kind) so the
-// retry wrapper can tell a refused connection or timeout (retryable — the
-// request never ran, or ran to completion on the server and is cached) from
-// a protocol violation (not retryable). http_fetch_retry layers bounded
-// retries with exponential backoff and decorrelated jitter on top; the
-// jitter stream is seeded, so tests see a deterministic sleep sequence.
+// The client side — http_fetch, FetchError, and the retry/backoff wrapper —
+// lives in serve/httpclient.h (re-included below for compatibility, so code
+// written against the original one-header layout keeps compiling).
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
-#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -88,52 +83,8 @@ ParseStatus parse_http_response(const std::string& buffer, HttpResponse& out,
                                 std::size_t& consumed, std::string* error,
                                 const ParseLimits& limits = {});
 
-/// Client-side failure, classified so retry policy can be principled:
-/// Connect and Timeout never delivered a byte of response; Io lost the
-/// connection mid-exchange; Parse means the peer spoke garbage.
-class FetchError : public std::runtime_error {
- public:
-  enum class Kind { Connect, Timeout, Io, Parse };
-
-  FetchError(Kind kind, const std::string& what)
-      : std::runtime_error(what), kind_(kind) {}
-
-  Kind kind() const noexcept { return kind_; }
-
-  /// Worth retrying? Everything except a protocol violation: the service
-  /// is idempotent (content-addressed cache), so replays are safe.
-  bool retryable() const noexcept { return kind_ != Kind::Parse; }
-
- private:
-  Kind kind_;
-};
-
-/// Blocking client: connect to host:port (numeric IPv4 or "localhost"),
-/// send `req`, read one response. Throws FetchError on connect, I/O,
-/// timeout, or parse failure. The Host header is filled in if absent.
-HttpResponse http_fetch(const std::string& host, int port, HttpRequest req,
-                        int timeout_ms = 60000);
-
-/// Bounded-retry policy: exponential backoff with decorrelated jitter
-/// (sleep_n = clamp(uniform[base_ms, 3 * sleep_{n-1}], base_ms, cap_ms)),
-/// seeded so the sleep sequence — and therefore a chaos test — is
-/// deterministic. A 503 with Retry-After sleeps at least that long, still
-/// capped at cap_ms.
-struct RetryPolicy {
-  int max_attempts = 1;  ///< Total tries, including the first (>= 1).
-  int base_ms = 50;
-  int cap_ms = 2000;
-  std::uint64_t seed = 0x5eedULL;  ///< Jitter stream seed.
-};
-
-/// http_fetch plus retries on retryable FetchError and on 503 responses.
-/// Never retries other statuses (a 4xx is the client's own fault and will
-/// not improve). Returns the final response; rethrows the last FetchError
-/// when all attempts fail. `attempts_out` (if non-null) reports how many
-/// tries ran.
-HttpResponse http_fetch_retry(const std::string& host, int port,
-                              const HttpRequest& req, int timeout_ms,
-                              const RetryPolicy& policy,
-                              int* attempts_out = nullptr);
-
 }  // namespace sqz::serve
+
+// Compatibility: the client half of the original single-header layout.
+// Placed after the message types so either include order works.
+#include "serve/httpclient.h"

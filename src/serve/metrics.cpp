@@ -69,6 +69,51 @@ void Metrics::record_accept_backoff() {
   ++s_.accept_backoff_total;
 }
 
+void Metrics::set_coord_workers_up(std::uint64_t up) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.coord_workers_up = up;
+}
+
+void Metrics::record_coord_dispatch(std::uint64_t points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.coord_points_dispatched += points;
+}
+
+void Metrics::record_coord_requeue(std::uint64_t points) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.coord_points_requeued += points;
+}
+
+void Metrics::record_coord_steal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.coord_steals;
+}
+
+void Metrics::record_coord_singleflight_hit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.coord_singleflight_hits;
+}
+
+void Metrics::record_coord_ejection() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.coord_worker_ejections;
+}
+
+void Metrics::record_coord_retries(std::uint64_t retries) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.coord_retries += retries;
+}
+
+void Metrics::coord_chunk_started() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.coord_chunks_inflight;
+}
+
+void Metrics::coord_chunk_finished() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (s_.coord_chunks_inflight > 0) --s_.coord_chunks_inflight;
+}
+
 Metrics::Snapshot Metrics::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return s_;
@@ -139,6 +184,30 @@ std::string Metrics::render(const SimCache::Stats& cache,
           "Worst estimator cycle error (percent) observed over re-simulated "
           "bands.",
           s.screen_error_max_pct);
+  counter("sqzserved_coord_workers_up",
+          "Usable (Healthy or Suspect) workers in the coordinator fleet.",
+          static_cast<double>(s.coord_workers_up));
+  counter("sqzserved_coord_points_dispatched_total",
+          "Design points posted to workers (steals and requeues included).",
+          static_cast<double>(s.coord_points_dispatched));
+  counter("sqzserved_coord_points_requeued_total",
+          "Design points re-dispatched after a failed chunk.",
+          static_cast<double>(s.coord_points_requeued));
+  counter("sqzserved_coord_steals_total",
+          "Straggler chunks re-dispatched to another worker (work stealing).",
+          static_cast<double>(s.coord_steals));
+  counter("sqzserved_coord_singleflight_hits_total",
+          "Identical in-flight chunks deduplicated across sweeps.",
+          static_cast<double>(s.coord_singleflight_hits));
+  counter("sqzserved_coord_worker_ejections_total",
+          "Workers ejected from the ring by the health state machine.",
+          static_cast<double>(s.coord_worker_ejections));
+  counter("sqzserved_coord_retries_total",
+          "Extra same-worker HTTP attempts beyond the first, per dispatch.",
+          static_cast<double>(s.coord_retries));
+  counter("sqzserved_coord_chunks_inflight",
+          "Chunks currently posted to workers, response pending.",
+          static_cast<double>(s.coord_chunks_inflight));
   counter("sqzserved_cache_hits_total", "Simulation results served from cache.",
           static_cast<double>(cache.hits));
   counter("sqzserved_cache_disk_hits_total",

@@ -37,6 +37,16 @@ class Metrics {
     std::uint64_t screen_points = 0;    ///< Points scored analytically.
     std::uint64_t screen_kept = 0;      ///< Points re-simulated cycle-exactly.
     double screen_error_max_pct = 0.0;  ///< Worst estimator error observed.
+    // Coordinator mode (ARCHITECTURE.md "Distributed sweeps"). All zero on a
+    // stock worker.
+    std::uint64_t coord_workers_up = 0;          ///< Usable workers (gauge).
+    std::uint64_t coord_points_dispatched = 0;   ///< Points posted to workers.
+    std::uint64_t coord_points_requeued = 0;     ///< Points re-dispatched.
+    std::uint64_t coord_steals = 0;              ///< Straggler re-dispatches.
+    std::uint64_t coord_singleflight_hits = 0;   ///< Chunks deduplicated.
+    std::uint64_t coord_worker_ejections = 0;    ///< Workers newly ejected.
+    std::uint64_t coord_retries = 0;             ///< Extra same-worker attempts.
+    std::uint64_t coord_chunks_inflight = 0;     ///< Chunks on the wire (gauge).
   };
 
   void request_started();
@@ -57,6 +67,17 @@ class Metrics {
   void record_oversize();
   void record_idle_closed();
   void record_accept_backoff();
+
+  // Coordinator-mode feeds (serve/workerpool.h, serve/coordinator.h).
+  void set_coord_workers_up(std::uint64_t up);
+  void record_coord_dispatch(std::uint64_t points);  ///< One chunk posted.
+  void record_coord_requeue(std::uint64_t points);   ///< One chunk requeued.
+  void record_coord_steal();
+  void record_coord_singleflight_hit();
+  void record_coord_ejection();
+  void record_coord_retries(std::uint64_t retries);
+  void coord_chunk_started();
+  void coord_chunk_finished();
 
   Snapshot snapshot() const;
 

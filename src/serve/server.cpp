@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -103,7 +104,12 @@ Server::Server(const ServerOptions& options)
                          ? nullptr
                          : std::make_unique<core::SweepJournal>(
                                options.sweep_journal_dir)),
-      service_(&cache_, sweep_journal_.get(), plan_cache_.get()) {}
+      coordinator_(options.coordinator.workers.empty()
+                       ? nullptr
+                       : std::make_unique<Coordinator>(options.coordinator,
+                                                       &metrics_)),
+      service_(&cache_, sweep_journal_.get(), plan_cache_.get(),
+               coordinator_.get()) {}
 
 Server::~Server() { stop(); }
 
@@ -155,6 +161,7 @@ void Server::start() {
 
   stopping_.store(false);
   accepting_.store(true);
+  if (coordinator_) coordinator_->start();  // worker-health prober
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -172,6 +179,7 @@ void Server::stop() {
     drained_cv_.wait(lock, [this] { return active_connections_ == 0; });
   }
   dispatch_pool_.reset();  // joins the (now idle) handler threads
+  if (coordinator_) coordinator_->stop();
   accepting_.store(false);
 }
 
@@ -358,7 +366,55 @@ HttpResponse Server::route(const HttpRequest& request) {
     if (request.target == "/healthz") {
       if (request.method != "GET" && request.method != "HEAD")
         return json_error_response(405, "use GET " + request.target);
-      return make_response(200, "text/plain", "ok\n");
+      // Readiness JSON. The status code is the liveness contract (200 =
+      // alive); the body is for operators and the coordinator's prober.
+      const Metrics::Snapshot m = metrics_.snapshot();
+      const SimCache::Stats cs = cache_.stats();
+      int active;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        active = active_connections_;
+      }
+      const std::uint64_t accepted = static_cast<std::uint64_t>(active);
+      std::ostringstream os;
+      util::JsonWriter w(os, /*indent=*/0);
+      w.begin_object();
+      w.member("status", "ok");
+      w.member("requests_in_flight", m.in_flight);
+      // Connections accepted but not currently executing a request: a
+      // proxy for dispatch-queue pressure ahead of the handler pool.
+      w.member("dispatch_queue_depth",
+               accepted > m.in_flight ? accepted - m.in_flight : 0);
+      w.key("cache");
+      w.begin_object();
+      w.member("entries", cs.entries);
+      w.member("disk_tier", options_.cache_dir.empty()
+                                ? "disabled"
+                                : cs.disk_demoted ? "demoted" : "ok");
+      w.end_object();
+      w.key("plan_cache");
+      w.begin_object();
+      w.member("enabled", plan_cache_ != nullptr);
+      w.member("entries",
+               plan_cache_ ? plan_cache_->stats().entries : std::size_t{0});
+      w.end_object();
+      w.key("journal");
+      w.begin_object();
+      w.member("enabled", sweep_journal_ != nullptr);
+      w.member("recovered_records",
+               sweep_journal_ ? sweep_journal_->recovery().records
+                              : std::size_t{0});
+      w.end_object();
+      w.key("coordinator");
+      w.begin_object();
+      w.member("enabled", coordinator_ != nullptr);
+      w.member("workers",
+               coordinator_ ? coordinator_->pool().size() : std::size_t{0});
+      w.member("workers_up", coordinator_ ? coordinator_->pool().usable_count()
+                                          : std::size_t{0});
+      w.end_object();
+      w.end_object();
+      return make_response(200, "application/json", os.str() + "\n");
     }
     if (request.target == "/metrics") {
       if (request.method != "GET")

@@ -5,8 +5,15 @@
 //   POST /v1/simulate  JSON request -> core/report run-report JSON,
 //                      byte-identical to `sqzsim --json`
 //   POST /v1/sweep     JSON request -> core/dse sweep-dump JSON
-//   GET  /healthz      liveness probe, "ok\n"
+//   GET  /healthz      readiness JSON: in-flight/queued requests, cache tier
+//                      status, journal recovery, coordinator fleet health.
+//                      The bare contract is unchanged: 200 means alive, so
+//                      probers that only check the status keep working.
 //   GET  /metrics      Prometheus text (serve/metrics.h)
+//
+// With ServerOptions::coordinator.workers non-empty the server runs in
+// coordinator mode (serve/coordinator.h): /v1/sweep is sharded across the
+// worker fleet instead of simulating locally; /v1/simulate stays local.
 //
 // One accept thread; each connection is dispatched onto a server-owned
 // dispatch pool (see ServerOptions::dispatch_jobs), where the full
@@ -47,6 +54,7 @@
 
 #include "core/sweepjournal.h"
 #include "serve/api.h"
+#include "serve/coordinator.h"
 #include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/plancache.h"
@@ -91,6 +99,10 @@ struct ServerOptions {
   /// clamped to [2, 8] (8 when shedding is disabled). Connections beyond
   /// the pool width queue until a handler frees up or the shed cap fires.
   int dispatch_jobs = 0;
+
+  /// Coordinator mode (serve/coordinator.h): with a non-empty worker list,
+  /// /v1/sweep is sharded across the fleet instead of simulating locally.
+  CoordinatorOptions coordinator;
 };
 
 class Server {
@@ -117,6 +129,8 @@ class Server {
   SimCache& cache() { return cache_; }
   /// Null when ServerOptions::plan_cache_entries is 0.
   PlanCache* plan_cache() { return plan_cache_.get(); }
+  /// Null unless coordinator mode is on (ServerOptions::coordinator).
+  Coordinator* coordinator() { return coordinator_.get(); }
   const Metrics& metrics() const { return metrics_; }
 
  private:
@@ -130,6 +144,7 @@ class Server {
   std::unique_ptr<PlanCache> plan_cache_;  ///< May be null (disabled).
   Metrics metrics_;
   std::unique_ptr<core::SweepJournal> sweep_journal_;  ///< May be null.
+  std::unique_ptr<Coordinator> coordinator_;           ///< May be null.
   SimService service_;
 
   int listen_fd_ = -1;

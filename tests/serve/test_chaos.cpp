@@ -266,7 +266,7 @@ TEST_F(Chaos, SaturatedServerShedsWith503AndRecovers) {
   ASSERT_GE(squatter.fd, 0);
   ASSERT_TRUE(squatter.send_bytes(
       "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n"));
-  ASSERT_NE(squatter.read_until("ok\n", 2000).find("200"), std::string::npos);
+  ASSERT_NE(squatter.read_until("}\n", 2000).find("200"), std::string::npos);
 
   // A plain (non-retrying) client is shed, promptly and with guidance.
   const HttpResponse shed = post(server.port());
@@ -316,7 +316,7 @@ TEST_F(Chaos, IdleKeepAliveConnectionIsReaped) {
   ASSERT_GE(idler.fd, 0);
   ASSERT_TRUE(idler.send_bytes(
       "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n"));
-  ASSERT_NE(idler.read_until("ok\n", 2000).find("200"), std::string::npos);
+  ASSERT_NE(idler.read_until("}\n", 2000).find("200"), std::string::npos);
 
   // Say nothing further: the server must close us at the idle deadline.
   EXPECT_TRUE(idler.closed_by_peer(2000));

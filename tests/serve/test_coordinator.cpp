@@ -1,0 +1,478 @@
+// Coordinator-mode chaos drills (serve/coordinator.h): a coordinator
+// sharding /v1/sweep across real sqzserved worker processes must produce
+// responses byte-identical to the uninterrupted single-node run — through
+// worker SIGKILL mid-chunk, deliberate stragglers (work stealing), a
+// coordinator SIGKILL + journal resume, and total dispatch failure (which
+// must surface structured "dispatch" PointErrors, never hang or abort).
+//
+// Workers are fork+exec'd from the real sqzserved binary
+// (SQZ_SQZSERVED_BINARY) so a SIGKILL takes down a whole process with its
+// sockets, exactly like a crashed fleet node. The coordinator under test is
+// in-process (so its Metrics are inspectable) except in the resume drill,
+// where it too must survive a SIGKILL and therefore runs as a child.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <netinet/in.h>
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/api.h"
+#include "serve/server.h"
+#include "util/faultinject.h"
+#include "util/json_parse.h"
+
+namespace sqz::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+constexpr const char* kSweepBody =
+    R"({"model":"tinydarknet",)"
+    R"("sweep":{"knob":"rf_entries","values":[4,8,16,32,64,128]}})";
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// --- child processes --------------------------------------------------------
+
+struct Proc {
+  pid_t pid = -1;
+  int port = 0;
+  fs::path out;  ///< The child's captured stdout.
+};
+
+// fork+exec one sqzserved on an ephemeral port, learning the port from its
+// "listening on 127.0.0.1:PORT" startup line. `fault_spec` arms SQZ_FAULT
+// in the child only.
+Proc spawn_served(const std::vector<std::string>& extra_args,
+                  const std::string& fault_spec = "") {
+  static int counter = 0;
+  Proc p;
+  p.out = fs::temp_directory_path() /
+          ("sqz_coord_" + std::to_string(::getpid()) + "_" +
+           std::to_string(counter++) + ".out");
+  std::vector<std::string> args = {SQZ_SQZSERVED_BINARY, "--port", "0",
+                                   "--jobs", "2"};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    if (!::freopen(p.out.c_str(), "w", stdout)) ::_exit(126);
+    if (fault_spec.empty())
+      ::unsetenv("SQZ_FAULT");
+    else
+      ::setenv("SQZ_FAULT", fault_spec.c_str(), 1);
+    std::vector<char*> argv;
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(SQZ_SQZSERVED_BINARY, argv.data());
+    ::_exit(127);
+  }
+  p.pid = pid;
+
+  const auto deadline = Clock::now() + std::chrono::seconds(15);
+  const std::string needle = "listening on 127.0.0.1:";
+  while (Clock::now() < deadline) {
+    const std::string text = read_file(p.out);
+    const std::size_t at = text.find(needle);
+    if (at != std::string::npos) {
+      std::size_t d = at + needle.size();
+      int port = 0;
+      while (d < text.size() && std::isdigit(static_cast<unsigned char>(text[d])))
+        port = port * 10 + (text[d++] - '0');
+      if (port > 0 && text.find('\n', at) != std::string::npos) {
+        p.port = port;
+        return p;
+      }
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, WNOHANG) == pid) {
+      p.pid = -1;  // died during startup
+      return p;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return p;  // port 0: caller will fail the test
+}
+
+void kill_hard(Proc& p) {
+  if (p.pid <= 0) return;
+  ::kill(p.pid, SIGKILL);
+  ::waitpid(p.pid, nullptr, 0);
+  p.pid = -1;
+}
+
+void stop_gracefully(Proc& p) {
+  if (p.pid <= 0) return;
+  ::kill(p.pid, SIGTERM);
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (Clock::now() < deadline) {
+    if (::waitpid(p.pid, nullptr, WNOHANG) == p.pid) {
+      p.pid = -1;
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  kill_hard(p);
+}
+
+// A loopback TCP port that nothing listens on: bind an ephemeral port,
+// learn its number, close it again.
+int dead_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+// --- HTTP helpers -----------------------------------------------------------
+
+HttpResponse get(int port, const std::string& target) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = target;
+  return http_fetch("127.0.0.1", port, std::move(req), 10000);
+}
+
+HttpResponse post_sweep(int port, const std::string& body,
+                        int timeout_ms = 180000) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/v1/sweep";
+  req.headers.emplace_back("Content-Type", "application/json");
+  req.body = body;
+  return http_fetch("127.0.0.1", port, std::move(req), timeout_ms);
+}
+
+// Scrape one value from a Prometheus text body; -1 when absent.
+double metric(const std::string& text, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return -1.0;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+// The uninterrupted single-node answer: the exact executor a stock server
+// runs, in this process, so provenance matches the workers'.
+std::string local_golden(const std::string& body) {
+  return run_sweep(parse_sweep_request(body));
+}
+
+// --- fixture ----------------------------------------------------------------
+
+class CoordinatorDrill : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (Proc& p : workers_) stop_gracefully(p);
+    for (Proc& p : workers_) fs::remove(p.out);
+    util::fault::reset();
+  }
+
+  Proc& spawn_worker(const std::string& fault_spec = "",
+                     const std::vector<std::string>& extra = {}) {
+    workers_.push_back(spawn_served(extra, fault_spec));
+    Proc& w = workers_.back();
+    EXPECT_GT(w.port, 0) << "worker failed to start: " << read_file(w.out);
+    return w;
+  }
+
+  std::vector<Proc> workers_;
+};
+
+ServerOptions coord_options(const std::vector<Proc>& workers) {
+  ServerOptions opt;
+  opt.port = 0;
+  for (const Proc& w : workers)
+    opt.coordinator.workers.push_back("127.0.0.1:" + std::to_string(w.port));
+  opt.coordinator.probe.interval_ms = 100;
+  opt.coordinator.probe.probation_ms = 500;
+  opt.coordinator.chunk_points = 2;
+  return opt;
+}
+
+// --- drills -----------------------------------------------------------------
+
+TEST_F(CoordinatorDrill, DistributedSweepIsByteIdenticalToLocalRun) {
+  spawn_worker();
+  spawn_worker();
+  spawn_worker();
+  Server coord(coord_options(workers_));
+  coord.start();
+
+  const HttpResponse r = post_sweep(coord.port(), kSweepBody);
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_EQ(r.body, local_golden(kSweepBody));
+
+  const Metrics::Snapshot m = coord.metrics().snapshot();
+  EXPECT_GE(m.coord_points_dispatched, 6u);
+  EXPECT_EQ(m.coord_workers_up, 3u);
+
+  // The readiness document reports the fleet.
+  const util::JsonValue health =
+      util::parse_json(get(coord.port(), "/healthz").body);
+  EXPECT_TRUE(health.at("coordinator").at("enabled").as_bool());
+  EXPECT_EQ(health.at("coordinator").at("workers").as_int(), 3);
+
+  // A repeat is a cache hit with the same bytes.
+  const HttpResponse again = post_sweep(coord.port(), kSweepBody);
+  ASSERT_EQ(again.status, 200);
+  EXPECT_EQ(again.body, r.body);
+  ASSERT_NE(again.header("X-Sqz-Cache"), nullptr);
+  EXPECT_EQ(*again.header("X-Sqz-Cache"), "hit");
+}
+
+TEST_F(CoordinatorDrill, ScreenedSweepIsRejectedWith400) {
+  spawn_worker();
+  Server coord(coord_options(workers_));
+  coord.start();
+  const HttpResponse r = post_sweep(
+      coord.port(),
+      R"({"model":"tinydarknet",)"
+      R"("sweep":{"knob":"rf_entries","values":[4,8],"screen":true}})");
+  EXPECT_EQ(r.status, 400);
+  EXPECT_NE(r.body.find("screen"), std::string::npos) << r.body;
+}
+
+TEST_F(CoordinatorDrill, WorkerSigkillMidChunkRecoversByteIdentically) {
+  spawn_worker();
+  spawn_worker();
+  // The victim stalls every design point for 5 s, guaranteeing any chunk it
+  // receives is still in flight when the SIGKILL lands.
+  Proc& victim = spawn_worker("dse.point=stall:5000*64");
+
+  ServerOptions opt = coord_options(workers_);
+  opt.coordinator.chunk_points = 1;
+  opt.coordinator.straggler_ms = 300;  // steal off the victim promptly
+  opt.coordinator.dispatch_attempts = 1;
+  Server coord(opt);
+  coord.start();
+
+  HttpResponse r;
+  std::thread poster([&] { r = post_sweep(coord.port(), kSweepBody); });
+
+  // Wait until the victim is actually holding a chunk (its in-flight gauge
+  // counts our /metrics probe too, hence >= 2), then kill it. If the ring
+  // happened to give the victim nothing, the kill is a no-op drill and only
+  // byte-identity is asserted.
+  bool victim_had_chunk = false;
+  const auto deadline = Clock::now() + std::chrono::seconds(3);
+  while (Clock::now() < deadline) {
+    try {
+      if (metric(get(victim.port, "/metrics").body,
+                 "sqzserved_requests_in_flight") >= 2.0) {
+        victim_had_chunk = true;
+        break;
+      }
+    } catch (const FetchError&) {
+      break;  // victim already unreachable
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  kill_hard(victim);
+  poster.join();
+
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_EQ(r.body, local_golden(kSweepBody));
+  if (victim_had_chunk) {
+    const Metrics::Snapshot m = coord.metrics().snapshot();
+    EXPECT_GE(m.coord_points_requeued + m.coord_steals, 1u)
+        << "the victim's chunk must have been re-placed";
+  }
+}
+
+TEST_F(CoordinatorDrill, StragglerChunkIsStolenAndAnswerIsByteIdentical) {
+  spawn_worker();
+  spawn_worker();
+  ServerOptions opt = coord_options(workers_);
+  opt.coordinator.chunk_points = 1;
+  opt.coordinator.straggler_ms = 200;
+  Server coord(opt);
+  coord.start();
+
+  // Stall the first primary dispatch for 1.5 s *inside the coordinator*:
+  // the chunk sits InFlight long past straggler_ms, so the monitor must
+  // re-dispatch it to the other worker, whose result wins.
+  util::fault::arm("coord.steal", util::fault::make_stall(1500), 1);
+
+  const HttpResponse r = post_sweep(coord.port(), kSweepBody);
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_EQ(r.body, local_golden(kSweepBody));
+  EXPECT_GE(coord.metrics().snapshot().coord_steals, 1u);
+}
+
+TEST_F(CoordinatorDrill, CoordinatorSigkillThenResumeIsByteIdentical) {
+  // Slow every point a little so the kill window (after the first journal
+  // record, before the last) is wide and deterministic.
+  spawn_worker("dse.point=stall:400*64");
+  spawn_worker("dse.point=stall:400*64");
+
+  const fs::path dir = fs::temp_directory_path() /
+                       ("sqz_coord_journal_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  const std::string worker_list = "127.0.0.1:" +
+                                  std::to_string(workers_[0].port) + ",127.0.0.1:" +
+                                  std::to_string(workers_[1].port);
+  const std::vector<std::string> coord_args = {
+      "--workers",       worker_list, "--sweep-journal", dir.string(),
+      "--chunk-points",  "1",         "--straggler-ms",  "10000"};
+  Proc coord = spawn_served(coord_args);
+  ASSERT_GT(coord.port, 0) << read_file(coord.out);
+
+  std::thread poster([&] {
+    try {
+      post_sweep(coord.port, kSweepBody);
+    } catch (const FetchError&) {
+      // Expected: the coordinator dies mid-response.
+    }
+  });
+
+  // SIGKILL the coordinator once at least one completed point has been
+  // journaled — the crash-safety contract says everything journaled
+  // survives, everything else is simply re-dispatched.
+  const fs::path journal = dir / "sweep.sqzj";
+  const auto deadline = Clock::now() + std::chrono::seconds(30);
+  bool journaled = false;
+  while (Clock::now() < deadline) {
+    std::error_code ec;
+    if (fs::exists(journal, ec) && fs::file_size(journal, ec) > 0) {
+      journaled = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(journaled) << "no journal record before the deadline";
+  kill_hard(coord);
+  poster.join();
+  fs::remove(coord.out);
+
+  // Same journal dir, fresh process: the resumed sweep must re-dispatch
+  // only the unfinished points and render the identical document.
+  Proc resumed = spawn_served(coord_args);
+  ASSERT_GT(resumed.port, 0) << read_file(resumed.out);
+  const HttpResponse r = post_sweep(resumed.port, kSweepBody);
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_EQ(r.body, local_golden(kSweepBody));
+  if (journaled)
+    EXPECT_GE(metric(get(resumed.port, "/metrics").body,
+                     "sqzserved_sweep_resumed_total"),
+              1.0);
+  stop_gracefully(resumed);
+  fs::remove(resumed.out);
+  fs::remove_all(dir);
+}
+
+TEST_F(CoordinatorDrill, DispatchExhaustionSurfacesStructuredPointErrors) {
+  // A fleet of one, and it is a corpse: every dispatch fails fast, the
+  // requeue budget burns out, and each point must surface as a structured
+  // "dispatch" PointError in a 200 response — never a hang or a 5xx.
+  ServerOptions opt;
+  opt.port = 0;
+  opt.coordinator.workers.push_back("127.0.0.1:" +
+                                    std::to_string(dead_port()));
+  opt.coordinator.probe.interval_ms = 100;
+  opt.coordinator.chunk_points = 2;
+  opt.coordinator.dispatch_attempts = 1;
+  opt.coordinator.max_requeues = 1;
+  Server coord(opt);
+  coord.start();
+
+  const std::string body =
+      R"({"model":"tinydarknet",)"
+      R"("sweep":{"knob":"rf_entries","values":[4,8,16]}})";
+  const HttpResponse r = post_sweep(coord.port(), body);
+  ASSERT_EQ(r.status, 200) << r.body;
+
+  const util::JsonValue doc = util::parse_json(r.body);
+  EXPECT_TRUE(doc.at("points").items.empty());
+  const util::JsonValue& errors = doc.at("errors");
+  ASSERT_EQ(errors.items.size(), 3u);
+  for (const util::JsonValue& e : errors.items) {
+    EXPECT_EQ(e.at("phase").as_string(), "dispatch");
+    const std::string& key = e.at("key").as_string();
+    EXPECT_EQ(key.size(), 16u);  // the sweep engine's own short-key form
+    EXPECT_EQ(key.find_first_not_of("0123456789abcdef"), std::string::npos);
+    EXPECT_FALSE(e.at("what").as_string().empty());
+  }
+
+  // Partial responses are never cached: a retry re-executes.
+  const HttpResponse again = post_sweep(coord.port(), body);
+  ASSERT_EQ(again.status, 200);
+  ASSERT_NE(again.header("X-Sqz-Cache"), nullptr);
+  EXPECT_EQ(*again.header("X-Sqz-Cache"), "miss");
+}
+
+TEST_F(CoordinatorDrill, IdenticalInFlightChunksAreSingleFlighted) {
+  // Both workers stall each point 1.5 s, so the first sweep's chunks are
+  // still in flight when the second identical sweep arrives and attaches.
+  spawn_worker("dse.point=stall:1500*64");
+  spawn_worker("dse.point=stall:1500*64");
+  ServerOptions opt = coord_options(workers_);
+  opt.coordinator.chunk_points = 4;
+  opt.coordinator.straggler_ms = 30000;  // no stealing noise in this drill
+  Server coord(opt);
+  coord.start();
+
+  HttpResponse first;
+  std::thread a([&] { first = post_sweep(coord.port(), kSweepBody); });
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (coord.metrics().snapshot().coord_chunks_inflight == 0 &&
+         Clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_GT(coord.metrics().snapshot().coord_chunks_inflight, 0u);
+
+  const HttpResponse second = post_sweep(coord.port(), kSweepBody);
+  a.join();
+
+  ASSERT_EQ(first.status, 200) << first.body;
+  ASSERT_EQ(second.status, 200) << second.body;
+  EXPECT_EQ(first.body, second.body);
+  EXPECT_EQ(first.body, local_golden(kSweepBody));
+  EXPECT_GE(coord.metrics().snapshot().coord_singleflight_hits, 1u);
+}
+
+TEST_F(CoordinatorDrill, WorkerPointErrorsPassThroughByteIdentically) {
+  // sparsity 1.5 fails core/validate on the worker (phase "validate"); the
+  // coordinator must pass the structured error through and still match the
+  // local partial dump byte for byte.
+  spawn_worker();
+  Server coord(coord_options(workers_));
+  coord.start();
+
+  const std::string body =
+      R"({"model":"tinydarknet",)"
+      R"("sweep":{"knob":"sparsity","values":[0.0,0.5,1.5]}})";
+  const HttpResponse r = post_sweep(coord.port(), body);
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_EQ(r.body, local_golden(body));
+
+  const util::JsonValue doc = util::parse_json(r.body);
+  EXPECT_EQ(doc.at("points").items.size(), 2u);
+  ASSERT_EQ(doc.at("errors").items.size(), 1u);
+  EXPECT_EQ(doc.at("errors").at(std::size_t{0}).at("phase").as_string(),
+            "validate");
+}
+
+}  // namespace
+}  // namespace sqz::serve

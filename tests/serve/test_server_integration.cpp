@@ -17,6 +17,7 @@
 #include "core/cli.h"
 #include "serve/http.h"
 #include "serve/server.h"
+#include "util/json_parse.h"
 
 namespace sqz::serve {
 namespace {
@@ -85,8 +86,17 @@ Server* ServerIntegration::server_ = nullptr;
 
 TEST_F(ServerIntegration, HealthzAnswersOk) {
   const HttpResponse r = get(port(), "/healthz");
-  EXPECT_EQ(r.status, 200);
-  EXPECT_EQ(r.body, "ok\n");
+  EXPECT_EQ(r.status, 200);  // the bare liveness contract: 200 = alive
+  // The body is a readiness JSON document now; probe the load-bearing
+  // members rather than pinning every byte.
+  const util::JsonValue doc = util::parse_json(r.body);
+  EXPECT_EQ(doc.at("status").as_string(), "ok");
+  EXPECT_GE(doc.at("requests_in_flight").as_int(), 1);  // this request
+  EXPECT_GE(doc.at("dispatch_queue_depth").as_int(), 0);
+  EXPECT_EQ(doc.at("cache").at("disk_tier").as_string(), "disabled");
+  EXPECT_FALSE(doc.at("journal").at("enabled").as_bool());
+  EXPECT_FALSE(doc.at("coordinator").at("enabled").as_bool());
+  EXPECT_EQ(doc.at("coordinator").at("workers").as_int(), 0);
 }
 
 TEST_F(ServerIntegration, SimulateMatchesLocalJsonByteForByte) {

@@ -55,6 +55,18 @@ const char* kUsage =
     "  --max-connections N  concurrent-connection cap; excess connections\n"
     "                     are shed with 503 + Retry-After instead of\n"
     "                     queueing (default 256; 0 disables shedding)\n"
+    "  --workers H:P,...  coordinator mode: shard /v1/sweep across this\n"
+    "                     comma-separated fleet of stock sqzserved workers\n"
+    "                     (consistent-hash routing, health-checked requeue,\n"
+    "                     straggler stealing); /v1/simulate stays local\n"
+    "  --probe-interval-ms N  worker /healthz probe period (default 500)\n"
+    "  --worker-fail-threshold N  consecutive failures that eject a worker\n"
+    "                     from the ring (default 3)\n"
+    "  --probation-ms N   delay before an ejected worker gets a trial probe\n"
+    "                     (default 2000)\n"
+    "  --chunk-points N   design points per dispatched chunk (default 4)\n"
+    "  --straggler-ms N   in-flight age that triggers work stealing\n"
+    "                     (default 2000)\n"
     "  --help             this text\n"
     "\n"
     "SQZ_FAULT=site=kind[:arg][*times][;...] injects deterministic faults\n"
@@ -118,6 +130,36 @@ Options parse_args(const std::vector<std::string>& args) {
           v == "0" ? 0
                    : sqz::util::ThreadPool::parse_jobs(v, "--max-connections");
     }
+    else if (a == "--workers") {
+      const std::string v = value_of(i);
+      std::size_t at = 0;
+      while (at <= v.size()) {
+        const std::size_t comma = v.find(',', at);
+        const std::string spec =
+            v.substr(at, comma == std::string::npos ? comma : comma - at);
+        if (spec.empty())
+          throw std::invalid_argument("--workers has an empty endpoint");
+        opt.server.coordinator.workers.push_back(spec);
+        if (comma == std::string::npos) break;
+        at = comma + 1;
+      }
+    }
+    else if (a == "--probe-interval-ms")
+      opt.server.coordinator.probe.interval_ms =
+          sqz::util::ThreadPool::parse_jobs(value_of(i), "--probe-interval-ms");
+    else if (a == "--worker-fail-threshold")
+      opt.server.coordinator.probe.fail_threshold =
+          sqz::util::ThreadPool::parse_jobs(value_of(i),
+                                            "--worker-fail-threshold");
+    else if (a == "--probation-ms")
+      opt.server.coordinator.probe.probation_ms =
+          sqz::util::ThreadPool::parse_jobs(value_of(i), "--probation-ms");
+    else if (a == "--chunk-points")
+      opt.server.coordinator.chunk_points =
+          sqz::util::ThreadPool::parse_jobs(value_of(i), "--chunk-points");
+    else if (a == "--straggler-ms")
+      opt.server.coordinator.straggler_ms =
+          sqz::util::ThreadPool::parse_jobs(value_of(i), "--straggler-ms");
     else throw std::invalid_argument("unknown argument: " + a);
   }
   return opt;
@@ -142,6 +184,12 @@ int main(int argc, char** argv) {
                 sqz::util::ThreadPool::global_jobs(), opt.server.cache_entries,
                 opt.server.cache_dir.empty() ? "" : ", disk tier ",
                 opt.server.cache_dir.c_str());
+    if (!opt.server.coordinator.workers.empty())
+      std::printf("sqzserved coordinating %zu workers (chunk %d points, "
+                  "straggler %d ms)\n",
+                  opt.server.coordinator.workers.size(),
+                  opt.server.coordinator.chunk_points,
+                  opt.server.coordinator.straggler_ms);
     std::fflush(stdout);
 
     std::signal(SIGINT, on_signal);
