@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 #include <stdexcept>
@@ -16,12 +17,15 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr char kMagic[] = "sqzw1";
+constexpr char kPointMagic[] = "sqzw1";
+constexpr char kMembershipMagic[] = "sqzm1";
+constexpr std::size_t kMagicLen = 5;  ///< "sqz" + two type characters.
 constexpr std::size_t kMaxHeader = 96;
 
-std::string render_record(const std::string& key, const std::string& value) {
+std::string render_record(const char* magic, const std::string& key,
+                          const std::string& value) {
   char header[kMaxHeader];
-  std::snprintf(header, sizeof(header), "%s %zu %zu %016llx\n", kMagic,
+  std::snprintf(header, sizeof(header), "%s %zu %zu %016llx\n", magic,
                 key.size(), value.size(),
                 static_cast<unsigned long long>(
                     util::fnv1a64(key + value)));
@@ -31,18 +35,23 @@ std::string render_record(const std::string& key, const std::string& value) {
   return record;
 }
 
-// Parse one record at `offset`. Returns the offset one past the record on
-// success; 0 on any framing violation (the caller stops trusting the file
-// from `offset` on).
+// Parse one record at `offset`. On success returns the offset one past the
+// record and fills `magic` with the record's 5-byte type tag; 0 on any
+// framing or checksum violation (the caller stops trusting the file from
+// `offset` on). The type tag is *not* interpreted here: any "sqz??" record
+// whose frame and checksum verify parses, so recovery can skip types this
+// build does not know (forward compatibility).
 std::size_t parse_record(const std::string& raw, std::size_t offset,
-                         std::string& key, std::string& value) {
+                         std::string& magic, std::string& key,
+                         std::string& value) {
   const std::size_t nl = raw.find('\n', offset);
   if (nl == std::string::npos || nl - offset > kMaxHeader) return 0;
   unsigned long long key_len = 0, value_len = 0, stored_sum = 0;
-  char magic[8] = {0};
-  if (std::sscanf(raw.c_str() + offset, "%7s %llu %llu %16llx", magic,
+  char magic_buf[8] = {0};
+  if (std::sscanf(raw.c_str() + offset, "%7s %llu %llu %16llx", magic_buf,
                   &key_len, &value_len, &stored_sum) != 4 ||
-      std::string(magic) != kMagic)
+      std::strlen(magic_buf) != kMagicLen ||
+      std::strncmp(magic_buf, "sqz", 3) != 0)
     return 0;
   const std::size_t payload_at = nl + 1;
   // Length guards before the sum: hostile lengths must not wrap the check.
@@ -50,6 +59,7 @@ std::size_t parse_record(const std::string& raw, std::size_t offset,
   if (key_len + value_len > raw.size() - payload_at) return 0;  // torn tail
   const std::string_view payload(raw.data() + payload_at, key_len + value_len);
   if (util::fnv1a64(payload) != stored_sum) return 0;
+  magic.assign(magic_buf);
   key.assign(payload.substr(0, key_len));
   value.assign(payload.substr(key_len, value_len));
   return payload_at + key_len + value_len;
@@ -83,11 +93,23 @@ SweepJournal::SweepJournal(const std::string& dir)
   }
   std::size_t trusted = 0;
   while (trusted < raw.size()) {
-    std::string key, value;
-    const std::size_t next = parse_record(raw, trusted, key, value);
+    std::string magic, key, value;
+    const std::size_t next = parse_record(raw, trusted, magic, key, value);
     if (next == 0) break;
-    entries_[std::move(key)] = std::move(value);
-    ++recovery_.records;
+    if (magic == kPointMagic) {
+      entries_[std::move(key)] = std::move(value);
+      ++recovery_.records;
+    } else if (magic == kMembershipMagic) {
+      membership_.emplace_back(std::move(key), std::move(value));
+      ++recovery_.records;
+    } else {
+      // A record type this build does not know, behind a valid checksum: a
+      // newer writer appended it. Skip it — failing recovery here would
+      // strand every point already journaled (forward compatibility).
+      ++recovery_.skipped;
+      SQZ_LOG(Warn) << "sweepjournal: skipping unknown record type '" << magic
+                    << "' (" << (next - trusted) << " bytes) in " << path_;
+    }
     trusted = next;
   }
   if (trusted < raw.size()) {
@@ -108,8 +130,9 @@ SweepJournal::SweepJournal(const std::string& dir)
                              " for append");
 }
 
-void SweepJournal::append(const std::string& key, const std::string& value) {
-  std::string record = render_record(key, value);
+void SweepJournal::append_record(const char* magic, const std::string& key,
+                                 const std::string& value) {
+  std::string record = render_record(magic, key, value);
 
   // "sweepjournal.append" fault point: ShortIo publishes a torn record (the
   // crash-mid-write wire — recovery must drop it on the next open), Errno
@@ -129,7 +152,19 @@ void SweepJournal::append(const std::string& key, const std::string& value) {
   out_.flush();
   if (!out_.good())
     throw SweepJournalError("sweepjournal: append to " + path_ + " failed");
-  entries_[key] = value;
+  if (std::strcmp(magic, kPointMagic) == 0)
+    entries_[key] = value;
+  else if (std::strcmp(magic, kMembershipMagic) == 0)
+    membership_.emplace_back(key, value);
+}
+
+void SweepJournal::append(const std::string& key, const std::string& value) {
+  append_record(kPointMagic, key, value);
+}
+
+void SweepJournal::append_membership(const std::string& key,
+                                     const std::string& value) {
+  append_record(kMembershipMagic, key, value);
 }
 
 }  // namespace sqz::core

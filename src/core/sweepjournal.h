@@ -4,15 +4,33 @@
 // A sweep evaluates hundreds of independent design points over hours; a
 // SIGKILL (OOM killer, preempted batch node, ctrl-C) must not lose the
 // points already computed. The journal is a single append-only file
-// (`<dir>/sweep.sqzj`) of framed records, one per completed point:
+// (`<dir>/sweep.sqzj`) of framed, typed records:
 //
-//   "sqzw1 <key-bytes> <value-bytes> <fnv1a-of-payload, 16 hex>\n<key><value>"
+//   "<magic> <key-bytes> <value-bytes> <fnv1a-of-payload, 16 hex>\n<key><value>"
 //
-// The key is the canonical design-point string (core/dse.h
-// design_point_key — the same canonicalization discipline as the serving
-// cache, serve/simcache.h), the value is the point's metrics as compact
-// JSON whose numbers round-trip bit-exactly (util/json.h), so a resumed
-// sweep reproduces the uninterrupted dump byte for byte.
+// Record types share the framing and differ only in the 5-byte magic
+// ("sqz" + two type characters):
+//
+//   sqzw1  completed design point. Key = the canonical design-point string
+//          (core/dse.h design_point_key — the same canonicalization
+//          discipline as the serving cache, serve/simcache.h); value = the
+//          point's metrics as compact JSON whose numbers round-trip
+//          bit-exactly (util/json.h), so a resumed sweep reproduces the
+//          uninterrupted dump byte for byte.
+//   sqzm1  fleet-membership event (serve/workerpool.h dynamic membership).
+//          Key = the worker's "host:port"; value = a JSON event record
+//          (register/deregister/expire/takeover with epoch and lease).
+//          Replaying these in order rebuilds the coordinator's lease table,
+//          which is how a standby coordinator recovers the fleet on
+//          takeover (ARCHITECTURE.md "Dynamic membership & coordinator HA").
+//
+// Forward compatibility: a record whose magic is "sqz??" but of a type this
+// build does not know is *skipped with a warning* — provided its checksum
+// verifies — instead of ending recovery. A newer coordinator can therefore
+// append new record types without stranding the journal for older readers,
+// and a pre-membership journal (sqzw1 only) replays unchanged under this
+// build. Only a record that fails its checksum (bit rot, torn write) ends
+// the trusted prefix.
 //
 // Atomicity comes from the framing, not from rename tricks: appends are
 // flushed record-at-a-time, and a crash can only tear the *tail* record.
@@ -30,6 +48,8 @@
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace sqz::core {
 
@@ -45,14 +65,21 @@ class SweepJournalError : public std::runtime_error {
 class SweepJournal {
  public:
   struct Recovery {
-    std::size_t records = 0;        ///< Valid records replayed.
+    std::size_t records = 0;        ///< Valid records replayed (all types).
+    std::size_t skipped = 0;        ///< Unknown-type records skipped (valid
+                                    ///< checksum, future/foreign magic).
     std::size_t dropped_bytes = 0;  ///< Torn/untrusted tail truncated away.
     bool torn = false;              ///< True when a tail was dropped.
   };
 
+  /// One replayed membership event, in append order (key = "host:port",
+  /// value = the event JSON appended by the coordinator).
+  using MembershipEvent = std::pair<std::string, std::string>;
+
   /// Open (creating `dir` if needed) and recover: replay valid records into
-  /// entries(), truncate any torn tail, and position for appends. Throws
-  /// SweepJournalError when the directory or file cannot be opened.
+  /// entries()/membership(), truncate any torn tail, and position for
+  /// appends. Throws SweepJournalError when the directory or file cannot be
+  /// opened.
   explicit SweepJournal(const std::string& dir);
 
   SweepJournal(const SweepJournal&) = delete;
@@ -64,6 +91,12 @@ class SweepJournal {
     return entries_;
   }
 
+  /// Membership events recovered at open, in append order. The coordinator
+  /// replays these to rebuild the lease table on standby takeover.
+  const std::vector<MembershipEvent>& membership() const {
+    return membership_;
+  }
+
   const Recovery& recovery() const { return recovery_; }
 
   /// Append one completed point and flush. Thread-safe (the sweep engine
@@ -72,14 +105,24 @@ class SweepJournal {
   /// crash safety must not silently lose it.
   void append(const std::string& key, const std::string& value);
 
+  /// Append one membership event (sqzm1 record) and flush. Thread-safe —
+  /// the coordinator journals from registration handlers and the lease
+  /// prober concurrently with point appends. Throws SweepJournalError on a
+  /// failed write, like append().
+  void append_membership(const std::string& key, const std::string& value);
+
   /// The journal file inside `dir`.
   static std::string journal_path(const std::string& dir);
 
  private:
+  void append_record(const char* magic, const std::string& key,
+                     const std::string& value);
+
   std::string path_;
   std::mutex mu_;
   std::ofstream out_;  ///< Append-positioned after recovery; guarded by mu_.
   std::unordered_map<std::string, std::string> entries_;
+  std::vector<MembershipEvent> membership_;
   Recovery recovery_;
 };
 

@@ -7,6 +7,7 @@
 #include <map>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
@@ -19,6 +20,7 @@
 #include "util/hash.h"
 #include "util/json.h"
 #include "util/json_parse.h"
+#include "util/logging.h"
 
 namespace sqz::serve {
 
@@ -174,16 +176,110 @@ struct Run {
 
 }  // namespace
 
-Coordinator::Coordinator(const CoordinatorOptions& options, Metrics* metrics)
+Coordinator::Coordinator(const CoordinatorOptions& options, Metrics* metrics,
+                         core::SweepJournal* journal)
     : options_(options),
       metrics_(metrics),
-      pool_(parse_workers(options.workers), options.probe, metrics) {}
+      journal_(journal),
+      pool_(parse_workers(options.workers), options.probe, metrics) {
+  // Lease expirations are detected by the pool's prober thread; hook them
+  // here so each one lands in the journal as an sqzm1 event — the standby's
+  // replay must not resurrect a member the primary already expired.
+  pool_.set_expiry_callback([this](const std::vector<std::string>& expired) {
+    const std::uint64_t epoch = pool_.epoch();
+    for (const std::string& addr : expired)
+      journal_membership(addr, "expire", 0, epoch);
+  });
+}
 
 Coordinator::~Coordinator() { stop(); }
 
 void Coordinator::start() { pool_.start(); }
 
 void Coordinator::stop() { pool_.stop(); }
+
+void Coordinator::journal_membership(const std::string& addr,
+                                     const char* event, std::int64_t lease_ms,
+                                     std::uint64_t epoch) {
+  if (!journal_) return;
+  std::ostringstream os;
+  util::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.member("event", std::string(event));
+  w.member("lease_ms", lease_ms);
+  w.member("epoch", static_cast<std::int64_t>(epoch));
+  w.end_object();
+  try {
+    journal_->append_membership(addr, os.str());
+  } catch (const core::SweepJournalError& e) {
+    // Not fatal: a lost event costs the standby at most one lease window —
+    // live workers re-register via heartbeat, dead ones expire.
+    SQZ_LOG(Warn) << "coordinator: membership journal append failed: "
+                  << e.what();
+  }
+}
+
+WorkerPool::Registration Coordinator::register_worker(const HostPort& addr,
+                                                      std::int64_t lease_ms) {
+  // "coord.register" fault point: refuse the registration as a 503 so the
+  // joining worker's jittered-retry loop is drilled deterministically.
+  if (util::fault::enabled() &&
+      util::fault::at("coord.register").kind == util::fault::Kind::Errno)
+    throw ApiError(503, "registration refused (injected coord.register fault)");
+  if (lease_ms <= 0) lease_ms = options_.default_lease_ms;
+  const WorkerPool::Registration r =
+      pool_.register_worker(addr, lease_ms, WorkerPool::now_ms());
+  if (metrics_) metrics_->record_coord_register();
+  if (r.newly_added)
+    journal_membership(addr.host + ":" + std::to_string(addr.port),
+                       "register", r.lease_ms, r.epoch);
+  return r;
+}
+
+bool Coordinator::deregister_worker(const HostPort& addr) {
+  std::uint64_t epoch = 0;
+  if (!pool_.deregister_worker(addr, WorkerPool::now_ms(), &epoch))
+    return false;
+  journal_membership(addr.host + ":" + std::to_string(addr.port),
+                     "deregister", 0, epoch);
+  return true;
+}
+
+void Coordinator::replay_membership(
+    const std::vector<std::pair<std::string, std::string>>& events) {
+  const std::int64_t now = WorkerPool::now_ms();
+  for (const auto& [addr_spec, value] : events) {
+    std::string event;
+    std::int64_t lease_ms = 0;
+    try {
+      const util::JsonValue doc = util::parse_json(value);
+      if (const util::JsonValue* e = member(doc, "event"))
+        event = e->as_string();
+      if (const util::JsonValue* l = member(doc, "lease_ms"))
+        lease_ms = l->as_int();
+    } catch (const std::exception&) {
+      continue;  // foreign/corrupt event: skip, do not fail the takeover
+    }
+    HostPort addr;
+    try {
+      addr = parse_host_port(addr_spec, "journal");
+    } catch (const std::invalid_argument&) {
+      continue;  // e.g. a takeover event keyed on a coordinator address
+    }
+    if (event == "register") {
+      // Fresh lease stamped now: a member that is actually gone fails to
+      // renew and expires one lease window after the takeover.
+      pool_.register_worker(addr, lease_ms, now);
+    } else if (event == "deregister" || event == "expire") {
+      pool_.deregister_worker(addr, now);
+    }
+  }
+}
+
+void Coordinator::record_takeover(const std::string& standby_addr) {
+  journal_membership(standby_addr, "takeover", 0, pool_.epoch());
+  if (metrics_) metrics_->record_coord_takeover();
+}
 
 std::shared_ptr<Coordinator::Flight> Coordinator::attach_flight(
     const std::string& chunk_body, std::size_t chunk_size, bool& owner) {
@@ -370,7 +466,8 @@ std::string Coordinator::run_sweep(const SweepRequest& req,
       }
       if (exhausted) {
         fail_flight(c, "no usable worker (fleet of " +
-                           std::to_string(pool_.size()) + " all ejected)");
+                           std::to_string(pool_.member_count()) +
+                           " members, none usable)");
         run.cv.notify_all();
         return;
       }
@@ -391,7 +488,8 @@ std::string Coordinator::run_sweep(const SweepRequest& req,
     const bool injected =
         util::fault::at("coord.dispatch").kind == util::fault::Kind::Errno;
 
-    const HostPort& addr = pool_.address(static_cast<std::size_t>(w));
+    // By value: the pool's address table grows under membership churn.
+    const HostPort addr = pool_.address(static_cast<std::size_t>(w));
     const std::string where = addr.host + ":" + std::to_string(addr.port);
     if (metrics_) {
       metrics_->record_coord_dispatch(c.idx.size());
@@ -445,7 +543,9 @@ std::string Coordinator::run_sweep(const SweepRequest& req,
 
     if (ok) {
       // First valid result wins; a steal-race loser lands here with the
-      // chunk already Done and discards its copy.
+      // chunk already Done and discards its copy. The same rule covers
+      // membership churn: a chunk dispatched under an older ring epoch is
+      // accepted when it lands — the epoch versions routing, not results.
       bool winner = false;
       {
         std::lock_guard<std::mutex> lk(run.mu);

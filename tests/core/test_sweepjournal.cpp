@@ -3,11 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
 
 #include "util/faultinject.h"
+#include "util/hash.h"
 
 namespace sqz::core {
 namespace {
@@ -175,6 +177,123 @@ TEST(SweepJournal, InjectedAppendFailureThrowsLoudly) {
 TEST(SweepJournal, UnwritableDirectoryThrows) {
   EXPECT_THROW(SweepJournal("/proc/definitely/not/writable"),
                SweepJournalError);
+}
+
+/// A correctly framed record with an arbitrary magic — what a newer (or
+/// foreign) build would append. The checksum is genuine, so only the magic
+/// distinguishes it from a record this build understands.
+std::string framed_record(const char* magic, const std::string& key,
+                          const std::string& value) {
+  char header[128];
+  std::snprintf(header, sizeof(header), "%s %zu %zu %016llx\n", magic,
+                key.size(), value.size(),
+                static_cast<unsigned long long>(util::fnv1a64(key + value)));
+  return header + key + value;
+}
+
+TEST(SweepJournal, MembershipEventsRoundTripInAppendOrder) {
+  const std::string dir = fresh_dir("membership");
+  {
+    SweepJournal j(dir);
+    j.append_membership("10.0.0.1:7070", "{\"event\":\"register\"}");
+    j.append("point-a", "{\"cycles\":1}");
+    j.append_membership("10.0.0.2:7070", "{\"event\":\"register\"}");
+    j.append_membership("10.0.0.1:7070", "{\"event\":\"expire\"}");
+  }
+  SweepJournal j(dir);
+  EXPECT_FALSE(j.recovery().torn);
+  EXPECT_EQ(j.recovery().records, 4u);
+  EXPECT_EQ(j.recovery().skipped, 0u);
+  // Points and membership land in separate views; membership keeps append
+  // order (replay order is the lease table's semantics).
+  EXPECT_EQ(j.entries().size(), 1u);
+  ASSERT_EQ(j.membership().size(), 3u);
+  EXPECT_EQ(j.membership()[0].first, "10.0.0.1:7070");
+  EXPECT_EQ(j.membership()[0].second, "{\"event\":\"register\"}");
+  EXPECT_EQ(j.membership()[1].first, "10.0.0.2:7070");
+  EXPECT_EQ(j.membership()[2].second, "{\"event\":\"expire\"}");
+}
+
+TEST(SweepJournal, UnknownRecordTypeIsSkippedNotFatal) {
+  const std::string dir = fresh_dir("futuremagic");
+  {
+    SweepJournal j(dir);
+    j.append("before", "1");
+  }
+  // A future build appends a record type this build has never heard of,
+  // then a known record lands after it.
+  const std::string path = SweepJournal::journal_path(dir);
+  std::ofstream(path, std::ios::binary | std::ios::app)
+      << framed_record("sqzx7", "future-key", "{\"novel\":true}")
+      << framed_record("sqzw1", "after", "2");
+
+  SweepJournal j(dir);
+  EXPECT_FALSE(j.recovery().torn);
+  EXPECT_EQ(j.recovery().records, 2u);
+  EXPECT_EQ(j.recovery().skipped, 1u);
+  EXPECT_EQ(j.entries().count("before"), 1u);
+  EXPECT_EQ(j.entries().count("after"), 1u);
+  EXPECT_EQ(j.entries().count("future-key"), 0u);
+
+  // Appends continue on a clean frame after the foreign record.
+  j.append("resumed", "3");
+  SweepJournal j2(dir);
+  EXPECT_EQ(j2.recovery().records, 3u);
+  EXPECT_EQ(j2.recovery().skipped, 1u);
+}
+
+TEST(SweepJournal, UnknownRecordWithBadChecksumStillEndsThePrefix) {
+  const std::string dir = fresh_dir("futurerot");
+  {
+    SweepJournal j(dir);
+    j.append("first", "1");
+  }
+  // Forward compatibility must not become a corruption loophole: an
+  // unknown-type record is only skippable behind a *valid* checksum.
+  std::string forged = framed_record("sqzx7", "future", "payload");
+  forged[forged.size() - 1] ^= 0x01;  // rot inside the payload
+  const std::string path = SweepJournal::journal_path(dir);
+  std::ofstream(path, std::ios::binary | std::ios::app)
+      << forged << framed_record("sqzw1", "after", "2");
+
+  SweepJournal j(dir);
+  EXPECT_TRUE(j.recovery().torn);
+  EXPECT_EQ(j.recovery().records, 1u);
+  EXPECT_EQ(j.recovery().skipped, 0u);
+  EXPECT_EQ(j.entries().count("after"), 0u);
+}
+
+TEST(SweepJournal, GoldenPreMembershipJournalReplaysUnchanged) {
+  // tests/data/pre_membership.sqzj is a journal written before typed
+  // records existed (sqzw1 only, checksums baked in). Rolling upgrades
+  // depend on this build replaying it byte-for-byte-compatibly.
+  const std::string golden =
+      std::string(SQZ_TEST_DATA_DIR) + "/pre_membership.sqzj";
+  const std::string raw = read_file(golden);
+  ASSERT_FALSE(raw.empty()) << "missing golden: tests/data/pre_membership.sqzj";
+
+  const std::string dir = fresh_dir("golden");
+  fs::create_directories(dir);
+  std::ofstream(SweepJournal::journal_path(dir), std::ios::binary) << raw;
+
+  SweepJournal j(dir);
+  EXPECT_FALSE(j.recovery().torn);
+  EXPECT_EQ(j.recovery().records, 3u);
+  EXPECT_EQ(j.recovery().skipped, 0u);
+  EXPECT_TRUE(j.membership().empty());
+  ASSERT_EQ(j.entries().size(), 2u);
+  // The golden journal re-records rf=16;pe=4; later duplicate wins.
+  EXPECT_EQ(j.entries().at("rf=16;pe=4"), "{\"cycles\":1020,\"energy_pj\":3.5}");
+  EXPECT_EQ(j.entries().at("rf=32;pe=8"), "{\"cycles\":512,\"energy_pj\":5.25}");
+
+  // A post-membership build appends sqzm1 records to the same file: the
+  // mixed journal replays both views intact.
+  j.append_membership("10.0.0.9:7070", "{\"event\":\"register\"}");
+  SweepJournal j2(dir);
+  EXPECT_EQ(j2.recovery().records, 4u);
+  EXPECT_EQ(j2.entries().size(), 2u);
+  ASSERT_EQ(j2.membership().size(), 1u);
+  EXPECT_EQ(j2.membership()[0].first, "10.0.0.9:7070");
 }
 
 }  // namespace
