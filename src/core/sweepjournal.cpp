@@ -1,6 +1,11 @@
 #include "core/sweepjournal.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -71,6 +76,10 @@ std::string SweepJournal::journal_path(const std::string& dir) {
   return dir + "/sweep.sqzj";
 }
 
+std::string SweepJournal::lock_path(const std::string& dir) {
+  return dir + "/sweep.lock";
+}
+
 SweepJournal::SweepJournal(const std::string& dir)
     : path_(journal_path(dir)) {
   std::error_code ec;
@@ -79,6 +88,45 @@ SweepJournal::SweepJournal(const std::string& dir)
     throw SweepJournalError("sweepjournal: cannot create journal dir '" +
                              dir + "'");
 
+  // Writer fence, before the first byte is read: an exclusive flock held
+  // for this object's lifetime. Recovery under the lock cannot race a
+  // concurrent append, and a second writer (a partitioned standby trying
+  // to promote onto a live primary's journal) is refused outright. flock
+  // conflicts between separate open descriptions even within one process,
+  // and evaporates with a SIGKILLed holder — no stale-lock cleanup.
+  lock_fd_ = ::open(lock_path(dir).c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                    0644);
+  if (lock_fd_ < 0)
+    throw SweepJournalError("sweepjournal: cannot open " + lock_path(dir) +
+                             ": " + std::strerror(errno));
+  if (::flock(lock_fd_, LOCK_EX | LOCK_NB) != 0) {
+    const int err = errno;
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    if (err == EWOULDBLOCK)
+      throw SweepJournalLocked(
+          "sweepjournal: " + path_ +
+          " is held by another live writer (journal dirs are single-writer)");
+    throw SweepJournalError("sweepjournal: cannot lock " + lock_path(dir) +
+                             ": " + std::strerror(err));
+  }
+  // From here on a throw must release the lock: a half-constructed object
+  // never runs its destructor.
+  try {
+    open_and_recover();
+  } catch (...) {
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+    throw;
+  }
+}
+
+SweepJournal::~SweepJournal() {
+  if (lock_fd_ >= 0) ::close(lock_fd_);  // releases the flock
+}
+
+void SweepJournal::open_and_recover() {
+  std::error_code ec;
   // Recovery: replay the valid record prefix, truncate everything after it.
   std::string raw;
   {

@@ -36,10 +36,21 @@
 // flushed record-at-a-time, and a crash can only tear the *tail* record.
 // Opening the journal replays the valid prefix, then truncates any torn
 // tail so subsequent appends start on a clean frame — the classic WAL
-// recovery. A record whose checksum fails mid-file (bit rot, concurrent
-// writers — unsupported) also ends the trusted prefix: nothing after a bad
-// frame is believed. The "sweepjournal.append" fault point
-// (util/faultinject.h) lets chaos tests tear a record deterministically.
+// recovery. A record whose checksum fails mid-file (bit rot) also ends the
+// trusted prefix: nothing after a bad frame is believed. The
+// "sweepjournal.append" fault point (util/faultinject.h) lets chaos tests
+// tear a record deterministically.
+//
+// Single-writer fence: a journal directory has exactly one writer at a
+// time, enforced with an exclusive flock(2) on `<dir>/sweep.lock` held for
+// the journal's lifetime. Opening a directory whose lock another *live*
+// process (or object) holds throws SweepJournalLocked — this is what keeps
+// a partitioned standby coordinator from promoting onto a journal the
+// primary is still appending to (split-brain), since interleaved buffered
+// appends from two writers would corrupt the shared file both sides depend
+// on for recovery. The lock dies with its holder: a SIGKILLed primary
+// releases it automatically, so takeover after a real crash needs no
+// cleanup step.
 #pragma once
 
 #include <cstddef>
@@ -62,6 +73,16 @@ class SweepJournalError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// The journal directory's writer lock is held by another live writer.
+/// Distinct from SweepJournalError so a standby coordinator can treat it
+/// as proof the primary is alive (refuse promotion) rather than as a
+/// broken journal.
+class SweepJournalLocked : public SweepJournalError {
+ public:
+  explicit SweepJournalLocked(const std::string& what)
+      : SweepJournalError(what) {}
+};
+
 class SweepJournal {
  public:
   struct Recovery {
@@ -76,11 +97,14 @@ class SweepJournal {
   /// value = the event JSON appended by the coordinator).
   using MembershipEvent = std::pair<std::string, std::string>;
 
-  /// Open (creating `dir` if needed) and recover: replay valid records into
+  /// Open (creating `dir` if needed) and recover: acquire the directory's
+  /// exclusive writer lock, replay valid records into
   /// entries()/membership(), truncate any torn tail, and position for
-  /// appends. Throws SweepJournalError when the directory or file cannot be
-  /// opened.
+  /// appends. Throws SweepJournalLocked when another live writer holds the
+  /// lock, SweepJournalError when the directory or file cannot be opened.
   explicit SweepJournal(const std::string& dir);
+
+  ~SweepJournal();  ///< Releases the writer lock.
 
   SweepJournal(const SweepJournal&) = delete;
   SweepJournal& operator=(const SweepJournal&) = delete;
@@ -114,11 +138,19 @@ class SweepJournal {
   /// The journal file inside `dir`.
   static std::string journal_path(const std::string& dir);
 
+  /// The writer-lock file inside `dir` (exclusive flock, held while open).
+  static std::string lock_path(const std::string& dir);
+
  private:
+  /// Constructor tail, run under the writer lock: replay, truncate any
+  /// torn tail, open for append. Split out so a throw can release the lock
+  /// (a half-constructed object never runs its destructor).
+  void open_and_recover();
   void append_record(const char* magic, const std::string& key,
                      const std::string& value);
 
   std::string path_;
+  int lock_fd_ = -1;  ///< Exclusive flock on lock_path(); held until ~.
   std::mutex mu_;
   std::ofstream out_;  ///< Append-positioned after recovery; guarded by mu_.
   std::unordered_map<std::string, std::string> entries_;

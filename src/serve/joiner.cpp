@@ -7,6 +7,7 @@
 #include "serve/metrics.h"
 #include "util/hash.h"
 #include "util/json.h"
+#include "util/json_parse.h"
 #include "util/logging.h"
 
 namespace sqz::serve {
@@ -26,7 +27,8 @@ std::uint64_t next_rand(std::uint64_t& state) {
 }  // namespace
 
 Joiner::Joiner(const JoinerOptions& options, Metrics* metrics)
-    : options_(options), metrics_(metrics) {}
+    : options_(options), metrics_(metrics),
+      granted_lease_ms_(options.lease_ms) {}
 
 Joiner::~Joiner() { stop(); }
 
@@ -69,9 +71,22 @@ bool Joiner::post_registration(const HostPort& coordinator, bool deregister) {
     req.target = deregister ? "/v1/workers/deregister" : "/v1/workers/register";
     req.headers.emplace_back("Content-Type", "application/json");
     req.body = os.str();
-    return http_fetch(coordinator.host, coordinator.port, std::move(req),
-                      options_.timeout_ms)
-               .status == 200;
+    const HttpResponse resp = http_fetch(coordinator.host, coordinator.port,
+                                         std::move(req), options_.timeout_ms);
+    if (resp.status != 200) return false;
+    if (!deregister) {
+      // The coordinator may clamp or substitute the requested TTL; the
+      // renewal cadence must come from what it actually granted, or the
+      // lease can lapse between heartbeats. An unparseable body falls back
+      // to the last known grant.
+      try {
+        const std::int64_t granted =
+            util::parse_json(resp.body).at("lease_ms").as_int();
+        if (granted > 0) granted_lease_ms_.store(granted);
+      } catch (const std::exception&) {
+      }
+    }
+    return true;
   } catch (const FetchError&) {
     return false;
   }
@@ -97,13 +112,13 @@ void Joiner::heartbeat_loop() {
         if (metrics_) metrics_->record_worker_joined();
         SQZ_LOG(Info) << "joiner: registered with "
                       << options_.endpoints[ep].host << ":"
-                      << options_.endpoints[ep].port << " (lease "
-                      << options_.lease_ms << " ms)";
+                      << options_.endpoints[ep].port << " (granted lease "
+                      << granted_lease_ms_.load() << " ms)";
       }
       backoff_ms = options_.retry_base_ms;
-      // Renew at a third of the TTL: two heartbeats can be lost before the
-      // lease lapses.
-      sleep_ms = std::max<std::int64_t>(1, options_.lease_ms / 3);
+      // Renew at a third of the *granted* TTL: two heartbeats can be lost
+      // before the lease lapses.
+      sleep_ms = std::max<std::int64_t>(1, granted_lease_ms_.load() / 3);
     } else {
       if (joined_.exchange(false))
         SQZ_LOG(Warn) << "joiner: lost coordinator "

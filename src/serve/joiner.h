@@ -4,8 +4,11 @@
 // A worker started with `sqzserved --join host:port[,host:port...]` owns a
 // Joiner. It registers this worker with a coordinator over
 // POST /v1/workers/register on boot, then renews the lease at a third of
-// its TTL so two heartbeats can be lost before the coordinator expires the
-// member. Registration is idempotent on the coordinator (a renewal is just
+// the TTL the coordinator actually *granted* (parsed from the register
+// response — the grant may clamp or substitute the requested TTL, and a
+// cadence computed from the wrong number would let the lease lapse between
+// renewals), so two heartbeats can be lost before the coordinator expires
+// the member. Registration is idempotent on the coordinator (a renewal is just
 // a register of the same host:port), which makes partition recovery free:
 // when heartbeats start failing the Joiner falls back to jittered-backoff
 // retries, rotating round-robin through the configured endpoints (a
@@ -43,7 +46,10 @@ struct JoinerOptions {
   std::string advertise_host = "127.0.0.1";
   int advertise_port = 0;
 
-  std::int64_t lease_ms = 5000;  ///< Requested TTL; renewed at lease_ms / 3.
+  /// Requested TTL. The renewal cadence comes from the TTL the coordinator
+  /// grants in its register response (granted / 3), falling back to this
+  /// value when the response carries no parseable grant.
+  std::int64_t lease_ms = 5000;
 
   /// Jittered-backoff schedule while no coordinator answers.
   int retry_base_ms = 200;
@@ -77,6 +83,11 @@ class Joiner {
   /// the /healthz membership block.
   std::string current_endpoint() const;
 
+  /// The lease TTL the coordinator last granted (the requested TTL until a
+  /// register response says otherwise). The heartbeat renews at a third of
+  /// this; surfaced on the /healthz membership block.
+  std::int64_t granted_lease_ms() const { return granted_lease_ms_.load(); }
+
  private:
   bool post_registration(const HostPort& coordinator, bool deregister);
   void heartbeat_loop();
@@ -85,6 +96,7 @@ class Joiner {
   Metrics* metrics_;
 
   std::atomic<bool> joined_{false};
+  std::atomic<std::int64_t> granted_lease_ms_;  ///< Last granted TTL.
   mutable std::mutex mu_;
   std::size_t endpoint_ = 0;  ///< Round-robin cursor; guarded by mu_.
 

@@ -190,10 +190,11 @@ void Server::start() {
   stopping_.store(false);
   accepting_.store(true);
   if (coordinator_) coordinator_->start();  // worker-health prober
-  accept_thread_ = std::thread([this] { accept_loop(); });
 
   // Worker role: register with the coordinator(s) now that the bound port
-  // is known, then keep the lease renewed.
+  // is known, then keep the lease renewed. Built *before* the accept
+  // thread spawns so handler threads see a fully published joiner_ (the
+  // listen backlog already queues connections arriving meanwhile).
   if (!options_.joiner.endpoints.empty()) {
     JoinerOptions jo = options_.joiner;
     if (jo.advertise_host.empty()) jo.advertise_host = options_.host;
@@ -201,6 +202,8 @@ void Server::start() {
     joiner_ = std::make_unique<Joiner>(jo, &metrics_);
     joiner_->start();
   }
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
 
   // Standby role: watch the primary's /healthz; promote on its silence.
   if (role_.load() == Role::Standby) {
@@ -286,23 +289,43 @@ void Server::standby_loop() {
     }
     if (WorkerPool::now_ms() - last_ok_ms >
         std::max<std::int64_t>(1, options_.standby_takeover_ms)) {
-      promote();
-      return;
+      if (promote()) return;
+      // Refused: the primary still holds the journal's writer lock, so it
+      // is provably alive behind a partition (or the journal dir is
+      // broken). Either way promoting now would be split-brain — restart
+      // the grace clock and keep watching.
+      last_ok_ms = WorkerPool::now_ms();
     }
   }
 }
 
 // Standby -> Active. By the time this runs the primary has been silent for
-// a full takeover window, so its journal file handle is dead weight: this
-// side becomes the single writer. Everything the primary knew is replayed
-// from the journal — completed points byte-identically, membership into
-// fresh leases (a worker that is truly gone fails to renew and expires).
-void Server::promote() {
+// a full takeover window. Opening the journal acquires its exclusive
+// writer lock, which is the split-brain fence: a primary that is merely
+// partitioned (alive, still appending) still holds the lock, the open
+// throws SweepJournalLocked, and this side stays a standby instead of
+// interleaving a second writer into the shared file. A dead primary's lock
+// died with it, so the open succeeds and this side becomes the single
+// writer. Everything the primary knew is replayed from the journal —
+// completed points byte-identically, membership into fresh leases (a
+// worker that is truly gone fails to renew and expires). Returns false
+// when promotion was refused.
+bool Server::promote() {
   SQZ_LOG(Warn) << "server: primary " << options_.standby_of
                 << " silent for " << options_.standby_takeover_ms
                 << " ms; taking over as coordinator";
-  sweep_journal_ =
-      std::make_unique<core::SweepJournal>(options_.sweep_journal_dir);
+  try {
+    sweep_journal_ =
+        std::make_unique<core::SweepJournal>(options_.sweep_journal_dir);
+  } catch (const core::SweepJournalLocked& e) {
+    SQZ_LOG(Warn) << "server: takeover refused — " << e.what()
+                  << "; remaining standby";
+    return false;
+  } catch (const core::SweepJournalError& e) {
+    SQZ_LOG(Error) << "server: takeover failed — " << e.what()
+                   << "; remaining standby";
+    return false;
+  }
   CoordinatorOptions copts = options_.coordinator;
   copts.accept_registrations = true;  // inherit the primary's dynamic fleet
   coordinator_ =
@@ -315,6 +338,7 @@ void Server::promote() {
   // The release store publishes everything above to handler threads, which
   // only touch service_/coordinator_ after observing Role::Active.
   role_.store(Role::Active);
+  return true;
 }
 
 // Answer an over-cap connection with 503 + Retry-After and close it. Runs
@@ -502,6 +526,16 @@ HttpResponse Server::route(const HttpRequest& request) {
         return json_error_response(405, "use GET " + request.target);
       // Readiness JSON. The status code is the liveness contract (200 =
       // alive); the body is for operators and the coordinator's prober.
+      //
+      // One role load governs every promoted-member read below: until this
+      // handler observes Role::Active, sweep_journal_/coordinator_ may be
+      // mid-assignment on the standby thread (promote() runs while the
+      // standby keeps serving /healthz), so a Standby snapshot renders
+      // those blocks as disabled without ever touching the pointers. The
+      // seq_cst load pairs with promote()'s store as acquire/release.
+      const bool is_standby = role_.load() == Role::Standby;
+      core::SweepJournal* journal = is_standby ? nullptr : sweep_journal_.get();
+      Coordinator* coordinator = is_standby ? nullptr : coordinator_.get();
       const Metrics::Snapshot m = metrics_.snapshot();
       const SimCache::Stats cs = cache_.stats();
       int active;
@@ -534,30 +568,29 @@ HttpResponse Server::route(const HttpRequest& request) {
       w.end_object();
       w.key("journal");
       w.begin_object();
-      w.member("enabled", sweep_journal_ != nullptr);
+      w.member("enabled", journal != nullptr);
       w.member("recovered_records",
-               sweep_journal_ ? sweep_journal_->recovery().records
-                              : std::size_t{0});
+               journal ? journal->recovery().records : std::size_t{0});
       w.end_object();
       w.key("coordinator");
       w.begin_object();
-      w.member("enabled", coordinator_ != nullptr);
+      w.member("enabled", coordinator != nullptr);
       w.member("workers",
-               coordinator_ ? coordinator_->pool().size() : std::size_t{0});
-      w.member("workers_up", coordinator_ ? coordinator_->pool().usable_count()
-                                          : std::size_t{0});
+               coordinator ? coordinator->pool().size() : std::size_t{0});
+      w.member("workers_up", coordinator ? coordinator->pool().usable_count()
+                                         : std::size_t{0});
       w.end_object();
       // Membership block (ARCHITECTURE.md "Dynamic membership & coordinator
       // HA"): present only in a membership-bearing role, so a plain
       // worker's /healthz shape is unchanged.
-      if (role_.load() == Role::Standby) {
+      if (is_standby) {
         w.key("membership");
         w.begin_object();
         w.member("role", "standby");
         w.member("primary", options_.standby_of);
         w.end_object();
-      } else if (coordinator_) {
-        const WorkerPool& pool = coordinator_->pool();
+      } else if (coordinator) {
+        const WorkerPool& pool = coordinator->pool();
         const MemberCounts counts = pool.member_counts();
         const std::int64_t now = WorkerPool::now_ms();
         w.key("membership");
@@ -590,6 +623,9 @@ HttpResponse Server::route(const HttpRequest& request) {
         w.member("role", "worker");
         w.member("joined", joiner_->joined());
         w.member("coordinator", joiner_->current_endpoint());
+        // The TTL the coordinator actually granted (it may clamp the
+        // requested one); the heartbeat cadence is granted / 3.
+        w.member("lease_ms", joiner_->granted_lease_ms());
         w.end_object();
       }
       w.end_object();

@@ -131,7 +131,10 @@ struct ServerOptions {
   /// sweep_journal_dir (required). When the primary misses probes for
   /// longer than standby_takeover_ms, the standby opens the journal,
   /// replays points and membership, and promotes itself to an active
-  /// coordinator; the resumed sweep is byte-identical.
+  /// coordinator; the resumed sweep is byte-identical. Promotion is fenced
+  /// by the journal's exclusive writer lock (core/sweepjournal.h): a
+  /// primary that is alive but partitioned still holds it, so the standby
+  /// refuses to promote rather than split-brain the shared journal.
   std::string standby_of;
   std::int64_t standby_takeover_ms = 5000;
 };
@@ -180,7 +183,12 @@ class Server {
   void handle_connection(int fd);
   HttpResponse route(const HttpRequest& request);
   void standby_loop();  ///< Watch the primary; promote on lease expiry.
-  void promote();       ///< Standby -> Active: open journal, build fleet.
+
+  /// Standby -> Active: lock + open the journal, build the fleet. False =
+  /// refused (the primary still holds the journal's writer lock — alive
+  /// behind a partition — or the journal dir failed to open); the caller
+  /// keeps standing by.
+  bool promote();
 
   ServerOptions options_;
   SimCache cache_;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdio>
 #include <filesystem>
@@ -82,16 +84,18 @@ TEST(SweepJournal, TornTailIsDroppedAndTruncated) {
   const std::string full = read_file(path);
   fs::resize_file(path, full.size() - 3);
 
-  SweepJournal j(dir);
-  EXPECT_TRUE(j.recovery().torn);
-  EXPECT_EQ(j.recovery().records, 1u);
-  EXPECT_GT(j.recovery().dropped_bytes, 0u);
-  EXPECT_EQ(j.entries().count("a"), 1u);
-  EXPECT_EQ(j.entries().count("b"), 0u);
+  {
+    SweepJournal j(dir);
+    EXPECT_TRUE(j.recovery().torn);
+    EXPECT_EQ(j.recovery().records, 1u);
+    EXPECT_GT(j.recovery().dropped_bytes, 0u);
+    EXPECT_EQ(j.entries().count("a"), 1u);
+    EXPECT_EQ(j.entries().count("b"), 0u);
 
-  // The torn bytes were truncated away, so the next append starts on a
-  // clean frame and a third open sees both records.
-  j.append("c", "3");
+    // The torn bytes were truncated away, so the next append starts on a
+    // clean frame and a third open sees both records.
+    j.append("c", "3");
+  }
   SweepJournal j2(dir);
   EXPECT_FALSE(j2.recovery().torn);
   EXPECT_EQ(j2.recovery().records, 2u);
@@ -127,11 +131,13 @@ TEST(SweepJournal, GarbageFileRecoversToEmpty) {
   fs::create_directories(dir);
   std::ofstream(SweepJournal::journal_path(dir), std::ios::binary)
       << "this is not a journal\nsqzw1 lies 0 0\n";
-  SweepJournal j(dir);
-  EXPECT_TRUE(j.recovery().torn);
-  EXPECT_EQ(j.recovery().records, 0u);
-  EXPECT_TRUE(j.entries().empty());
-  j.append("fresh", "start");
+  {
+    SweepJournal j(dir);
+    EXPECT_TRUE(j.recovery().torn);
+    EXPECT_EQ(j.recovery().records, 0u);
+    EXPECT_TRUE(j.entries().empty());
+    j.append("fresh", "start");
+  }
   SweepJournal j2(dir);
   EXPECT_EQ(j2.recovery().records, 1u);
 }
@@ -177,6 +183,54 @@ TEST(SweepJournal, InjectedAppendFailureThrowsLoudly) {
 TEST(SweepJournal, UnwritableDirectoryThrows) {
   EXPECT_THROW(SweepJournal("/proc/definitely/not/writable"),
                SweepJournalError);
+}
+
+TEST(SweepJournal, SecondConcurrentWriterIsRefused) {
+  // The single-writer fence: as long as one writer holds the directory, a
+  // second open throws SweepJournalLocked — this is what stops a
+  // partitioned standby from promoting onto a live primary's journal.
+  const std::string dir = fresh_dir("lock");
+  {
+    SweepJournal first(dir);
+    first.append("k", "v");
+    EXPECT_THROW({ SweepJournal second(dir); }, SweepJournalLocked);
+    // The refused open must not have disturbed the holder.
+    first.append("k2", "v2");
+  }
+  // Destruction releases the lock (as does a SIGKILLed holder process):
+  // the next writer opens cleanly and sees everything.
+  SweepJournal next(dir);
+  EXPECT_EQ(next.recovery().records, 2u);
+}
+
+TEST(SweepJournal, LockIsReleasedWhenConstructionFailsAfterAcquiring) {
+  // A construction failure *after* the lock is taken (here: the recovery
+  // read works but the torn-tail truncate fails on a directory made
+  // read-only) must release the lock, or the directory would be stranded
+  // until process exit.
+  const std::string dir = fresh_dir("lockfail");
+  {
+    SweepJournal j(dir);
+    j.append("a", "1");
+  }
+  // Tear the tail so the next open needs resize_file, then deny writes on
+  // the file so the truncate fails.
+  const std::string path = SweepJournal::journal_path(dir);
+  std::ofstream(path, std::ios::binary | std::ios::app) << "sqzw1 torn";
+  fs::permissions(path, fs::perms::owner_read, fs::perm_options::replace);
+  const bool denied = []() {
+    // Root ignores permission bits; skip the failure leg if so.
+    return ::geteuid() != 0;
+  }();
+  if (denied) {
+    EXPECT_THROW({ SweepJournal failing(dir); }, SweepJournalError);
+    fs::permissions(path, fs::perms::owner_all, fs::perm_options::replace);
+    // The lock must be free again: a fresh open succeeds.
+    SweepJournal j(dir);
+    EXPECT_EQ(j.recovery().records, 1u);
+  } else {
+    fs::permissions(path, fs::perms::owner_all, fs::perm_options::replace);
+  }
 }
 
 /// A correctly framed record with an arbitrary magic — what a newer (or
@@ -227,16 +281,18 @@ TEST(SweepJournal, UnknownRecordTypeIsSkippedNotFatal) {
       << framed_record("sqzx7", "future-key", "{\"novel\":true}")
       << framed_record("sqzw1", "after", "2");
 
-  SweepJournal j(dir);
-  EXPECT_FALSE(j.recovery().torn);
-  EXPECT_EQ(j.recovery().records, 2u);
-  EXPECT_EQ(j.recovery().skipped, 1u);
-  EXPECT_EQ(j.entries().count("before"), 1u);
-  EXPECT_EQ(j.entries().count("after"), 1u);
-  EXPECT_EQ(j.entries().count("future-key"), 0u);
+  {
+    SweepJournal j(dir);
+    EXPECT_FALSE(j.recovery().torn);
+    EXPECT_EQ(j.recovery().records, 2u);
+    EXPECT_EQ(j.recovery().skipped, 1u);
+    EXPECT_EQ(j.entries().count("before"), 1u);
+    EXPECT_EQ(j.entries().count("after"), 1u);
+    EXPECT_EQ(j.entries().count("future-key"), 0u);
 
-  // Appends continue on a clean frame after the foreign record.
-  j.append("resumed", "3");
+    // Appends continue on a clean frame after the foreign record.
+    j.append("resumed", "3");
+  }
   SweepJournal j2(dir);
   EXPECT_EQ(j2.recovery().records, 3u);
   EXPECT_EQ(j2.recovery().skipped, 1u);
@@ -276,19 +332,23 @@ TEST(SweepJournal, GoldenPreMembershipJournalReplaysUnchanged) {
   fs::create_directories(dir);
   std::ofstream(SweepJournal::journal_path(dir), std::ios::binary) << raw;
 
-  SweepJournal j(dir);
-  EXPECT_FALSE(j.recovery().torn);
-  EXPECT_EQ(j.recovery().records, 3u);
-  EXPECT_EQ(j.recovery().skipped, 0u);
-  EXPECT_TRUE(j.membership().empty());
-  ASSERT_EQ(j.entries().size(), 2u);
-  // The golden journal re-records rf=16;pe=4; later duplicate wins.
-  EXPECT_EQ(j.entries().at("rf=16;pe=4"), "{\"cycles\":1020,\"energy_pj\":3.5}");
-  EXPECT_EQ(j.entries().at("rf=32;pe=8"), "{\"cycles\":512,\"energy_pj\":5.25}");
+  {
+    SweepJournal j(dir);
+    EXPECT_FALSE(j.recovery().torn);
+    EXPECT_EQ(j.recovery().records, 3u);
+    EXPECT_EQ(j.recovery().skipped, 0u);
+    EXPECT_TRUE(j.membership().empty());
+    ASSERT_EQ(j.entries().size(), 2u);
+    // The golden journal re-records rf=16;pe=4; later duplicate wins.
+    EXPECT_EQ(j.entries().at("rf=16;pe=4"),
+              "{\"cycles\":1020,\"energy_pj\":3.5}");
+    EXPECT_EQ(j.entries().at("rf=32;pe=8"),
+              "{\"cycles\":512,\"energy_pj\":5.25}");
 
-  // A post-membership build appends sqzm1 records to the same file: the
-  // mixed journal replays both views intact.
-  j.append_membership("10.0.0.9:7070", "{\"event\":\"register\"}");
+    // A post-membership build appends sqzm1 records to the same file: the
+    // mixed journal replays both views intact.
+    j.append_membership("10.0.0.9:7070", "{\"event\":\"register\"}");
+  }
   SweepJournal j2(dir);
   EXPECT_EQ(j2.recovery().records, 4u);
   EXPECT_EQ(j2.entries().size(), 2u);

@@ -692,6 +692,87 @@ TEST_F(CoordinatorDrill, StandbyTakesOverAfterPrimarySigkill) {
   fs::remove_all(dir);
 }
 
+TEST_F(CoordinatorDrill, PartitionedStandbyRefusesTakeoverWhilePrimaryLives) {
+  // The split-brain fence: a standby that cannot reach the primary must NOT
+  // promote while the primary is alive and holding the journal's writer
+  // lock — two concurrent writers would interleave appends and corrupt the
+  // shared journal both sides recover from.
+  const fs::path dir = fs::temp_directory_path() /
+                       ("sqz_ha_partition_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+
+  // A live in-process primary holding the journal's writer lock throughout.
+  ServerOptions popt;
+  popt.port = 0;
+  popt.sweep_journal_dir = dir.string();
+  Server primary(popt);
+  primary.start();
+
+  ServerOptions sopt;
+  sopt.port = 0;
+  sopt.standby_of = "127.0.0.1:" + std::to_string(primary.port());
+  sopt.sweep_journal_dir = dir.string();
+  sopt.standby_takeover_ms = 300;
+  sopt.coordinator.probe.interval_ms = 100;
+  Server standby(sopt);
+  standby.start();
+  ASSERT_TRUE(standby.standby());
+
+  // "Partition": the coord.takeover fault fails every probe the standby
+  // sends, far past the takeover window. Each promotion attempt finds the
+  // journal locked by the live primary and is refused.
+  util::fault::arm("coord.takeover", util::fault::make_errno(ETIMEDOUT), 200);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  EXPECT_TRUE(standby.standby()) << "standby promoted into split-brain";
+  EXPECT_EQ(standby.metrics().snapshot().coord_takeovers, 0u);
+  util::fault::reset();
+
+  // The partition heals: the standby goes back to passive watching, and
+  // the primary — sole writer all along — still journals cleanly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_TRUE(standby.standby());
+  const HttpResponse r = post_sweep(primary.port(), kSweepBody);
+  ASSERT_EQ(r.status, 200) << r.body;
+  EXPECT_EQ(r.body, local_golden(kSweepBody));
+  fs::remove_all(dir);
+}
+
+TEST_F(CoordinatorDrill, JoinerRenewsAtTheGrantedLeaseNotTheRequestedOne) {
+  ServerOptions copt;
+  copt.port = 0;
+  copt.coordinator.accept_registrations = true;
+  copt.coordinator.probe.interval_ms = 100;
+  Server coord(copt);
+  coord.start();
+
+  // The worker asks for a 50 ms TTL — below the coordinator's floor
+  // (WorkerPool::kMinLeaseMs), so the register response carries a clamped
+  // grant. In-process so its /healthz membership block is inspectable.
+  ServerOptions wopt;
+  wopt.port = 0;
+  wopt.joiner.endpoints.push_back(
+      parse_host_port("127.0.0.1:" + std::to_string(coord.port()), "--join"));
+  wopt.joiner.lease_ms = 50;
+  Server worker(wopt);
+  worker.start();
+  ASSERT_TRUE(eventually([&] { return healthy_workers(coord.port()) == 1; }));
+
+  // The joiner adopted the granted TTL from the response body — a cadence
+  // computed from the requested TTL would be wrong whenever the grant
+  // differs (and would lapse the lease whenever the grant is shorter).
+  const util::JsonValue h =
+      util::parse_json(get(worker.port(), "/healthz").body);
+  EXPECT_EQ(h.at("membership").at("role").as_string(), "worker");
+  EXPECT_TRUE(h.at("membership").at("joined").as_bool());
+  EXPECT_EQ(h.at("membership").at("lease_ms").as_int(), WorkerPool::kMinLeaseMs);
+
+  // And renewing at granted/3 actually holds the short lease: several TTL
+  // windows pass with no expiry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_EQ(coord.metrics().snapshot().coord_lease_expirations, 0u);
+  EXPECT_EQ(healthy_workers(coord.port()), 1);
+}
+
 TEST_F(CoordinatorDrill, RefusedRegistrationIsRetriedUntilAdmitted) {
   // A pure-registration fleet: the coordinator starts empty and the armed
   // "coord.register" fault refuses the first two attempts, so only the

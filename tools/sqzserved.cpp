@@ -4,9 +4,12 @@
 // GET /healthz and /metrics, with a content-addressed result cache so
 // repeated design points never re-simulate. SIGINT/SIGTERM shut down
 // gracefully: the listener closes first and in-flight requests drain.
+#include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -72,7 +75,9 @@ const char* kUsage =
     "  --standby-of H:P   standby coordinator: boot passive, watch the\n"
     "                     primary's /healthz, and take over its sweeps and\n"
     "                     fleet from the shared --sweep-journal (required)\n"
-    "                     when the primary goes silent for --lease-ms\n"
+    "                     when the primary goes silent for --lease-ms.\n"
+    "                     Takeover is refused while a live (partitioned)\n"
+    "                     primary still holds the journal's writer lock\n"
     "  --probe-interval-ms N  worker /healthz probe period (default 500)\n"
     "  --worker-fail-threshold N  consecutive failures that eject a worker\n"
     "                     from the ring (default 3)\n"
@@ -92,6 +97,25 @@ struct Options {
   bool help = false;
 };
 
+// Milliseconds, not thread counts: ThreadPool::parse_jobs caps at 1<<20
+// (~17 minutes), but --lease-ms doubles as the standby takeover window,
+// where multi-hour silences are a legitimate operator choice. Accepts any
+// positive integer up to 10 years.
+std::int64_t parse_ms(const std::string& v, const char* flag) {
+  constexpr long long kMaxMs = 315360000000LL;  // 10 years
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument(std::string(flag) +
+                                " expects a positive integer of "
+                                "milliseconds, got '" + v + "'");
+  errno = 0;
+  const long long n = std::strtoll(v.c_str(), nullptr, 10);
+  if (errno == ERANGE || n <= 0 || n > kMaxMs)
+    throw std::invalid_argument(std::string(flag) + " must be in [1, " +
+                                std::to_string(kMaxMs) + "] ms, got '" + v +
+                                "'");
+  return n;
+}
+
 std::vector<std::string> split_commas(const std::string& v, const char* flag) {
   std::vector<std::string> out;
   std::size_t at = 0;
@@ -110,7 +134,7 @@ std::vector<std::string> split_commas(const std::string& v, const char* flag) {
 
 Options parse_args(const std::vector<std::string>& args) {
   Options opt;
-  int lease_ms = 0;  // 0 = not given; applied per role after the loop
+  std::int64_t lease_ms = 0;  // 0 = not given; applied per role after the loop
   const auto value_of = [&](std::size_t& i) -> const std::string& {
     if (i + 1 >= args.size())
       throw std::invalid_argument("missing value for " + args[i]);
@@ -170,7 +194,7 @@ Options parse_args(const std::vector<std::string>& args) {
         opt.server.joiner.endpoints.push_back(
             sqz::serve::parse_host_port(spec, "--join"));
     else if (a == "--lease-ms")
-      lease_ms = sqz::util::ThreadPool::parse_jobs(value_of(i), "--lease-ms");
+      lease_ms = parse_ms(value_of(i), "--lease-ms");
     else if (a == "--standby-of")
       opt.server.standby_of = value_of(i);
     else if (a == "--probe-interval-ms")
